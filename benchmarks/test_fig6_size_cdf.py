@@ -1,0 +1,34 @@
+"""Figure 6 — distribution of campaign sizes and involved-client counts.
+
+Shape targets: most campaigns are small (the paper's "75% of attack
+campaigns have size smaller than 18"), and most campaigns involve a
+single client ("75% of attack campaigns have only one infected client"),
+which is the argument against client-side clustering systems.
+"""
+
+
+def test_fig6_size_cdf(runner, emit, benchmark):
+    dist = benchmark.pedantic(runner.fig6, rounds=1, iterations=1)
+
+    lines = ["Figure 6 - campaign size / client count distributions", "-" * 54]
+    lines.append(f"campaigns analysed:          {len(dist.campaign_sizes)}")
+    lines.append(
+        f"fraction with size < 18:     {dist.fraction_small_campaigns(18):.2f}"
+    )
+    lines.append(
+        f"fraction with single client: {dist.fraction_single_client():.2f}"
+    )
+    lines.append("campaign-size CDF: " + ", ".join(
+        f"({v},{f:.2f})" for v, f in dist.campaign_size_cdf()[:12]
+    ))
+    lines.append("client-count CDF:  " + ", ".join(
+        f"({v},{f:.2f})" for v, f in dist.client_count_cdf()[:12]
+    ))
+    emit("fig6_size_cdf", "\n".join(lines))
+
+    assert len(dist.campaign_sizes) >= 10
+    assert dist.fraction_small_campaigns(18) >= 0.5
+    # Single-client campaigns dominate (paper: ~75%).
+    assert dist.fraction_single_client() >= 0.3
+    # CDFs end at 1.
+    assert dist.campaign_size_cdf()[-1][1] == 1.0

@@ -1,0 +1,36 @@
+"""Figure 7 — persistent vs agile malicious campaigns over the week.
+
+Shape targets: after the benchmark day there are persistent servers
+(old servers seen again), agile campaigns (new servers contacted by
+already-known malicious clients) and brand-new campaigns; agile servers
+dominate the new ones ("most servers belong to agile malicious
+campaigns").
+"""
+
+
+def test_fig7_persistence(runner, emit, benchmark):
+    series = benchmark.pedantic(runner.fig7, rounds=1, iterations=1)
+
+    lines = ["Figure 7 - persistent vs agile campaigns",
+             f"{'day':>4} {'old':>6} {'new/old-client':>15} {'new/new-client':>15}"]
+    for entry in series:
+        lines.append(
+            f"{entry.day:>4} {entry.old_servers:>6} "
+            f"{entry.new_servers_old_clients:>15} "
+            f"{entry.new_servers_new_clients:>15}"
+        )
+    emit("fig7_persistence", "\n".join(lines))
+
+    assert len(series) == 7
+    # Day 0 is the benchmark: everything is new.
+    assert series[0].old_servers == 0
+    later = series[1:]
+    assert sum(e.old_servers for e in later) > 0, "persistent campaigns exist"
+    assert sum(e.new_servers_old_clients for e in later) > 0, "agile campaigns exist"
+    assert sum(e.new_servers_new_clients for e in later) > 0, "new campaigns appear"
+    # Agile turnover dominates persistence among *new* servers (paper:
+    # "malware may change their servers/domains every day").
+    assert (
+        sum(e.new_servers_old_clients for e in later)
+        > sum(e.new_servers_new_clients for e in later) * 0.5
+    )

@@ -1,0 +1,33 @@
+"""Figure 9 (Appendix A) — IDF (client-count) distribution and the
+threshold-200 justification.
+
+Shape targets: ~90% of malicious servers sit below 10 clients; the
+maximum malicious client count is far below the 200-client threshold
+while some benign servers exceed it (so the filter removes only
+popular benign properties).
+"""
+
+from repro.util.stats import percentile_of
+
+
+def test_fig9_idf(runner, emit, benchmark):
+    all_series, malicious_series = benchmark.pedantic(
+        runner.fig9, rounds=1, iterations=1,
+    )
+
+    malicious_counts = [v for v, _ in malicious_series]
+    all_counts = [v for v, _ in all_series]
+    lines = ["Figure 9 - IDF distribution (client count per server)"]
+    lines.append(f"servers total: {len(all_counts)} distinct IDF values")
+    lines.append(f"max IDF all servers:       {max(all_counts)}")
+    lines.append(f"max IDF malicious servers: {max(malicious_counts)}")
+    frac_low = percentile_of(malicious_counts, 10)
+    lines.append(f"fraction of malicious-IDF values <= 10 clients: {frac_low:.2f}")
+    emit("fig9_idf", "\n".join(lines))
+
+    # Malicious servers live in the unpopular region (paper: 90% < 10,
+    # max 127 << 200).
+    assert max(malicious_counts) < 200
+    assert frac_low >= 0.5
+    # The threshold actually has something to cut: benign servers above it.
+    assert max(all_counts) > 200

@@ -1,0 +1,23 @@
+"""Table I — trace statistics of the three datasets."""
+
+from repro.eval.tables import render_table
+
+
+def test_table1_trace_stats(runner, emit, benchmark):
+    dataset = runner.dataset("2011")
+    benchmark(dataset.trace.stats)
+
+    table = runner.table1()
+    rows = list(next(iter(table.values())).keys())
+    text = render_table("Table I", rows, table)
+    emit("table1_trace_stats", text)
+
+    for column in table.values():
+        # Each dataset is a real multi-thousand-server trace.
+        assert column["# of clients"] > 50
+        assert column["# of HTTP requests"] > column["# of Servers"]
+        assert column["# of URI Files"] > column["# of Servers"]
+    # The week trace dominates the day traces (paper shape).
+    week = table["Data2012week"]
+    for name in ("Data2011day", "Data2012day"):
+        assert week["# of HTTP requests"] > table[name]["# of HTTP requests"]

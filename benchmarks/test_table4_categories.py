@@ -1,0 +1,29 @@
+"""Table IV — attack categories of detected servers.
+
+Shape targets: both activity classes present (communication campaigns
+*and* attacks on benign servers); iframe injection contributes a large
+victim population; "other malicious servers" dominates the communication
+class (as in the paper's 1,120 row).
+"""
+
+from repro.eval.tables import render_mapping
+
+
+def test_table4_categories(runner, emit, benchmark):
+    table4 = benchmark.pedantic(runner.table4, rounds=1, iterations=1)
+
+    text = "\n\n".join(
+        render_mapping(f"Table IV - {activity}", rows)
+        for activity, rows in table4.items()
+    )
+    emit("table4_categories", text)
+
+    communication = table4["Communication"]
+    attacking = table4["Attacking"]
+    assert communication["C&C"] > 0
+    assert sum(communication.values()) > 0
+    assert attacking["Iframe injection"] > 0
+    assert attacking["Web scanner"] > 0
+    # Iframe injection is the big attacking campaign (paper: 600 victims
+    # vs dozens of scanner targets).
+    assert attacking["Iframe injection"] > attacking["Web scanner"]

@@ -1,0 +1,23 @@
+"""Table V — number of attack campaigns per day over Data2012week.
+
+Shape targets: SMASH reports a steady stream of campaigns every day,
+always more than the IDS-confirmed subset; FP (updated) <= FP.
+"""
+
+from repro.eval.tables import render_table
+
+
+def test_table5_week_campaigns(runner, emit, benchmark):
+    rows = benchmark.pedantic(runner.table5, rounds=1, iterations=1)
+
+    columns = {f"Day {i + 1}": row for i, row in enumerate(rows)}
+    labels = list(rows[0].keys())
+    emit("table5_week_campaigns", render_table("Table V", labels, columns))
+
+    for day, row in enumerate(rows):
+        assert row["SMASH"] > 0, f"day {day}: no campaigns at all"
+        confirmed = row["IDS 2013 total"] + row["IDS 2013 partial"]
+        assert row["SMASH"] >= confirmed, f"day {day}"
+        assert row["FP (Updated)"] <= row["False Positives"], f"day {day}"
+    # Campaigns appear throughout the week, not just on the benchmark day.
+    assert sum(row["SMASH"] for row in rows[1:]) > 0

@@ -1,0 +1,27 @@
+"""Table VI — number of servers involved in malicious activities per day
+over Data2012week.
+
+Shape targets: hundreds of servers daily; "New Servers" (previously
+unknown) present every day; FP (updated) <= FP.
+"""
+
+from repro.eval.tables import render_table
+
+
+def test_table6_week_servers(runner, emit, benchmark):
+    rows = benchmark.pedantic(runner.table6, rounds=1, iterations=1)
+
+    columns = {f"Day {i + 1}": row for i, row in enumerate(rows)}
+    labels = list(rows[0].keys())
+    emit("table6_week_servers", render_table("Table VI", labels, columns))
+
+    for day, row in enumerate(rows):
+        assert row["SMASH"] > 0, f"day {day}"
+        assert row["SMASH"] >= row["IDS 2013"], f"day {day}"
+        assert row["FP (Updated)"] <= row["False Positives"], f"day {day}"
+    total_new = sum(row["New Servers"] for row in rows)
+    total_ids = sum(row["IDS 2013"] for row in rows)
+    assert total_new > total_ids, (
+        "across the week SMASH must surface more previously-unknown "
+        "servers than the IDS knows"
+    )

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Case study: discovering multi-tier botnets (paper Tables VII, VIII, X).
+
+Plants a Bagle-style botnet (compromised download servers + C&C servers)
+and a Zeus-style DGA herd in one day of traffic, runs SMASH, and shows
+
+* how the two Bagle tiers form *different* URI-file herds but get merged
+  back into one campaign through the shared infected clients (the
+  campaign-inference step of Section III-E);
+* how the Zeus herd is inferred from client + file + IP + Whois evidence
+  before any signature for it exists (the zero-day argument);
+* what each detection would have cost with IDS/blacklists alone.
+
+Run:  python examples/botnet_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro import SmashPipeline
+from repro.baselines import BlacklistOnlyDetector, IdsOnlyDetector
+from repro.synth import ScenarioSpec, TraceGenerator
+from repro.synth.campaigns import NoiseSpec
+from repro.synth.scenarios import bagle_like, zeus_like
+
+
+def build_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="botnet-demo",
+        seed=42,
+        num_clients=300,
+        num_popular_sites=8,
+        num_medium_sites=60,
+        num_longtail_sites=1200,
+        sites_per_client_mean=7.0,
+        campaigns=(
+            bagle_like(name="bagle", num_clients=3, downloads=14, cncs=18),
+            zeus_like(name="zeus", num_clients=2, cncs=8),
+        ),
+        noise=NoiseSpec(referrer_groups=2, referrer_group_size=8),
+    )
+
+
+def main() -> None:
+    dataset = TraceGenerator(build_scenario()).generate_day(0)
+    result = SmashPipeline().run(
+        dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+    )
+
+    bagle = next(c for c in dataset.truth.campaigns if c.name == "bagle")
+    zeus = next(c for c in dataset.truth.campaigns if c.name == "zeus")
+
+    for campaign in result.campaigns_with_clients(2):
+        overlap_bagle = campaign.servers & bagle.servers
+        overlap_zeus = campaign.servers & zeus.servers
+        if overlap_bagle:
+            downloads = overlap_bagle & bagle.servers_in_tier("download")
+            cncs = overlap_bagle & bagle.servers_in_tier("cnc")
+            print(f"Bagle campaign recovered as campaign #{campaign.campaign_id}:")
+            print(f"  {len(downloads)}/14 download servers (shared 'file.txt')")
+            print(f"  {len(cncs)}/18 C&C servers (shared 'news.php', params p/id/e)")
+            print("  two URI-file herds merged through the common bot clients\n")
+        if overlap_zeus:
+            print(f"Zeus herd recovered as campaign #{campaign.campaign_id}:")
+            for server in sorted(overlap_zeus):
+                dims = ", ".join(sorted(campaign.dimensions_of(server)))
+                print(f"  {server:<22} dims=[{dims}]")
+            print()
+
+    # What would the ground-truth sources have seen on their own?
+    ids2012 = IdsOnlyDetector(dataset.ids2012).detect_servers(dataset.trace)
+    ids2013 = IdsOnlyDetector(dataset.ids2013).detect_servers(dataset.trace)
+    blacklisted = BlacklistOnlyDetector(dataset.blacklists).detect_servers(dataset.trace)
+    detected = result.detected_servers
+    planted = bagle.servers | zeus.servers
+    print("coverage of the two planted botnets (servers):")
+    print(f"  SMASH:            {len(detected & planted):3d} / {len(planted)}")
+    print(f"  IDS 2012 sigs:    {len(ids2012 & planted):3d} / {len(planted)}")
+    print(f"  IDS 2013 sigs:    {len(ids2013 & planted):3d} / {len(planted)}  "
+          "(Zeus only gets signatures a year later)")
+    print(f"  blacklists:       {len(blacklisted & planted):3d} / {len(planted)}")
+
+
+if __name__ == "__main__":
+    main()

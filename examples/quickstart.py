@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: run SMASH end-to-end on a small synthetic ISP trace.
+
+Generates one day of traffic containing a Zeus-style DGA herd, an
+iframe-injection campaign, a generic C&C flux campaign and background
+noise, runs the full pipeline at the paper's operating point, and prints
+the inferred campaigns with their per-dimension evidence.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SmashConfig, SmashPipeline
+from repro.synth import TraceGenerator, small_scenario
+
+
+def main() -> None:
+    # 1. A reproducible synthetic dataset (trace + whois + oracles).
+    dataset = TraceGenerator(small_scenario(seed=7)).generate_day(0)
+    stats = dataset.trace.stats()
+    print(f"trace: {stats.num_requests} requests, {stats.num_servers} servers, "
+          f"{stats.num_clients} clients")
+
+    # 2. Run SMASH at the paper's defaults (thresh 0.8, IDF 200, mu 4).
+    pipeline = SmashPipeline(SmashConfig())
+    result = pipeline.run(
+        dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+    )
+
+    # 3. Report inferred campaigns.
+    print(f"\ninferred {len(result.campaigns)} campaigns "
+          f"({len(result.campaigns_with_clients(2))} with >= 2 clients)\n")
+    for campaign in result.campaigns:
+        planted = dataset.truth.campaign_of(sorted(campaign.servers)[0])
+        origin = planted.name if planted else "not planted (noise/benign)"
+        print(f"campaign #{campaign.campaign_id}: {campaign.num_servers} servers, "
+              f"{campaign.num_clients} clients  <- {origin}")
+        for server in sorted(campaign.servers)[:4]:
+            dims = ", ".join(sorted(campaign.dimensions_of(server))) or "-"
+            score = campaign.server_scores.get(server, 0.0)
+            print(f"    {server:<34} score={score:4.2f}  dims=[{dims}]")
+        if campaign.num_servers > 4:
+            print(f"    ... and {campaign.num_servers - 4} more")
+    print("\nSMASH sees only the trace and the probing oracles; the planted "
+          "origins above are revealed for illustration only.")
+
+
+if __name__ == "__main__":
+    main()

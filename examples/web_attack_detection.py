@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Case study: attacking-activity campaigns (paper Figure 1(b), Table IX).
+
+SMASH detects not only malicious infrastructure but also *benign servers
+under attack*: a ZmEu-style phpMyAdmin scanning campaign probing
+``setup.php`` and an iframe-injection campaign uploading ``sm3.php`` to
+WordPress victims.  The victims are ordinary benign sites — per-domain
+reputation cannot flag them, but their shared attacker clients and shared
+target file make a high-density herd.
+
+Run:  python examples/web_attack_detection.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import SmashPipeline
+from repro.synth import ScenarioSpec, TraceGenerator
+from repro.synth.campaigns import NoiseSpec
+from repro.synth.scenarios import iframe_injection, web_scanner
+
+
+def build_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="attack-demo",
+        seed=11,
+        num_clients=300,
+        num_popular_sites=8,
+        num_medium_sites=60,
+        num_longtail_sites=1200,
+        sites_per_client_mean=7.0,
+        campaigns=(
+            web_scanner(name="zmeu", num_clients=2, victims=20),
+            iframe_injection(name="iframe", num_clients=3, victims=60,
+                             ids_known_servers=3),
+        ),
+        noise=NoiseSpec(adult_groups=2, adult_group_size=5),
+    )
+
+
+def main() -> None:
+    dataset = TraceGenerator(build_scenario()).generate_day(0)
+    result = SmashPipeline().run(
+        dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+    )
+
+    truth = {c.name: c for c in dataset.truth.campaigns}
+    detected = result.detected_servers
+
+    for name, label, filename in (
+        ("zmeu", "ZmEu scanning campaign (setup.php probes)", "setup.php"),
+        ("iframe", "iframe-injection campaign (sm3.php uploads)", "sm3.php"),
+    ):
+        campaign = truth[name]
+        found = campaign.servers & detected
+        print(f"{label}:")
+        print(f"  victims planted: {len(campaign.servers)}, "
+              f"recovered by SMASH: {len(found)}")
+        # Show the path diversity of the shared target file.
+        paths = Counter()
+        for request in dataset.trace:
+            if request.uri_file == filename:
+                paths[request.uri.rsplit("/", 1)[0] + "/"] += 1
+        print(f"  '{filename}' observed under {len(paths)} different paths, e.g.:")
+        for path, _ in paths.most_common(3):
+            print(f"    {path}{filename}")
+        print()
+
+    iframe = truth["iframe"]
+    ids_hits = dataset.ids2012.detected_servers(dataset.trace) & iframe.servers
+    print("paper's headline for this attack class: SMASH revealed ~600 injected "
+          "servers where the IDS flagged 4.")
+    print(f"here: SMASH {len(iframe.servers & detected)} vs IDS {len(ids_hits)} "
+          f"of {len(iframe.servers)} planted victims")
+
+
+if __name__ == "__main__":
+    main()

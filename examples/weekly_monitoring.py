@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Operational pattern: daily SMASH runs over a week (paper Section V-B).
+
+SMASH "can be run everyday to detect daily malicious activities".  This
+example runs the pipeline on seven consecutive days of traffic containing
+persistent campaigns (same servers all week), agile campaigns (same
+infected clients, fresh servers every day) and campaigns that first
+appear mid-week, then classifies each day's detections the way Figure 7
+does: old servers / new servers with known clients / entirely new.
+
+Run:  python examples/weekly_monitoring.py   (takes a minute or two)
+"""
+
+from __future__ import annotations
+
+from repro import SmashPipeline
+from repro.eval.figures import persistence_series_detailed
+from repro.synth import TraceGenerator, small_scenario
+
+
+def main() -> None:
+    spec = small_scenario(seed=3, days=7)
+    generator = TraceGenerator(spec)
+    pipeline = SmashPipeline()
+
+    daily_campaigns = []
+    for day in range(7):
+        dataset = generator.generate_day(day)
+        result = pipeline.run(
+            dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+        )
+        campaigns = list(result.campaigns)
+        daily_campaigns.append(campaigns)
+        servers = result.detected_servers
+        print(f"day {day}: {len(campaigns)} campaigns, {len(servers)} servers")
+
+    print("\npersistent vs agile decomposition (Figure 7):")
+    print(f"{'day':>4} {'old servers':>12} {'new srv/old clients':>20} "
+          f"{'new srv/new clients':>20}")
+    for entry in persistence_series_detailed(daily_campaigns):
+        print(f"{entry.day:>4} {entry.old_servers:>12} "
+              f"{entry.new_servers_old_clients:>20} "
+              f"{entry.new_servers_new_clients:>20}")
+    print("\nday 0 is the benchmark day: everything it sees is 'new'.")
+
+
+if __name__ == "__main__":
+    main()

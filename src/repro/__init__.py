@@ -1,0 +1,73 @@
+"""SMASH — Systematic Mining of Associated Server Herds.
+
+A full reproduction of Zhang, Saha, Gu, Lee, Mellia, *"Systematic Mining
+of Associated Server Herds for Malware Campaign Discovery"*, ICDCS 2015.
+
+Public API quick tour::
+
+    from repro import SmashPipeline, SmashConfig
+    from repro.synth import data2011day, TraceGenerator
+
+    dataset = TraceGenerator(data2011day()).generate_day(0)
+    result = SmashPipeline(SmashConfig()).run(
+        dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+    )
+    for campaign in result.campaigns_with_clients(2):
+        print(campaign.num_servers, sorted(campaign.servers)[:5])
+
+Packages:
+
+* :mod:`repro.core` — the SMASH pipeline (preprocess, dimensions, ASH
+  mining, correlation, pruning, campaign inference);
+* :mod:`repro.synth` — synthetic ISP trace generator (the evaluation
+  substrate);
+* :mod:`repro.groundtruth` — signature IDS + blacklist ground truth;
+* :mod:`repro.eval` — the paper's verification methodology and every
+  table/figure of Section V;
+* :mod:`repro.baselines` — IDS-only, blacklist-only, client-clustering
+  and domain-reputation baselines;
+* :mod:`repro.graph` / :mod:`repro.httplog` / :mod:`repro.whois` /
+  :mod:`repro.domains` — substrates.
+"""
+
+from repro.config import (
+    CorrelationConfig,
+    DimensionConfig,
+    LouvainConfig,
+    PreprocessConfig,
+    PruningConfig,
+    SmashConfig,
+)
+from repro.core import Campaign, Herd, SmashPipeline, SmashResult
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    GroundTruthError,
+    PipelineError,
+    ReproError,
+    ScenarioError,
+    TraceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "ConfigError",
+    "CorrelationConfig",
+    "DimensionConfig",
+    "GraphError",
+    "GroundTruthError",
+    "Herd",
+    "LouvainConfig",
+    "PipelineError",
+    "PreprocessConfig",
+    "PruningConfig",
+    "ReproError",
+    "ScenarioError",
+    "SmashConfig",
+    "SmashPipeline",
+    "SmashResult",
+    "TraceError",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline detectors SMASH is compared against.
+
+* :mod:`ids_only` / :mod:`blacklist_only` — the paper's ground-truth
+  sources used *as detectors* (the "detected by IDS and blacklists"
+  rows of Tables II/III);
+* :mod:`client_clustering` — a BotMiner/BotSniffer-style client-side
+  clustering detector, reproducing the paper's argument that such systems
+  need multiple infected clients per campaign (Section V-A3);
+* :mod:`domain_reputation` — an EXPOSURE-style supervised per-domain
+  reputation classifier, reproducing the argument that per-domain
+  features miss compromised benign servers (Section V-D1).
+"""
+
+from repro.baselines.ids_only import IdsOnlyDetector
+from repro.baselines.blacklist_only import BlacklistOnlyDetector
+from repro.baselines.client_clustering import ClientClusteringDetector
+from repro.baselines.domain_reputation import DomainReputationDetector
+
+__all__ = [
+    "BlacklistOnlyDetector",
+    "ClientClusteringDetector",
+    "DomainReputationDetector",
+    "IdsOnlyDetector",
+]

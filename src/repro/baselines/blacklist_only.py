@@ -1,0 +1,19 @@
+"""Blacklist-as-detector baseline: flag every trace server that the
+blacklist ecosystem confirms (paper Section IV-B policy)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains.names import normalize_server_name
+from repro.groundtruth.blacklist import BlacklistAggregator
+from repro.httplog.trace import HttpTrace
+
+
+@dataclass(frozen=True)
+class BlacklistOnlyDetector:
+    blacklists: BlacklistAggregator
+
+    def detect_servers(self, trace: HttpTrace) -> frozenset[str]:
+        servers = {normalize_server_name(host) for host in trace.servers}
+        return self.blacklists.confirmed_among(servers)

@@ -1,0 +1,28 @@
+"""IDS-as-detector baseline.
+
+Runs a signature generation over the trace and reports the labelled
+servers, grouped into campaigns by threat identifier — exactly how the
+paper builds its IDS ground truth (Section V-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains.names import normalize_server_name
+from repro.groundtruth.ids import SignatureIds
+from repro.httplog.trace import HttpTrace
+
+
+@dataclass(frozen=True)
+class IdsOnlyDetector:
+    """Detect exactly what the signature set knows."""
+
+    ids: SignatureIds
+
+    def detect_servers(self, trace: HttpTrace) -> frozenset[str]:
+        return self.ids.detected_servers(trace, normalize_server_name)
+
+    def detect_campaigns(self, trace: HttpTrace) -> dict[str, frozenset[str]]:
+        """threat identifier -> servers (the IDS's notion of a campaign)."""
+        return self.ids.threat_groups(trace, normalize_server_name)

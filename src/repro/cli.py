@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Three subcommands cover the deploy-and-operate loop the paper describes
+("SMASH ... can be run everyday to detect daily malicious activities"):
+
+* ``generate`` — materialise a synthetic scenario day to a JSONL trace
+  (plus whois/oracle sidecar files), for demos and load testing;
+* ``run`` — run the pipeline on a JSONL trace and write the campaign
+  report as JSON;
+* ``report`` — print a human-readable summary of a campaign JSON file.
+
+Examples::
+
+    python -m repro generate --scenario small --out day0
+    python -m repro run --trace day0/trace.jsonl --whois day0/whois.json \
+        --redirects day0/redirects.json --out campaigns.json
+    python -m repro report campaigns.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import SmashConfig
+from repro.core.pipeline import SmashPipeline
+from repro.eval.export import result_to_dict, write_result_json
+from repro.httplog.loader import read_jsonl, write_jsonl
+from repro.synth.generator import TraceGenerator
+from repro.synth.oracles import RedirectOracle
+from repro.synth.scenarios import data2011day, data2012day, data2012week, small_scenario
+from repro.whois.record import WhoisRecord
+from repro.whois.registry import WhoisRegistry
+
+_SCENARIOS = {
+    "small": small_scenario,
+    "data2011day": data2011day,
+    "data2012day": data2012day,
+    "data2012week": data2012week,
+}
+
+
+def _write_whois_json(registry: WhoisRegistry, path: Path) -> None:
+    records = [
+        {
+            "domain": record.domain,
+            "registrant": record.registrant,
+            "address": record.address,
+            "email": record.email,
+            "phone": record.phone,
+            "name_servers": list(record.name_servers),
+            "registered_on": record.registered_on,
+            "is_proxy": record.is_proxy,
+        }
+        for record in sorted(registry, key=lambda r: r.domain)
+    ]
+    path.write_text(json.dumps(records, indent=1) + "\n")
+
+
+def _read_whois_json(path: Path) -> WhoisRegistry:
+    records = json.loads(path.read_text())
+    return WhoisRegistry(
+        WhoisRecord(
+            domain=entry["domain"],
+            registrant=entry.get("registrant", ""),
+            address=entry.get("address", ""),
+            email=entry.get("email", ""),
+            phone=entry.get("phone", ""),
+            name_servers=tuple(entry.get("name_servers", ())),
+            registered_on=float(entry.get("registered_on", 0.0)),
+            is_proxy=bool(entry.get("is_proxy", False)),
+        )
+        for entry in records
+    )
+
+
+def _write_redirects_json(oracle: RedirectOracle, path: Path) -> None:
+    mapping = {
+        server: oracle.landing_server(server)
+        for server in sorted(oracle.chain_members())
+    }
+    path.write_text(json.dumps(mapping, indent=1) + "\n")
+
+
+def _read_redirects_json(path: Path) -> RedirectOracle:
+    mapping = json.loads(path.read_text())
+    return RedirectOracle(landing_of=mapping)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factory = _SCENARIOS[args.scenario]
+    spec = factory(seed=args.seed) if args.scenario == "small" else factory(
+        scale=args.scale, seed=args.seed
+    )
+    generator = TraceGenerator(spec)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    dataset = generator.generate_day(args.day)
+    written = write_jsonl(dataset.trace, out / "trace.jsonl")
+    _write_whois_json(dataset.whois, out / "whois.json")
+    _write_redirects_json(dataset.redirects, out / "redirects.json")
+    truth = {
+        "campaigns": [
+            {
+                "name": campaign.name,
+                "category": campaign.category,
+                "activity": campaign.activity,
+                "servers": sorted(campaign.servers),
+                "clients": sorted(campaign.clients),
+            }
+            for campaign in dataset.truth.campaigns
+        ],
+        "noise_category": dict(sorted(dataset.truth.noise_category.items())),
+    }
+    (out / "truth.json").write_text(json.dumps(truth, indent=1) + "\n")
+    print(f"wrote {written} requests to {out / 'trace.jsonl'}")
+    print(f"sidecars: whois.json, redirects.json, truth.json in {out}/")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = read_jsonl(args.trace)
+    whois = _read_whois_json(Path(args.whois)) if args.whois else None
+    redirects = _read_redirects_json(Path(args.redirects)) if args.redirects else None
+    config = SmashConfig().with_thresh(args.thresh)
+    if args.dimensions:
+        config = config.replace(
+            enabled_secondary_dimensions=tuple(args.dimensions.split(","))
+        )
+    config.validate()
+    result = SmashPipeline(config).run(trace, whois=whois, redirects=redirects)
+    write_result_json(result, args.out)
+    print(
+        f"{len(result.campaigns)} campaigns, "
+        f"{len(result.detected_servers)} servers -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    data = json.loads(Path(args.campaigns).read_text())
+    campaigns = data.get("campaigns", [])
+    print(f"{len(campaigns)} inferred campaigns, "
+          f"{len(data.get('detected_servers', []))} servers total")
+    for campaign in campaigns:
+        print(
+            f"\ncampaign #{campaign['id']}: {campaign['num_servers']} servers, "
+            f"{campaign['num_clients']} clients"
+        )
+        for server in campaign["servers"][: args.max_servers]:
+            dims = ",".join(campaign["dimensions"].get(server, []))
+            score = campaign["scores"].get(server)
+            rendered = f"{score:.2f}" if isinstance(score, float) else "-"
+            print(f"    {server:<40} score={rendered:<6} [{dims}]")
+        hidden = campaign["num_servers"] - args.max_servers
+        if hidden > 0:
+            print(f"    ... and {hidden} more")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SMASH malware-campaign discovery (ICDCS 2015)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="materialise a synthetic scenario day")
+    generate.add_argument("--scenario", choices=sorted(_SCENARIOS), default="small")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--day", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.set_defaults(func=_cmd_generate)
+
+    run = sub.add_parser("run", help="run SMASH on a JSONL trace")
+    run.add_argument("--trace", required=True)
+    run.add_argument("--whois", default=None)
+    run.add_argument("--redirects", default=None)
+    run.add_argument("--thresh", type=float, default=0.8)
+    run.add_argument(
+        "--dimensions", default=None,
+        help="comma-separated secondary dimensions "
+             "(default: urifile,ipset,whois)",
+    )
+    run.add_argument("--out", required=True, help="campaign JSON output path")
+    run.set_defaults(func=_cmd_run)
+
+    report = sub.add_parser("report", help="summarise a campaign JSON file")
+    report.add_argument("campaigns")
+    report.add_argument("--max-servers", type=int, default=5)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

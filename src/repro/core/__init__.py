@@ -1,0 +1,23 @@
+"""SMASH core: the paper's primary contribution.
+
+The pipeline (Figure 2) is::
+
+    trace -> preprocess -> ASH mining (per dimension) -> ASH correlation
+          -> pruning -> malicious campaign inference
+
+Entry point: :class:`repro.core.pipeline.SmashPipeline`.
+"""
+
+from repro.core.results import Campaign, CandidateAsh, Herd, SmashResult
+from repro.core.pipeline import SmashPipeline
+from repro.core.preprocess import PreprocessReport, preprocess
+
+__all__ = [
+    "Campaign",
+    "CandidateAsh",
+    "Herd",
+    "PreprocessReport",
+    "SmashPipeline",
+    "SmashResult",
+    "preprocess",
+]

@@ -1,0 +1,108 @@
+"""ASH mining (Section III-B3).
+
+Run Louvain community detection on one dimension's similarity graph; the
+communities that still hold at least two connected servers become that
+dimension's Associated Server Herds.  Nodes that end up alone (no edges,
+or singleton communities) are "dropped" by the dimension — for the main
+dimension the paper reports these as servers that "can not be correlated
+with other servers in client similarity" (Section V-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LouvainConfig
+from repro.core.results import Herd
+from repro.graph.louvain import louvain_communities
+from repro.graph.wgraph import WeightedGraph
+
+
+@dataclass(frozen=True)
+class MiningOutcome:
+    """Herds plus the servers the dimension could not correlate.
+
+    ``graph`` is the similarity graph the herds were mined from; the
+    correlation stage measures intersection-ASH densities on it (eq. 9).
+    """
+
+    herds: tuple[Herd, ...]
+    dropped: frozenset[str]
+    modularity: float
+    graph: WeightedGraph
+
+    def herd_of(self) -> dict[str, Herd]:
+        """server -> its herd (each server is in at most one herd)."""
+        mapping: dict[str, Herd] = {}
+        for herd in self.herds:
+            for server in herd.servers:
+                mapping[server] = herd
+        return mapping
+
+
+def _refine_community(
+    graph: WeightedGraph,
+    community: frozenset,
+    config: LouvainConfig,
+    depth: int,
+) -> list[frozenset]:
+    """Recursively split *community* by re-running Louvain on its subgraph.
+
+    Splitting stops when the local run keeps everything together (the
+    community is cohesive — e.g. a clique) or the depth/size floors hit.
+    """
+    if depth >= config.max_refine_depth or len(community) <= config.min_refine_size:
+        return [community]
+    subgraph = graph.subgraph(community)
+    if subgraph.density() >= config.refine_density_stop:
+        # Already a tight herd; splitting a quasi-clique only shreds it.
+        return [community]
+    local = louvain_communities(subgraph, config)
+    non_trivial = [c for c in local.communities if len(c) >= 1]
+    if len(non_trivial) <= 1 or local.modularity <= config.refine_min_modularity:
+        return [community]
+    refined: list[frozenset] = []
+    for part in non_trivial:
+        refined.extend(_refine_community(graph, part, config, depth + 1))
+    return refined
+
+
+def mine_herds(
+    graph: WeightedGraph,
+    dimension: str,
+    config: LouvainConfig | None = None,
+) -> MiningOutcome:
+    """Extract the ASHs of *dimension* from its similarity graph."""
+    config = config or LouvainConfig()
+    result = louvain_communities(graph, config)
+    communities: list[frozenset] = list(result.communities)
+    if config.refine:
+        refined: list[frozenset] = []
+        for community in communities:
+            refined.extend(_refine_community(graph, community, config, 0))
+        communities = refined
+    herds: list[Herd] = []
+    dropped: list[str] = []
+    index = 0
+    for community in communities:
+        # A community is a herd only if its members are actually connected
+        # to each other (isolated nodes form singleton communities).
+        if len(community) < 2:
+            dropped.extend(community)  # type: ignore[arg-type]
+            continue
+        subgraph = graph.subgraph(community)
+        herds.append(
+            Herd(
+                dimension=dimension,
+                index=index,
+                servers=frozenset(community),  # type: ignore[arg-type]
+                density=subgraph.density(),
+            )
+        )
+        index += 1
+    return MiningOutcome(
+        herds=tuple(herds),
+        dropped=frozenset(dropped),
+        modularity=result.modularity,
+        graph=graph,
+    )

@@ -1,0 +1,144 @@
+"""ASH correlation (Section III-C).
+
+For every server the suspiciousness score accumulates over the enabled
+secondary dimensions (eq. 9):
+
+    S(Si) = sum_d  w_d(C^d_Si) * w_m(C^m_Si) * Phi(|C^d_Si ∩ C^m_Si|)
+
+where ``C^m_Si`` / ``C^d_Si`` are the herds containing ``Si`` in the main
+and secondary dimension, ``w`` is herd edge density, and
+
+    Phi(x) = (1 + erf((x - mu) / sigma)) / 2
+
+is the "S"-shaped normaliser (mu = 4, sigma = 5.5) that gives herds with
+fewer than four common servers a low per-dimension score, forcing them to
+accumulate evidence across several dimensions.
+
+Servers scoring below ``thresh`` are removed from all ASHs; intersection
+ASHs left with fewer than two servers are dropped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import CorrelationConfig
+from repro.core.ashmining import MiningOutcome
+from repro.core.results import MAIN_DIMENSION, CandidateAsh
+
+
+def phi(x: float, mu: float = 4.0, sigma: float = 5.5) -> float:
+    """The paper's S-shaped normaliser; maps herd overlap size to (0, 1)."""
+    return 0.5 * (1.0 + math.erf((x - mu) / sigma))
+
+
+@dataclass(frozen=True)
+class CorrelationOutcome:
+    """Scores, per-dimension contributions, and surviving candidate ASHs."""
+
+    scores: dict[str, float]
+    contributions: dict[str, dict[str, float]]
+    candidate_ashes: tuple[CandidateAsh, ...]
+
+    @property
+    def surviving_servers(self) -> frozenset[str]:
+        servers: set[str] = set()
+        for ash in self.candidate_ashes:
+            servers |= ash.servers
+        return frozenset(servers)
+
+
+def correlate(
+    main: MiningOutcome,
+    secondary: dict[str, MiningOutcome],
+    config: CorrelationConfig | None = None,
+    thresh: float | None = None,
+) -> CorrelationOutcome:
+    """Correlate the main dimension's herds with every secondary dimension.
+
+    ``thresh`` overrides ``config.thresh`` (used by the Appendix-C
+    single-client track, which runs at a higher threshold).
+    """
+    config = config or CorrelationConfig()
+    config.validate()
+    threshold = config.thresh if thresh is None else thresh
+
+    secondary_herd_of = {
+        dimension: outcome.herd_of() for dimension, outcome in secondary.items()
+    }
+
+    scores: dict[str, float] = {}
+    contributions: dict[str, dict[str, float]] = {}
+    # (main index, dimension, secondary index) -> intersection servers.
+    intersections: dict[tuple[int, str, int], set[str]] = {}
+    # The density weights w_d and w_m of eq. 9 are measured on the *new*
+    # ASH — the intersection — as seen by each dimension's similarity
+    # graph.  Using the parent herds' densities instead would let
+    # loosely-attached hangers-on in a big parent herd dilute the score of
+    # a tight campaign core.  Cache per (main, dimension, secondary) key:
+    # every server of one intersection shares the same weights.
+    density_cache: dict[tuple[int, str, int], tuple[float, float]] = {}
+
+    def intersection_densities(
+        key: tuple[int, str, int], overlap: frozenset[str], dimension: str
+    ) -> tuple[float, float]:
+        if key not in density_cache:
+            if len(overlap) == 1:
+                density_cache[key] = (1.0, 1.0)
+            else:
+                sec_density = secondary[dimension].graph.subgraph(overlap).density()
+                main_density = main.graph.subgraph(overlap).density()
+                density_cache[key] = (sec_density, main_density)
+        return density_cache[key]
+
+    for main_herd in main.herds:
+        for server in main_herd.servers:
+            per_dim: dict[str, float] = {}
+            for dimension, herd_of in secondary_herd_of.items():
+                sec_herd = herd_of.get(server)
+                if sec_herd is None:
+                    continue
+                overlap = main_herd.servers & sec_herd.servers
+                if not overlap:
+                    continue
+                key = (main_herd.index, dimension, sec_herd.index)
+                sec_density, main_density = intersection_densities(
+                    key, frozenset(overlap), dimension
+                )
+                contribution = (
+                    sec_density
+                    * main_density
+                    * phi(len(overlap), config.mu, config.sigma)
+                )
+                if contribution <= 0.0:
+                    continue
+                per_dim[dimension] = contribution
+                intersections.setdefault(key, set()).update(overlap)
+            if per_dim:
+                scores[server] = sum(per_dim.values())
+                contributions[server] = per_dim
+
+    surviving = {server for server, score in scores.items() if score >= threshold}
+
+    ashes: list[CandidateAsh] = []
+    for (main_index, dimension, secondary_index), servers in sorted(
+        intersections.items()
+    ):
+        kept = frozenset(servers & surviving)
+        # Groups left with a single server are removed: "that server can
+        # not be associated with others" (Section III-C).
+        if len(kept) >= 2:
+            ashes.append(
+                CandidateAsh(
+                    main_index=main_index,
+                    secondary_dimension=dimension,
+                    secondary_index=secondary_index,
+                    servers=kept,
+                )
+            )
+    return CorrelationOutcome(
+        scores=scores,
+        contributions=contributions,
+        candidate_ashes=tuple(ashes),
+    )

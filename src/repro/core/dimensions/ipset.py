@@ -1,0 +1,50 @@
+"""IP-address-set similarity (Section III-B2, eq. 8).
+
+    IP(Si, Sj) = |Ii ∩ Ij| / |Ii|  ×  |Ij ∩ Ii| / |Ij|
+
+Captures domain fluxing: many malicious domains resolving into one small
+IP pool (the paper's skolewcho.com / switcho81.com / ... example).  An
+IP-literal "server" has itself as its IP set, so a fluxed domain herd and
+the raw IP it hides behind associate naturally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+from repro.config import DimensionConfig
+from repro.graph.wgraph import WeightedGraph
+from repro.httplog.trace import HttpTrace
+from repro.util.text import overlap_ratio_product
+
+
+def build_ipset_graph(
+    trace: HttpTrace, config: DimensionConfig | None = None
+) -> WeightedGraph:
+    """Build the IP-set similarity graph from the trace's resolutions."""
+    config = config or DimensionConfig()
+    ips_by_server = trace.ips_by_server
+    graph = WeightedGraph()
+    for server in ips_by_server:
+        graph.add_node(server)
+
+    servers_by_ip: dict[str, set[str]] = defaultdict(set)
+    for server, ips in ips_by_server.items():
+        for ip in ips:
+            servers_by_ip[ip].add(server)
+
+    seen_pairs: set[tuple[str, str]] = set()
+    for servers in servers_by_ip.values():
+        if len(servers) < 2:
+            continue
+        for first, second in combinations(sorted(servers), 2):
+            if (first, second) in seen_pairs:
+                continue
+            seen_pairs.add((first, second))
+            weight = overlap_ratio_product(
+                ips_by_server[first], ips_by_server[second]
+            )
+            if weight >= config.min_edge_weight:
+                graph.add_edge(first, second, weight)
+    return graph

@@ -1,0 +1,77 @@
+"""Temporal co-occurrence similarity (Section VI's extension suggestion).
+
+"We can also add time based dimensions [Gao et al.] to characterize the
+relationship among servers."  Servers of one campaign are contacted by
+the same bots in the same activity windows (a beaconing cycle hits the
+download tier and the C&C tier back to back), while independent benign
+servers spread over their visitors' schedules.
+
+The similarity is window co-occurrence: bucket the trace into fixed-size
+time windows, take each server's set of active windows, and score a pair
+by the overlap-ratio product (eq.-1 form).  Windows containing a large
+share of all servers (global rush hours) carry no signal and are
+ignored, mirroring the IDF rule.
+
+Disabled by default; enable via
+``SmashConfig(enabled_secondary_dimensions=(..., "time"))``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+from repro.config import DimensionConfig
+from repro.graph.wgraph import WeightedGraph
+from repro.httplog.trace import HttpTrace
+from repro.util.text import overlap_ratio_product
+
+#: Default window size: 10 minutes.
+DEFAULT_WINDOW_SECONDS = 600.0
+
+
+def active_windows_by_server(
+    trace: HttpTrace, window_seconds: float = DEFAULT_WINDOW_SECONDS
+) -> dict[str, frozenset[int]]:
+    """server -> set of window indices in which it received requests."""
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be > 0")
+    windows: dict[str, set[int]] = defaultdict(set)
+    for request in trace:
+        windows[request.host].add(int(request.timestamp // window_seconds))
+    return {server: frozenset(found) for server, found in windows.items()}
+
+
+def build_time_graph(
+    trace: HttpTrace,
+    config: DimensionConfig | None = None,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+) -> WeightedGraph:
+    """Build the temporal co-occurrence graph for *trace*."""
+    config = config or DimensionConfig()
+    windows_of = active_windows_by_server(trace, window_seconds)
+    graph = WeightedGraph()
+    for server in trace.servers:
+        graph.add_node(server)
+    num_servers = len(trace.servers)
+    if num_servers < 2:
+        return graph
+
+    servers_by_window: dict[int, set[str]] = defaultdict(set)
+    for server, windows in windows_of.items():
+        for window in windows:
+            servers_by_window[window].add(server)
+
+    max_servers = config.max_file_server_fraction * num_servers
+    candidates: set[tuple[str, str]] = set()
+    for window, servers in servers_by_window.items():
+        if len(servers) < 2 or len(servers) > max_servers:
+            continue
+        for pair in combinations(sorted(servers), 2):
+            candidates.add(pair)
+
+    for first, second in candidates:
+        weight = overlap_ratio_product(windows_of[first], windows_of[second])
+        if weight >= config.min_edge_weight:
+            graph.add_edge(first, second, weight)
+    return graph

@@ -1,0 +1,164 @@
+"""URI-file similarity (Section III-B2, eqs. 2-7, Appendix B).
+
+Per-file similarity:
+
+* filenames of length <= ``len`` (paper: 25) must match **exactly**
+  (short names are usually not obfuscated);
+* longer filenames are compared by character-frequency cosine and are
+  similar when ``cos(theta) > 0.8`` (the Figure-4 obfuscation case).
+
+Per-server similarity (eq. 7) is the product of the two directed
+mean-of-max terms:
+
+    File(Si, Sj) = mean_m( max_n sim(f_m, f_n) ) × mean_n( max_m sim(f_n, f_m) )
+
+Implementation notes
+--------------------
+* A mixed short/long comparison is exact-match by the short-name rule,
+  and two different-length strings are never equal, so only long-long
+  pairs ever go through the cosine.
+* Ubiquitous filenames (present on more than ``max_file_server_fraction``
+  of all servers — ``index.html`` and friends) carry no campaign signal
+  and are excluded from *candidate generation* and from the per-server
+  file inventories used in eq. 7; without this, the inverted index would
+  enumerate O(N^2) benign pairs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+from repro.config import DimensionConfig
+from repro.graph.wgraph import WeightedGraph
+from repro.httplog.trace import HttpTrace
+from repro.util.text import charset_cosine
+
+
+def filename_similarity(
+    first: str, second: str, config: DimensionConfig | None = None
+) -> float:
+    """Per-file similarity sim(fi, fj) of eqs. 2-6 (returns 0.0 or 1.0)."""
+    config = config or DimensionConfig()
+    cutoff = config.filename_length_cutoff
+    if len(first) <= cutoff or len(second) <= cutoff:
+        return 1.0 if first == second else 0.0
+    if charset_cosine(first, second) > config.filename_cosine_threshold:
+        return 1.0
+    return 0.0
+
+
+def file_similarity(
+    files_a: frozenset[str] | set[str],
+    files_b: frozenset[str] | set[str],
+    config: DimensionConfig | None = None,
+) -> float:
+    """Eq. 7 between two servers' file inventories."""
+    config = config or DimensionConfig()
+    if not files_a or not files_b:
+        return 0.0
+    cutoff = config.filename_length_cutoff
+    short_a = {f for f in files_a if len(f) <= cutoff}
+    short_b = {f for f in files_b if len(f) <= cutoff}
+    long_a = [f for f in files_a if len(f) > cutoff]
+    long_b = [f for f in files_b if len(f) > cutoff]
+
+    def directed(
+        short_from: set[str],
+        long_from: list[str],
+        short_to: set[str],
+        long_to: list[str],
+        total: int,
+    ) -> float:
+        matched = len(short_from & short_to)
+        for name in long_from:
+            if any(
+                charset_cosine(name, other) > config.filename_cosine_threshold
+                for other in long_to
+            ):
+                matched += 1
+        return matched / total
+
+    forward = directed(short_a, long_a, short_b, long_b, len(files_a))
+    backward = directed(short_b, long_b, short_a, long_a, len(files_b))
+    return forward * backward
+
+
+def build_urifile_graph(
+    trace: HttpTrace, config: DimensionConfig | None = None
+) -> WeightedGraph:
+    """Build the URI-file similarity graph for *trace*."""
+    config = config or DimensionConfig()
+    files_by_server = trace.files_by_server
+    num_servers = len(files_by_server)
+    graph = WeightedGraph()
+    for server in files_by_server:
+        graph.add_node(server)
+    if num_servers < 2:
+        return graph
+
+    # Identify ubiquitous filenames to ignore.
+    server_count_of_file: dict[str, int] = defaultdict(int)
+    for files in files_by_server.values():
+        for filename in files:
+            server_count_of_file[filename] += 1
+    max_servers = config.max_file_server_fraction * num_servers
+    ubiquitous = {
+        filename
+        for filename, count in server_count_of_file.items()
+        if count > max_servers
+    }
+
+    effective: dict[str, frozenset[str]] = {
+        server: frozenset(f for f in files if f not in ubiquitous)
+        for server, files in files_by_server.items()
+    }
+
+    cutoff = config.filename_length_cutoff
+    # Candidate pairs from exact short-name matches.
+    servers_by_file: dict[str, set[str]] = defaultdict(set)
+    for server, files in effective.items():
+        for filename in files:
+            if len(filename) <= cutoff:
+                servers_by_file[filename].add(server)
+
+    candidates: set[tuple[str, str]] = set()
+    for servers in servers_by_file.values():
+        if len(servers) < 2:
+            continue
+        for pair in combinations(sorted(servers), 2):
+            candidates.add(pair)
+
+    # Candidate pairs from long-name charset families: cluster long names
+    # by cosine (union-find over matches), then pair up their servers.
+    long_names: dict[str, set[str]] = defaultdict(set)  # name -> servers
+    for server, files in effective.items():
+        for filename in files:
+            if len(filename) > cutoff:
+                long_names[filename].add(server)
+    names = sorted(long_names)
+    parent = {name: name for name in names}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    for first, second in combinations(names, 2):
+        if charset_cosine(first, second) > config.filename_cosine_threshold:
+            parent[find(first)] = find(second)
+    families: dict[str, set[str]] = defaultdict(set)
+    for name in names:
+        families[find(name)] |= long_names[name]
+    for servers in families.values():
+        if len(servers) < 2:
+            continue
+        for pair in combinations(sorted(servers), 2):
+            candidates.add(pair)
+
+    for first, second in candidates:
+        weight = file_similarity(effective[first], effective[second], config)
+        if weight >= config.min_edge_weight:
+            graph.add_edge(first, second, weight)
+    return graph

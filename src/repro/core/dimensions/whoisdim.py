@@ -1,0 +1,106 @@
+"""Whois similarity (Section III-B2, Figure 5).
+
+Two registrations are associated when they share **at least two** of the
+comparable fields (registrant, address, email, phone, name servers); the
+similarity is then
+
+    Whois(Si, Sj) = |shared fields| / |union of present fields|
+
+The two-field minimum exists "to avoid the case that two servers only
+share the domain name registration proxy".  We take that one step
+further: registrations made through a privacy proxy carry the *proxy's*
+contact details, so their contact fields are masked out entirely and only
+infrastructure fields (name servers) remain comparable — two proxied
+domains never associate on the proxy's identity.
+
+IP-literal servers have no registration and never join this graph.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+from repro.config import DimensionConfig
+from repro.graph.wgraph import WeightedGraph
+from repro.httplog.trace import HttpTrace
+from repro.whois.record import WHOIS_FIELDS, WhoisRecord
+from repro.whois.registry import WhoisRegistry
+
+#: Contact fields masked when the registration goes through a proxy.
+_CONTACT_FIELDS = ("registrant", "address", "email", "phone")
+
+#: Posting lists longer than this are skipped during candidate generation:
+#: a value shared by hundreds of registrations (a big hoster's name
+#: servers) cannot by itself satisfy the two-field rule, and any pair that
+#: *also* shares a rarer field is found through that field's list.
+_MAX_POSTING_LIST = 150
+
+
+def comparable_fields(record: WhoisRecord) -> dict[str, object]:
+    """Field name -> value after proxy masking; empty values omitted."""
+    fields: dict[str, object] = {}
+    for field_name in WHOIS_FIELDS:
+        if record.is_proxy and field_name in _CONTACT_FIELDS:
+            continue
+        value = record.field_value(field_name)
+        if value:
+            fields[field_name] = value
+    return fields
+
+
+def whois_similarity(
+    first: WhoisRecord,
+    second: WhoisRecord,
+    config: DimensionConfig | None = None,
+) -> float:
+    """Whois similarity of two records; 0.0 below the shared-field minimum."""
+    config = config or DimensionConfig()
+    fields_a = comparable_fields(first)
+    fields_b = comparable_fields(second)
+    shared = sum(
+        1
+        for field_name, value in fields_a.items()
+        if fields_b.get(field_name) == value
+    )
+    if shared < config.whois_min_shared_fields:
+        return 0.0
+    union = len(set(fields_a) | set(fields_b))
+    if union == 0:
+        return 0.0
+    return shared / union
+
+
+def build_whois_graph(
+    trace: HttpTrace,
+    whois: WhoisRegistry,
+    config: DimensionConfig | None = None,
+) -> WeightedGraph:
+    """Build the Whois similarity graph for the servers of *trace*."""
+    config = config or DimensionConfig()
+    graph = WeightedGraph()
+    records: dict[str, WhoisRecord] = {}
+    for server in trace.servers:
+        graph.add_node(server)
+        record = whois.lookup(server)
+        if record is not None:
+            records[server] = record
+
+    # Inverted index: (field, value) -> servers.
+    postings: dict[tuple[str, object], set[str]] = defaultdict(set)
+    for server, record in records.items():
+        for field_name, value in comparable_fields(record).items():
+            postings[(field_name, value)].add(server)
+
+    candidates: set[tuple[str, str]] = set()
+    for servers in postings.values():
+        if len(servers) < 2 or len(servers) > _MAX_POSTING_LIST:
+            continue
+        for pair in combinations(sorted(servers), 2):
+            candidates.add(pair)
+
+    for first, second in candidates:
+        weight = whois_similarity(records[first], records[second], config)
+        if weight >= max(config.min_edge_weight, 1e-12):
+            graph.add_edge(first, second, weight)
+    return graph

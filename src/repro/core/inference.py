@@ -1,0 +1,70 @@
+"""Malicious campaign inference (Section III-E).
+
+Correlation captures specific activities (one ASH per shared artefact);
+the full campaign may span several ASHs — e.g. a botnet's download tier
+and C&C tier form different URI-file herds but share the infected
+clients.  Two ASHs merge into one campaign when their servers sit in the
+same **main-dimension** herd, i.e. they share a very similar client set.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.ashmining import MiningOutcome
+from repro.core.results import Campaign, CandidateAsh, PruneReport
+from repro.httplog.trace import HttpTrace
+
+
+def infer_campaigns(
+    ashes: tuple[CandidateAsh, ...],
+    main: MiningOutcome,
+    trace: HttpTrace,
+    scores: dict[str, float],
+    contributions: dict[str, dict[str, float]],
+    prune_report: PruneReport | None = None,
+) -> tuple[Campaign, ...]:
+    """Merge surviving ASHs into campaigns keyed by main-dimension herd.
+
+    Campaign clients are read back from the trace: every client that
+    contacted any member server is "involved" in the campaign (this is
+    what Tables II/V count as involved clients).
+    """
+    by_main: dict[int, set[str]] = defaultdict(set)
+    for ash in ashes:
+        by_main[ash.main_index].update(ash.servers)
+
+    replacements: dict[str, str] = {}
+    if prune_report is not None:
+        replacements.update(prune_report.redirection_replacements)
+        replacements.update(prune_report.referrer_replacements)
+
+    clients_by_server = trace.clients_by_server
+    campaigns: list[Campaign] = []
+    for campaign_id, main_index in enumerate(sorted(by_main)):
+        servers = frozenset(by_main[main_index])
+        clients: set[str] = set()
+        for server in servers:
+            clients |= clients_by_server.get(server, frozenset())
+        campaigns.append(
+            Campaign(
+                campaign_id=campaign_id,
+                main_index=main_index,
+                servers=servers,
+                clients=frozenset(clients),
+                server_scores={
+                    server: scores[server] for server in servers if server in scores
+                },
+                contributions={
+                    server: dict(contributions[server])
+                    for server in servers
+                    if server in contributions
+                },
+                replaced_servers={
+                    replaced: landing
+                    for replaced, landing in replacements.items()
+                    if landing in servers
+                },
+            )
+        )
+    return tuple(campaigns)

@@ -1,0 +1,236 @@
+"""The end-to-end SMASH pipeline (Figure 2).
+
+    pipeline = SmashPipeline(config)
+    result = pipeline.run(trace, whois=registry, redirects=oracle)
+
+``run`` executes preprocessing, per-dimension ASH mining, correlation at
+the configured threshold, pruning and campaign inference.  ``run_sweep``
+re-correlates the mined herds at several thresholds without redoing the
+expensive graph work — how the Table II/III threshold sweeps are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SmashConfig
+from repro.core.ashmining import MiningOutcome, mine_herds
+from repro.core.correlation import correlate
+from repro.core.dimensions.client import build_client_graph
+from repro.core.dimensions.ipset import build_ipset_graph
+from repro.core.dimensions.timedim import build_time_graph
+from repro.core.dimensions.urifile import build_urifile_graph
+from repro.core.dimensions.urlparam import build_urlparam_graph
+from repro.core.dimensions.whoisdim import build_whois_graph
+from repro.core.inference import infer_campaigns
+from repro.core.preprocess import PreprocessReport, preprocess
+from repro.core.pruning import prune_ashes
+from repro.core.results import MAIN_DIMENSION, SmashResult
+from repro.errors import PipelineError
+from repro.httplog.trace import HttpTrace
+from repro.synth.oracles import RedirectOracle
+from repro.whois.registry import WhoisRegistry
+
+
+def _append_single_client_herds(
+    main: MiningOutcome,
+    single_client_servers: set[str],
+    clients_by_server: dict[str, frozenset[str]],
+) -> MiningOutcome:
+    """Add one main-dimension herd per client owning >= 2 exclusive servers."""
+    from collections import defaultdict
+
+    from repro.core.results import Herd
+
+    by_client: dict[str, set[str]] = defaultdict(set)
+    for server in single_client_servers:
+        (client,) = clients_by_server[server]
+        by_client[client].add(server)
+
+    herds = list(main.herds)
+    dropped = set(main.dropped)
+    next_index = len(herds)
+    for client in sorted(by_client):
+        servers = by_client[client]
+        if len(servers) >= 2:
+            herds.append(
+                Herd(
+                    dimension=MAIN_DIMENSION,
+                    index=next_index,
+                    servers=frozenset(servers),
+                    density=1.0,
+                )
+            )
+            next_index += 1
+        else:
+            dropped |= servers
+    # Single-client herds are complete under eq. 1 (every pair scores 1.0
+    # through their one shared client); add those edges to the main graph
+    # so intersection densities see them.
+    graph = main.graph
+    for herd in herds[len(main.herds):]:
+        members = sorted(herd.servers)
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                if not graph.has_edge(first, second):
+                    graph.add_edge(first, second, 1.0)
+    return MiningOutcome(
+        herds=tuple(herds),
+        dropped=frozenset(dropped),
+        modularity=main.modularity,
+        graph=graph,
+    )
+
+
+@dataclass(frozen=True)
+class MinedDimensions:
+    """Intermediate state: preprocessed trace plus per-dimension herds."""
+
+    trace: HttpTrace
+    preprocess_report: PreprocessReport
+    main: MiningOutcome
+    secondary: dict[str, MiningOutcome]
+
+
+class SmashPipeline:
+    """Run SMASH over an HTTP trace.
+
+    The pipeline is stateless between ``run`` calls; all tunables live in
+    the :class:`~repro.config.SmashConfig` given at construction.
+    """
+
+    def __init__(self, config: SmashConfig | None = None) -> None:
+        self.config = config or SmashConfig()
+        self.config.validate()
+
+    # -- stage 1+2: preprocess and mine --------------------------------------------
+
+    def mine(
+        self,
+        trace: HttpTrace,
+        whois: WhoisRegistry | None = None,
+    ) -> MinedDimensions:
+        """Preprocess *trace* and mine ASHs on every enabled dimension.
+
+        Servers visited by exactly one client are handled the way the
+        paper handles them (Appendix C, footnote 10): "all the servers
+        that were visited by only one client form an ASH based on our main
+        dimension" — one herd per client, complete by construction under
+        eq. 1 (every pair scores 1.0), hence density 1.0.  They are kept
+        out of the multi-client similarity graph, where their degenerate
+        1.0-weight cliques would chain unrelated client neighbourhoods
+        together.
+        """
+        if len(trace) == 0:
+            raise PipelineError("cannot run SMASH on an empty trace")
+        config = self.config
+        prepared, report = preprocess(trace, config.preprocess)
+
+        clients_by_server = prepared.clients_by_server
+        single_client_servers = {
+            server
+            for server, clients in clients_by_server.items()
+            if len(clients) == 1
+        }
+        multi_trace = prepared.filter_servers(
+            lambda server: server not in single_client_servers
+        )
+        main_graph = build_client_graph(multi_trace, config.dimensions)
+        main = mine_herds(main_graph, MAIN_DIMENSION, config.louvain)
+        main = _append_single_client_herds(
+            main, single_client_servers, clients_by_server
+        )
+
+        secondary: dict[str, MiningOutcome] = {}
+        for dimension in config.enabled_secondary_dimensions:
+            if dimension == "urifile":
+                graph = build_urifile_graph(prepared, config.dimensions)
+            elif dimension == "ipset":
+                graph = build_ipset_graph(prepared, config.dimensions)
+            elif dimension == "whois":
+                if whois is None:
+                    # No registry available: the dimension contributes no
+                    # herds (equivalent to all lookups failing).
+                    continue
+                graph = build_whois_graph(prepared, whois, config.dimensions)
+            elif dimension == "urlparam":
+                graph = build_urlparam_graph(prepared, config.dimensions)
+            elif dimension == "time":
+                graph = build_time_graph(prepared, config.dimensions)
+            else:  # pragma: no cover - guarded by SmashConfig.validate
+                raise PipelineError(f"unknown dimension {dimension!r}")
+            secondary[dimension] = mine_herds(graph, dimension, config.louvain)
+        return MinedDimensions(
+            trace=prepared,
+            preprocess_report=report,
+            main=main,
+            secondary=secondary,
+        )
+
+    # -- stages 3-5: correlate, prune, infer ----------------------------------------
+
+    def finish(
+        self,
+        mined: MinedDimensions,
+        redirects: RedirectOracle | None = None,
+        thresh: float | None = None,
+    ) -> SmashResult:
+        """Correlation, pruning and campaign inference on mined herds."""
+        config = self.config
+        outcome = correlate(
+            mined.main, mined.secondary, config.correlation, thresh=thresh
+        )
+        pruned, prune_report = prune_ashes(
+            outcome.candidate_ashes, mined.trace, redirects, config.pruning
+        )
+        campaigns = infer_campaigns(
+            pruned,
+            mined.main,
+            mined.trace,
+            outcome.scores,
+            outcome.contributions,
+            prune_report,
+        )
+        herds_by_dimension = {MAIN_DIMENSION: mined.main.herds}
+        for dimension, mining in mined.secondary.items():
+            herds_by_dimension[dimension] = mining.herds
+        return SmashResult(
+            herds_by_dimension=herds_by_dimension,
+            scores=outcome.scores,
+            contributions=outcome.contributions,
+            candidate_ashes=pruned,
+            campaigns=campaigns,
+            prune_report=prune_report,
+            main_dimension_dropped=mined.main.dropped,
+        )
+
+    # -- one-shot and sweep APIs -------------------------------------------------------
+
+    def run(
+        self,
+        trace: HttpTrace,
+        whois: WhoisRegistry | None = None,
+        redirects: RedirectOracle | None = None,
+        thresh: float | None = None,
+    ) -> SmashResult:
+        """Full pipeline at one threshold (default: the configured one)."""
+        mined = self.mine(trace, whois)
+        return self.finish(mined, redirects, thresh=thresh)
+
+    def run_sweep(
+        self,
+        trace: HttpTrace,
+        thresholds: tuple[float, ...],
+        whois: WhoisRegistry | None = None,
+        redirects: RedirectOracle | None = None,
+    ) -> dict[float, SmashResult]:
+        """Run the pipeline once, then re-correlate at each threshold.
+
+        Mining dominates the cost and is threshold-independent, so the
+        Table II/III sweeps reuse it.
+        """
+        mined = self.mine(trace, whois)
+        return {
+            threshold: self.finish(mined, redirects, thresh=threshold)
+            for threshold in thresholds
+        }

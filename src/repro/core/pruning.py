@@ -1,0 +1,119 @@
+"""Pruning of redirection and referrer groups (Section III-D).
+
+Two benign phenomena create herds that pass correlation:
+
+* **Redirection groups** — servers on one redirect chain share clients,
+  IPs and often a redirector URI file;
+* **Referrer groups** — servers embedded by one landing page share that
+  page's audience.
+
+Rather than dropping these herds (which could hide malicious servers
+hiding inside a chain), every chain/referred member is **replaced by its
+landing server**: "if a client visits the landing server, it
+automatically visits other servers in the redirection chain or the
+embedded servers".  ASHs that collapse to fewer than two distinct servers
+afterwards are removed.
+
+Redirect chains come from the :class:`~repro.synth.oracles.RedirectOracle`
+(the stand-in for the paper's active probing); referrer relations come
+from the trace's Referer headers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from urllib.parse import urlparse
+
+from repro.config import PruningConfig
+from repro.core.results import CandidateAsh, PruneReport
+from repro.domains.names import normalize_server_name
+from repro.httplog.trace import HttpTrace
+from repro.synth.oracles import RedirectOracle
+
+
+def referrer_host(referrer: str) -> str | None:
+    """Extract the aggregated server name from a Referer header value."""
+    if not referrer:
+        return None
+    parsed = urlparse(referrer if "//" in referrer else f"http://{referrer}")
+    host = parsed.netloc.split(":")[0]
+    if not host:
+        return None
+    try:
+        return normalize_server_name(host)
+    except ValueError:
+        return None
+
+
+def dominant_referrers(trace: HttpTrace) -> dict[str, str]:
+    """server -> the landing server referring most of its requests.
+
+    Only referrers covering more than half of a server's referred requests
+    (and distinct from the server itself) count; servers with no external
+    referrer are absent.
+    """
+    referrers_of: dict[str, Counter[str]] = defaultdict(Counter)
+    totals: Counter[str] = Counter()
+    for request in trace:
+        landing = referrer_host(request.referrer)
+        server = request.host
+        totals[server] += 1
+        if landing is not None and landing != server:
+            referrers_of[server][landing] += 1
+    dominant: dict[str, str] = {}
+    for server, counts in referrers_of.items():
+        landing, hits = counts.most_common(1)[0]
+        if hits * 2 > totals[server]:
+            dominant[server] = landing
+    return dominant
+
+
+def prune_ashes(
+    ashes: tuple[CandidateAsh, ...],
+    trace: HttpTrace,
+    redirects: RedirectOracle | None = None,
+    config: PruningConfig | None = None,
+) -> tuple[tuple[CandidateAsh, ...], PruneReport]:
+    """Apply both pruning steps to the candidate ASHs."""
+    config = config or PruningConfig()
+    config.validate()
+    redirect_oracle = redirects or RedirectOracle()
+    referrer_of = dominant_referrers(trace) if config.prune_referrer_groups else {}
+
+    redirection_replacements: dict[str, str] = {}
+    referrer_replacements: dict[str, str] = {}
+    kept: list[CandidateAsh] = []
+    dropped = 0
+
+    for ash in ashes:
+        members: set[str] = set()
+        for server in ash.servers:
+            replacement = server
+            if config.prune_redirection_groups:
+                landing = redirect_oracle.landing_server(server)
+                if landing is not None and landing != server:
+                    redirection_replacements[server] = landing
+                    replacement = landing
+            if replacement == server and server in referrer_of:
+                landing = referrer_of[server]
+                referrer_replacements[server] = landing
+                replacement = landing
+            members.add(replacement)
+        if len(members) >= 2:
+            kept.append(
+                CandidateAsh(
+                    main_index=ash.main_index,
+                    secondary_dimension=ash.secondary_dimension,
+                    secondary_index=ash.secondary_index,
+                    servers=frozenset(members),
+                )
+            )
+        else:
+            dropped += 1
+
+    report = PruneReport(
+        redirection_replacements=redirection_replacements,
+        referrer_replacements=referrer_replacements,
+        dropped_ashes=dropped,
+    )
+    return tuple(kept), report

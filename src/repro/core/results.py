@@ -1,0 +1,126 @@
+"""Result types produced by the SMASH pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MAIN_DIMENSION = "client"
+"""Name of the main dimension (client-set similarity, Section III-B1)."""
+
+
+@dataclass(frozen=True)
+class Herd:
+    """An Associated Server Herd mined from one dimension.
+
+    ``density`` is the paper's ASH weight ``w``: the edge density
+    ``2|e|/(|v|(|v|-1))`` of the herd's subgraph in that dimension's
+    similarity graph (Section III-C).
+    """
+
+    dimension: str
+    index: int
+    servers: frozenset[str]
+    density: float
+
+    def __post_init__(self) -> None:
+        if len(self.servers) < 2:
+            raise ValueError("a herd needs at least two servers")
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {self.density}")
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+
+@dataclass(frozen=True)
+class CandidateAsh:
+    """A correlated ASH: the intersection of a main herd and a secondary
+    herd, restricted to servers that survived the score threshold."""
+
+    main_index: int
+    secondary_dimension: str
+    secondary_index: int
+    servers: frozenset[str]
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """An inferred malicious campaign (Section III-E).
+
+    Built by merging all surviving ASHs whose servers share a main
+    dimension herd; ``main_index`` identifies that herd.
+    """
+
+    campaign_id: int
+    main_index: int
+    servers: frozenset[str]
+    clients: frozenset[str]
+    #: Suspiciousness score of each member server (eq. 9).
+    server_scores: dict[str, float] = field(default_factory=dict)
+    #: server -> {secondary dimension -> score contribution}; the Figure-8
+    #: decomposition reads which dimensions detected each server.
+    contributions: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Servers that were replaced by a landing server during pruning,
+    #: mapped to that landing server.
+    replaced_servers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def dimensions_of(self, server: str) -> frozenset[str]:
+        """Secondary dimensions with a positive contribution for *server*."""
+        return frozenset(
+            dim
+            for dim, value in self.contributions.get(server, {}).items()
+            if value > 0.0
+        )
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What the pruning stage did (Section III-D)."""
+
+    redirection_replacements: dict[str, str] = field(default_factory=dict)
+    referrer_replacements: dict[str, str] = field(default_factory=dict)
+    dropped_ashes: int = 0
+
+
+@dataclass(frozen=True)
+class SmashResult:
+    """Full output of one SMASH run."""
+
+    herds_by_dimension: dict[str, tuple[Herd, ...]]
+    scores: dict[str, float]
+    contributions: dict[str, dict[str, float]]
+    candidate_ashes: tuple[CandidateAsh, ...]
+    campaigns: tuple[Campaign, ...]
+    prune_report: PruneReport
+    #: Servers present after preprocessing but dropped by the main
+    #: dimension (not correlated with any other server) — Section V-C1.
+    main_dimension_dropped: frozenset[str]
+
+    @property
+    def detected_servers(self) -> frozenset[str]:
+        """All servers appearing in any inferred campaign."""
+        servers: set[str] = set()
+        for campaign in self.campaigns:
+            servers |= campaign.servers
+        return frozenset(servers)
+
+    def campaigns_with_clients(self, minimum: int, maximum: int | None = None) -> tuple[Campaign, ...]:
+        """Campaigns whose client count is within ``[minimum, maximum]``.
+
+        The paper reports campaigns with >= 2 clients in the main track
+        (Section V-A1) and single-client campaigns separately (Appendix C).
+        """
+        return tuple(
+            campaign
+            for campaign in self.campaigns
+            if campaign.num_clients >= minimum
+            and (maximum is None or campaign.num_clients <= maximum)
+        )

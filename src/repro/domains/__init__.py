@@ -1,0 +1,16 @@
+"""Domain-name substrate: public-suffix handling and SLD aggregation."""
+
+from repro.domains.publicsuffix import PublicSuffixList, DEFAULT_SUFFIXES
+from repro.domains.names import (
+    is_ip_address,
+    normalize_server_name,
+    second_level_domain,
+)
+
+__all__ = [
+    "DEFAULT_SUFFIXES",
+    "PublicSuffixList",
+    "is_ip_address",
+    "normalize_server_name",
+    "second_level_domain",
+]

@@ -1,0 +1,59 @@
+"""Server-name normalisation.
+
+The paper treats "servers" as both IP addresses and domain names
+(Section I, footnote 1).  Preprocessing aggregates domain names to their
+second-level domain while leaving raw IP addresses untouched.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.domains.publicsuffix import PublicSuffixList, default_psl
+
+
+def is_ip_address(server: str) -> bool:
+    """True when *server* is a literal IPv4/IPv6 address."""
+    try:
+        ipaddress.ip_address(server)
+    except ValueError:
+        return False
+    return True
+
+
+def second_level_domain(domain: str, psl: PublicSuffixList | None = None) -> str:
+    """Aggregate *domain* to its registrable (second-level) domain.
+
+    Falls back to the last two labels when no public suffix matches, and to
+    the raw name for single-label hosts and bare suffixes.
+
+    >>> second_level_domain("img3.fbcdn.net")
+    'fbcdn.net'
+    >>> second_level_domain("eu-west.compute.amazonaws.com")
+    'amazonaws.com'
+    """
+    psl = psl or default_psl()
+    cleaned = domain.strip().strip(".").lower()
+    if not cleaned:
+        raise ValueError("empty domain name")
+    registrable = psl.registrable_domain(cleaned)
+    if registrable is not None:
+        return registrable
+    labels = cleaned.split(".")
+    if len(labels) >= 2:
+        return ".".join(labels[-2:])
+    return cleaned
+
+
+def normalize_server_name(server: str, psl: PublicSuffixList | None = None) -> str:
+    """Normalise a server identifier for SMASH processing.
+
+    IP addresses are returned verbatim; domain names are lower-cased and
+    aggregated to their second-level domain.
+    """
+    cleaned = server.strip().lower()
+    if not cleaned:
+        raise ValueError("empty server name")
+    if is_ip_address(cleaned):
+        return cleaned
+    return second_level_domain(cleaned, psl)

@@ -1,0 +1,137 @@
+"""A small public-suffix list implementation.
+
+The paper aggregates fully-qualified domain names to their second-level
+domain ("a.xyz.com and b.xyz.com both belong to xyz.com").  Doing that
+correctly requires knowing *effective* top-level domains: ``foo.co.uk``
+must aggregate to ``foo.co.uk``, not ``co.uk``, and the Zeus case study in
+the paper (Table X) lives under the ``cz.cc`` free-hosting suffix, where
+each ``*.cz.cc`` registrant is a distinct organisation.
+
+We embed a compact suffix list sufficient for the synthetic traces and for
+realistic operation; the full Mozilla list can be loaded with
+:meth:`PublicSuffixList.from_lines` at runtime if available.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+#: A compact but realistic slice of the public-suffix list.  Includes the
+#: multi-label suffixes exercised by the paper's case studies (``cz.cc``)
+#: and common country-code second-level registrations.
+DEFAULT_SUFFIXES: frozenset[str] = frozenset(
+    {
+        # Generic TLDs.
+        "com", "net", "org", "info", "biz", "edu", "gov", "mil", "int",
+        "name", "pro", "aero", "coop", "museum", "xyz", "top", "site",
+        "online", "club", "io",
+        # Country codes used by the paper's examples and our scenarios.
+        "it", "sk", "nl", "cz", "uk", "de", "fr", "es", "pl", "ru", "cn",
+        "jp", "kr", "br", "in", "au", "ca", "us", "ch", "se", "no", "tr",
+        "cc", "tv", "ws", "su", "me", "eu", "ly", "to",
+        # Effective second-level suffixes.
+        "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk",
+        "com.au", "net.au", "org.au",
+        "com.br", "net.br", "org.br",
+        "com.cn", "net.cn", "org.cn",
+        "co.jp", "ne.jp", "or.jp",
+        "co.kr", "or.kr",
+        "co.in", "net.in", "org.in",
+        "com.tr", "net.tr",
+        "com.ru", "net.ru", "org.ru",
+        # Free/dynamic hosting suffixes behaving like TLDs (paper Table X
+        # uses *.cz.cc; Section VI discusses dynamic DNS).
+        "cz.cc", "co.cc", "cu.cc", "uni.cc",
+        "dyndns.org", "no-ip.org", "no-ip.biz", "hopto.org",
+    }
+)
+
+
+class PublicSuffixList:
+    """Longest-match public-suffix lookup.
+
+    The matcher is intentionally simple: it supports exact suffix entries
+    (no wildcard/exception rules), which covers the suffixes used by this
+    repository and keeps behaviour easy to reason about in tests.
+    """
+
+    def __init__(self, suffixes: Iterable[str] = DEFAULT_SUFFIXES) -> None:
+        cleaned = {self._clean(s) for s in suffixes}
+        cleaned.discard("")
+        if not cleaned:
+            raise ValueError("suffix list must not be empty")
+        self._suffixes = frozenset(cleaned)
+        self._max_labels = max(s.count(".") + 1 for s in self._suffixes)
+
+    @staticmethod
+    def _clean(suffix: str) -> str:
+        return suffix.strip().strip(".").lower()
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "PublicSuffixList":
+        """Build a list from ``public_suffix_list.dat``-style lines.
+
+        Comment (``//``) and empty lines are skipped; wildcard and exception
+        rules are skipped as unsupported.
+        """
+        suffixes = []
+        for line in lines:
+            entry = line.strip()
+            if not entry or entry.startswith("//"):
+                continue
+            if entry.startswith(("*", "!")):
+                continue
+            suffixes.append(entry)
+        return cls(suffixes)
+
+    @property
+    def suffixes(self) -> frozenset[str]:
+        return self._suffixes
+
+    def public_suffix(self, domain: str) -> str | None:
+        """Return the longest matching public suffix of *domain*, or None.
+
+        A domain equal to a suffix has that suffix (``cz.cc`` -> ``cz.cc``).
+        """
+        labels = self._clean(domain).split(".")
+        if labels == [""]:
+            return None
+        # Try longest candidate suffixes first.
+        for take in range(min(self._max_labels, len(labels)), 0, -1):
+            candidate = ".".join(labels[-take:])
+            if candidate in self._suffixes:
+                return candidate
+        return None
+
+    def registrable_domain(self, domain: str) -> str | None:
+        """Return the registrable ("second-level") domain of *domain*.
+
+        This is the public suffix plus one label.  Returns ``None`` when the
+        domain *is* a bare public suffix or no suffix matches (in which case
+        callers typically fall back to the raw name).
+
+        >>> psl = PublicSuffixList()
+        >>> psl.registrable_domain("a.b.xyz.com")
+        'xyz.com'
+        >>> psl.registrable_domain("4k0t155m.cz.cc")
+        '4k0t155m.cz.cc'
+        """
+        cleaned = self._clean(domain)
+        suffix = self.public_suffix(cleaned)
+        if suffix is None:
+            return None
+        if cleaned == suffix:
+            return None
+        suffix_labels = suffix.count(".") + 1
+        labels = cleaned.split(".")
+        if len(labels) < suffix_labels + 1:
+            return None
+        return ".".join(labels[-(suffix_labels + 1):])
+
+
+_DEFAULT_PSL = PublicSuffixList()
+
+
+def default_psl() -> PublicSuffixList:
+    """The module-level default list built from :data:`DEFAULT_SUFFIXES`."""
+    return _DEFAULT_PSL

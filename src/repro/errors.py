@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class GraphError(ReproError):
+    """An invalid graph operation was attempted."""
+
+
+class ScenarioError(ReproError):
+    """A synthetic scenario specification is inconsistent."""
+
+
+class GroundTruthError(ReproError):
+    """Ground-truth (IDS/blacklist) data is inconsistent with the trace."""
+
+
+class PipelineError(ReproError):
+    """The SMASH pipeline was driven with inconsistent inputs."""

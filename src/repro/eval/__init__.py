@@ -1,0 +1,18 @@
+"""Evaluation harness: the paper's verification methodology and the
+table/figure series of Section V."""
+
+from repro.eval.verification import (
+    CampaignVerdict,
+    ServerLabel,
+    VerificationSummary,
+    Verifier,
+)
+from repro.eval.experiments import ExperimentRunner
+
+__all__ = [
+    "CampaignVerdict",
+    "ExperimentRunner",
+    "ServerLabel",
+    "VerificationSummary",
+    "Verifier",
+]

@@ -1,0 +1,103 @@
+"""Export SMASH results for downstream consumption.
+
+Two formats:
+
+* **JSON** — one document with every inferred campaign, its servers,
+  per-server scores and dimension evidence (what an analyst console or a
+  blocklist generator would ingest);
+* **DOT** — the similarity graph of one dimension restricted to detected
+  servers, for Figure-3-style visualisation in Graphviz.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.results import SmashResult
+
+
+def result_to_dict(result: SmashResult) -> dict:
+    """JSON-compatible representation of a :class:`SmashResult`."""
+    campaigns = []
+    for campaign in result.campaigns:
+        campaigns.append(
+            {
+                "id": campaign.campaign_id,
+                "num_servers": campaign.num_servers,
+                "num_clients": campaign.num_clients,
+                "servers": sorted(campaign.servers),
+                "clients": sorted(campaign.clients),
+                "scores": {
+                    server: round(score, 6)
+                    for server, score in sorted(campaign.server_scores.items())
+                },
+                "dimensions": {
+                    server: sorted(campaign.dimensions_of(server))
+                    for server in sorted(campaign.servers)
+                },
+                "replaced_servers": dict(sorted(campaign.replaced_servers.items())),
+            }
+        )
+    return {
+        "campaigns": campaigns,
+        "detected_servers": sorted(result.detected_servers),
+        "herd_counts": {
+            dimension: len(herds)
+            for dimension, herds in sorted(result.herds_by_dimension.items())
+        },
+        "main_dimension_dropped": len(result.main_dimension_dropped),
+        "pruning": {
+            "redirection_replacements": len(
+                result.prune_report.redirection_replacements
+            ),
+            "referrer_replacements": len(result.prune_report.referrer_replacements),
+            "dropped_ashes": result.prune_report.dropped_ashes,
+        },
+    }
+
+
+def write_result_json(result: SmashResult, path: str | Path) -> None:
+    """Write :func:`result_to_dict` to *path* (pretty-printed)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def _dot_escape(name: str) -> str:
+    return name.replace('"', r"\"")
+
+
+def herds_to_dot(
+    result: SmashResult,
+    dimension: str = "client",
+    detected_only: bool = True,
+) -> str:
+    """Render one dimension's herds as an undirected Graphviz graph.
+
+    Detected servers are filled red (the paper's Figure-3 colouring:
+    "red nodes represent the servers labeled by IDS" — here, by SMASH).
+    """
+    herds = result.herds_by_dimension.get(dimension, ())
+    detected = result.detected_servers
+    lines = [f'graph "{_dot_escape(dimension)}_herds" {{']
+    lines.append("  node [shape=circle, style=filled, fillcolor=lightgrey];")
+    for herd in herds:
+        members = sorted(herd.servers)
+        if detected_only and not any(m in detected for m in members):
+            continue
+        lines.append(f"  subgraph cluster_{herd.index} {{")
+        lines.append(f'    label="herd {herd.index} (density {herd.density:.2f})";')
+        for member in members:
+            colour = "tomato" if member in detected else "lightgrey"
+            lines.append(
+                f'    "{_dot_escape(member)}" [fillcolor={colour}];'
+            )
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                lines.append(
+                    f'    "{_dot_escape(first)}" -- "{_dot_escape(second)}";'
+                )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

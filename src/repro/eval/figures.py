@@ -1,0 +1,264 @@
+"""Series computations behind the paper's figures.
+
+Each function returns plain data (lists/dicts) so benchmarks can both
+print paper-shaped output and assert on shape properties.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.results import Campaign, SmashResult
+from repro.domains.names import normalize_server_name
+from repro.groundtruth.ids import SignatureIds
+from repro.httplog.trace import HttpTrace
+from repro.synth.generator import SyntheticDataset
+from repro.util.stats import ecdf, percentile_of
+
+
+# -- Figure 6: campaign-size and client-count CDFs ------------------------------
+
+
+@dataclass(frozen=True)
+class SizeDistributions:
+    campaign_sizes: list[int]
+    client_counts: list[int]
+
+    def campaign_size_cdf(self) -> list[tuple[float, float]]:
+        return ecdf(self.campaign_sizes)
+
+    def client_count_cdf(self) -> list[tuple[float, float]]:
+        return ecdf(self.client_counts)
+
+    def fraction_small_campaigns(self, size: int = 18) -> float:
+        """Paper: ~75% of campaigns have fewer than 18 servers."""
+        return percentile_of(self.campaign_sizes, size)
+
+    def fraction_single_client(self) -> float:
+        """Paper: ~75% of campaigns involve a single client."""
+        return percentile_of(self.client_counts, 1)
+
+
+def size_distributions(campaigns: Iterable[Campaign]) -> SizeDistributions:
+    campaigns = list(campaigns)
+    return SizeDistributions(
+        campaign_sizes=[c.num_servers for c in campaigns],
+        client_counts=[c.num_clients for c in campaigns],
+    )
+
+
+# -- Figure 7: persistent vs agile campaigns --------------------------------------
+
+
+@dataclass(frozen=True)
+class PersistenceDay:
+    day: int
+    old_servers: int
+    new_servers_old_clients: int
+    new_servers_new_clients: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.old_servers
+            + self.new_servers_old_clients
+            + self.new_servers_new_clients
+        )
+
+
+def persistence_series(
+    daily_detections: Sequence[tuple[frozenset[str], frozenset[str]]],
+) -> list[PersistenceDay]:
+    """Classify each day's detected servers against the benchmark day.
+
+    Input: per day, ``(detected servers, involved clients)``.  Day 0 is
+    the benchmark; for every later day servers split into
+
+    * ``old_servers`` — persistent campaigns (seen on an earlier day);
+    * ``new_servers_old_clients`` — agile campaigns (new server, but a
+      client already seen in malicious activity);
+    * ``new_servers_new_clients`` — entirely new campaigns.
+    """
+    series: list[PersistenceDay] = []
+    seen_servers: set[str] = set()
+    seen_clients: set[str] = set()
+    for day, (servers, clients) in enumerate(daily_detections):
+        old = servers & seen_servers
+        new = servers - seen_servers
+        # A "new" server belongs to an old-client (agile) campaign when the
+        # day's client set intersects previously seen malicious clients.
+        # Server-level attribution needs per-server clients; callers who
+        # have them should use persistence_series_detailed instead.
+        if clients & seen_clients:
+            new_old = new
+            new_new: set[str] = set()
+        else:
+            new_old = set()
+            new_new = set(new)
+        series.append(
+            PersistenceDay(
+                day=day,
+                old_servers=len(old),
+                new_servers_old_clients=len(new_old),
+                new_servers_new_clients=len(new_new),
+            )
+        )
+        seen_servers |= servers
+        seen_clients |= clients
+    return series
+
+
+def persistence_series_detailed(
+    daily_campaigns: Sequence[Sequence[Campaign]],
+) -> list[PersistenceDay]:
+    """Per-server persistence classification with campaign-level client
+    attribution (the Figure-7 computation)."""
+    series: list[PersistenceDay] = []
+    seen_servers: set[str] = set()
+    seen_clients: set[str] = set()
+    for day, campaigns in enumerate(daily_campaigns):
+        old = 0
+        new_old = 0
+        new_new = 0
+        for campaign in campaigns:
+            campaign_is_old_clients = bool(campaign.clients & seen_clients)
+            for server in campaign.servers:
+                if server in seen_servers:
+                    old += 1
+                elif campaign_is_old_clients:
+                    new_old += 1
+                else:
+                    new_new += 1
+        series.append(
+            PersistenceDay(
+                day=day,
+                old_servers=old,
+                new_servers_old_clients=new_old,
+                new_servers_new_clients=new_new,
+            )
+        )
+        for campaign in campaigns:
+            seen_servers |= campaign.servers
+            seen_clients |= campaign.clients
+    return series
+
+
+# -- Figure 8: secondary-dimension effectiveness ------------------------------------
+
+
+def dimension_decomposition(result: SmashResult) -> dict[str, float]:
+    """Fraction of detected servers inferred through each dimension combo.
+
+    Keys are ``"+"``-joined sorted dimension names (e.g. ``"ipset+urifile"``);
+    values sum to 1.0 over detected servers with at least one contribution.
+    """
+    combos: Counter[str] = Counter()
+    total = 0
+    for campaign in result.campaigns:
+        for server in campaign.servers:
+            dims = campaign.dimensions_of(server)
+            if not dims:
+                continue
+            total += 1
+            combos["+".join(sorted(dims))] += 1
+    if total == 0:
+        return {}
+    return {combo: count / total for combo, count in sorted(combos.items())}
+
+
+# -- Figure 9 (Appendix A): IDF distribution -----------------------------------------
+
+
+def idf_series(
+    trace: HttpTrace,
+    ids: SignatureIds,
+) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:
+    """CDFs of per-server client counts: (all servers, IDS-labelled servers).
+
+    Computed on the aggregated name space, as the filter sees it.
+    """
+    aggregated = trace.map_hosts(normalize_server_name)
+    counts = aggregated.client_counts()
+    malicious = ids.detected_servers(trace, normalize_server_name)
+    all_series = ecdf(list(counts.values()))
+    malicious_series = ecdf(
+        [count for server, count in counts.items() if server in malicious]
+    )
+    return all_series, malicious_series
+
+
+# -- Figure 10 (Appendix B): malicious filename lengths --------------------------------
+
+
+def malicious_filename_lengths(
+    trace: HttpTrace, ids: SignatureIds
+) -> list[int]:
+    """Lengths of URI files requested from IDS-confirmed servers."""
+    malicious = ids.detected_servers(trace, normalize_server_name)
+    lengths: list[int] = []
+    seen: set[tuple[str, str]] = set()
+    for request in trace:
+        server = normalize_server_name(request.host)
+        if server not in malicious:
+            continue
+        key = (server, request.uri_file)
+        if key in seen:
+            continue
+        seen.add(key)
+        lengths.append(len(request.uri_file))
+    return lengths
+
+
+# -- Section V-C1: main-dimension herd taxonomy -----------------------------------------
+
+
+def main_herd_taxonomy(
+    result: SmashResult,
+    dataset: SyntheticDataset,
+) -> dict[str, float]:
+    """Classify multi-client main-dimension herds like the paper's manual
+    study: referrer / redirection / similar-content / malicious / unknown.
+
+    Uses the generator's annotations in place of the paper's manual
+    inspection.  Herds whose servers are all visited by one client are
+    skipped (footnote 10).
+    """
+    truth = dataset.truth
+    noise = truth.noise_category
+    malicious = truth.malicious_servers
+    taxonomy: Counter[str] = Counter()
+    clients_by_server = dataset.trace.map_hosts(normalize_server_name).clients_by_server
+
+    def herd_clients(servers: frozenset[str]) -> set[str]:
+        clients: set[str] = set()
+        for server in servers:
+            clients |= clients_by_server.get(server, frozenset())
+        return clients
+
+    total = 0
+    for herd in result.herds_by_dimension.get("client", ()):
+        if len(herd_clients(herd.servers)) <= 1:
+            continue  # single-client herds analysed separately
+        total += 1
+        categories = Counter()
+        for server in herd.servers:
+            if server in malicious:
+                categories["malicious"] += 1
+            elif noise.get(server) == "referrer":
+                categories["referrer"] += 1
+            elif noise.get(server) == "redirect":
+                categories["redirection"] += 1
+            elif noise.get(server) == "adult":
+                categories["similar_content"] += 1
+            else:
+                categories["unknown"] += 1
+        dominant, count = categories.most_common(1)[0]
+        if count * 2 >= len(herd.servers):
+            taxonomy[dominant] += 1
+        else:
+            taxonomy["unknown"] += 1
+    if total == 0:
+        return {}
+    return {category: count / total for category, count in sorted(taxonomy.items())}

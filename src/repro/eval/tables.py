@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print tables in the paper's layout (rows = verification
+sources, columns = thresholds or days), so the output can be read next to
+the paper's tables directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    row_labels: Sequence[str],
+    columns: Mapping[str, Mapping[str, object]],
+) -> str:
+    """Render ``{column -> {row -> value}}`` as an aligned text table."""
+    column_names = list(columns)
+    label_width = max([len(title)] + [len(label) for label in row_labels])
+    widths = [
+        max(len(name), *(len(str(columns[name].get(label, ""))) for label in row_labels))
+        if row_labels
+        else len(name)
+        for name in column_names
+    ]
+    lines = []
+    header = title.ljust(label_width)
+    for name, width in zip(column_names, widths):
+        header += "  " + name.rjust(width)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in row_labels:
+        line = label.ljust(label_width)
+        for name, width in zip(column_names, widths):
+            line += "  " + str(columns[name].get(label, "")).rjust(width)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_mapping(title: str, mapping: Mapping[str, object]) -> str:
+    """Render a flat ``{label: value}`` mapping as a two-column table."""
+    if not mapping:
+        return f"{title}\n(empty)"
+    label_width = max(len(str(k)) for k in mapping)
+    lines = [title, "-" * max(len(title), label_width + 10)]
+    for key, value in mapping.items():
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(key).ljust(label_width)}  {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,364 @@
+"""Verification of SMASH inferences against the ground-truth sources.
+
+Implements Section V-A1/V-A2's methodology exactly:
+
+**Campaign verdicts** (Table II rows), in precedence order:
+
+1. ``ids2012_total`` — every server confirmed by the 2012 IDS signatures;
+2. ``ids2013_total`` — every server confirmed by the 2013 signatures (and
+   none by 2012 — otherwise it would fall in a 2012 row);
+3. ``ids2012_partial`` — some servers confirmed by 2012 signatures;
+4. ``ids2013_partial`` — some servers confirmed only by 2013 signatures;
+5. ``blacklist_partial`` — no IDS hit, some servers blacklisted;
+6. ``suspicious`` — no IDS/blacklist hit, but at least half of the servers
+   either return error codes in the traffic or no longer exist when
+   probed (malicious domains are short-lived, footnote 8);
+7. ``false_positive`` — everything else (an upper bound: some may be
+   unconfirmable malicious campaigns).
+
+``false_positive_updated`` additionally excludes the paper's two noisy
+categories (Torrent and TeamViewer-style pools), identified here through
+the generator's noise annotations.
+
+**Server labels** (Table III rows): ``ids2012``, ``ids2013`` (2013-only),
+``blacklist``, ``suspicious`` (member of a suspicious campaign),
+``new_server`` (unconfirmed but sharing requested path, User-Agent or
+parameter pattern with a confirmed server — the paper's "New Servers",
+i.e. previously undetected malicious servers), ``false_positive``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.results import Campaign, SmashResult
+from repro.domains.names import normalize_server_name
+from repro.httplog.trace import HttpTrace
+from repro.httplog.useragent import is_generic_user_agent
+from repro.httplog.uri import split_uri
+from repro.synth.generator import SyntheticDataset
+
+
+class ServerLabel(enum.Enum):
+    IDS2012 = "ids2012"
+    IDS2013 = "ids2013"
+    BLACKLIST = "blacklist"
+    SUSPICIOUS = "suspicious"
+    NEW_SERVER = "new_server"
+    FALSE_POSITIVE = "false_positive"
+
+
+#: Campaign verdicts in precedence order.
+CAMPAIGN_VERDICTS: tuple[str, ...] = (
+    "ids2012_total",
+    "ids2013_total",
+    "ids2012_partial",
+    "ids2013_partial",
+    "blacklist_partial",
+    "suspicious",
+    "false_positive",
+)
+
+#: Noise categories the paper's "FP (Updated)" row excludes.
+NOISY_FP_CATEGORIES = frozenset({"torrent", "collaboration"})
+
+
+@dataclass(frozen=True)
+class CampaignVerdict:
+    campaign: Campaign
+    verdict: str
+    server_labels: dict[str, ServerLabel]
+    is_noisy_fp: bool = False
+
+
+@dataclass
+class VerificationSummary:
+    """Aggregated counts: one Table-II column + one Table-III column."""
+
+    thresh: float
+    num_campaigns: int = 0
+    campaign_counts: Counter = field(default_factory=Counter)
+    num_servers: int = 0
+    server_counts: Counter = field(default_factory=Counter)
+    total_trace_servers: int = 0
+    verdicts: list[CampaignVerdict] = field(default_factory=list)
+
+    @property
+    def fp_campaigns(self) -> int:
+        return self.campaign_counts["false_positive"]
+
+    @property
+    def fp_campaigns_updated(self) -> int:
+        return self.campaign_counts["false_positive"] - self.campaign_counts[
+            "false_positive_noisy"
+        ]
+
+    @property
+    def fp_servers(self) -> int:
+        return self.server_counts[ServerLabel.FALSE_POSITIVE.value]
+
+    @property
+    def fp_servers_updated(self) -> int:
+        return self.fp_servers - self.server_counts["false_positive_noisy"]
+
+    @property
+    def fp_rate(self) -> float:
+        """FP servers over all servers of the (aggregated) input trace —
+        the denominator behind the paper's 0.064% headline."""
+        if self.total_trace_servers == 0:
+            return 0.0
+        return self.fp_servers / self.total_trace_servers
+
+    def table2_row(self) -> dict[str, int]:
+        row = {"SMASH": self.num_campaigns}
+        row["IDS 2012 total"] = self.campaign_counts["ids2012_total"]
+        row["IDS 2013 total"] = self.campaign_counts["ids2013_total"]
+        row["IDS 2012 partial"] = self.campaign_counts["ids2012_partial"]
+        row["IDS 2013 partial"] = self.campaign_counts["ids2013_partial"]
+        row["Blacklist partial"] = self.campaign_counts["blacklist_partial"]
+        row["Suspicious"] = self.campaign_counts["suspicious"]
+        row["False Positives"] = self.fp_campaigns
+        row["FP (Updated)"] = self.fp_campaigns_updated
+        return row
+
+    def table3_row(self) -> dict[str, int]:
+        row = {"SMASH": self.num_servers}
+        row["IDS 2012"] = self.server_counts[ServerLabel.IDS2012.value]
+        row["IDS 2013"] = self.server_counts[ServerLabel.IDS2013.value]
+        row["Blacklist"] = self.server_counts[ServerLabel.BLACKLIST.value]
+        row["New Servers"] = self.server_counts[ServerLabel.NEW_SERVER.value]
+        row["Suspicious"] = self.server_counts[ServerLabel.SUSPICIOUS.value]
+        row["False Positives"] = self.fp_servers
+        row["FP (Updated)"] = self.fp_servers_updated
+        return row
+
+
+@dataclass(frozen=True)
+class _ServerProfile:
+    """Request-pattern profile used for "New Servers" confirmation."""
+
+    paths: frozenset[str]
+    user_agents: frozenset[str]
+    parameter_patterns: frozenset[tuple[str, ...]]
+    uri_files: frozenset[str]
+
+    def matches(self, other: "_ServerProfile") -> bool:
+        """Paper Section V-A2: compare requested path, User-Agent and
+        parameter patterns with confirmed servers."""
+        if self.user_agents & other.user_agents:
+            return True
+        if self.parameter_patterns & other.parameter_patterns:
+            return True
+        if self.paths & other.paths and self.uri_files & other.uri_files:
+            return True
+        return False
+
+
+class Verifier:
+    """Verify a :class:`SmashResult` against one dataset's ground truth."""
+
+    def __init__(self, dataset: SyntheticDataset) -> None:
+        self.dataset = dataset
+        trace = dataset.trace
+        self.ids2012_servers = frozenset(
+            dataset.ids2012.detected_servers(trace, normalize_server_name)
+        )
+        ids2013_all = frozenset(
+            dataset.ids2013.detected_servers(trace, normalize_server_name)
+        )
+        #: Servers only the newer signature generation knows.
+        self.ids2013_servers = ids2013_all - self.ids2012_servers
+        self._profiles = self._build_profiles(trace)
+        self._error_servers = self._servers_with_errors(trace)
+
+    # -- profile construction ----------------------------------------------------
+
+    @staticmethod
+    def _build_profiles(trace: HttpTrace) -> dict[str, _ServerProfile]:
+        paths: dict[str, set[str]] = defaultdict(set)
+        agents: dict[str, set[str]] = defaultdict(set)
+        params: dict[str, set[tuple[str, ...]]] = defaultdict(set)
+        files: dict[str, set[str]] = defaultdict(set)
+        for request in trace:
+            server = normalize_server_name(request.host)
+            parts = split_uri(request.uri)
+            if parts.path:
+                paths[server].add(parts.path)
+            if not is_generic_user_agent(request.user_agent):
+                agents[server].add(request.user_agent)
+            if request.parameter_names:
+                params[server].add(request.parameter_names)
+            files[server].add(request.uri_file)
+        return {
+            server: _ServerProfile(
+                paths=frozenset(paths[server]),
+                user_agents=frozenset(agents.get(server, ())),
+                parameter_patterns=frozenset(params.get(server, ())),
+                uri_files=frozenset(files[server]),
+            )
+            for server in files
+        }
+
+    @staticmethod
+    def _servers_with_errors(trace: HttpTrace) -> frozenset[str]:
+        """Servers where at least half of the observed requests errored."""
+        total: Counter[str] = Counter()
+        errors: Counter[str] = Counter()
+        for request in trace:
+            server = normalize_server_name(request.host)
+            total[server] += 1
+            if request.is_error:
+                errors[server] += 1
+        return frozenset(
+            server for server in total if errors[server] * 2 >= total[server]
+        )
+
+    # -- verdicts -----------------------------------------------------------------
+
+    def _is_confirmed(self, server: str) -> bool:
+        return (
+            server in self.ids2012_servers
+            or server in self.ids2013_servers
+            or self.dataset.blacklists.is_confirmed(server)
+        )
+
+    def _campaign_verdict(self, campaign: Campaign) -> str:
+        servers = campaign.servers
+        in_2012 = {s for s in servers if s in self.ids2012_servers}
+        in_2013 = {s for s in servers if s in self.ids2013_servers}
+        blacklisted = {
+            s for s in servers if self.dataset.blacklists.is_confirmed(s)
+        }
+        if in_2012 == servers:
+            return "ids2012_total"
+        if not in_2012 and in_2013 == servers:
+            return "ids2013_total"
+        if in_2012:
+            return "ids2012_partial"
+        if in_2013:
+            return "ids2013_partial"
+        if blacklisted:
+            return "blacklist_partial"
+        # Suspicious: at least half of the servers error in-traffic or are
+        # gone at verification time.
+        gone_or_error = sum(
+            1
+            for s in servers
+            if s in self._error_servers or not self.dataset.liveness.is_alive(s)
+        )
+        if gone_or_error * 2 >= len(servers):
+            return "suspicious"
+        return "false_positive"
+
+    def _server_labels(
+        self,
+        campaign: Campaign,
+        verdict: str,
+        confirmed_profiles: list[_ServerProfile],
+    ) -> dict[str, ServerLabel]:
+        labels: dict[str, ServerLabel] = {}
+        for server in campaign.servers:
+            if server in self.ids2012_servers:
+                labels[server] = ServerLabel.IDS2012
+            elif server in self.ids2013_servers:
+                labels[server] = ServerLabel.IDS2013
+            elif self.dataset.blacklists.is_confirmed(server):
+                labels[server] = ServerLabel.BLACKLIST
+            elif verdict == "suspicious":
+                labels[server] = ServerLabel.SUSPICIOUS
+            elif verdict == "false_positive":
+                labels[server] = ServerLabel.FALSE_POSITIVE
+            else:
+                profile = self._profiles.get(server)
+                if profile is not None and any(
+                    profile.matches(confirmed) for confirmed in confirmed_profiles
+                ):
+                    labels[server] = ServerLabel.NEW_SERVER
+                else:
+                    labels[server] = ServerLabel.FALSE_POSITIVE
+        return labels
+
+    def _noisy_fraction(self, campaign: Campaign) -> float:
+        noise = self.dataset.truth.noise_category
+        noisy = sum(
+            1
+            for server in campaign.servers
+            if noise.get(server) in NOISY_FP_CATEGORIES
+        )
+        return noisy / len(campaign.servers) if campaign.servers else 0.0
+
+    def verify(
+        self,
+        result: SmashResult,
+        thresh: float,
+        min_clients: int = 2,
+        max_clients: int | None = None,
+    ) -> VerificationSummary:
+        """Verify the campaigns of *result* in the given client-count band."""
+        campaigns = result.campaigns_with_clients(min_clients, max_clients)
+        summary = VerificationSummary(thresh=thresh)
+        summary.total_trace_servers = len(
+            {normalize_server_name(h) for h in self.dataset.trace.servers}
+        )
+
+        # Profiles of all servers confirmed by IDS or blacklists, used to
+        # recognise "New Servers" campaign-wide.
+        confirmed_servers = set(self.ids2012_servers) | set(self.ids2013_servers)
+        for campaign in campaigns:
+            confirmed_servers |= {
+                s
+                for s in campaign.servers
+                if self.dataset.blacklists.is_confirmed(s)
+            }
+        confirmed_profiles = [
+            self._profiles[s] for s in sorted(confirmed_servers) if s in self._profiles
+        ]
+
+        for campaign in campaigns:
+            verdict = self._campaign_verdict(campaign)
+            labels = self._server_labels(campaign, verdict, confirmed_profiles)
+            noisy = verdict == "false_positive" and self._noisy_fraction(campaign) >= 0.5
+            summary.verdicts.append(
+                CampaignVerdict(
+                    campaign=campaign,
+                    verdict=verdict,
+                    server_labels=labels,
+                    is_noisy_fp=noisy,
+                )
+            )
+            summary.num_campaigns += 1
+            summary.campaign_counts[verdict] += 1
+            if noisy:
+                summary.campaign_counts["false_positive_noisy"] += 1
+            for server, label in labels.items():
+                summary.num_servers += 1
+                summary.server_counts[label.value] += 1
+                if label is ServerLabel.FALSE_POSITIVE and (
+                    self.dataset.truth.noise_category.get(server)
+                    in NOISY_FP_CATEGORIES
+                ):
+                    summary.server_counts["false_positive_noisy"] += 1
+        return summary
+
+    # -- false negatives (Section V-A2) ---------------------------------------------
+
+    def false_negatives(self, result: SmashResult) -> dict[str, frozenset[str]]:
+        """IDS threat groups with members SMASH missed.
+
+        Ground truth: servers grouped by IDS threat identifier ("assuming
+        all the servers in the same threat identifier belong to the same
+        malicious campaign").  Returns threat -> missed servers, for
+        threats where at least one server was missed.
+        """
+        detected = result.detected_servers
+        groups = self.dataset.ids2012.threat_groups(
+            self.dataset.trace, normalize_server_name
+        )
+        missed: dict[str, frozenset[str]] = {}
+        for threat, servers in sorted(groups.items()):
+            absent = frozenset(s for s in servers if s not in detected)
+            if absent:
+                missed[threat] = absent
+        return missed

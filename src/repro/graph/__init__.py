@@ -1,0 +1,14 @@
+"""Graph substrate: weighted graphs, modularity, Louvain communities."""
+
+from repro.graph.wgraph import WeightedGraph
+from repro.graph.modularity import modularity
+from repro.graph.louvain import LouvainResult, louvain_communities
+from repro.graph.components import connected_components
+
+__all__ = [
+    "LouvainResult",
+    "WeightedGraph",
+    "connected_components",
+    "louvain_communities",
+    "modularity",
+]

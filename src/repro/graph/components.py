@@ -1,0 +1,35 @@
+"""Connected components of a weighted graph (iterative BFS)."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from repro.graph.wgraph import WeightedGraph
+
+Node = Hashable
+
+
+def connected_components(graph: WeightedGraph) -> list[frozenset[Node]]:
+    """Return the connected components of *graph* as frozensets of nodes.
+
+    Components are ordered by first-seen node (graph insertion order), which
+    keeps the output deterministic for a deterministically built graph.
+    """
+    seen: set[Node] = set()
+    components: list[frozenset[Node]] = []
+    for start in graph:
+        if start in seen:
+            continue
+        queue: deque[Node] = deque([start])
+        seen.add(start)
+        members: list[Node] = []
+        while queue:
+            node = queue.popleft()
+            members.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(frozenset(members))
+    return components

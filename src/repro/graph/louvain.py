@@ -1,0 +1,219 @@
+"""Louvain community detection (Blondel, Guillaume, Lambiotte, Lefebvre 2008).
+
+This is the algorithm the paper uses for ASH extraction ([17] in the
+references): it "automatically finds high modularity partitions of large
+networks in short time".  The implementation follows the original
+two-phase scheme:
+
+1. **Local move** — repeatedly move each node to the neighbouring community
+   with the largest positive modularity gain until no move improves Q.
+2. **Aggregation** — collapse communities into super-nodes (preserving
+   intra-community weight as self-loops) and repeat on the coarser graph.
+
+The node visiting order is shuffled with a seeded RNG so results are both
+randomised (as in the reference implementation) and reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.config import LouvainConfig
+from repro.graph.modularity import modularity
+from repro.graph.wgraph import WeightedGraph
+from repro.util.rng import make_rng
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class LouvainResult:
+    """Outcome of a Louvain run.
+
+    Attributes
+    ----------
+    communities:
+        The final partition as a list of frozensets of original nodes,
+        sorted by decreasing size then lexicographic representative for
+        determinism.
+    partition:
+        node -> community index into :attr:`communities`.
+    modularity:
+        Modularity Q of the final partition on the input graph.
+    levels:
+        Number of coarsening levels executed.
+    """
+
+    communities: tuple[frozenset[Node], ...]
+    partition: dict[Node, int]
+    modularity: float
+    levels: int
+
+    def community_of(self, node: Node) -> frozenset[Node]:
+        return self.communities[self.partition[node]]
+
+
+class _Level:
+    """One coarsening level: dense-int adjacency plus community bookkeeping."""
+
+    def __init__(self, adjacency: list[dict[int, float]], loops: list[float]) -> None:
+        self.adjacency = adjacency
+        self.loops = loops  # self-loop weight per node (counted once)
+        self.n = len(adjacency)
+        # Weighted degree: neighbours + 2 * self-loop.
+        self.degree = [
+            sum(neigh.values()) + 2.0 * loops[i]
+            for i, neigh in enumerate(adjacency)
+        ]
+        self.total_weight = (
+            sum(sum(neigh.values()) for neigh in adjacency) / 2.0 + sum(loops)
+        )
+        self.community = list(range(self.n))
+        # Sum of degrees per community.
+        self.community_degree = list(self.degree)
+
+    def neighbor_community_weights(self, node: int) -> dict[int, float]:
+        """Total edge weight from *node* to each neighbouring community."""
+        weights: dict[int, float] = defaultdict(float)
+        for neighbor, weight in self.adjacency[node].items():
+            weights[self.community[neighbor]] += weight
+        return weights
+
+
+def _local_move(level: _Level, config: LouvainConfig, rng) -> bool:
+    """Phase 1: greedy node moves.  Returns True if anything moved."""
+    m2 = 2.0 * level.total_weight
+    if m2 == 0.0:
+        return False
+    moved_any = False
+    order = list(range(level.n))
+    for _ in range(config.max_sweeps):
+        rng.shuffle(order)
+        moved_this_sweep = False
+        for node in order:
+            current = level.community[node]
+            degree = level.degree[node]
+            neighbor_weights = level.neighbor_community_weights(node)
+            # Remove the node from its community for gain computation.
+            level.community_degree[current] -= degree
+            weight_to_current = neighbor_weights.get(current, 0.0)
+            best_community = current
+            best_gain = 0.0
+            for community, weight_to in neighbor_weights.items():
+                if community == current:
+                    gain = 0.0
+                else:
+                    # Delta-Q of moving `node` from `current` to `community`,
+                    # both evaluated with the node removed.
+                    gain = (weight_to - weight_to_current) / level.total_weight - (
+                        degree
+                        * (
+                            level.community_degree[community]
+                            - level.community_degree[current]
+                        )
+                    ) / (m2 * level.total_weight)
+                if gain > best_gain + config.min_modularity_gain:
+                    best_gain = gain
+                    best_community = community
+            level.community[node] = best_community
+            level.community_degree[best_community] += degree
+            if best_community != current:
+                moved_this_sweep = True
+                moved_any = True
+        if not moved_this_sweep:
+            break
+    return moved_any
+
+
+def _aggregate(level: _Level) -> tuple[_Level, list[int]]:
+    """Phase 2: collapse communities into super-nodes.
+
+    Returns the coarser level and the mapping node -> super-node index.
+    """
+    labels = sorted(set(level.community))
+    relabel = {label: index for index, label in enumerate(labels)}
+    mapping = [relabel[c] for c in level.community]
+    n_coarse = len(labels)
+    adjacency: list[dict[int, float]] = [defaultdict(float) for _ in range(n_coarse)]
+    loops = [0.0] * n_coarse
+    for node in range(level.n):
+        cu = mapping[node]
+        loops[cu] += level.loops[node]
+        for neighbor, weight in level.adjacency[node].items():
+            cv = mapping[neighbor]
+            if cu == cv:
+                if node < neighbor:
+                    loops[cu] += weight
+            else:
+                adjacency[cu][cv] += weight
+    coarse = _Level([dict(neigh) for neigh in adjacency], loops)
+    return coarse, mapping
+
+
+def louvain_communities(
+    graph: WeightedGraph, config: LouvainConfig | None = None
+) -> LouvainResult:
+    """Run Louvain community detection on *graph*.
+
+    Isolated nodes come back as singleton communities.  The empty graph
+    yields an empty result.
+    """
+    config = config or LouvainConfig()
+    config.validate()
+    rng = make_rng(config.seed)
+
+    nodes = list(graph.nodes)
+    if not nodes:
+        return LouvainResult(communities=(), partition={}, modularity=0.0, levels=0)
+    index_of = {node: i for i, node in enumerate(nodes)}
+
+    adjacency: list[dict[int, float]] = [{} for _ in nodes]
+    loops = [0.0] * len(nodes)
+    for u, v, weight in graph.edges():
+        if weight <= 0.0:
+            continue
+        if u == v:
+            loops[index_of[u]] += weight
+        else:
+            iu, iv = index_of[u], index_of[v]
+            adjacency[iu][iv] = adjacency[iu].get(iv, 0.0) + weight
+            adjacency[iv][iu] = adjacency[iv].get(iu, 0.0) + weight
+
+    level = _Level(adjacency, loops)
+    # membership[i] = community label of original node i on the current level.
+    membership = list(range(len(nodes)))
+
+    levels_run = 0
+    for _ in range(config.max_levels):
+        moved = _local_move(level, config, rng)
+        levels_run += 1
+        coarse, mapping = _aggregate(level)
+        # `mapping` already composes the community assignment with the
+        # coarse relabeling, so one hop advances each original node.
+        membership = [mapping[m] for m in membership]
+        if not moved or coarse.n == level.n:
+            level = coarse
+            break
+        level = coarse
+
+    groups: dict[int, list[Node]] = defaultdict(list)
+    for original_index, community in enumerate(membership):
+        groups[community].append(nodes[original_index])
+    community_sets = sorted(
+        (frozenset(members) for members in groups.values()),
+        key=lambda s: (-len(s), min(repr(x) for x in s)),
+    )
+    partition = {
+        node: index
+        for index, community in enumerate(community_sets)
+        for node in community
+    }
+    q = modularity(graph, partition)
+    return LouvainResult(
+        communities=tuple(community_sets),
+        partition=partition,
+        modularity=q,
+        levels=levels_run,
+    )

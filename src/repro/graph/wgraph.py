@@ -1,0 +1,150 @@
+"""A weighted undirected graph with string-friendly node labels.
+
+This is the data structure underneath every similarity dimension: nodes are
+servers, edge weights are similarity scores.  It is a plain adjacency-map
+implementation — simple, deterministic, and fast enough for the graph sizes
+SMASH produces after preprocessing (tens of thousands of nodes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+
+Node = Hashable
+
+
+class WeightedGraph:
+    """Undirected graph with non-negative edge weights and optional self-loops.
+
+    Adding an edge twice accumulates the weight, which is convenient when
+    building similarity graphs incrementally.
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[Node, dict[Node, float]] = {}
+        self._total_weight: float = 0.0  # sum of edge weights (each edge once)
+
+    # -- construction --------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add (or reinforce) the undirected edge ``{u, v}``.
+
+        Self-loops are allowed and count once toward the total weight; their
+        full weight contributes to the node degree (the 2x convention is
+        handled inside the modularity computation).
+        """
+        if weight < 0:
+            raise GraphError(f"edge weight must be non-negative, got {weight}")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = self._adj[u].get(v, 0.0) + weight
+        if u != v:
+            self._adj[v][u] = self._adj[v].get(u, 0.0) + weight
+        self._total_weight += weight
+
+    def remove_node(self, node: Node) -> None:
+        if node not in self._adj:
+            raise GraphError(f"node not in graph: {node!r}")
+        for neighbor, weight in list(self._adj[node].items()):
+            self._total_weight -= weight
+            if neighbor != node:
+                del self._adj[neighbor][node]
+        del self._adj[node]
+
+    # -- queries -------------------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]:
+        """Yield each undirected edge once as ``(u, v, weight)``."""
+        seen: set[frozenset] = set()
+        for u, neighbors in self._adj.items():
+            for v, weight in neighbors.items():
+                pair = frozenset((u, v))
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                yield u, v, weight
+
+    def num_edges(self) -> int:
+        """Number of undirected edges (self-loops count once)."""
+        loops = sum(1 for node in self._adj if node in self._adj[node])
+        non_loops = (sum(len(n) for n in self._adj.values()) - loops) // 2
+        return non_loops + loops
+
+    def neighbors(self, node: Node) -> dict[Node, float]:
+        """Neighbor -> weight mapping (includes the node itself for loops)."""
+        if node not in self._adj:
+            raise GraphError(f"node not in graph: {node!r}")
+        return dict(self._adj[node])
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        """Weight of edge ``{u, v}``; 0.0 when absent."""
+        if u not in self._adj:
+            return 0.0
+        return self._adj[u].get(v, 0.0)
+
+    def degree(self, node: Node) -> float:
+        """Weighted degree; a self-loop contributes twice its weight."""
+        if node not in self._adj:
+            raise GraphError(f"node not in graph: {node!r}")
+        total = sum(self._adj[node].values())
+        loop = self._adj[node].get(node, 0.0)
+        return total + loop
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights, each undirected edge counted once."""
+        return self._total_weight
+
+    # -- derived graphs --------------------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
+        """Induced subgraph on *nodes* (missing nodes are ignored)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = WeightedGraph()
+        for node in keep:
+            sub.add_node(node)
+        for u in keep:
+            for v, weight in self._adj[u].items():
+                if v in keep and (u == v or not sub.has_edge(u, v)):
+                    sub.add_edge(u, v, weight)
+        return sub
+
+    def density(self) -> float:
+        """Edge density ``2|e| / (|v| (|v|-1))`` used as the ASH weight.
+
+        Matches Section III-C: the number of edges in the group over the
+        number of edges of the complete graph on the same vertices.
+        Self-loops are excluded.  A graph with fewer than two nodes has
+        density 0 (a single server cannot be "well connected").
+        """
+        n = len(self._adj)
+        if n < 2:
+            return 0.0
+        edges = sum(
+            1
+            for u, neighbors in self._adj.items()
+            for v in neighbors
+            if u != v
+        ) // 2
+        return 2.0 * edges / (n * (n - 1))

@@ -1,0 +1,18 @@
+"""Ground-truth substrate: signature IDS and online blacklists.
+
+These play the role of the paper's commercial IDS (two signature
+generations, 2012 and 2013) and the online blacklist ecosystem used in
+Section IV-B to verify SMASH's inferences.
+"""
+
+from repro.groundtruth.labels import Signature, ThreatLabel
+from repro.groundtruth.ids import SignatureIds
+from repro.groundtruth.blacklist import BlacklistAggregator, BlacklistService
+
+__all__ = [
+    "BlacklistAggregator",
+    "BlacklistService",
+    "Signature",
+    "SignatureIds",
+    "ThreatLabel",
+]

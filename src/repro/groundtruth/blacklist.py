@@ -1,0 +1,87 @@
+"""Online blacklist services and the paper's confirmation policy.
+
+Section IV-B checks inferred servers against several blacklists (Malware
+Domain Block List, Malware Domain List, Phishtank, SpyEye Tracker, ZeuS
+Tracker, VirusTotal, WOT) plus WhatIsMyIPAddress, an aggregator of 78
+blacklist feeds.  The confirmation rule is:
+
+* listed by **any** primary service  ->  confirmed malicious;
+* listed **only** by the aggregator  ->  needs at least **two** of the
+  aggregator's member feeds to agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BlacklistService:
+    """One blacklist feed: a name and a set of listed servers."""
+
+    name: str
+    listed: frozenset[str] = field(default_factory=frozenset)
+
+    def __contains__(self, server: str) -> bool:
+        return server in self.listed
+
+    @classmethod
+    def from_servers(cls, name: str, servers: Iterable[str]) -> "BlacklistService":
+        return cls(name=name, listed=frozenset(servers))
+
+
+class BlacklistAggregator:
+    """The combined blacklist ground truth with the paper's two-vote rule."""
+
+    def __init__(
+        self,
+        primary: Iterable[BlacklistService] = (),
+        aggregated_feeds: Iterable[BlacklistService] = (),
+        min_aggregated_votes: int = 2,
+    ) -> None:
+        self.primary: tuple[BlacklistService, ...] = tuple(primary)
+        self.aggregated_feeds: tuple[BlacklistService, ...] = tuple(aggregated_feeds)
+        if min_aggregated_votes < 1:
+            raise ValueError("min_aggregated_votes must be >= 1")
+        self.min_aggregated_votes = min_aggregated_votes
+
+    def vote_count(self, server: str) -> int:
+        """Number of aggregator member feeds listing *server*."""
+        return sum(1 for feed in self.aggregated_feeds if server in feed)
+
+    def listing_services(self, server: str) -> tuple[str, ...]:
+        """Names of all services (primary + feeds) listing *server*."""
+        names = [svc.name for svc in self.primary if server in svc]
+        names.extend(feed.name for feed in self.aggregated_feeds if server in feed)
+        return tuple(names)
+
+    def is_confirmed(self, server: str) -> bool:
+        """Apply the paper's confirmation policy to *server*."""
+        if any(server in svc for svc in self.primary):
+            return True
+        return self.vote_count(server) >= self.min_aggregated_votes
+
+    def confirmed_among(self, servers: Iterable[str]) -> frozenset[str]:
+        """Subset of *servers* confirmed malicious by this aggregator."""
+        return frozenset(s for s in servers if self.is_confirmed(s))
+
+    @classmethod
+    def from_mapping(
+        cls,
+        primary: Mapping[str, Iterable[str]],
+        aggregated: Mapping[str, Iterable[str]] | None = None,
+        min_aggregated_votes: int = 2,
+    ) -> "BlacklistAggregator":
+        """Build from ``{service name: [servers]}`` mappings."""
+        return cls(
+            primary=[
+                BlacklistService.from_servers(name, servers)
+                for name, servers in primary.items()
+            ],
+            aggregated_feeds=[
+                BlacklistService.from_servers(name, servers)
+                for name, servers in (aggregated or {}).items()
+            ],
+            min_aggregated_votes=min_aggregated_votes,
+        )

@@ -1,0 +1,86 @@
+"""A signature-based IDS over HTTP traces.
+
+Stands in for the paper's "well-known commercial IDS".  Two frozen
+signature generations model the paper's IDS2012 / IDS2013 split: running
+both over a trace yields the ground-truth sets used throughout Section V
+(servers labelled by 2012 signatures, and servers labelled only by the
+newer 2013 signatures — the "zero-day" evidence).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable
+
+from repro.groundtruth.labels import Signature, ThreatLabel
+from repro.httplog.trace import HttpTrace
+
+
+class SignatureIds:
+    """Match a signature set against a trace and label servers.
+
+    ``name`` identifies the signature generation (e.g. ``"ids2012"``).
+    """
+
+    def __init__(self, name: str, signatures: Iterable[Signature]) -> None:
+        self.name = name
+        self.signatures: tuple[Signature, ...] = tuple(signatures)
+        # Index exact-server signatures for the fast path.
+        self._by_server: dict[str, list[Signature]] = defaultdict(list)
+        self._patterns: list[Signature] = []
+        for signature in self.signatures:
+            if signature.server is not None:
+                self._by_server[signature.server].append(signature)
+            else:
+                self._patterns.append(signature)
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def label_servers(
+        self,
+        trace: HttpTrace,
+        server_name: Callable[[str], str] | None = None,
+    ) -> dict[str, frozenset[ThreatLabel]]:
+        """Return server -> set of threat labels triggered in *trace*.
+
+        ``server_name`` maps raw request hosts to the aggregated server
+        identity SMASH operates on (so that IDS hits and SMASH inferences
+        live in the same name space).  Servers with no hits are absent.
+        """
+        rename = server_name or (lambda host: host)
+        hits: dict[str, set[ThreatLabel]] = defaultdict(set)
+        for request in trace:
+            name = rename(request.host)
+            for signature in self._by_server.get(name, ()):
+                if signature.matches(request, server_name=name):
+                    hits[name].add(signature.label)
+            for signature in self._patterns:
+                if signature.matches(request, server_name=name):
+                    hits[name].add(signature.label)
+        return {server: frozenset(labels) for server, labels in hits.items()}
+
+    def detected_servers(
+        self,
+        trace: HttpTrace,
+        server_name: Callable[[str], str] | None = None,
+    ) -> frozenset[str]:
+        """Just the set of servers with at least one signature hit."""
+        return frozenset(self.label_servers(trace, server_name))
+
+    def threat_groups(
+        self,
+        trace: HttpTrace,
+        server_name: Callable[[str], str] | None = None,
+    ) -> dict[str, frozenset[str]]:
+        """Group detected servers by threat identifier.
+
+        This is the paper's ground-truth notion of a "malware campaign
+        according to the IDS": all servers carrying the same threat
+        identifier belong to one campaign (Section V-A2).
+        """
+        groups: dict[str, set[str]] = defaultdict(set)
+        for server, labels in self.label_servers(trace, server_name).items():
+            for label in labels:
+                groups[label.threat_id].add(server)
+        return {threat: frozenset(servers) for threat, servers in groups.items()}

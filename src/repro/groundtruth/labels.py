@@ -1,0 +1,83 @@
+"""Threat labels and IDS signatures.
+
+A :class:`Signature` matches HTTP requests on any combination of server
+name, URI file, User-Agent and query-parameter pattern — the fields a
+signature-based commercial IDS keys on.  Matching requests are labelled
+with the signature's :class:`ThreatLabel` (threat identifier), which the
+paper uses to group IDS detections into campaigns for the false-negative
+analysis (Section V-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.httplog.records import HttpRequest
+
+
+@dataclass(frozen=True, slots=True)
+class ThreatLabel:
+    """A named threat (e.g. ``Bagle``, ``Cycbot``) with a category.
+
+    ``category`` is one of the paper's Table-IV activity categories:
+    ``cnc``, ``web_exploit``, ``phishing``, ``drop_zone``, ``malicious``,
+    ``web_scanner``, ``iframe_injection``.
+    """
+
+    threat_id: str
+    category: str
+
+    def __post_init__(self) -> None:
+        if not self.threat_id:
+            raise ValueError("ThreatLabel.threat_id must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """A single IDS signature.
+
+    A request matches when **all** specified (non-None) criteria hold.
+    A signature with only a ``server`` pins a known-bad domain/IP; one
+    with ``uri_file`` + ``user_agent`` matches a protocol pattern on any
+    server (how real IDS rules catch C&C protocols on new domains).
+    """
+
+    label: ThreatLabel
+    server: str | None = None
+    uri_file: str | None = None
+    user_agent: str | None = None
+    parameter_names: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.server is None
+            and self.uri_file is None
+            and self.user_agent is None
+            and self.parameter_names is None
+        ):
+            raise ValueError("Signature must constrain at least one field")
+        if self.parameter_names is not None:
+            object.__setattr__(
+                self, "parameter_names", tuple(sorted(self.parameter_names))
+            )
+
+    def matches(self, request: HttpRequest, server_name: str | None = None) -> bool:
+        """True when *request* triggers this signature.
+
+        ``server_name`` is the (possibly aggregated) server identity to
+        compare against; defaults to the request's raw host.
+        """
+        if self.server is not None:
+            target = server_name if server_name is not None else request.host
+            if target != self.server:
+                return False
+        if self.uri_file is not None and request.uri_file != self.uri_file:
+            return False
+        if self.user_agent is not None and request.user_agent != self.user_agent:
+            return False
+        if (
+            self.parameter_names is not None
+            and request.parameter_names != self.parameter_names
+        ):
+            return False
+        return True

@@ -1,0 +1,16 @@
+"""HTTP-log substrate: request records, URI parsing, trace containers."""
+
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace, TraceStats
+from repro.httplog.uri import split_uri, uri_file
+from repro.httplog.loader import read_jsonl, write_jsonl
+
+__all__ = [
+    "HttpRequest",
+    "HttpTrace",
+    "TraceStats",
+    "read_jsonl",
+    "split_uri",
+    "uri_file",
+    "write_jsonl",
+]

@@ -1,0 +1,66 @@
+"""JSONL serialisation of HTTP traces.
+
+The ISP traces of the paper are PCAP; our substitute stores the extracted
+request tuples as one JSON object per line, which is what a production
+deployment's flow-collector would emit.  Round-tripping a trace through
+:func:`write_jsonl` / :func:`read_jsonl` is lossless.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+
+
+def _open_for_read(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def _open_for_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def write_jsonl(trace: HttpTrace, path: str | Path) -> int:
+    """Write *trace* to *path* (gzip when the name ends in ``.gz``).
+
+    Returns the number of records written.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open_for_write(target) as handle:
+        for request in trace:
+            handle.write(json.dumps(request.to_dict(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path, name: str | None = None) -> HttpTrace:
+    """Read a trace previously written by :func:`write_jsonl`.
+
+    Raises :class:`~repro.errors.TraceError` with the offending line number
+    on malformed input.
+    """
+    source = Path(path)
+    requests = []
+    with _open_for_read(source) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                requests.append(HttpRequest.from_dict(data))
+            except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+                raise TraceError(f"{source}:{lineno}: malformed record: {exc}") from exc
+    return HttpTrace(requests, name=name or source.stem)

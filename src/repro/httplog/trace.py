@@ -1,0 +1,225 @@
+"""Trace container with the per-server indices SMASH consumes.
+
+:class:`HttpTrace` wraps a list of :class:`~repro.httplog.records.HttpRequest`
+records and lazily builds the inverted indices used throughout the pipeline:
+clients per server, URI files per server, IP addresses per server, and the
+raw request lists.  All server keys are *post-aggregation* names only when
+the caller aggregated them; the trace itself is agnostic and indexes the
+``host`` field verbatim.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.httplog.records import HttpRequest
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """The Table-I statistics of a trace."""
+
+    num_clients: int
+    num_requests: int
+    num_servers: int
+    num_uri_files: int
+
+    def as_row(self) -> dict[str, int]:
+        return {
+            "# of clients": self.num_clients,
+            "# of HTTP requests": self.num_requests,
+            "# of Servers": self.num_servers,
+            "# of URI Files": self.num_uri_files,
+        }
+
+
+class HttpTrace:
+    """An immutable collection of HTTP requests with inverted indices.
+
+    The container is cheap to construct; indices are built on first use and
+    cached.  Traces compare equal when their request sequences are equal.
+    """
+
+    def __init__(self, requests: Iterable[HttpRequest], name: str = "trace") -> None:
+        self._requests: tuple[HttpRequest, ...] = tuple(requests)
+        self.name = name
+        for request in self._requests:
+            if not isinstance(request, HttpRequest):
+                raise TraceError(
+                    f"trace entries must be HttpRequest, got {type(request).__name__}"
+                )
+        self._clients_by_server: dict[str, frozenset[str]] | None = None
+        self._files_by_server: dict[str, frozenset[str]] | None = None
+        self._ips_by_server: dict[str, frozenset[str]] | None = None
+        self._requests_by_server: dict[str, tuple[HttpRequest, ...]] | None = None
+        self._servers_by_client: dict[str, frozenset[str]] | None = None
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[HttpRequest]:
+        return iter(self._requests)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HttpTrace):
+            return NotImplemented
+        return self._requests == other._requests
+
+    def __hash__(self) -> int:  # traces are hashable as value objects
+        return hash(self._requests)
+
+    def __repr__(self) -> str:
+        return f"HttpTrace(name={self.name!r}, requests={len(self._requests)})"
+
+    @property
+    def requests(self) -> tuple[HttpRequest, ...]:
+        return self._requests
+
+    # -- derived views ------------------------------------------------------------
+
+    def map_hosts(self, mapper: Callable[[str], str], name: str | None = None) -> "HttpTrace":
+        """Return a new trace with every host renamed through *mapper*.
+
+        Used by preprocessing to aggregate FQDNs to second-level domains.
+        The mapping is applied to ``host`` only; ``server_ip`` is preserved.
+        """
+        renamed = []
+        for request in self._requests:
+            new_host = mapper(request.host)
+            if new_host == request.host:
+                renamed.append(request)
+            else:
+                renamed.append(
+                    HttpRequest(
+                        timestamp=request.timestamp,
+                        client=request.client,
+                        host=new_host,
+                        server_ip=request.server_ip,
+                        uri=request.uri,
+                        user_agent=request.user_agent,
+                        referrer=request.referrer,
+                        status=request.status,
+                        method=request.method,
+                    )
+                )
+        return HttpTrace(renamed, name=name or self.name)
+
+    def filter_servers(self, keep: Callable[[str], bool], name: str | None = None) -> "HttpTrace":
+        """Return a new trace keeping only requests whose host passes *keep*."""
+        kept = [request for request in self._requests if keep(request.host)]
+        return HttpTrace(kept, name=name or self.name)
+
+    def restrict_to_servers(self, servers: Iterable[str]) -> "HttpTrace":
+        """Convenience wrapper over :meth:`filter_servers` for a fixed set."""
+        allowed = frozenset(servers)
+        return self.filter_servers(lambda host: host in allowed)
+
+    # -- inverted indices ---------------------------------------------------------
+
+    def _build_indices(self) -> None:
+        clients: dict[str, set[str]] = defaultdict(set)
+        files: dict[str, set[str]] = defaultdict(set)
+        ips: dict[str, set[str]] = defaultdict(set)
+        per_server: dict[str, list[HttpRequest]] = defaultdict(list)
+        servers_of: dict[str, set[str]] = defaultdict(set)
+        for request in self._requests:
+            clients[request.host].add(request.client)
+            files[request.host].add(request.uri_file)
+            ips[request.host].add(request.server_ip)
+            per_server[request.host].append(request)
+            servers_of[request.client].add(request.host)
+        self._clients_by_server = {s: frozenset(v) for s, v in clients.items()}
+        self._files_by_server = {s: frozenset(v) for s, v in files.items()}
+        self._ips_by_server = {s: frozenset(v) for s, v in ips.items()}
+        self._requests_by_server = {s: tuple(v) for s, v in per_server.items()}
+        self._servers_by_client = {c: frozenset(v) for c, v in servers_of.items()}
+
+    @property
+    def clients_by_server(self) -> dict[str, frozenset[str]]:
+        """Mapping server -> set of clients that contacted it."""
+        if self._clients_by_server is None:
+            self._build_indices()
+        assert self._clients_by_server is not None
+        return self._clients_by_server
+
+    @property
+    def files_by_server(self) -> dict[str, frozenset[str]]:
+        """Mapping server -> set of URI files requested from it."""
+        if self._files_by_server is None:
+            self._build_indices()
+        assert self._files_by_server is not None
+        return self._files_by_server
+
+    @property
+    def ips_by_server(self) -> dict[str, frozenset[str]]:
+        """Mapping server -> set of IP addresses it resolved to."""
+        if self._ips_by_server is None:
+            self._build_indices()
+        assert self._ips_by_server is not None
+        return self._ips_by_server
+
+    @property
+    def requests_by_server(self) -> dict[str, tuple[HttpRequest, ...]]:
+        """Mapping server -> all requests sent to it (trace order)."""
+        if self._requests_by_server is None:
+            self._build_indices()
+        assert self._requests_by_server is not None
+        return self._requests_by_server
+
+    @property
+    def servers_by_client(self) -> dict[str, frozenset[str]]:
+        """Mapping client -> set of servers it contacted."""
+        if self._servers_by_client is None:
+            self._build_indices()
+        assert self._servers_by_client is not None
+        return self._servers_by_client
+
+    @property
+    def servers(self) -> frozenset[str]:
+        return frozenset(self.clients_by_server)
+
+    @property
+    def clients(self) -> frozenset[str]:
+        return frozenset(self.servers_by_client)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stats(self) -> TraceStats:
+        """Compute the Table-I statistics for this trace.
+
+        "# of URI Files" counts distinct (server, URI file) pairs, matching
+        the paper's per-server file inventories.
+        """
+        uri_files = sum(len(files) for files in self.files_by_server.values())
+        return TraceStats(
+            num_clients=len(self.clients),
+            num_requests=len(self._requests),
+            num_servers=len(self.servers),
+            num_uri_files=uri_files,
+        )
+
+    def client_counts(self) -> dict[str, int]:
+        """Server -> number of distinct clients (the paper's IDF measure)."""
+        return {server: len(clients) for server, clients in self.clients_by_server.items()}
+
+    def time_window(self) -> tuple[float, float]:
+        """(min, max) request timestamp; raises on an empty trace."""
+        if not self._requests:
+            raise TraceError("time_window of empty trace")
+        stamps = [request.timestamp for request in self._requests]
+        return min(stamps), max(stamps)
+
+    # -- composition --------------------------------------------------------------
+
+    @classmethod
+    def concat(cls, traces: Sequence["HttpTrace"], name: str = "trace") -> "HttpTrace":
+        """Concatenate several traces into one (requests in argument order)."""
+        requests: list[HttpRequest] = []
+        for trace in traces:
+            requests.extend(trace.requests)
+        return cls(requests, name=name)

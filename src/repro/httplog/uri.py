@@ -1,0 +1,89 @@
+"""URI parsing helpers.
+
+The paper's URI-file dimension works on the **URI file**: "the substring of
+a URI starting from the last '/' until the end before the question mark,
+which usually is the file or script used for handling clients' requests"
+(Section III-B2).  Paths are deliberately ignored because, in attacking
+campaigns, the same vulnerable file sits under installation-specific paths
+(Table IX shows ``/images/sm3.php`` and ``/wp-content/uploads/sm3.php``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SplitUri:
+    """The three parts of a request URI that SMASH cares about."""
+
+    path: str
+    filename: str
+    query: str
+
+
+def split_uri(uri: str) -> SplitUri:
+    """Split *uri* into directory path, URI file, and query string.
+
+    >>> split_uri("/images/news.php?p=1&id=2")
+    SplitUri(path='/images/', filename='news.php', query='p=1&id=2')
+    >>> split_uri("/")
+    SplitUri(path='/', filename='', query='')
+    """
+    if not uri:
+        raise ValueError("empty URI")
+    # Strip any fragment first; rare in logs but cheap to handle.
+    base, _, _fragment = uri.partition("#")
+    before_query, _, query = base.partition("?")
+    slash = before_query.rfind("/")
+    if slash < 0:
+        # Malformed relative URI; treat the whole thing as the filename.
+        return SplitUri(path="", filename=before_query, query=query)
+    return SplitUri(
+        path=before_query[: slash + 1],
+        filename=before_query[slash + 1:],
+        query=query,
+    )
+
+
+def uri_file(uri: str) -> str:
+    """Return the paper's "URI file" for *uri*.
+
+    A request for a bare directory (``/`` or ``/images/``) has an empty
+    filename; the paper's Sality case study (Table VIII) shows ``/`` used
+    as the shared "filename" of C&C domains, so we map directory requests
+    to the literal ``"/"`` to keep them comparable.
+
+    >>> uri_file("/images/news.php?p=16435&id=21799517&e=0")
+    'news.php'
+    >>> uri_file("/")
+    '/'
+    """
+    parts = split_uri(uri)
+    if parts.filename:
+        return parts.filename
+    return "/"
+
+
+def query_parameter_names(uri: str) -> tuple[str, ...]:
+    """Sorted tuple of parameter names in the query string.
+
+    Used by the verification step (Section V-A2) that confirms "New
+    Servers" by matching parameter patterns against IDS-confirmed servers,
+    and by the parameter-pattern extension discussed in the paper's
+    false-negative analysis.
+
+    >>> query_parameter_names("/news.php?p=16435&id=21799517&e=0")
+    ('e', 'id', 'p')
+    """
+    parts = split_uri(uri)
+    if not parts.query:
+        return ()
+    names = []
+    for piece in parts.query.split("&"):
+        if not piece:
+            continue
+        name, _, _value = piece.partition("=")
+        if name:
+            names.append(name)
+    return tuple(sorted(set(names)))

@@ -1,0 +1,51 @@
+"""User-Agent helpers.
+
+SMASH's verification step (Section V-A2) confirms "New Servers" by
+comparing request patterns — User-Agent among them — against IDS-confirmed
+servers.  Malware frequently uses a fixed, unusual User-Agent across a
+campaign (the paper shows "Internet Exploder" for Bagle and
+"KUKU v5.05exp" for Sality), so exact UA matching is a strong signal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.httplog.records import HttpRequest
+
+#: User-Agent values so generic they carry no campaign signal.
+GENERIC_USER_AGENT_PREFIXES: tuple[str, ...] = (
+    "mozilla/5.0",
+    "mozilla/4.0 (compatible; msie",
+    "opera/",
+    "safari/",
+    "chrome/",
+)
+
+
+def is_generic_user_agent(user_agent: str) -> bool:
+    """True when *user_agent* looks like an ordinary browser string."""
+    lowered = user_agent.strip().lower()
+    if not lowered or lowered == "-":
+        # An absent UA is itself distinctive (Table IX's iframe campaign
+        # uses "-"), so it is NOT generic.
+        return False
+    return any(lowered.startswith(prefix) for prefix in GENERIC_USER_AGENT_PREFIXES)
+
+
+def dominant_user_agent(requests: Iterable[HttpRequest]) -> str | None:
+    """Most frequent User-Agent among *requests*; None for no requests."""
+    counts = Counter(request.user_agent for request in requests)
+    if not counts:
+        return None
+    return counts.most_common(1)[0][0]
+
+
+def user_agent_profile(requests: Iterable[HttpRequest]) -> frozenset[str]:
+    """The set of non-generic User-Agents seen in *requests*."""
+    return frozenset(
+        request.user_agent
+        for request in requests
+        if not is_generic_user_agent(request.user_agent)
+    )

@@ -1,0 +1,233 @@
+"""Benign web-browsing model.
+
+Residential clients browse a site population with Zipf-like popularity
+(a few very popular properties, a medium tier, and a long tail visited by
+one or two clients a day).  This reproduces the structural facts SMASH's
+preprocessing relies on:
+
+* popular sites are contacted by far more clients than the IDF threshold
+  and get filtered (Appendix A);
+* popular properties spread across many FQDNs (CDN subdomains) that
+  second-level aggregation collapses (Section III-A's 60% reduction);
+* benign servers expose many URI files and different users fetch
+  different pages (Section I's "diverse behaviour" insight);
+* long-tail servers visited by a single client end up inside that
+  client's single-client herd, the paper's main residual FP source
+  (Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.httplog.records import HttpRequest
+from repro.synth.namegen import benign_domain, benign_filename, ipv4, pseudo_word
+from repro.util.rng import child_rng
+from repro.whois.record import WhoisRecord
+
+#: Filenames present on a large share of benign servers; they carry no
+#: campaign signal (and the URI-file dimension ignores ubiquitous names).
+UBIQUITOUS_FILES: tuple[str, ...] = (
+    "index.html",
+    "style.css",
+    "main.js",
+    "logo.png",
+    "favicon.ico",
+)
+
+#: Popular DNS hosting providers; benign registrations share these name
+#: servers widely, which is exactly one Whois field and therefore not
+#: enough to associate servers (Section III-B2's two-field rule).
+_NS_POOLS: tuple[tuple[str, ...], ...] = (
+    ("ns1.bluewire-dns.com", "ns2.bluewire-dns.com"),
+    ("ns1.hostpanel.net", "ns2.hostpanel.net"),
+    ("dns1.registrar-park.com", "dns2.registrar-park.com"),
+    ("ns1.webfarm-dns.org", "ns2.webfarm-dns.org"),
+    ("ns1.cheapdns.biz", "ns2.cheapdns.biz"),
+)
+
+_PROXY_CONTACT = {
+    "registrant": "WhoisGuard Protected",
+    "address": "PO Box 0823-03411, Panama",
+    "email": "contact@whoisguard.example",
+    "phone": "+507.8365503",
+}
+
+
+@dataclass(frozen=True)
+class BenignSite:
+    """One benign web property."""
+
+    domain: str  # registrable (second-level) domain
+    hosts: tuple[str, ...]  # FQDNs actually appearing in requests
+    ips: tuple[str, ...]
+    files: tuple[str, ...]
+    weight: float  # relative popularity
+
+
+class BenignUniverse:
+    """The benign site population plus the per-client browsing sampler."""
+
+    def __init__(
+        self,
+        seed: int,
+        num_popular: int,
+        num_medium: int,
+        num_longtail: int,
+        zipf_alpha: float = 0.9,
+    ) -> None:
+        if num_popular < 0 or num_medium < 0 or num_longtail < 0:
+            raise ScenarioError("site counts must be non-negative")
+        if num_popular + num_medium + num_longtail == 0:
+            raise ScenarioError("benign universe must contain at least one site")
+        self.seed = seed
+        rng = child_rng(seed, "benign-sites")
+        self.sites: list[BenignSite] = []
+        used_domains: set[str] = set()
+
+        def fresh_domain(generator: np.random.Generator, suffix: str) -> str:
+            for _ in range(64):
+                candidate = benign_domain(generator, suffix=suffix)
+                if candidate not in used_domains:
+                    used_domains.add(candidate)
+                    return candidate
+            # Fall back to an indexed name; collisions are astronomically
+            # unlikely to exhaust this too.
+            fallback = f"{pseudo_word(generator)}{len(used_domains)}.{suffix}"
+            used_domains.add(fallback)
+            return fallback
+
+        total = num_popular + num_medium + num_longtail
+        rank = 0
+        for tier, count in (("popular", num_popular), ("medium", num_medium), ("longtail", num_longtail)):
+            for _ in range(count):
+                rank += 1
+                weight = 1.0 / (rank ** zipf_alpha)
+                suffix = str(rng.choice(["com", "com", "com", "net", "org", "it", "de", "co.uk"]))
+                domain = fresh_domain(rng, suffix)
+                if tier == "popular":
+                    subdomains = ["www"] + [
+                        f"{prefix}{i}"
+                        for i, prefix in enumerate(
+                            rng.choice(["img", "cdn", "static", "api", "m"], size=int(rng.integers(2, 7)))
+                        )
+                    ]
+                    hosts = tuple(f"{sub}.{domain}" for sub in subdomains)
+                    ips = tuple(ipv4(rng) for _ in range(len(hosts)))
+                    num_files = int(rng.integers(60, 200))
+                elif tier == "medium":
+                    hosts = (f"www.{domain}", domain)
+                    ips = (ipv4(rng),)
+                    num_files = int(rng.integers(15, 60))
+                else:
+                    hosts = (domain,)
+                    ips = (ipv4(rng),)
+                    num_files = int(rng.integers(4, 15))
+                files = tuple(
+                    dict.fromkeys(
+                        list(UBIQUITOUS_FILES)
+                        + [benign_filename(rng) for _ in range(num_files)]
+                    )
+                )
+                self.sites.append(
+                    BenignSite(domain=domain, hosts=hosts, ips=ips, files=files, weight=weight)
+                )
+        del total
+        weights = np.array([site.weight for site in self.sites])
+        self._probabilities = weights / weights.sum()
+
+    # -- Whois -------------------------------------------------------------------
+
+    def whois_records(self) -> list[WhoisRecord]:
+        """Independent registrations; ~30% through a privacy proxy."""
+        rng = child_rng(self.seed, "benign-whois")
+        records = []
+        for site in self.sites:
+            nameservers = _NS_POOLS[int(rng.integers(0, len(_NS_POOLS)))]
+            if rng.random() < 0.3:
+                records.append(
+                    WhoisRecord(
+                        domain=site.domain,
+                        registrant=_PROXY_CONTACT["registrant"],
+                        address=_PROXY_CONTACT["address"],
+                        email=_PROXY_CONTACT["email"],
+                        phone=_PROXY_CONTACT["phone"],
+                        name_servers=nameservers,
+                        registered_on=float(rng.integers(0, 3650)),
+                        is_proxy=True,
+                    )
+                )
+            else:
+                owner = pseudo_word(rng, 2, 3).title() + " " + pseudo_word(rng, 2, 3).title()
+                records.append(
+                    WhoisRecord(
+                        domain=site.domain,
+                        registrant=owner,
+                        address=f"{int(rng.integers(1, 999))} {pseudo_word(rng, 2, 3).title()} St",
+                        email=f"admin@{site.domain}",
+                        phone=f"+1.{int(rng.integers(2000000000, 9999999999))}",
+                        name_servers=nameservers,
+                        registered_on=float(rng.integers(0, 3650)),
+                    )
+                )
+        return records
+
+    # -- browsing ----------------------------------------------------------------
+
+    def browse_day(
+        self,
+        clients: list[str],
+        day: int,
+        sites_per_client_mean: float,
+        day_seconds: float = 86400.0,
+    ) -> list[HttpRequest]:
+        """Emit one day of benign browsing for *clients*.
+
+        Each client visits a lognormal number of distinct sites sampled by
+        popularity, requesting a handful of that site's files per visit.
+        """
+        rng = child_rng(self.seed, "browse", day)
+        requests: list[HttpRequest] = []
+        base_time = day * day_seconds
+        num_sites = len(self.sites)
+        for client in clients:
+            count = max(1, int(rng.lognormal(mean=np.log(sites_per_client_mean), sigma=0.6)))
+            count = min(count, num_sites)
+            indices = rng.choice(num_sites, size=count, replace=False, p=self._probabilities)
+            for site_index in indices:
+                site = self.sites[int(site_index)]
+                host = site.hosts[int(rng.integers(0, len(site.hosts)))]
+                ip = site.ips[int(rng.integers(0, len(site.ips)))]
+                visit_time = base_time + float(rng.uniform(0.0, day_seconds))
+                # A visit opens the landing page (plus, often, its shared
+                # assets) before any content page: the genuinely ubiquitous
+                # filenames are therefore observed on nearly every visited
+                # server, exactly the population the URI-file dimension's
+                # ubiquity filter is meant to discard.
+                fetches = [site.files[0]]
+                for asset in UBIQUITOUS_FILES[1:]:
+                    if rng.random() < 0.55:
+                        fetches.append(asset)
+                for _ in range(int(rng.integers(0, 4))):
+                    fetches.append(site.files[int(rng.integers(0, len(site.files)))])
+                for fetch, filename in enumerate(fetches):
+                    requests.append(
+                        HttpRequest(
+                            timestamp=visit_time + fetch * float(rng.uniform(0.2, 3.0)),
+                            client=client,
+                            host=host,
+                            server_ip=ip,
+                            uri=f"/{filename}",
+                            user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                            referrer="" if fetch == 0 else f"http://{host}/",
+                            status=200 if rng.random() > 0.02 else 404,
+                        )
+                    )
+        return requests
+
+    @property
+    def domains(self) -> frozenset[str]:
+        return frozenset(site.domain for site in self.sites)

@@ -1,0 +1,226 @@
+"""Campaign specifications for the synthetic-trace generator.
+
+A :class:`CampaignSpec` describes one malware campaign to plant in a trace:
+how many infected clients, and one or more **tiers** of servers
+(:class:`TierSpec`) — the paper's malicious-infrastructure roles
+(Section I: redirectors/exploit servers for distribution, C&C servers for
+control, payment/drop-zone servers for monetisation, each with backups).
+
+The Bagle case study (Table VII) is two tiers — 40 download servers
+serving ``file.txt`` and 54 C&C servers serving ``news.php`` — visited by
+the same bots; SMASH's campaign-inference step re-merges the tiers through
+the shared client set, which is exactly what these specs let us test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScenarioError
+
+#: Activity categories from Table IV.
+COMMUNICATION_CATEGORIES = frozenset(
+    {"cnc", "web_exploit", "phishing", "drop_zone", "malicious"}
+)
+ATTACKING_CATEGORIES = frozenset({"web_scanner", "iframe_injection"})
+ALL_CATEGORIES = COMMUNICATION_CATEGORIES | ATTACKING_CATEGORIES
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One server tier of a campaign.
+
+    Attributes
+    ----------
+    role:
+        Free-form tier name (``"cnc"``, ``"download"``, ``"victims"``, ...).
+    num_servers:
+        Number of servers in the tier.
+    uri_files:
+        The shared URI files requested from every tier server.  Ignored
+        when :attr:`obfuscated_filenames` is set.
+    obfuscated_filenames:
+        Give each server its own long obfuscated filename from one
+        charset family (Figure 4) instead of literal shared names.
+    share_ips / num_ips:
+        When set, tier servers resolve into a small shared IP pool
+        (domain fluxing); otherwise each server gets a fresh IP.
+    share_whois:
+        Register all tier domains with the same registrant block
+        (Figure 5); otherwise registrations are independent.
+    whois_proxy:
+        Register through a privacy proxy (contact fields carry the proxy's
+        identity and are ignored by the Whois dimension).
+    dga_domains / dga_template / domain_suffix:
+        Domain-name style for the tier.  With a template, siblings differ
+        only in digits (Zeus, Table X).
+    user_agent:
+        The campaign protocol's User-Agent (e.g. ``"KUKU v5.05exp"``).
+    parameter_names:
+        Query-parameter names of the campaign protocol
+        (e.g. ``("p", "id", "e")`` for Bagle).
+    requests_per_client:
+        How many requests each involved client sends to each tier server.
+    compromised_benign:
+        The tier's servers are *benign* sites being attacked or abused
+        (scanning victims, compromised download hosts): they get benign
+        names, independent Whois and IPs, and attract a little background
+        traffic from uninfected clients.
+    contact_fraction:
+        Fraction of the campaign's clients contacting each tier server
+        (1.0 = every bot contacts every server; lower values model
+        assignment of bots to server subsets).
+    """
+
+    role: str
+    num_servers: int
+    uri_files: tuple[str, ...] = ()
+    obfuscated_filenames: bool = False
+    share_ips: bool = False
+    num_ips: int = 1
+    share_whois: bool = False
+    whois_proxy: bool = False
+    dga_domains: bool = False
+    dga_template: str | None = None
+    domain_suffix: str = "com"
+    user_agent: str = "Mozilla/4.0 (compatible; MSIE 6.0)"
+    parameter_names: tuple[str, ...] = ()
+    requests_per_client: int = 2
+    compromised_benign: bool = False
+    contact_fraction: float = 1.0
+    uri_path: str = "/images/"
+    #: Give every tier server its own unique short filename.  Models the
+    #: paper's false-negative campaigns (Cycbot, Fake AV, Tidserv) that
+    #: "do not share any secondary dimension" but keep a common parameter
+    #: pattern (Section V-A2).
+    distinct_files: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ScenarioError(f"tier {self.role!r}: num_servers must be >= 1")
+        if not self.uri_files and not self.obfuscated_filenames and not self.distinct_files:
+            raise ScenarioError(
+                f"tier {self.role!r}: need uri_files, obfuscated_filenames, "
+                "or distinct_files"
+            )
+        if self.share_ips and self.num_ips < 1:
+            raise ScenarioError(f"tier {self.role!r}: num_ips must be >= 1")
+        if not 0.0 < self.contact_fraction <= 1.0:
+            raise ScenarioError(
+                f"tier {self.role!r}: contact_fraction must be in (0, 1]"
+            )
+        if self.requests_per_client < 1:
+            raise ScenarioError(
+                f"tier {self.role!r}: requests_per_client must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full campaign to plant.
+
+    Ground-truth coverage knobs model what the paper's verification
+    sources know about the campaign:
+
+    * ``ids2012_fraction`` — fraction of servers with 2012 IDS signatures;
+    * ``ids2013_fraction`` — fraction covered by the *newer* 2013 set
+      (must be >= the 2012 fraction; the 2013 set extends the 2012 one);
+    * ``ids_protocol_signature`` — the 2012 IDS additionally carries a
+      server-agnostic protocol signature (UA + URI file) for this
+      campaign, so it catches the protocol on any server;
+    * ``blacklist_fraction`` — fraction of servers on online blacklists.
+
+    ``dead_fraction`` controls how many campaign domains have already
+    disappeared when the analyst verifies them ("suspicious" evidence).
+    """
+
+    name: str
+    category: str
+    num_clients: int
+    tiers: tuple[TierSpec, ...]
+    ids2012_fraction: float = 0.0
+    ids2013_fraction: float = 0.0
+    blacklist_fraction: float = 0.0
+    ids_protocol_signature: bool = False
+    dead_fraction: float = 0.5
+    active_days: tuple[int, ...] = (0,)
+    agile: bool = False  # re-generate servers every active day (same clients)
+    benign_browsing: bool = True  # infected clients also browse normally
+
+    def __post_init__(self) -> None:
+        if self.category not in ALL_CATEGORIES:
+            raise ScenarioError(
+                f"campaign {self.name!r}: unknown category {self.category!r}"
+            )
+        if self.num_clients < 1:
+            raise ScenarioError(f"campaign {self.name!r}: num_clients must be >= 1")
+        if not self.tiers:
+            raise ScenarioError(f"campaign {self.name!r}: at least one tier required")
+        for fraction_name in ("ids2012_fraction", "ids2013_fraction", "blacklist_fraction", "dead_fraction"):
+            value = getattr(self, fraction_name)
+            if not 0.0 <= value <= 1.0:
+                raise ScenarioError(
+                    f"campaign {self.name!r}: {fraction_name} must be in [0, 1]"
+                )
+        if self.ids2013_fraction < self.ids2012_fraction:
+            raise ScenarioError(
+                f"campaign {self.name!r}: the 2013 signature set extends the "
+                "2012 set, so ids2013_fraction must be >= ids2012_fraction"
+            )
+        if not self.active_days:
+            raise ScenarioError(f"campaign {self.name!r}: active_days must be non-empty")
+
+    @property
+    def activity(self) -> str:
+        """``"attacking"`` or ``"communication"`` (Section I's split)."""
+        return "attacking" if self.category in ATTACKING_CATEGORIES else "communication"
+
+    @property
+    def total_servers(self) -> int:
+        return sum(tier.num_servers for tier in self.tiers)
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Benign-but-herd-like traffic that stresses SMASH's false positives.
+
+    The paper's two FP categories (Section V-A1) are Torrent trackers
+    (many servers sharing ``scrape.php`` and sometimes IPs) and
+    TeamViewer-style server pools sharing one path.  Referrer groups and
+    redirection chains (Section III-D) are the pruning stage's targets.
+    """
+
+    torrent_clients: int = 0
+    torrent_trackers: int = 0
+    collaboration_pools: int = 0  # TeamViewer-like pools
+    collaboration_pool_size: int = 0
+    collaboration_clients: int = 0
+    referrer_groups: int = 0
+    referrer_group_size: int = 6
+    redirect_chains: int = 0
+    redirect_chain_length: int = 3
+    adult_groups: int = 0
+    adult_group_size: int = 5
+    shared_hosting_groups: int = 0
+    shared_hosting_group_size: int = 6
+
+    field_names = (
+        "torrent_clients",
+        "torrent_trackers",
+        "collaboration_pools",
+        "collaboration_pool_size",
+        "collaboration_clients",
+        "referrer_groups",
+        "referrer_group_size",
+        "redirect_chains",
+        "redirect_chain_length",
+        "adult_groups",
+        "adult_group_size",
+        "shared_hosting_groups",
+        "shared_hosting_group_size",
+    )
+
+    def __post_init__(self) -> None:
+        for field_name in self.field_names:
+            if getattr(self, field_name) < 0:
+                raise ScenarioError(f"{field_name} must be >= 0")

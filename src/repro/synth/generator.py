@@ -1,0 +1,193 @@
+"""Assemble complete synthetic datasets.
+
+:class:`TraceGenerator` combines the benign universe, planted campaigns
+and noise herds into per-day :class:`SyntheticDataset` objects.  All
+randomness is derived from the scenario seed with stable key paths, so:
+
+* the benign site population is identical across the days of a week;
+* persistent campaigns keep their servers across days, agile campaigns
+  rotate them (Section V-B's persistent-vs-agile analysis);
+* regenerating a scenario from the same spec is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScenarioError
+from repro.groundtruth.blacklist import BlacklistAggregator, BlacklistService
+from repro.groundtruth.ids import SignatureIds
+from repro.httplog.trace import HttpTrace
+from repro.synth.benign import BenignUniverse
+from repro.synth.malicious import plant_campaign
+from repro.synth.noise import build_noise
+from repro.synth.oracles import HostLiveness, RedirectOracle
+from repro.synth.scenario_spec import ScenarioSpec
+from repro.synth.truth import GroundTruth
+from repro.util.rng import child_rng
+from repro.whois.registry import WhoisRegistry
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """One day of synthetic ISP traffic plus all evaluation artefacts."""
+
+    name: str
+    day: int
+    trace: HttpTrace
+    whois: WhoisRegistry
+    ids2012: SignatureIds
+    ids2013: SignatureIds
+    blacklists: BlacklistAggregator
+    redirects: RedirectOracle
+    liveness: HostLiveness
+    truth: GroundTruth
+
+
+class TraceGenerator:
+    """Build :class:`SyntheticDataset` objects from a :class:`ScenarioSpec`."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self.universe = BenignUniverse(
+            seed=spec.seed,
+            num_popular=spec.num_popular_sites,
+            num_medium=spec.num_medium_sites,
+            num_longtail=spec.num_longtail_sites,
+            zipf_alpha=spec.zipf_alpha,
+        )
+        self.clients = [f"c{index:05d}" for index in range(spec.num_clients)]
+        self._assign_clients()
+
+    def _assign_clients(self) -> None:
+        """Reserve disjoint client subsets for campaigns and noise herds."""
+        rng = child_rng(self.spec.seed, "client-assignment")
+        order = list(self.clients)
+        rng.shuffle(order)
+        cursor = 0
+
+        def take(count: int, purpose: str) -> list[str]:
+            nonlocal cursor
+            if cursor + count > len(order):
+                raise ScenarioError(
+                    f"not enough clients: need {count} more for {purpose}, "
+                    f"only {len(order) - cursor} unassigned remain"
+                )
+            chunk = order[cursor: cursor + count]
+            cursor += count
+            return chunk
+
+        self.campaign_clients: dict[str, list[str]] = {}
+        for campaign in self.spec.campaigns:
+            self.campaign_clients[campaign.name] = take(
+                campaign.num_clients, f"campaign {campaign.name!r}"
+            )
+        self.torrent_clients = take(self.spec.noise.torrent_clients, "torrent noise")
+        self.collaboration_clients = take(
+            self.spec.noise.collaboration_clients, "collaboration noise"
+        )
+        self.plain_clients = order[cursor:]
+
+    # ------------------------------------------------------------------------------
+
+    def generate_day(self, day: int = 0) -> SyntheticDataset:
+        """Generate the dataset for *day* (0-based)."""
+        if not 0 <= day < self.spec.days:
+            raise ScenarioError(
+                f"day {day} outside scenario range [0, {self.spec.days})"
+            )
+        spec = self.spec
+
+        traces = [
+            HttpTrace(
+                self.universe.browse_day(
+                    self.clients, day=day, sites_per_client_mean=spec.sites_per_client_mean
+                ),
+                name="benign",
+            )
+        ]
+        whois = WhoisRegistry(self.universe.whois_records())
+        redirects = RedirectOracle()
+        liveness = HostLiveness()
+        campaigns = []
+        signatures_2012 = []
+        signatures_2013 = []
+        blacklist_primary: dict[str, set[str]] = {}
+        blacklist_feeds: dict[str, set[str]] = {}
+
+        # Background visitors of compromised-benign servers come from the
+        # whole uninfected population: any two victims sharing the same
+        # accidental visitor twice would otherwise grow artificial
+        # sub-structure inside the victim herd.
+        background = self.plain_clients
+        for campaign in spec.campaigns:
+            if day not in campaign.active_days:
+                continue
+            planted = plant_campaign(
+                campaign,
+                clients=self.campaign_clients[campaign.name],
+                seed=spec.seed,
+                day=day,
+                background_clients=background,
+            )
+            traces.append(HttpTrace(planted.requests, name=campaign.name))
+            for record in planted.whois_records:
+                whois.add(record)
+            signatures_2012.extend(planted.signatures_2012)
+            signatures_2013.extend(planted.signatures_2013)
+            for service, servers in planted.blacklist_primary.items():
+                blacklist_primary.setdefault(service, set()).update(servers)
+            for feed, servers in planted.blacklist_feeds.items():
+                blacklist_feeds.setdefault(feed, set()).update(servers)
+            for server in planted.dead_servers:
+                liveness.mark_dead(server)
+            assert planted.planted is not None
+            campaigns.append(planted.planted)
+
+        noise = build_noise(
+            spec.noise,
+            torrent_clients=self.torrent_clients,
+            collaboration_clients=self.collaboration_clients,
+            browsing_clients=self.plain_clients or self.clients,
+            seed=spec.seed,
+            day=day,
+        )
+        traces.append(HttpTrace(noise.requests, name="noise"))
+        for record in noise.whois_records:
+            whois.add(record)
+        for chain in noise.redirect_chains:
+            redirects.add_chain(chain)
+
+        trace = HttpTrace.concat(traces, name=f"{spec.name}-day{day}")
+        truth = GroundTruth(
+            campaigns=tuple(campaigns),
+            benign_servers=self.universe.domains | frozenset(noise.category_of),
+            noise_category=dict(noise.category_of),
+        )
+        blacklists = BlacklistAggregator(
+            primary=[
+                BlacklistService.from_servers(name, servers)
+                for name, servers in sorted(blacklist_primary.items())
+            ],
+            aggregated_feeds=[
+                BlacklistService.from_servers(name, servers)
+                for name, servers in sorted(blacklist_feeds.items())
+            ],
+        )
+        return SyntheticDataset(
+            name=f"{spec.name}-day{day}",
+            day=day,
+            trace=trace,
+            whois=whois,
+            ids2012=SignatureIds("ids2012", signatures_2012),
+            ids2013=SignatureIds("ids2013", signatures_2013),
+            blacklists=blacklists,
+            redirects=redirects,
+            liveness=liveness,
+            truth=truth,
+        )
+
+    def generate_week(self) -> list[SyntheticDataset]:
+        """Generate all days of the scenario."""
+        return [self.generate_day(day) for day in range(self.spec.days)]

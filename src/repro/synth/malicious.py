@@ -1,0 +1,346 @@
+"""Materialise malware campaigns into trace records and ground truth.
+
+Planting a :class:`~repro.synth.campaigns.CampaignSpec` produces:
+
+* HTTP requests from the campaign's infected clients to each tier server,
+  with the campaign protocol's URI file, User-Agent and parameter pattern;
+* Whois registrations for the tier domains (shared registrant block when
+  the spec says so — Figure 5);
+* IDS signatures for the 2012 and 2013 generations covering the spec'd
+  server fractions, plus an optional server-agnostic protocol signature;
+* blacklist listings covering the spec'd fraction;
+* dead-domain marks for verification-time liveness probing;
+* a :class:`~repro.synth.truth.PlantedCampaign` describing what went in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.groundtruth.labels import Signature, ThreatLabel
+from repro.httplog.records import HttpRequest
+from repro.synth.campaigns import CampaignSpec, TierSpec
+from repro.synth.namegen import (
+    benign_domain,
+    benign_filename,
+    dga_domain,
+    ipv4,
+    obfuscated_filename_family,
+    pseudo_word,
+)
+from repro.synth.truth import PlantedCampaign
+from repro.util.rng import child_rng
+from repro.whois.record import WhoisRecord
+
+
+@dataclass
+class PlantResult:
+    """Everything one campaign contributes to a day's dataset."""
+
+    requests: list[HttpRequest] = field(default_factory=list)
+    whois_records: list[WhoisRecord] = field(default_factory=list)
+    signatures_2012: list[Signature] = field(default_factory=list)
+    signatures_2013: list[Signature] = field(default_factory=list)
+    blacklist_primary: dict[str, list[str]] = field(default_factory=dict)
+    blacklist_feeds: dict[str, list[str]] = field(default_factory=dict)
+    dead_servers: list[str] = field(default_factory=list)
+    planted: PlantedCampaign | None = None
+
+
+@dataclass(frozen=True)
+class _MaterializedTier:
+    spec: TierSpec
+    servers: tuple[str, ...]  # second-level domains (the SMASH name space)
+    ips_of: dict[str, tuple[str, ...]]
+    file_of: dict[str, str]  # the campaign URI file each server answers
+
+
+_PRIMARY_BLACKLISTS = (
+    "malware-domain-blocklist",
+    "malware-domain-list",
+    "phishtank",
+    "spyeye-tracker",
+    "zeus-tracker",
+    "virustotal",
+)
+
+_AGGREGATED_FEEDS = tuple(f"feed-{index:02d}" for index in range(12))
+
+
+def _materialize_tier(
+    spec: TierSpec,
+    rng: np.random.Generator,
+    used_domains: set[str],
+) -> _MaterializedTier:
+    """Pick domains, IPs and per-server URI files for one tier."""
+    servers: list[str] = []
+    for _ in range(spec.num_servers):
+        for _attempt in range(64):
+            if spec.compromised_benign:
+                candidate = benign_domain(rng, suffix=str(rng.choice(["com", "org", "it", "nl", "co.uk", "sk"])))
+            elif spec.dga_domains:
+                candidate = dga_domain(rng, suffix=spec.domain_suffix, template=spec.dga_template)
+            else:
+                candidate = benign_domain(rng, suffix=spec.domain_suffix)
+            if candidate not in used_domains:
+                used_domains.add(candidate)
+                servers.append(candidate)
+                break
+        else:
+            fallback = f"{pseudo_word(rng)}{len(used_domains)}.{spec.domain_suffix}"
+            used_domains.add(fallback)
+            servers.append(fallback)
+
+    ips_of: dict[str, tuple[str, ...]] = {}
+    if spec.share_ips and not spec.compromised_benign:
+        pool = tuple(ipv4(rng) for _ in range(spec.num_ips))
+        for server in servers:
+            ips_of[server] = pool
+    else:
+        for server in servers:
+            ips_of[server] = (ipv4(rng),)
+
+    file_of: dict[str, str] = {}
+    if spec.obfuscated_filenames:
+        # Obfuscated names in the wild span a wide length range; the
+        # paper's Figure 10 tail reaches 211 characters.
+        length = int(rng.choice([36, 48, 64, 120, 200]))
+        family = obfuscated_filename_family(rng, count=len(servers), length=length)
+        for server, filename in zip(servers, family):
+            file_of[server] = filename
+    elif spec.distinct_files:
+        for index, server in enumerate(servers):
+            file_of[server] = f"{pseudo_word(rng, 2, 3)}{index}.php"
+    else:
+        for server in servers:
+            file_of[server] = str(rng.choice(list(spec.uri_files)))
+    return _MaterializedTier(spec=spec, servers=tuple(servers), ips_of=ips_of, file_of=file_of)
+
+
+def _tier_whois(
+    tier: _MaterializedTier,
+    rng: np.random.Generator,
+) -> list[WhoisRecord]:
+    spec = tier.spec
+    records = []
+    if spec.share_whois and not spec.compromised_benign:
+        shared_registrant = pseudo_word(rng, 2, 3).title() + " " + pseudo_word(rng, 2, 3).title()
+        shared_address = f"{int(rng.integers(1, 99))} {pseudo_word(rng, 2, 3).title()} Ave, {pseudo_word(rng, 2, 2).title()}"
+        shared_phone = f"+7.{int(rng.integers(4000000000, 4999999999))}"
+        shared_email = f"{pseudo_word(rng, 2, 2)}@{pseudo_word(rng, 2, 2)}mail.example"
+        shared_ns = (f"ns1.{pseudo_word(rng, 2, 3)}.su", f"ns2.{pseudo_word(rng, 2, 3)}.su")
+        registered = float(rng.integers(3600, 3650))  # freshly registered
+        for server in tier.servers:
+            # Mirror Figure 5: the registrant *name* sometimes differs while
+            # address/phone/name-servers stay identical.
+            registrant = (
+                shared_registrant
+                if rng.random() < 0.7
+                else pseudo_word(rng, 2, 3).title() + " " + pseudo_word(rng, 2, 3).title()
+            )
+            records.append(
+                WhoisRecord(
+                    domain=server,
+                    registrant=registrant,
+                    address=shared_address,
+                    email=shared_email,
+                    phone=shared_phone,
+                    name_servers=shared_ns,
+                    registered_on=registered + float(rng.uniform(0.0, 5.0)),
+                )
+            )
+    else:
+        for server in tier.servers:
+            owner = pseudo_word(rng, 2, 3).title() + " " + pseudo_word(rng, 2, 3).title()
+            records.append(
+                WhoisRecord(
+                    domain=server,
+                    registrant=owner,
+                    address=f"{int(rng.integers(1, 999))} {pseudo_word(rng, 2, 3).title()} St",
+                    email=f"admin@{server}",
+                    phone=f"+1.{int(rng.integers(2000000000, 9999999999))}",
+                    name_servers=(f"ns1.{pseudo_word(rng, 2, 2)}dns.com", f"ns2.{pseudo_word(rng, 2, 2)}dns.com"),
+                    registered_on=float(rng.integers(0, 3600)),
+                )
+            )
+    return records
+
+
+def _campaign_uri(tier: TierSpec, filename: str, rng: np.random.Generator) -> str:
+    """Build the request URI for one tier request."""
+    if filename == "/":
+        path = "/"
+    else:
+        # Victims of attacking campaigns host the target file under
+        # installation-specific paths (Table IX); dedicated malicious
+        # servers use the tier's fixed path.
+        if tier.compromised_benign and rng.random() < 0.5:
+            directory = str(rng.choice(["/wp-content/uploads/", "/images/", "/uploads/", "/tmp/", "/admin/"]))
+        else:
+            directory = tier.uri_path
+        path = directory + filename
+    if tier.parameter_names:
+        rendered = "&".join(
+            f"{name}={int(rng.integers(0, 99999999))}" for name in tier.parameter_names
+        )
+        return f"{path}?{rendered}"
+    return path
+
+
+def plant_campaign(
+    spec: CampaignSpec,
+    clients: list[str],
+    seed: int,
+    day: int,
+    background_clients: list[str] | None = None,
+    day_seconds: float = 86400.0,
+) -> PlantResult:
+    """Materialise *spec* for one active day.
+
+    ``clients`` are the campaign's infected/attacking clients (already
+    drawn from the client population by the caller).  ``background_clients``
+    is a sample of uninfected clients used to give compromised-benign tier
+    servers a trickle of legitimate traffic.
+
+    Server materialisation is keyed by ``(seed, spec.name)`` for persistent
+    campaigns and ``(seed, spec.name, day)`` for agile ones, so a
+    persistent campaign keeps identical servers across a week of traces
+    while an agile campaign rotates them (Section V-B).
+    """
+    if len(clients) != spec.num_clients:
+        raise ValueError(
+            f"campaign {spec.name!r} expects {spec.num_clients} clients, got {len(clients)}"
+        )
+    if spec.agile:
+        server_rng = child_rng(seed, "campaign-servers", spec.name, day)
+    else:
+        server_rng = child_rng(seed, "campaign-servers", spec.name)
+    traffic_rng = child_rng(seed, "campaign-traffic", spec.name, day)
+
+    result = PlantResult()
+    used: set[str] = set()
+    tiers = [_materialize_tier(tier, server_rng, used) for tier in spec.tiers]
+
+    label = ThreatLabel(threat_id=spec.name, category=spec.category)
+    tier_of_server: dict[str, str] = {}
+    all_servers: list[str] = []
+    for tier in tiers:
+        result.whois_records.extend(_tier_whois(tier, server_rng))
+        for server in tier.servers:
+            tier_of_server[server] = tier.spec.role
+            all_servers.append(server)
+
+    # --- traffic -------------------------------------------------------------
+    base_time = day * day_seconds
+    for tier in tiers:
+        for server in tier.servers:
+            contacting = [
+                client
+                for client in clients
+                if len(clients) == 1 or traffic_rng.random() < tier.spec.contact_fraction
+            ]
+            if not contacting:
+                contacting = [clients[int(traffic_rng.integers(0, len(clients)))]]
+            ips = tier.ips_of[server]
+            filename = tier.file_of[server]
+            uri = _campaign_uri(tier.spec, filename, traffic_rng)
+            for client in contacting:
+                for _ in range(tier.spec.requests_per_client):
+                    # Compromised-benign servers answer 200: the targeted
+                    # file exists there (that is what makes them part of
+                    # the campaign).  Dedicated malicious servers are
+                    # flakier (overloaded/migrating infrastructure).
+                    if tier.spec.compromised_benign:
+                        status = 200
+                    else:
+                        status = 200 if traffic_rng.random() > 0.1 else 404
+                    result.requests.append(
+                        HttpRequest(
+                            timestamp=base_time + float(traffic_rng.uniform(0.0, day_seconds)),
+                            client=client,
+                            host=server,
+                            server_ip=str(ips[int(traffic_rng.integers(0, len(ips)))]),
+                            uri=uri,
+                            user_agent=tier.spec.user_agent,
+                            referrer="",
+                            status=status,
+                        )
+                    )
+            # Background benign traffic for compromised-benign servers.
+            if tier.spec.compromised_benign and background_clients:
+                for _ in range(int(traffic_rng.integers(0, 3))):
+                    visitor = background_clients[
+                        int(traffic_rng.integers(0, len(background_clients)))
+                    ]
+                    result.requests.append(
+                        HttpRequest(
+                            timestamp=base_time + float(traffic_rng.uniform(0.0, day_seconds)),
+                            client=visitor,
+                            host=server,
+                            server_ip=str(ips[0]),
+                            uri=f"/{benign_filename(traffic_rng)}",
+                            user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                            status=200,
+                        )
+                    )
+
+    # --- ground truth wiring ---------------------------------------------------
+    truth_rng = child_rng(seed, "campaign-truth", spec.name)
+    shuffled = list(all_servers)
+    truth_rng.shuffle(shuffled)
+    count_2012 = int(round(spec.ids2012_fraction * len(shuffled)))
+    count_2013 = int(round(spec.ids2013_fraction * len(shuffled)))
+    for server in shuffled[:count_2012]:
+        result.signatures_2012.append(Signature(label=label, server=server))
+    for server in shuffled[:count_2013]:
+        result.signatures_2013.append(Signature(label=label, server=server))
+    if spec.ids_protocol_signature:
+        # A protocol signature keys on the campaign's UA + URI file, so the
+        # IDS catches the protocol on servers it has never seen.
+        protocol_tier = tiers[0]
+        protocol_file = protocol_tier.file_of[protocol_tier.servers[0]]
+        protocol = Signature(
+            label=label,
+            uri_file=protocol_file,
+            user_agent=protocol_tier.spec.user_agent,
+        )
+        result.signatures_2012.append(protocol)
+        result.signatures_2013.append(protocol)
+
+    truth_rng.shuffle(shuffled)
+    count_blacklist = int(round(spec.blacklist_fraction * len(shuffled)))
+    for server in shuffled[:count_blacklist]:
+        if truth_rng.random() < 0.7:
+            service = str(truth_rng.choice(list(_PRIMARY_BLACKLISTS)))
+            result.blacklist_primary.setdefault(service, []).append(server)
+        else:
+            feeds = truth_rng.choice(len(_AGGREGATED_FEEDS), size=2, replace=False)
+            for feed_index in feeds:
+                result.blacklist_feeds.setdefault(
+                    _AGGREGATED_FEEDS[int(feed_index)], []
+                ).append(server)
+    # A few servers land on exactly one aggregated feed — not enough for
+    # confirmation under the paper's two-vote rule.
+    for server in shuffled[count_blacklist: count_blacklist + max(0, len(shuffled) // 10)]:
+        feed = _AGGREGATED_FEEDS[int(truth_rng.integers(0, len(_AGGREGATED_FEEDS)))]
+        result.blacklist_feeds.setdefault(feed, []).append(server)
+
+    for server in all_servers:
+        is_victim = tier_of_server[server] in {
+            tier.spec.role for tier in tiers if tier.spec.compromised_benign
+        }
+        if not is_victim and truth_rng.random() < spec.dead_fraction:
+            result.dead_servers.append(server)
+
+    result.planted = PlantedCampaign(
+        name=spec.name,
+        category=spec.category,
+        activity=spec.activity,
+        servers=frozenset(all_servers),
+        clients=frozenset(clients),
+        tier_of_server=tier_of_server,
+        day=day,
+    )
+    return result

@@ -1,0 +1,275 @@
+"""Benign herd-like traffic: the false-positive stress cases.
+
+Four benign phenomena in the paper look like herds along one or more
+dimensions and exercise SMASH's correlation, pruning and FP accounting:
+
+* **Torrent trackers** — P2P clients request ``scrape.php`` from many
+  trackers, sharing a URI file and sometimes IP addresses (the paper's
+  first FP category, Section V-A1);
+* **Collaboration pools** (TeamViewer-like) — a large server pool whose
+  clients all request the same path (second FP category);
+* **Referrer groups** — third-party servers embedded by one landing page,
+  hence visited by the landing page's clients (pruned, Section III-D);
+* **Redirection chains** — shorteners/trackers sharing clients and IPs
+  (pruned via the redirect oracle);
+* **Adult content herds** — sites visited by the same clients with no
+  secondary-dimension coherence (the 8% "similar content" bucket of the
+  main-dimension taxonomy, Section V-C1);
+* **Shared hosting** — unrelated benign domains on one IP address
+  (secondary-dimension confounder with no client coherence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.httplog.records import HttpRequest
+from repro.synth.campaigns import NoiseSpec
+from repro.synth.namegen import benign_domain, benign_filename, ipv4, pseudo_word
+from repro.synth.oracles import RedirectOracle
+from repro.util.rng import child_rng
+from repro.whois.record import WhoisRecord
+
+
+@dataclass
+class NoiseResult:
+    """Everything the noise generator contributes to a day's dataset."""
+
+    requests: list[HttpRequest] = field(default_factory=list)
+    whois_records: list[WhoisRecord] = field(default_factory=list)
+    redirect_chains: list[list[str]] = field(default_factory=list)
+    #: server -> noise category ("torrent", "collaboration", "adult",
+    #: "referrer", "redirect", "shared_hosting")
+    category_of: dict[str, str] = field(default_factory=dict)
+
+
+def _independent_whois(domain: str, rng: np.random.Generator) -> WhoisRecord:
+    owner = pseudo_word(rng, 2, 3).title() + " " + pseudo_word(rng, 2, 3).title()
+    return WhoisRecord(
+        domain=domain,
+        registrant=owner,
+        address=f"{int(rng.integers(1, 999))} {pseudo_word(rng, 2, 3).title()} Rd",
+        email=f"admin@{domain}",
+        phone=f"+1.{int(rng.integers(2000000000, 9999999999))}",
+        name_servers=(f"ns1.{pseudo_word(rng, 2, 2)}dns.com", f"ns2.{pseudo_word(rng, 2, 2)}dns.com"),
+        registered_on=float(rng.integers(0, 3650)),
+    )
+
+
+def build_noise(
+    spec: NoiseSpec,
+    torrent_clients: list[str],
+    collaboration_clients: list[str],
+    browsing_clients: list[str],
+    seed: int,
+    day: int,
+    day_seconds: float = 86400.0,
+) -> NoiseResult:
+    """Materialise all noise herds for one day.
+
+    ``torrent_clients`` / ``collaboration_clients`` are dedicated client
+    subsets (they browse benignly too, handled by the caller);
+    ``browsing_clients`` is the general population used for referrer
+    groups, redirects and adult herds.
+    """
+    rng = child_rng(seed, "noise", day)
+    result = NoiseResult()
+    base_time = day * day_seconds
+
+    def stamp() -> float:
+        return base_time + float(rng.uniform(0.0, day_seconds))
+
+    # --- torrent trackers ------------------------------------------------------
+    if spec.torrent_trackers and torrent_clients:
+        trackers = []
+        shared_ips = [ipv4(rng) for _ in range(max(1, spec.torrent_trackers // 4))]
+        for index in range(spec.torrent_trackers):
+            domain = benign_domain(rng, suffix=str(rng.choice(["com", "net", "org", "me"])))
+            domain = f"tracker{index}-{domain}"
+            # ~half the trackers sit on shared IPs, half on their own.
+            ip = (
+                str(rng.choice(shared_ips))
+                if rng.random() < 0.5
+                else ipv4(rng)
+            )
+            trackers.append((domain, ip))
+            result.category_of[domain] = "torrent"
+            result.whois_records.append(_independent_whois(domain, rng))
+        for client in torrent_clients:
+            visited = rng.choice(
+                len(trackers), size=max(1, int(0.8 * len(trackers))), replace=False
+            )
+            for tracker_index in visited:
+                domain, ip = trackers[int(tracker_index)]
+                for _ in range(int(rng.integers(1, 4))):
+                    result.requests.append(
+                        HttpRequest(
+                            timestamp=stamp(),
+                            client=client,
+                            host=domain,
+                            server_ip=ip,
+                            uri=f"/scrape.php?info_hash={int(rng.integers(0, 10**9))}",
+                            user_agent="uTorrent/3.2",
+                            status=200,
+                        )
+                    )
+
+    # --- collaboration pools (TeamViewer-like) ----------------------------------
+    for pool_index in range(spec.collaboration_pools):
+        pool = []
+        for server_index in range(spec.collaboration_pool_size):
+            # One registrable name per relay (the vendor spreads its pool
+            # over many second-level domains).
+            domain = f"relay{server_index}p{pool_index}-{pseudo_word(rng, 2, 3)}.net"
+            pool.append((domain, ipv4(rng)))
+            result.category_of[domain] = "collaboration"
+            result.whois_records.append(_independent_whois(domain, rng))
+        for client in collaboration_clients:
+            chosen = rng.choice(len(pool), size=min(len(pool), int(rng.integers(3, 9))), replace=False)
+            for relay_index in chosen:
+                domain, ip = pool[int(relay_index)]
+                result.requests.append(
+                    HttpRequest(
+                        timestamp=stamp(),
+                        client=client,
+                        host=domain,
+                        server_ip=ip,
+                        uri=f"/din.aspx?client=DynGate&id={int(rng.integers(10**8, 10**9))}",
+                        user_agent="DynGate",
+                        status=200,
+                    )
+                )
+
+    # --- referrer groups ---------------------------------------------------------
+    for group_index in range(spec.referrer_groups):
+        landing = benign_domain(rng, "com")
+        landing_ip = ipv4(rng)
+        result.whois_records.append(_independent_whois(landing, rng))
+        embedded = []
+        share_file = group_index % 2 == 0  # half the groups share a widget file
+        widget = f"widget{group_index}.js"
+        for _ in range(spec.referrer_group_size):
+            third_party = benign_domain(rng, str(rng.choice(["com", "net", "io"])))
+            embedded.append((third_party, ipv4(rng)))
+            result.category_of[third_party] = "referrer"
+            result.whois_records.append(_independent_whois(third_party, rng))
+        audience_size = min(len(browsing_clients), int(rng.integers(2, 6)))
+        audience_indices = rng.choice(len(browsing_clients), size=audience_size, replace=False)
+        for client_index in audience_indices:
+            client = browsing_clients[int(client_index)]
+            visit = stamp()
+            result.requests.append(
+                HttpRequest(
+                    timestamp=visit,
+                    client=client,
+                    host=landing,
+                    server_ip=landing_ip,
+                    uri="/index.html",
+                    user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                    status=200,
+                )
+            )
+            for third_party, ip in embedded:
+                filename = widget if share_file else benign_filename(rng)
+                result.requests.append(
+                    HttpRequest(
+                        timestamp=visit + float(rng.uniform(0.1, 2.0)),
+                        client=client,
+                        host=third_party,
+                        server_ip=ip,
+                        uri=f"/assets/{filename}",
+                        user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                        referrer=f"http://{landing}/index.html",
+                        status=200,
+                    )
+                )
+
+    # --- redirection chains --------------------------------------------------------
+    for chain_index in range(spec.redirect_chains):
+        chain_ip = ipv4(rng)
+        members = []
+        for hop in range(spec.redirect_chain_length):
+            domain = benign_domain(rng, str(rng.choice(["to", "ly", "me", "cc"])))
+            members.append(domain)
+            result.category_of[domain] = "redirect"
+            result.whois_records.append(_independent_whois(domain, rng))
+        result.redirect_chains.append(members)
+        audience_size = min(len(browsing_clients), int(rng.integers(2, 5)))
+        audience_indices = rng.choice(len(browsing_clients), size=audience_size, replace=False)
+        for client_index in audience_indices:
+            client = browsing_clients[int(client_index)]
+            visit = stamp()
+            for hop, domain in enumerate(members):
+                is_last = hop == len(members) - 1
+                # Non-landing hops run the same redirector script, so chain
+                # members share a URI file on top of clients and IP — the
+                # Section III-D observation that redirection groups "share
+                # exactly the same sets of clients, IP addresses, and
+                # sometimes URI files".
+                uri = "/landing.html" if is_last else f"/go.php?chain={chain_index}&hop={hop}"
+                result.requests.append(
+                    HttpRequest(
+                        timestamp=visit + hop * 0.3,
+                        client=client,
+                        host=domain,
+                        # Chain members share infrastructure: same IP.
+                        server_ip=chain_ip,
+                        uri=uri,
+                        user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                        status=302 if not is_last else 200,
+                    )
+                )
+
+    # --- adult-content herds ---------------------------------------------------------
+    for group_index in range(spec.adult_groups):
+        group = []
+        for _ in range(spec.adult_group_size):
+            domain = benign_domain(rng, str(rng.choice(["com", "net", "xyz"])))
+            group.append((domain, ipv4(rng)))
+            result.category_of[domain] = "adult"
+            result.whois_records.append(_independent_whois(domain, rng))
+        audience_size = min(len(browsing_clients), int(rng.integers(2, 4)))
+        audience_indices = rng.choice(len(browsing_clients), size=audience_size, replace=False)
+        for client_index in audience_indices:
+            client = browsing_clients[int(client_index)]
+            for domain, ip in group:
+                for _ in range(int(rng.integers(1, 3))):
+                    result.requests.append(
+                        HttpRequest(
+                            timestamp=stamp(),
+                            client=client,
+                            host=domain,
+                            server_ip=ip,
+                            uri=f"/{benign_filename(rng)}",
+                            user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                            status=200,
+                        )
+                    )
+
+    # --- shared hosting ---------------------------------------------------------------
+    for group_index in range(spec.shared_hosting_groups):
+        hosting_ip = ipv4(rng)
+        for _ in range(spec.shared_hosting_group_size):
+            domain = benign_domain(rng, str(rng.choice(["com", "net", "org", "de"])))
+            result.category_of[domain] = "shared_hosting"
+            result.whois_records.append(_independent_whois(domain, rng))
+            # Each site has its own (small, disjoint) audience.
+            audience_size = min(len(browsing_clients), int(rng.integers(1, 4)))
+            audience_indices = rng.choice(len(browsing_clients), size=audience_size, replace=False)
+            for client_index in audience_indices:
+                client = browsing_clients[int(client_index)]
+                result.requests.append(
+                    HttpRequest(
+                        timestamp=stamp(),
+                        client=client,
+                        host=domain,
+                        server_ip=hosting_ip,
+                        uri=f"/{benign_filename(rng)}",
+                        user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                        status=200,
+                    )
+                )
+
+    return result

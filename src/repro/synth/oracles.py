@@ -1,0 +1,64 @@
+"""Oracles replacing SMASH's active measurements.
+
+The paper's pruning stage "collect[s] the redirection chains by sending a
+HTTP request to each server" and its verification step "send[s] the HTTP
+requests to verify the existence of those servers" (Sections III-D, V-A1).
+We cannot probe a synthetic universe over the network, so the generator
+records the answers those probes would give:
+
+* :class:`RedirectOracle` — which servers sit on a redirect chain and what
+  the landing server of the chain is;
+* :class:`HostLiveness` — whether a domain still resolves at verification
+  time (malicious domains are short-lived; Section V-A1, footnote 8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+class RedirectOracle:
+    """Maps chain members to their landing server."""
+
+    def __init__(self, landing_of: Mapping[str, str] | None = None) -> None:
+        self._landing_of: dict[str, str] = dict(landing_of or {})
+
+    def add_chain(self, chain: Iterable[str]) -> None:
+        """Record a redirect chain; the last element is the landing server."""
+        members = list(chain)
+        if len(members) < 2:
+            raise ValueError("a redirect chain needs at least two members")
+        landing = members[-1]
+        for member in members:
+            self._landing_of[member] = landing
+
+    def landing_server(self, server: str) -> str | None:
+        """The landing server of *server*'s chain, or None if not on a chain.
+
+        The landing server maps to itself.
+        """
+        return self._landing_of.get(server)
+
+    def on_chain(self, server: str) -> bool:
+        return server in self._landing_of
+
+    def chain_members(self) -> frozenset[str]:
+        return frozenset(self._landing_of)
+
+
+class HostLiveness:
+    """Records which servers still "exist" when the analyst verifies them."""
+
+    def __init__(self, dead: Iterable[str] = ()) -> None:
+        self._dead = set(dead)
+
+    def mark_dead(self, server: str) -> None:
+        self._dead.add(server)
+
+    def is_alive(self, server: str) -> bool:
+        """True when a verification-time HTTP probe would still succeed."""
+        return server not in self._dead
+
+    @property
+    def dead_servers(self) -> frozenset[str]:
+        return frozenset(self._dead)

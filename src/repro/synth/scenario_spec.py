@@ -1,0 +1,60 @@
+"""The scenario specification consumed by :class:`~repro.synth.generator.TraceGenerator`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScenarioError
+from repro.synth.campaigns import CampaignSpec, NoiseSpec
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete synthetic-trace scenario.
+
+    ``num_clients`` must cover the disjoint client reservations of all
+    campaigns plus the dedicated noise clients, with room left for purely
+    benign subscribers.
+    """
+
+    name: str
+    seed: int
+    num_clients: int
+    num_popular_sites: int
+    num_medium_sites: int
+    num_longtail_sites: int
+    sites_per_client_mean: float
+    campaigns: tuple[CampaignSpec, ...] = ()
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    days: int = 1
+    zipf_alpha: float = 0.9
+
+    def validate(self) -> None:
+        if self.num_clients < 1:
+            raise ScenarioError("num_clients must be >= 1")
+        if self.days < 1:
+            raise ScenarioError("days must be >= 1")
+        if self.sites_per_client_mean <= 0:
+            raise ScenarioError("sites_per_client_mean must be > 0")
+        if self.zipf_alpha <= 0:
+            raise ScenarioError("zipf_alpha must be > 0")
+        names = [campaign.name for campaign in self.campaigns]
+        if len(names) != len(set(names)):
+            raise ScenarioError("campaign names must be unique")
+        reserved = (
+            sum(campaign.num_clients for campaign in self.campaigns)
+            + self.noise.torrent_clients
+            + self.noise.collaboration_clients
+        )
+        if reserved >= self.num_clients:
+            raise ScenarioError(
+                f"scenario reserves {reserved} clients for campaigns/noise but "
+                f"only has {self.num_clients}; leave headroom for benign clients"
+            )
+        for campaign in self.campaigns:
+            for day in campaign.active_days:
+                if not 0 <= day < self.days:
+                    raise ScenarioError(
+                        f"campaign {campaign.name!r} active on day {day}, "
+                        f"outside [0, {self.days})"
+                    )

@@ -1,0 +1,835 @@
+"""Scenario presets shaped like the paper's datasets.
+
+Three presets mirror Table I's traces (at laptop scale — the shapes of the
+evaluation hold, absolute counts are smaller):
+
+* :func:`data2011day` — one day, the Section-V workhorse;
+* :func:`data2012day` — one day, different seed and campaign mix;
+* :func:`data2012week` — seven days with persistent, agile and newly
+  appearing campaigns (Section V-B, Tables V/VI, Figure 7).
+
+Campaign factories build the case-study campaigns (Bagle, Sality, Zeus,
+iframe injection, ZmEu scanning) plus generic communication campaigns with
+controllable dimension overlap, single-client campaigns (Appendix C) and
+deliberately undetectable campaigns (the Section V-A2 false negatives).
+"""
+
+from __future__ import annotations
+
+from repro.synth.campaigns import CampaignSpec, NoiseSpec, TierSpec
+from repro.synth.scenario_spec import ScenarioSpec
+
+# ---------------------------------------------------------------------------
+# Case-study campaign factories
+# ---------------------------------------------------------------------------
+
+
+def bagle_like(
+    name: str = "bagle",
+    num_clients: int = 3,
+    downloads: int = 14,
+    cncs: int = 18,
+    **overrides: object,
+) -> CampaignSpec:
+    """The Bagle worm campaign of Table VII.
+
+    Two tiers visited by the same bots: compromised-benign download
+    servers all serving ``file.txt``, and C&C servers (also compromised
+    sites in the paper) answering ``news.php`` with the
+    ``p=..&id=..&e=..`` parameter pattern.  SMASH's campaign-inference
+    step must re-merge the tiers through the shared client set.
+    """
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.0,
+        ids2013_fraction=0.08,
+        blacklist_fraction=0.06,
+        ids_protocol_signature=False,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="cnc",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="download",
+                num_servers=downloads,
+                uri_files=("file.txt",),
+                compromised_benign=True,
+                user_agent="Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+                requests_per_client=2,
+            ),
+            TierSpec(
+                role="cnc",
+                num_servers=cncs,
+                uri_files=("news.php",),
+                compromised_benign=True,
+                user_agent="Internet Exploder",
+                parameter_names=("p", "id", "e"),
+                requests_per_client=3,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def sality_like(
+    name: str = "sality",
+    num_clients: int = 3,
+    downloads: int = 12,
+    **overrides: object,
+) -> CampaignSpec:
+    """The Sality campaign of Table VIII.
+
+    Two dedicated C&C domains sharing IPs, the ``/`` URI file and
+    registration, plus compromised download servers sharing ``.gif``
+    payload names.  The whole campaign uses the ``KUKU v5.05exp`` UA.
+    """
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=1.0,
+        ids2013_fraction=1.0,
+        blacklist_fraction=0.6,
+        ids_protocol_signature=True,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="cnc",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="cnc",
+                num_servers=2,
+                uri_files=("/",),
+                share_ips=True,
+                num_ips=2,
+                share_whois=True,
+                domain_suffix="info",
+                user_agent="KUKU v5.05exp",
+                parameter_names=("x",),
+                requests_per_client=4,
+            ),
+            TierSpec(
+                role="download",
+                num_servers=downloads,
+                # All download servers serve the same payload name; eq. 9
+                # needs Phi(|herd|) x density >= thresh, and a tier split
+                # over two filenames would halve the herd sizes.
+                uri_files=("logos.gif",),
+                compromised_benign=True,
+                user_agent="KUKU v5.05exp",
+                parameter_names=("x",),
+                requests_per_client=2,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def zeus_like(
+    name: str = "zeus",
+    num_clients: int = 2,
+    cncs: int = 8,
+    **overrides: object,
+) -> CampaignSpec:
+    """The Zeus DGA herd of Table X: ``4k0t1NNm.cz.cc`` siblings sharing
+    IPs and ``login.php``, unknown to the 2012 IDS but fully covered by
+    the 2013 signatures (the zero-day detection evidence)."""
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.0,
+        ids2013_fraction=1.0,
+        blacklist_fraction=0.13,
+        dead_fraction=0.8,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="cnc",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="cnc",
+                num_servers=cncs,
+                uri_files=("login.php",),
+                share_ips=True,
+                num_ips=2,
+                share_whois=True,
+                dga_domains=True,
+                dga_template="4k0t1NNm",
+                domain_suffix="cz.cc",
+                uri_path="/",
+                user_agent="Mozilla/4.0 (compatible; MSIE 7.0)",
+                requests_per_client=3,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def tdss_like(
+    name: str = "tdss",
+    num_clients: int = 2,
+    cncs: int = 6,
+    **overrides: object,
+) -> CampaignSpec:
+    """A TDSS-style campaign using long obfuscated filenames (Figure 4);
+    the URI-file dimension must link them via charset cosine."""
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.3,
+        ids2013_fraction=0.5,
+        blacklist_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="cnc",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="cnc",
+                num_servers=cncs,
+                obfuscated_filenames=True,
+                share_ips=True,
+                num_ips=1,
+                dga_domains=True,
+                domain_suffix="com",
+                user_agent="TDSS/2.1",
+                requests_per_client=3,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def conficker_like(
+    name: str = "conficker",
+    num_clients: int = 4,
+    domains: int = 16,
+    **overrides: object,
+) -> CampaignSpec:
+    """A Conficker-style DGA rendezvous campaign (named in Section I's
+    inferred-campaign examples).
+
+    The worm generates many throw-away domains per day and polls each for
+    an update payload; domains are registered just-in-time by the
+    operators (shared registration block) but resolve to scattered
+    hosting, so the herd coheres on client + URI file + Whois rather than
+    IP fluxing.
+    """
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.12,
+        ids2013_fraction=0.5,
+        blacklist_fraction=0.3,
+        dead_fraction=0.9,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="cnc",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="rendezvous",
+                num_servers=domains,
+                uri_files=("search?q=0",),
+                share_whois=True,
+                dga_domains=True,
+                domain_suffix="ws",
+                uri_path="/",
+                user_agent="Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1; SV1)",
+                requests_per_client=2,
+                contact_fraction=0.8,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def iframe_injection(
+    name: str = "iframe-injection",
+    num_clients: int = 3,
+    victims: int = 150,
+    ids_known_servers: int = 4,
+    **overrides: object,
+) -> CampaignSpec:
+    """The WordPress ``sm3.php`` web-injection campaign of Table IX:
+    hundreds of benign victims queried by the same clients with UA ``-``;
+    the IDS knows only a handful of them."""
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=ids_known_servers / victims,
+        ids2013_fraction=ids_known_servers / victims,
+        blacklist_fraction=0.02,
+        dead_fraction=0.0,  # victims are live benign sites
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="iframe_injection",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="victims",
+                num_servers=victims,
+                uri_files=("sm3.php",),
+                compromised_benign=True,
+                user_agent="-",
+                requests_per_client=1,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def web_scanner(
+    name: str = "zmeu-scan",
+    num_clients: int = 2,
+    victims: int = 24,
+    **overrides: object,
+) -> CampaignSpec:
+    """The ZmEu phpMyAdmin scanning campaign of Figure 1(b): bots probing
+    ``setup.php`` on many benign servers."""
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.08,
+        ids2013_fraction=0.12,
+        blacklist_fraction=0.0,
+        dead_fraction=0.0,
+        ids_protocol_signature=True,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="web_scanner",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="victims",
+                num_servers=victims,
+                uri_files=("setup.php",),
+                compromised_benign=True,
+                uri_path="/phpMyAdmin/scripts/",
+                user_agent="ZmEu",
+                requests_per_client=2,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generic campaign factories
+# ---------------------------------------------------------------------------
+
+
+def generic_cnc(
+    name: str,
+    num_clients: int,
+    num_servers: int,
+    share_file: bool = True,
+    share_ip: bool = False,
+    share_whois: bool = False,
+    category: str = "cnc",
+    uri_file: str = "gate.php",
+    user_agent: str = "Mozilla/4.0 (compatible; MSIE 6.0)",
+    **overrides: object,
+) -> CampaignSpec:
+    """A single-tier communication campaign with chosen dimension overlap.
+
+    ``share_file=False`` gives every server its own filename, so the
+    campaign can only associate through IP/Whois.
+    """
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.0,
+        ids2013_fraction=0.0,
+        blacklist_fraction=0.25,
+    )
+    defaults.update(overrides)
+    tier = TierSpec(
+        role="cnc",
+        num_servers=num_servers,
+        uri_files=(uri_file,) if share_file else (),
+        distinct_files=not share_file,
+        share_ips=share_ip,
+        num_ips=max(1, num_servers // 4) if share_ip else 1,
+        share_whois=share_whois,
+        dga_domains=True,
+        domain_suffix="com",
+        user_agent=user_agent,
+        parameter_names=("id", "v"),
+        requests_per_client=3,
+    )
+    return CampaignSpec(
+        name=name,
+        category=category,
+        num_clients=num_clients,
+        tiers=(tier,),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def phishing_campaign(
+    name: str,
+    num_clients: int = 2,
+    num_servers: int = 5,
+    **overrides: object,
+) -> CampaignSpec:
+    """Phishing landing sites sharing registration and a kit file."""
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.0,
+        ids2013_fraction=0.2,
+        blacklist_fraction=0.4,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="phishing",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="landing",
+                num_servers=num_servers,
+                uri_files=("verify.html", "secure-login.html"),
+                share_whois=True,
+                share_ips=True,
+                num_ips=1,
+                domain_suffix="com",
+                user_agent="Mozilla/5.0 (Windows NT 6.1) Gecko/2010 Firefox/8.0",
+                requests_per_client=2,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def dropzone_campaign(
+    name: str,
+    num_clients: int = 2,
+    num_servers: int = 4,
+    **overrides: object,
+) -> CampaignSpec:
+    """Drop-zone servers receiving stolen data via POSTs to ``gate.php``."""
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.25,
+        ids2013_fraction=0.5,
+        blacklist_fraction=0.25,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="drop_zone",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="dropzone",
+                num_servers=num_servers,
+                uri_files=("gate.php",),
+                share_ips=True,
+                num_ips=1,
+                dga_domains=True,
+                domain_suffix="ru",
+                user_agent="-",
+                parameter_names=("bot", "data"),
+                requests_per_client=4,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def undetectable_campaign(
+    name: str,
+    num_clients: int = 2,
+    num_servers: int = 5,
+    **overrides: object,
+) -> CampaignSpec:
+    """A Cycbot/Fake-AV-style false negative (Section V-A2): servers share
+    clients and a parameter pattern but no secondary dimension."""
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.6,
+        ids2013_fraction=0.8,
+        blacklist_fraction=0.2,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="cnc",
+        num_clients=num_clients,
+        tiers=(
+            TierSpec(
+                role="cnc",
+                num_servers=num_servers,
+                distinct_files=True,
+                dga_domains=True,
+                domain_suffix="com",
+                user_agent="Mozilla/4.0 (compatible; MSIE 8.0)",
+                parameter_names=("q", "said", "tid"),
+                requests_per_client=3,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+def single_client_campaign(
+    name: str,
+    num_servers: int = 6,
+    share_file: bool = True,
+    share_ip: bool = True,
+    share_whois: bool = False,
+    **overrides: object,
+) -> CampaignSpec:
+    """An Appendix-C campaign with exactly one infected client.
+
+    At the single-client threshold (1.0) detection needs at least two
+    secondary dimensions, so the defaults share file + IP.
+    """
+    defaults: dict[str, object] = dict(
+        ids2012_fraction=0.0,
+        ids2013_fraction=0.15,
+        blacklist_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(
+        name=name,
+        category="malicious",
+        num_clients=1,
+        tiers=(
+            TierSpec(
+                role="cnc",
+                num_servers=num_servers,
+                uri_files=("task.php",) if share_file else (),
+                distinct_files=not share_file,
+                share_ips=share_ip,
+                num_ips=1 if share_ip else num_servers,
+                share_whois=share_whois,
+                dga_domains=True,
+                domain_suffix="net",
+                user_agent="wget/1.12",
+                requests_per_client=2,
+            ),
+        ),
+        **defaults,  # type: ignore[arg-type]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Preset scenarios
+# ---------------------------------------------------------------------------
+
+
+def _day_campaign_mix(
+    seed_tag: str,
+    num_generic: int = 6,
+    num_single: int = 12,
+    num_ghost: int = 3,
+    iframe_victims: int = 150,
+    scanner_victims: int = 24,
+) -> tuple[CampaignSpec, ...]:
+    """The multi- and single-client campaign mix of a one-day scenario."""
+    campaigns: list[CampaignSpec] = [
+        bagle_like(name=f"bagle-{seed_tag}"),
+        sality_like(name=f"sality-{seed_tag}"),
+        zeus_like(name=f"zeus-{seed_tag}"),
+        tdss_like(name=f"tdss-{seed_tag}"),
+        iframe_injection(name=f"iframe-{seed_tag}", victims=iframe_victims),
+        web_scanner(name=f"zmeu-{seed_tag}", victims=scanner_victims),
+        phishing_campaign(name=f"phish-{seed_tag}"),
+        dropzone_campaign(name=f"dropzone-{seed_tag}"),
+        # Cycbot-sized so the urlparam extension can recover it
+        # (Phi(12) >= 0.8); Fake AV stays too small for single-dimension
+        # recovery even with the extension.
+        undetectable_campaign(name=f"cycbot-{seed_tag}", num_servers=12),
+        undetectable_campaign(name=f"fakeav-{seed_tag}", num_servers=4),
+    ]
+    # Generic communication campaigns with varying dimension overlap.
+    for index in range(num_generic):
+        campaigns.append(
+            generic_cnc(
+                name=f"cnc-flux-{seed_tag}-{index}",
+                num_clients=2 + index % 3,
+                num_servers=4 + index % 5,
+                share_file=True,
+                share_ip=index % 2 == 0,
+                share_whois=index % 3 == 0,
+                uri_file=f"cmd{index}.php",
+                user_agent=f"Bot/{index}.4",
+            )
+        )
+    # A large single-dimension campaign detectable through URI file alone.
+    campaigns.append(
+        generic_cnc(
+            name=f"cnc-wide-{seed_tag}",
+            num_clients=3,
+            num_servers=12,
+            share_file=True,
+            share_ip=False,
+            share_whois=False,
+            uri_file="update.bin",
+            user_agent="Updater/1.1",
+        )
+    )
+    # "Ghost" campaigns: unknown to every ground-truth source and already
+    # dead when the analyst probes them — the paper's "suspicious" rows.
+    for index in range(num_ghost):
+        campaigns.append(
+            generic_cnc(
+                name=f"ghost-{seed_tag}-{index}",
+                num_clients=2,
+                num_servers=5 + index,
+                share_file=True,
+                share_ip=True,
+                ids2012_fraction=0.0,
+                ids2013_fraction=0.0,
+                blacklist_fraction=0.0,
+                dead_fraction=0.95,
+                uri_file=f"ghost{index}.php",
+                user_agent=f"Ghost/{index}.0",
+            )
+        )
+    # Single-client campaigns (Appendix C).
+    for index in range(num_single):
+        campaigns.append(
+            single_client_campaign(
+                name=f"single-{seed_tag}-{index}",
+                num_servers=4 + index % 5,
+                share_file=True,
+                share_ip=index % 3 != 2,
+                share_whois=index % 3 == 2,
+            )
+        )
+    # Single-client ghost campaigns (suspicious rows of Tables XI/XII).
+    for index in range(3):
+        campaigns.append(
+            single_client_campaign(
+                name=f"single-ghost-{seed_tag}-{index}",
+                num_servers=5 + index,
+                ids2013_fraction=0.0,
+                blacklist_fraction=0.0,
+                dead_fraction=0.95,
+            )
+        )
+    # Weak single-client campaigns: one shared dimension only, so their
+    # eq.-9 score is a bare Phi(herd size).  Small ones clear only the
+    # 0.5 threshold, larger ones also 0.8 — they create the Table XI/XII
+    # gradient across the sweep.
+    for index in range(3):
+        campaigns.append(
+            single_client_campaign(
+                name=f"single-weak-{seed_tag}-{index}",
+                num_servers=4 + index,  # Phi(4..6) = 0.50..0.64
+                share_file=True,
+                share_ip=False,
+            )
+        )
+    for index in range(2):
+        campaigns.append(
+            single_client_campaign(
+                name=f"single-mid-{seed_tag}-{index}",
+                num_servers=9 + index,  # Phi(9..10) = 0.90..0.93
+                share_file=True,
+                share_ip=False,
+            )
+        )
+    return tuple(campaigns)
+
+
+def data2011day(scale: float = 1.0, seed: int = 2011) -> ScenarioSpec:
+    """One-day scenario shaped like the paper's ``Data2011day``."""
+    return ScenarioSpec(
+        name="data2011day",
+        seed=seed,
+        num_clients=max(170, int(1500 * scale)),
+        num_popular_sites=max(4, int(30 * scale)),
+        num_medium_sites=max(10, int(450 * scale)),
+        num_longtail_sites=max(80, int(9000 * scale)),
+        sites_per_client_mean=10.0,
+        campaigns=_day_campaign_mix("a"),
+        noise=NoiseSpec(
+            torrent_clients=6,
+            torrent_trackers=28,
+            collaboration_pools=1,
+            collaboration_pool_size=16,
+            collaboration_clients=20,
+            referrer_groups=10,
+            referrer_group_size=10,
+            redirect_chains=8,
+            redirect_chain_length=4,
+            adult_groups=4,
+            adult_group_size=5,
+            shared_hosting_groups=6,
+            shared_hosting_group_size=6,
+        ),
+    )
+
+
+def data2012day(scale: float = 1.0, seed: int = 2012) -> ScenarioSpec:
+    """One-day scenario shaped like the paper's ``Data2012day``."""
+    return ScenarioSpec(
+        name="data2012day",
+        seed=seed,
+        num_clients=max(190, int(1800 * scale)),
+        num_popular_sites=max(4, int(35 * scale)),
+        num_medium_sites=max(10, int(520 * scale)),
+        num_longtail_sites=max(80, int(10500 * scale)),
+        sites_per_client_mean=11.0,
+        campaigns=_day_campaign_mix(
+            "b", num_generic=7, num_single=16, num_ghost=2,
+            iframe_victims=110, scanner_victims=32,
+        ),
+        noise=NoiseSpec(
+            torrent_clients=7,
+            torrent_trackers=30,
+            collaboration_pools=1,
+            collaboration_pool_size=18,
+            collaboration_clients=22,
+            referrer_groups=11,
+            referrer_group_size=10,
+            redirect_chains=9,
+            redirect_chain_length=4,
+            adult_groups=5,
+            adult_group_size=5,
+            shared_hosting_groups=7,
+            shared_hosting_group_size=6,
+        ),
+    )
+
+
+def data2012week(scale: float = 1.0, seed: int = 2112) -> ScenarioSpec:
+    """Seven-day scenario shaped like ``Data2012week`` (Section V-B).
+
+    Mix of persistent campaigns (same servers all week), agile campaigns
+    (same clients, fresh servers daily) and campaigns that first appear
+    mid-week with brand-new clients — the three populations of Figure 7.
+    """
+    all_week = tuple(range(7))
+    campaigns: list[CampaignSpec] = [
+        # Persistent: same servers every day.
+        bagle_like(name="wk-bagle", active_days=all_week),
+        sality_like(name="wk-sality", active_days=all_week),
+        phishing_campaign(name="wk-phish", active_days=all_week),
+        generic_cnc(
+            name="wk-cnc-stable",
+            num_clients=3,
+            num_servers=8,
+            share_ip=True,
+            uri_file="sync.php",
+            user_agent="Sync/0.9",
+            active_days=all_week,
+        ),
+    ]
+    # Agile: same clients, new servers every day (the dominant population
+    # in Figure 7 — "malware may change their servers/domains every day").
+    for index in range(5):
+        campaigns.append(
+            generic_cnc(
+                name=f"wk-agile-{index}",
+                num_clients=2 + index % 2,
+                num_servers=5 + index % 4,
+                share_ip=index % 2 == 0,
+                share_whois=index % 2 == 1,
+                uri_file=f"ag{index}.php",
+                user_agent=f"AgileBot/{index}",
+                active_days=all_week,
+                agile=True,
+            )
+        )
+    campaigns.append(
+        iframe_injection(name="wk-iframe", victims=80, active_days=all_week, agile=True)
+    )
+    # New campaigns appearing mid-week with fresh clients.
+    for day in range(1, 7):
+        campaigns.append(
+            generic_cnc(
+                name=f"wk-new-day{day}",
+                num_clients=2,
+                num_servers=5,
+                share_ip=True,
+                uri_file=f"new{day}.php",
+                user_agent=f"NewBot/{day}",
+                active_days=(day,) if day % 2 else tuple(range(day, 7)),
+            )
+        )
+        campaigns.append(
+            single_client_campaign(
+                name=f"wk-single-day{day}",
+                num_servers=5,
+                active_days=(day,),
+            )
+        )
+    return ScenarioSpec(
+        name="data2012week",
+        seed=seed,
+        num_clients=max(140, int(2000 * scale)),
+        num_popular_sites=max(4, int(35 * scale)),
+        num_medium_sites=max(10, int(520 * scale)),
+        num_longtail_sites=max(80, int(10500 * scale)),
+        sites_per_client_mean=10.0,
+        campaigns=tuple(campaigns),
+        noise=NoiseSpec(
+            torrent_clients=6,
+            torrent_trackers=26,
+            collaboration_pools=1,
+            collaboration_pool_size=16,
+            collaboration_clients=18,
+            referrer_groups=8,
+            referrer_group_size=10,
+            redirect_chains=6,
+            redirect_chain_length=4,
+            adult_groups=3,
+            adult_group_size=5,
+            shared_hosting_groups=5,
+            shared_hosting_group_size=6,
+        ),
+        days=7,
+    )
+
+
+def small_scenario(seed: int = 7, days: int = 1) -> ScenarioSpec:
+    """A fast scenario for unit and integration tests (runs in seconds)."""
+    campaigns = (
+        zeus_like(name="small-zeus", num_clients=2, cncs=6),
+        iframe_injection(name="small-iframe", num_clients=2, victims=20, ids_known_servers=2),
+        generic_cnc(
+            name="small-cnc",
+            num_clients=2,
+            num_servers=5,
+            share_ip=True,
+            uri_file="beacon.php",
+            user_agent="SmallBot/1",
+        ),
+        single_client_campaign(name="small-single", num_servers=5),
+        # Sized so the Section V-A2 parameter-pattern extension can
+        # recover it: the shared pattern alone must clear eq. 9
+        # (Phi(10) = 0.93 >= 0.8), like the paper's 40-server Cycbot group.
+        undetectable_campaign(name="small-fn", num_servers=10),
+    )
+    return ScenarioSpec(
+        name="small",
+        seed=seed,
+        num_clients=220,
+        num_popular_sites=6,
+        num_medium_sites=40,
+        num_longtail_sites=900,
+        sites_per_client_mean=6.0,
+        campaigns=tuple(
+            c if days == 1 else CampaignSpec(
+                **{**c.__dict__, "active_days": tuple(range(days))}
+            )
+            for c in campaigns
+        ),
+        noise=NoiseSpec(
+            torrent_clients=3,
+            torrent_trackers=10,
+            collaboration_pools=1,
+            collaboration_pool_size=8,
+            collaboration_clients=8,
+            referrer_groups=3,
+            referrer_group_size=8,
+            redirect_chains=2,
+            redirect_chain_length=4,
+            adult_groups=2,
+            adult_group_size=4,
+            shared_hosting_groups=2,
+            shared_hosting_group_size=4,
+        ),
+        days=days,
+    )

@@ -1,0 +1,82 @@
+"""Planted ground truth of a synthetic dataset.
+
+The evaluation harness never peeks at this to *run* SMASH — the pipeline
+only sees the trace and the oracles, like the paper's system only sees
+traffic.  The truth is used for (a) wiring the IDS/blacklist ground-truth
+sources, and (b) scoring SMASH's output against what was actually planted
+(precision/recall style sanity checks that the paper cannot do but a
+synthetic universe can).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PlantedCampaign:
+    """One campaign as actually materialised in the trace."""
+
+    name: str
+    category: str
+    activity: str  # "communication" | "attacking"
+    servers: frozenset[str]  # aggregated (second-level) server names
+    clients: frozenset[str]
+    tier_of_server: dict[str, str] = field(default_factory=dict)
+    day: int = 0
+
+    def servers_in_tier(self, role: str) -> frozenset[str]:
+        return frozenset(
+            server for server, tier in self.tier_of_server.items() if tier == role
+        )
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Everything the generator planted, in aggregated-name space."""
+
+    campaigns: tuple[PlantedCampaign, ...]
+    benign_servers: frozenset[str]
+    #: Benign servers whose herd-like behaviour the paper identifies as the
+    #: two FP noise categories; maps server -> "torrent" | "collaboration".
+    noise_category: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def malicious_servers(self) -> frozenset[str]:
+        """All servers involved in malicious activity (victims included)."""
+        servers: set[str] = set()
+        for campaign in self.campaigns:
+            servers |= campaign.servers
+        return frozenset(servers)
+
+    @property
+    def noise_servers(self) -> frozenset[str]:
+        return frozenset(self.noise_category)
+
+    def campaign_of(self, server: str) -> PlantedCampaign | None:
+        """The first planted campaign containing *server*, if any."""
+        for campaign in self.campaigns:
+            if server in campaign.servers:
+                return campaign
+        return None
+
+    def campaigns_with_min_clients(self, minimum: int) -> tuple[PlantedCampaign, ...]:
+        return tuple(c for c in self.campaigns if len(c.clients) >= minimum)
+
+    def merged_with(self, other: "GroundTruth") -> "GroundTruth":
+        """Union of two truths (used when concatenating day traces)."""
+        noise = dict(self.noise_category)
+        noise.update(other.noise_category)
+        return GroundTruth(
+            campaigns=self.campaigns + other.campaigns,
+            benign_servers=self.benign_servers | other.benign_servers,
+            noise_category=noise,
+        )
+
+    @staticmethod
+    def merge_all(truths: Iterable["GroundTruth"]) -> "GroundTruth":
+        result = GroundTruth(campaigns=(), benign_servers=frozenset())
+        for truth in truths:
+            result = result.merged_with(truth)
+        return result

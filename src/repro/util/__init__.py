@@ -1,0 +1,15 @@
+"""Small shared utilities: text vectors, statistics, deterministic RNG."""
+
+from repro.util.text import charset_cosine, charset_vector
+from repro.util.stats import ecdf, percentile_of, summarize
+from repro.util.rng import child_rng, make_rng
+
+__all__ = [
+    "charset_cosine",
+    "charset_vector",
+    "child_rng",
+    "ecdf",
+    "make_rng",
+    "percentile_of",
+    "summarize",
+]

@@ -1,0 +1,86 @@
+"""Statistics helpers used by the evaluation harness (CDFs for the figures)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+def ecdf(values: Iterable[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as a sorted list of ``(value, F(value))`` pairs.
+
+    Duplicate values are collapsed to their final (highest) cumulative
+    fraction, which is what the paper's CDF plots show.
+
+    >>> ecdf([1, 1, 2])
+    [(1, 0.6666666666666666), (2, 1.0)]
+    """
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return []
+    points: list[tuple[float, float]] = []
+    for index, value in enumerate(data, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def percentile_of(values: Sequence[float], threshold: float) -> float:
+    """Fraction of *values* that are ``<= threshold`` (0.0 for empty input).
+
+    Used for statements like "75% of attack campaigns have size smaller
+    than 18" (Figure 6).
+    """
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def value_at_fraction(values: Sequence[float], fraction: float) -> float:
+    """Smallest value v such that at least ``fraction`` of values are <= v.
+
+    ``fraction`` must be in (0, 1].  Raises ``ValueError`` on empty input.
+    """
+    if not values:
+        raise ValueError("value_at_fraction of empty sequence")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    data = sorted(values)
+    index = max(0, min(len(data) - 1, int(round(fraction * len(data))) - 1))
+    # Walk forward until the cumulative fraction actually reaches the target.
+    while index < len(data) - 1 and (index + 1) / len(data) < fraction:
+        index += 1
+    return data[index]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean, for quick-look reporting."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    p90: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return a :class:`Summary` of *values*; raises on empty input."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    data = sorted(values)
+    n = len(data)
+    median = data[n // 2] if n % 2 == 1 else (data[n // 2 - 1] + data[n // 2]) / 2
+    p90 = data[max(0, min(n - 1, int(round(0.9 * n)) - 1))]
+    return Summary(
+        count=n,
+        minimum=data[0],
+        maximum=data[-1],
+        mean=sum(data) / n,
+        median=median,
+        p90=p90,
+    )

@@ -1,0 +1,74 @@
+"""Character-distribution vectors and cosine similarity.
+
+The paper compares long (possibly obfuscated) URI filenames by the cosine of
+their character-frequency distributions (eq. 6): two filenames are similar
+when ``cos(theta) > 0.8``.  This module implements that primitive.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+
+def charset_vector(text: str) -> dict[str, int]:
+    """Return the character-frequency vector of *text*.
+
+    The vector is represented sparsely as a ``{character: count}`` mapping.
+    Comparison is case-sensitive: obfuscated names in the wild mix cases
+    deliberately, and the paper gives no indication of folding.
+
+    >>> charset_vector("aab")
+    {'a': 2, 'b': 1}
+    """
+    return dict(Counter(text))
+
+
+def charset_cosine(a: str, b: str) -> float:
+    """Cosine similarity between the character distributions of two strings.
+
+    Returns a value in ``[0, 1]``; ``1.0`` for identical distributions (note
+    that anagrams score 1.0 by construction) and ``0.0`` when the strings
+    share no characters.  Empty strings have no direction, so any comparison
+    involving an empty string returns ``0.0`` except two empty strings,
+    which are defined as identical (``1.0``).
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    va = Counter(a)
+    vb = Counter(b)
+    dot = sum(count * vb[char] for char, count in va.items() if char in vb)
+    norm_a = math.sqrt(sum(c * c for c in va.values()))
+    norm_b = math.sqrt(sum(c * c for c in vb.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    value = dot / (norm_a * norm_b)
+    # Guard against floating-point drift just past 1.0.
+    return min(1.0, max(0.0, value))
+
+
+def jaccard(a: frozenset | set, b: frozenset | set) -> float:
+    """Plain Jaccard index of two sets; 1.0 when both are empty."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def overlap_ratio_product(a: frozenset | set, b: frozenset | set) -> float:
+    """The paper's two-sided overlap score ``|A∩B|/|A| * |A∩B|/|B|``.
+
+    Used for client similarity (eq. 1) and IP-set similarity (eq. 8).
+    Empty sets cannot overlap meaningfully, so any comparison involving an
+    empty set returns 0.0.
+    """
+    if not a or not b:
+        return 0.0
+    inter = len(a & b)
+    if inter == 0:
+        return 0.0
+    return (inter / len(a)) * (inter / len(b))

@@ -1,0 +1,6 @@
+"""Whois substrate: registration records and a queryable registry."""
+
+from repro.whois.record import WhoisRecord, WHOIS_FIELDS
+from repro.whois.registry import WhoisRegistry
+
+__all__ = ["WHOIS_FIELDS", "WhoisRecord", "WhoisRegistry"]

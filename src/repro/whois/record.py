@@ -1,0 +1,67 @@
+"""Whois registration records.
+
+The paper's Whois dimension compares the fields "register name, home
+address, email address, phone number and name servers" (Section III-B2,
+Figure 5) and counts how many are shared between two registrations.  A
+single shared field — typically a privacy/registration proxy — is not
+enough; at least two shared fields are required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The comparable Whois fields, in a fixed order.
+WHOIS_FIELDS: tuple[str, ...] = (
+    "registrant",
+    "address",
+    "email",
+    "phone",
+    "name_servers",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WhoisRecord:
+    """One domain registration.
+
+    ``name_servers`` is stored as a sorted tuple and compared as a whole:
+    the paper's Figure 5 treats "name servers" as a single shared field
+    (both example domains delegate to the same NS pair).
+    """
+
+    domain: str
+    registrant: str = ""
+    address: str = ""
+    email: str = ""
+    phone: str = ""
+    name_servers: tuple[str, ...] = ()
+    registered_on: float = 0.0  # days since epoch of the synthetic universe
+    is_proxy: bool = False  # registered through a privacy proxy
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ValueError("WhoisRecord.domain must be non-empty")
+        object.__setattr__(
+            self, "name_servers", tuple(sorted(self.name_servers))
+        )
+
+    def field_value(self, field_name: str) -> object:
+        """Comparable value of *field_name* (empty values compare as absent)."""
+        if field_name not in WHOIS_FIELDS:
+            raise KeyError(f"unknown whois field: {field_name}")
+        return getattr(self, field_name)
+
+    def shared_fields(self, other: "WhoisRecord") -> tuple[str, ...]:
+        """Names of the fields with identical non-empty values in both records."""
+        shared = []
+        for field_name in WHOIS_FIELDS:
+            mine = self.field_value(field_name)
+            theirs = other.field_value(field_name)
+            if mine and theirs and mine == theirs:
+                shared.append(field_name)
+        return tuple(shared)
+
+    def present_fields(self) -> tuple[str, ...]:
+        """Names of the fields carrying a non-empty value in this record."""
+        return tuple(f for f in WHOIS_FIELDS if self.field_value(f))

@@ -1,0 +1,47 @@
+"""A queryable Whois registry.
+
+In production SMASH would query live Whois; here the registry is populated
+by the synthetic-trace generator.  Lookups are by registrable (second-level)
+domain.  IP-address "servers" have no registration and return ``None``,
+exactly as a live Whois lookup on a bare IP would be unusable for the
+field-comparison dimension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.whois.record import WhoisRecord
+
+
+class WhoisRegistry:
+    """In-memory mapping domain -> :class:`WhoisRecord`."""
+
+    def __init__(self, records: Iterable[WhoisRecord] = ()) -> None:
+        self._records: dict[str, WhoisRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: WhoisRecord) -> None:
+        """Register *record*; re-registering a domain overwrites it."""
+        self._records[record.domain.lower()] = record
+
+    def lookup(self, domain: str) -> WhoisRecord | None:
+        """Return the record for *domain* (case-insensitive) or ``None``."""
+        return self._records.get(domain.lower())
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower() in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[WhoisRecord]:
+        return iter(self._records.values())
+
+    def merged_with(self, other: "WhoisRegistry") -> "WhoisRegistry":
+        """A new registry containing both record sets (other wins ties)."""
+        merged = WhoisRegistry(self)
+        for record in other:
+            merged.add(record)
+        return merged

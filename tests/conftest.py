@@ -1,0 +1,38 @@
+"""Shared fixtures.
+
+The expensive artefacts (small synthetic dataset, its pipeline result)
+are session-scoped: many integration tests read them, none mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SmashPipeline
+from repro.synth import TraceGenerator, small_scenario
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """One day of the small scenario (deterministic, seed 7)."""
+    return TraceGenerator(small_scenario()).generate_day(0)
+
+
+@pytest.fixture(scope="session")
+def small_mined(small_dataset):
+    """Mined dimensions for the small dataset (threshold-independent)."""
+    return SmashPipeline().mine(small_dataset.trace, whois=small_dataset.whois)
+
+
+@pytest.fixture(scope="session")
+def small_result(small_dataset, small_mined):
+    """Full SMASH result at the paper's default threshold (0.8)."""
+    return SmashPipeline().finish(small_mined, redirects=small_dataset.redirects)
+
+
+@pytest.fixture(scope="session")
+def small_result_single(small_dataset, small_mined):
+    """SMASH result at the single-client threshold (1.0)."""
+    return SmashPipeline().finish(
+        small_mined, redirects=small_dataset.redirects, thresh=1.0
+    )

@@ -1,0 +1,82 @@
+"""Equivalence and behaviour tests for the sparse client-graph builder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DimensionConfig
+from repro.core.dimensions.client import build_client_graph
+from repro.core.dimensions.client_sparse import (
+    build_client_graph_sparse,
+    scipy_available,
+)
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+
+pytestmark = pytest.mark.skipif(
+    not scipy_available(), reason="scipy not installed"
+)
+
+
+def trace_from_visits(visits):
+    """visits: iterable of (client, server) pairs."""
+    return HttpTrace([
+        HttpRequest(
+            timestamp=0.0, client=client, host=server,
+            server_ip="1.1.1.1", uri="/x.html",
+        )
+        for client, server in visits
+    ])
+
+
+def graphs_equal(a, b):
+    if set(a.nodes) != set(b.nodes):
+        return False
+    edges_a = {frozenset((u, v)): w for u, v, w in a.edges()}
+    edges_b = {frozenset((u, v)): w for u, v, w in b.edges()}
+    if set(edges_a) != set(edges_b):
+        return False
+    return all(abs(edges_a[k] - edges_b[k]) < 1e-12 for k in edges_a)
+
+
+class TestEquivalence:
+    def test_simple_pair(self):
+        trace = trace_from_visits([
+            ("c1", "a.com"), ("c2", "a.com"),
+            ("c1", "b.com"), ("c2", "b.com"),
+            ("c3", "c.com"),
+        ])
+        config = DimensionConfig(client_min_edge_weight=1e-9)
+        assert graphs_equal(
+            build_client_graph(trace, config),
+            build_client_graph_sparse(trace, config),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 8)),
+        min_size=1, max_size=60,
+    ))
+    def test_equivalence_property(self, pairs):
+        trace = trace_from_visits(
+            (f"c{c}", f"s{s}.com") for c, s in pairs
+        )
+        for floor in (1e-9, 0.1, 0.5):
+            config = DimensionConfig(client_min_edge_weight=floor)
+            assert graphs_equal(
+                build_client_graph(trace, config),
+                build_client_graph_sparse(trace, config),
+            )
+
+    def test_small_dataset_equivalence(self, small_dataset):
+        from repro.core.preprocess import preprocess
+        prepared, _ = preprocess(small_dataset.trace)
+        dense = build_client_graph(prepared)
+        sparse = build_client_graph_sparse(prepared)
+        assert graphs_equal(dense, sparse)
+
+    def test_empty_ish_trace(self):
+        trace = trace_from_visits([("c1", "only.com")])
+        graph = build_client_graph_sparse(trace)
+        assert set(graph.nodes) == {"only.com"}
+        assert graph.num_edges() == 0

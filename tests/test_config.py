@@ -1,0 +1,97 @@
+"""Unit tests for configuration validation and derivation helpers."""
+
+import pytest
+
+from repro.config import (
+    CorrelationConfig,
+    DimensionConfig,
+    LouvainConfig,
+    PreprocessConfig,
+    PruningConfig,
+    SmashConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestDefaultsMatchPaper:
+    def test_idf_threshold(self):
+        assert PreprocessConfig().idf_threshold == 200  # Appendix A
+
+    def test_filename_cutoff(self):
+        assert DimensionConfig().filename_length_cutoff == 25  # Appendix B
+
+    def test_filename_cosine(self):
+        assert DimensionConfig().filename_cosine_threshold == 0.8  # eq. 4
+
+    def test_whois_two_fields(self):
+        assert DimensionConfig().whois_min_shared_fields == 2
+
+    def test_sigmoid_parameters(self):
+        cfg = CorrelationConfig()
+        assert cfg.mu == 4.0 and cfg.sigma == 5.5  # footnote 6
+
+    def test_thresholds(self):
+        cfg = CorrelationConfig()
+        assert cfg.thresh == 0.8  # Section V-A1
+        assert cfg.single_client_thresh == 1.0  # Appendix C
+
+    def test_default_secondary_dimensions(self):
+        assert SmashConfig().enabled_secondary_dimensions == (
+            "urifile", "ipset", "whois",
+        )
+
+
+class TestValidation:
+    def test_valid_default(self):
+        SmashConfig().validate()
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            PreprocessConfig(idf_threshold=0),
+            PreprocessConfig(min_clients=0),
+            DimensionConfig(filename_length_cutoff=0),
+            DimensionConfig(filename_cosine_threshold=0.0),
+            DimensionConfig(filename_cosine_threshold=1.5),
+            DimensionConfig(whois_min_shared_fields=0),
+            DimensionConfig(min_edge_weight=-1.0),
+            DimensionConfig(client_min_edge_weight=-0.1),
+            DimensionConfig(max_file_server_fraction=0.0),
+            CorrelationConfig(sigma=0.0),
+            CorrelationConfig(thresh=-1.0),
+            PruningConfig(group_share_fraction=0.0),
+            LouvainConfig(max_levels=0),
+            LouvainConfig(max_sweeps=0),
+            LouvainConfig(min_modularity_gain=-1.0),
+            LouvainConfig(min_refine_size=1),
+            LouvainConfig(refine_min_modularity=1.0),
+            LouvainConfig(refine_density_stop=1.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, config):
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ConfigError):
+            SmashConfig(enabled_secondary_dimensions=("urifile", "dns")).validate()
+
+    def test_min_campaign_clients(self):
+        with pytest.raises(ConfigError):
+            SmashConfig(min_campaign_clients=0).validate()
+
+
+class TestDerivation:
+    def test_with_thresh(self):
+        cfg = SmashConfig().with_thresh(1.5)
+        assert cfg.correlation.thresh == 1.5
+        assert cfg.correlation.mu == 4.0  # other parameters preserved
+        assert SmashConfig().correlation.thresh == 0.8  # original untouched
+
+    def test_replace(self):
+        cfg = SmashConfig().replace(min_campaign_clients=5)
+        assert cfg.min_campaign_clients == 5
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SmashConfig().min_campaign_clients = 3  # type: ignore[misc]

@@ -1,0 +1,100 @@
+"""Unit tests for preprocessing (Section III-A)."""
+
+import pytest
+
+from repro.config import PreprocessConfig
+from repro.core.preprocess import aggregate_trace, idf_distribution, preprocess
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+
+
+def request(client, host, uri="/x.html"):
+    return HttpRequest(
+        timestamp=0.0, client=client, host=host, server_ip="1.1.1.1", uri=uri,
+    )
+
+
+class TestAggregateTrace:
+    def test_subdomains_collapse(self):
+        trace = HttpTrace([
+            request("c1", "a.xyz.com"),
+            request("c2", "b.xyz.com"),
+            request("c3", "www.other.net"),
+        ])
+        aggregated = aggregate_trace(trace)
+        assert aggregated.servers == frozenset({"xyz.com", "other.net"})
+
+    def test_ip_servers_untouched(self):
+        trace = HttpTrace([request("c1", "10.1.2.3")])
+        assert aggregate_trace(trace).servers == frozenset({"10.1.2.3"})
+
+    def test_client_sets_merge(self):
+        trace = HttpTrace([request("c1", "a.xyz.com"), request("c2", "b.xyz.com")])
+        aggregated = aggregate_trace(trace)
+        assert aggregated.clients_by_server["xyz.com"] == frozenset({"c1", "c2"})
+
+
+class TestIdfFilter:
+    def make_trace(self, popular_clients=5):
+        requests = [request(f"c{i}", "popular.com") for i in range(popular_clients)]
+        requests.append(request("c0", "rare.com"))
+        return HttpTrace(requests)
+
+    def test_popular_servers_removed(self):
+        trace = self.make_trace(popular_clients=5)
+        kept, report = preprocess(trace, PreprocessConfig(idf_threshold=3))
+        assert kept.servers == frozenset({"rare.com"})
+        assert report.popular_servers_removed == 1
+
+    def test_threshold_inclusive(self):
+        # "more clients than the threshold" are removed; exactly at the
+        # threshold stays.
+        trace = self.make_trace(popular_clients=3)
+        kept, _ = preprocess(trace, PreprocessConfig(idf_threshold=3))
+        assert "popular.com" in kept.servers
+
+    def test_default_threshold_keeps_everything_small(self):
+        trace = self.make_trace()
+        kept, report = preprocess(trace)
+        assert kept.servers == trace.servers
+        assert report.popular_servers_removed == 0
+
+    def test_report_math(self):
+        trace = HttpTrace([
+            request("c1", "a.xyz.com"), request("c2", "b.xyz.com"),
+            *[request(f"c{i}", "big.com") for i in range(10)],
+        ])
+        kept, report = preprocess(trace, PreprocessConfig(idf_threshold=5))
+        assert report.raw_servers == 3
+        assert report.aggregated_servers == 2
+        assert report.kept_servers == 1
+        assert report.raw_requests == 12
+        assert report.kept_requests == 2
+        assert report.aggregation_reduction == pytest.approx(1 / 3)
+        assert report.traffic_reduction == pytest.approx(10 / 12)
+
+    def test_aggregation_can_push_server_over_threshold(self):
+        # Two subdomains with 2 clients each -> one aggregated server with
+        # 4 clients, over a threshold of 3.
+        trace = HttpTrace([
+            request("c1", "a.cdn.com"), request("c2", "a.cdn.com"),
+            request("c3", "b.cdn.com"), request("c4", "b.cdn.com"),
+        ])
+        kept, report = preprocess(trace, PreprocessConfig(idf_threshold=3))
+        assert kept.servers == frozenset()
+        assert report.popular_servers_removed == 1
+
+    def test_aggregation_disabled(self):
+        trace = HttpTrace([request("c1", "a.xyz.com"), request("c2", "b.xyz.com")])
+        kept, _ = preprocess(
+            trace, PreprocessConfig(aggregate_second_level=False)
+        )
+        assert kept.servers == frozenset({"a.xyz.com", "b.xyz.com"})
+
+
+class TestIdfDistribution:
+    def test_counts(self):
+        trace = HttpTrace([
+            request("c1", "a.com"), request("c2", "a.com"), request("c1", "b.com"),
+        ])
+        assert idf_distribution(trace) == {"a.com": 2, "b.com": 1}

@@ -1,0 +1,307 @@
+"""Unit tests for ASH mining, correlation, pruning and inference."""
+
+import math
+
+import pytest
+
+from repro.config import CorrelationConfig, LouvainConfig, PruningConfig
+from repro.core.ashmining import MiningOutcome, mine_herds
+from repro.core.correlation import correlate, phi
+from repro.core.inference import infer_campaigns
+from repro.core.pruning import dominant_referrers, prune_ashes, referrer_host
+from repro.core.results import CandidateAsh, Herd
+from repro.graph.wgraph import WeightedGraph
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+from repro.synth.oracles import RedirectOracle
+
+
+def clique(graph, nodes, weight=1.0):
+    nodes = list(nodes)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            graph.add_edge(u, v, weight)
+
+
+def outcome_from_graph(graph, dimension="client"):
+    return mine_herds(graph, dimension)
+
+
+def make_outcome(herd_servers, dimension, density=1.0):
+    """Hand-build a MiningOutcome with complete-herd graphs."""
+    graph = WeightedGraph()
+    herds = []
+    for index, servers in enumerate(herd_servers):
+        clique(graph, servers)
+        herds.append(
+            Herd(dimension=dimension, index=index, servers=frozenset(servers),
+                 density=density)
+        )
+    return MiningOutcome(
+        herds=tuple(herds), dropped=frozenset(), modularity=0.0, graph=graph,
+    )
+
+
+class TestMineHerds:
+    def test_two_cliques_two_herds(self):
+        graph = WeightedGraph()
+        clique(graph, ["a", "b", "c"])
+        clique(graph, ["x", "y", "z"])
+        outcome = mine_herds(graph, "client")
+        assert len(outcome.herds) == 2
+        assert all(herd.density == 1.0 for herd in outcome.herds)
+        assert outcome.dropped == frozenset()
+
+    def test_isolated_nodes_dropped(self):
+        graph = WeightedGraph()
+        clique(graph, ["a", "b"])
+        graph.add_node("alone")
+        outcome = mine_herds(graph, "client")
+        assert outcome.dropped == frozenset({"alone"})
+
+    def test_herd_of_mapping(self):
+        graph = WeightedGraph()
+        clique(graph, ["a", "b"])
+        outcome = mine_herds(graph, "client")
+        assert outcome.herd_of()["a"].servers == frozenset({"a", "b"})
+
+    def test_refinement_splits_resolution_limit_fusion(self):
+        # A tight clique chained to a long path of weak edges: plain
+        # modularity at small scale may fuse them; refinement must keep
+        # the clique intact as its own herd.
+        graph = WeightedGraph()
+        clique(graph, [f"k{i}" for i in range(6)], weight=1.0)
+        chain = [f"k0"] + [f"p{i}" for i in range(12)]
+        for a, b in zip(chain, chain[1:]):
+            graph.add_edge(a, b, 0.15)
+        outcome = mine_herds(graph, "client")
+        herd_of = outcome.herd_of()
+        clique_herds = {herd_of[f"k{i}"].index for i in range(6)}
+        assert len(clique_herds) == 1  # clique not shredded
+
+    def test_refinement_disabled(self):
+        graph = WeightedGraph()
+        clique(graph, ["a", "b", "c"])
+        outcome = mine_herds(graph, "client", LouvainConfig(refine=False))
+        assert len(outcome.herds) == 1
+
+
+class TestPhi:
+    def test_paper_shape(self):
+        # Phi is the S-shaped normaliser: small herds score low.
+        assert phi(0) < phi(2) < phi(4) < phi(10) < phi(50)
+
+    def test_midpoint_at_mu(self):
+        assert phi(4.0, mu=4.0, sigma=5.5) == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert phi(1000) == pytest.approx(1.0)
+        assert 0.0 < phi(0) < 0.5
+
+    def test_erf_form(self):
+        x, mu, sigma = 7.0, 4.0, 5.5
+        assert phi(x, mu, sigma) == pytest.approx(
+            0.5 * (1 + math.erf((x - mu) / sigma))
+        )
+
+
+class TestCorrelate:
+    def test_single_dimension_large_herd_passes(self):
+        servers = [f"s{i}" for i in range(12)]
+        main = make_outcome([servers], "client")
+        secondary = {"urifile": make_outcome([servers], "urifile")}
+        outcome = correlate(main, secondary, CorrelationConfig())
+        assert all(outcome.scores[s] >= 0.8 for s in servers)
+        assert len(outcome.candidate_ashes) == 1
+
+    def test_small_herd_single_dimension_fails(self):
+        servers = ["s0", "s1", "s2"]
+        main = make_outcome([servers], "client")
+        secondary = {"urifile": make_outcome([servers], "urifile")}
+        outcome = correlate(main, secondary, CorrelationConfig())
+        # Phi(3) ~ 0.43 < 0.8: the paper's "cross check with more
+        # dimensions" requirement.
+        assert outcome.candidate_ashes == ()
+
+    def test_small_herd_two_dimensions_pass(self):
+        servers = ["s0", "s1", "s2", "s3"]
+        main = make_outcome([servers], "client")
+        secondary = {
+            "urifile": make_outcome([servers], "urifile"),
+            "ipset": make_outcome([servers], "ipset"),
+        }
+        outcome = correlate(main, secondary, CorrelationConfig())
+        # 2 x Phi(4) = 1.0 >= 0.8.
+        assert all(outcome.scores[s] >= 0.8 for s in servers)
+        assert len(outcome.candidate_ashes) == 2
+
+    def test_score_accumulates_dimensions(self):
+        servers = [f"s{i}" for i in range(8)]
+        main = make_outcome([servers], "client")
+        secondary = {
+            "urifile": make_outcome([servers], "urifile"),
+            "ipset": make_outcome([servers], "ipset"),
+            "whois": make_outcome([servers], "whois"),
+        }
+        outcome = correlate(main, secondary, CorrelationConfig())
+        expected = 3 * phi(8)
+        assert outcome.scores["s0"] == pytest.approx(expected)
+        assert set(outcome.contributions["s0"]) == {"urifile", "ipset", "whois"}
+
+    def test_intersection_density_ignores_hangers_on(self):
+        # Main herd = campaign clique + loosely attached extras; the
+        # intersection with the secondary herd is just the campaign, and
+        # its density (1.0) is what the score must use.
+        campaign = [f"s{i}" for i in range(10)]
+        extras = [f"x{i}" for i in range(6)]
+        graph = WeightedGraph()
+        clique(graph, campaign, weight=1.0)
+        for extra in extras:
+            graph.add_edge(extra, campaign[0], 0.2)
+        main = MiningOutcome(
+            herds=(Herd(dimension="client", index=0,
+                        servers=frozenset(campaign + extras), density=0.3),),
+            dropped=frozenset(), modularity=0.0, graph=graph,
+        )
+        secondary = {"urifile": make_outcome([campaign], "urifile")}
+        outcome = correlate(main, secondary, CorrelationConfig())
+        assert outcome.scores["s0"] == pytest.approx(phi(10))
+        assert all(extra not in outcome.scores for extra in extras)
+
+    def test_threshold_override(self):
+        servers = [f"s{i}" for i in range(8)]
+        main = make_outcome([servers], "client")
+        secondary = {"urifile": make_outcome([servers], "urifile")}
+        strict = correlate(main, secondary, CorrelationConfig(), thresh=1.5)
+        assert strict.candidate_ashes == ()
+
+    def test_disjoint_herds_no_scores(self):
+        main = make_outcome([["a", "b"]], "client")
+        secondary = {"urifile": make_outcome([["x", "y"]], "urifile")}
+        outcome = correlate(main, secondary, CorrelationConfig())
+        assert outcome.scores == {}
+
+    def test_singleton_survivor_ash_removed(self):
+        # Only one server of the intersection survives the threshold:
+        # the group "with only one server left" must be removed.
+        servers = ["a", "b", "c", "d", "e", "f", "g", "h"]
+        main = make_outcome([servers], "client")
+        secondary = {
+            "urifile": make_outcome([servers[:8]], "urifile"),
+            "ipset": make_outcome([["a", "zz"]], "ipset"),
+        }
+        outcome = correlate(main, secondary, CorrelationConfig(), thresh=0.8)
+        ipset_ashes = [
+            ash for ash in outcome.candidate_ashes
+            if ash.secondary_dimension == "ipset"
+        ]
+        assert ipset_ashes == []
+
+
+def make_request(client, host, referrer="", status=200):
+    return HttpRequest(
+        timestamp=0.0, client=client, host=host, server_ip="1.1.1.1",
+        uri="/x.html", referrer=referrer, status=status,
+    )
+
+
+class TestReferrerHost:
+    def test_url(self):
+        assert referrer_host("http://www.landing.com/index.html") == "landing.com"
+
+    def test_bare_host(self):
+        assert referrer_host("landing.com") == "landing.com"
+
+    def test_empty(self):
+        assert referrer_host("") is None
+
+
+class TestPruning:
+    def test_redirection_group_collapses(self):
+        oracle = RedirectOracle()
+        oracle.add_chain(["hop1.to", "hop2.to", "landing.com"])
+        trace = HttpTrace([make_request("c1", "hop1.to")])
+        ashes = (CandidateAsh(0, "urifile", 0, frozenset({"hop1.to", "hop2.to", "landing.com"})),)
+        pruned, report = prune_ashes(ashes, trace, oracle)
+        # Whole chain maps to the landing server -> singleton -> dropped.
+        assert pruned == ()
+        assert report.dropped_ashes == 1
+        assert report.redirection_replacements["hop1.to"] == "landing.com"
+
+    def test_referrer_group_collapses(self):
+        requests = []
+        for third_party in ("w1.com", "w2.com", "w3.com"):
+            requests.append(
+                make_request("c1", third_party, referrer="http://landing.com/")
+            )
+        trace = HttpTrace(requests)
+        ashes = (CandidateAsh(0, "urifile", 0, frozenset({"w1.com", "w2.com", "w3.com"})),)
+        pruned, report = prune_ashes(ashes, trace, None)
+        assert pruned == ()
+        assert set(report.referrer_replacements) == {"w1.com", "w2.com", "w3.com"}
+
+    def test_partial_chain_keeps_rest(self):
+        oracle = RedirectOracle()
+        oracle.add_chain(["hop1.to", "landing.com"])
+        trace = HttpTrace([make_request("c1", "hop1.to"), make_request("c1", "evil.com")])
+        ashes = (CandidateAsh(0, "urifile", 0, frozenset({"hop1.to", "evil.com"})),)
+        pruned, _ = prune_ashes(ashes, trace, oracle)
+        assert pruned[0].servers == frozenset({"landing.com", "evil.com"})
+
+    def test_pruning_disabled(self):
+        oracle = RedirectOracle()
+        oracle.add_chain(["hop1.to", "landing.com"])
+        trace = HttpTrace([make_request("c1", "hop1.to"), make_request("c1", "x.com")])
+        ashes = (CandidateAsh(0, "urifile", 0, frozenset({"hop1.to", "x.com"})),)
+        config = PruningConfig(
+            prune_redirection_groups=False, prune_referrer_groups=False,
+        )
+        pruned, report = prune_ashes(ashes, trace, oracle, config)
+        assert pruned[0].servers == frozenset({"hop1.to", "x.com"})
+        assert not report.redirection_replacements
+
+    def test_dominant_referrer_needs_majority(self):
+        trace = HttpTrace([
+            make_request("c1", "s.com", referrer="http://landing.com/"),
+            make_request("c2", "s.com"),
+            make_request("c3", "s.com"),
+        ])
+        assert "s.com" not in dominant_referrers(trace)
+
+
+class TestInferCampaigns:
+    def test_merge_by_main_herd(self):
+        # Bagle: download tier and C&C tier are different urifile ASHs in
+        # the same main herd -> one campaign (Section III-E).
+        trace = HttpTrace([
+            make_request("bot1", server)
+            for server in ("dl1.com", "dl2.com", "cc1.com", "cc2.com")
+        ] + [make_request("bot2", server)
+             for server in ("dl1.com", "dl2.com", "cc1.com", "cc2.com")])
+        ashes = (
+            CandidateAsh(0, "urifile", 0, frozenset({"dl1.com", "dl2.com"})),
+            CandidateAsh(0, "urifile", 1, frozenset({"cc1.com", "cc2.com"})),
+            CandidateAsh(1, "ipset", 0, frozenset({"other1.com", "other2.com"})),
+        )
+        main = make_outcome(
+            [["dl1.com", "dl2.com", "cc1.com", "cc2.com"],
+             ["other1.com", "other2.com"]],
+            "client",
+        )
+        campaigns = infer_campaigns(ashes, main, trace, {}, {})
+        assert len(campaigns) == 2
+        merged = next(c for c in campaigns if "dl1.com" in c.servers)
+        assert merged.servers == frozenset({"dl1.com", "dl2.com", "cc1.com", "cc2.com"})
+        assert merged.clients == frozenset({"bot1", "bot2"})
+
+    def test_scores_attached(self):
+        trace = HttpTrace([make_request("c1", "a.com"), make_request("c1", "b.com")])
+        ashes = (CandidateAsh(0, "urifile", 0, frozenset({"a.com", "b.com"})),)
+        main = make_outcome([["a.com", "b.com"]], "client")
+        campaigns = infer_campaigns(
+            ashes, main, trace,
+            scores={"a.com": 1.2, "b.com": 0.9},
+            contributions={"a.com": {"urifile": 1.2}, "b.com": {"urifile": 0.9}},
+        )
+        assert campaigns[0].server_scores["a.com"] == 1.2
+        assert campaigns[0].dimensions_of("a.com") == frozenset({"urifile"})

@@ -1,0 +1,94 @@
+"""Unit tests for the domain substrate (public suffixes, SLD aggregation)."""
+
+import pytest
+
+from repro.domains.names import is_ip_address, normalize_server_name, second_level_domain
+from repro.domains.publicsuffix import PublicSuffixList, default_psl
+
+
+class TestPublicSuffixList:
+    def test_simple_com(self):
+        assert default_psl().public_suffix("a.b.example.com") == "com"
+
+    def test_multi_label_suffix(self):
+        assert default_psl().public_suffix("shop.example.co.uk") == "co.uk"
+
+    def test_free_hosting_suffix(self):
+        # The Zeus case study lives under cz.cc (Table X).
+        assert default_psl().public_suffix("4k0t155m.cz.cc") == "cz.cc"
+
+    def test_unknown_suffix(self):
+        assert default_psl().public_suffix("example.zzinvalid") is None
+
+    def test_registrable_domain_basic(self):
+        assert default_psl().registrable_domain("a.b.xyz.com") == "xyz.com"
+
+    def test_registrable_domain_of_bare_suffix(self):
+        assert default_psl().registrable_domain("co.uk") is None
+
+    def test_registrable_domain_cz_cc(self):
+        assert default_psl().registrable_domain("4k0t155m.cz.cc") == "4k0t155m.cz.cc"
+
+    def test_case_and_dots_normalised(self):
+        assert default_psl().registrable_domain("WWW.Example.COM.") == "example.com"
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            PublicSuffixList([])
+
+    def test_from_lines_skips_comments_and_wildcards(self):
+        psl = PublicSuffixList.from_lines(
+            ["// comment", "", "com", "*.ck", "!www.ck", "co.uk"]
+        )
+        assert psl.suffixes == frozenset({"com", "co.uk"})
+
+
+class TestSecondLevelDomain:
+    def test_cdn_aggregation(self):
+        assert second_level_domain("img3.fbcdn.net") == "fbcdn.net"
+
+    def test_cloud_aggregation(self):
+        assert second_level_domain("eu-west.compute.amazonaws.com") == "amazonaws.com"
+
+    def test_paper_example(self):
+        # "a.xyz.com and b.xyz.com both belong to xyz.com" (Section III-A).
+        assert second_level_domain("a.xyz.com") == second_level_domain("b.xyz.com")
+
+    def test_already_second_level(self):
+        assert second_level_domain("xyz.com") == "xyz.com"
+
+    def test_single_label(self):
+        assert second_level_domain("localhost") == "localhost"
+
+    def test_unknown_tld_falls_back_to_two_labels(self):
+        assert second_level_domain("a.b.example.zzinvalid") == "example.zzinvalid"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            second_level_domain("")
+
+
+class TestIsIpAddress:
+    def test_ipv4(self):
+        assert is_ip_address("192.168.1.1")
+
+    def test_ipv6(self):
+        assert is_ip_address("::1")
+
+    def test_domain(self):
+        assert not is_ip_address("example.com")
+
+    def test_malformed(self):
+        assert not is_ip_address("999.1.1.1")
+
+
+class TestNormalizeServerName:
+    def test_ip_passthrough(self):
+        assert normalize_server_name("10.0.0.1") == "10.0.0.1"
+
+    def test_domain_aggregated_and_lowercased(self):
+        assert normalize_server_name("WWW.Example.COM") == "example.com"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalize_server_name("  ")

@@ -1,0 +1,178 @@
+"""Edge cases and failure injection across the pipeline."""
+
+import pytest
+
+from repro.config import PreprocessConfig, SmashConfig
+from repro.core.pipeline import SmashPipeline
+from repro.errors import PipelineError
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+from repro.synth.oracles import RedirectOracle
+from repro.whois.registry import WhoisRegistry
+
+
+def request(client, host, uri="/x.html", ip="1.1.1.1", **kw):
+    return HttpRequest(
+        timestamp=0.0, client=client, host=host, server_ip=ip, uri=uri, **kw
+    )
+
+
+class TestDegenerateTraces:
+    def test_everything_filtered_by_idf(self):
+        """A trace of one hugely popular server yields no campaigns."""
+        trace = HttpTrace([request(f"c{i}", "giant.com") for i in range(50)])
+        config = SmashConfig().replace(
+            preprocess=PreprocessConfig(idf_threshold=10)
+        )
+        result = SmashPipeline(config).run(trace)
+        assert result.campaigns == ()
+        assert result.detected_servers == frozenset()
+
+    def test_single_request_trace(self):
+        result = SmashPipeline().run(HttpTrace([request("c1", "only.com")]))
+        assert result.campaigns == ()
+        assert "only.com" in result.main_dimension_dropped
+
+    def test_all_servers_one_client(self):
+        """Everything collapses into one single-client herd; nothing has
+        secondary-dimension support, so nothing is flagged."""
+        trace = HttpTrace([
+            request("c1", f"site{i}.com", uri=f"/page{i}.html", ip=f"9.9.9.{i}")
+            for i in range(10)
+        ])
+        result = SmashPipeline().run(trace)
+        assert result.detected_servers == frozenset()
+        herds = result.herds_by_dimension["client"]
+        assert len(herds) == 1 and len(herds[0].servers) == 10
+
+    def test_ip_literal_servers_flow_through(self):
+        """IP-only campaigns work end to end (servers are 'both IP
+        addresses and domain names', Section I footnote)."""
+        requests = []
+        for bot in ("b1", "b2"):
+            for index in range(8):
+                requests.append(
+                    request(bot, f"10.0.0.{index + 1}", uri="/gate.php",
+                            ip=f"10.0.0.{index + 1}")
+                )
+        # Enough benign servers that the campaign file is not "ubiquitous"
+        # by fraction, and bots are not the only clients in the universe.
+        for i in range(40):
+            requests.append(
+                request(f"x{i % 8}", f"benign{i}.com", uri=f"/p{i}.html",
+                        ip=f"11.0.0.{i + 1}")
+            )
+        result = SmashPipeline().run(HttpTrace(requests))
+        detected = result.detected_servers
+        assert {f"10.0.0.{i + 1}" for i in range(8)} <= detected
+
+    def test_trace_without_referrers_prunes_nothing(self):
+        trace = HttpTrace([request("c1", "a.com"), request("c1", "b.com")])
+        result = SmashPipeline().run(trace)
+        assert result.prune_report.referrer_replacements == {}
+
+    def test_unknown_redirect_oracle_servers_harmless(self):
+        oracle = RedirectOracle()
+        oracle.add_chain(["not-in-trace.to", "also-not.com"])
+        trace = HttpTrace([request("c1", "a.com"), request("c2", "a.com")])
+        result = SmashPipeline().run(trace, redirects=oracle)
+        assert result.campaigns == ()
+
+
+class TestWhoisEdgeCases:
+    def test_empty_registry(self):
+        trace = HttpTrace([request("c1", "a.com"), request("c2", "b.com")])
+        result = SmashPipeline().run(trace, whois=WhoisRegistry())
+        assert "whois" in result.herds_by_dimension
+        assert result.herds_by_dimension["whois"] == ()
+
+    def test_registry_for_unrelated_domains(self, small_dataset):
+        """A registry of irrelevant records changes nothing."""
+        from repro.whois.record import WhoisRecord
+        registry = WhoisRegistry([WhoisRecord(domain="unrelated.example")])
+        result = SmashPipeline().run(small_dataset.trace, whois=registry)
+        assert isinstance(result.detected_servers, frozenset)
+
+
+class TestThresholdExtremes:
+    def test_zero_threshold_detects_supersets(self, small_dataset):
+        pipeline = SmashPipeline()
+        loose = pipeline.run(
+            small_dataset.trace, whois=small_dataset.whois,
+            redirects=small_dataset.redirects, thresh=0.0,
+        )
+        strict = pipeline.run(
+            small_dataset.trace, whois=small_dataset.whois,
+            redirects=small_dataset.redirects, thresh=0.8,
+        )
+        assert strict.detected_servers <= loose.detected_servers
+
+    def test_huge_threshold_detects_nothing(self, small_dataset):
+        result = SmashPipeline().run(
+            small_dataset.trace, whois=small_dataset.whois,
+            redirects=small_dataset.redirects, thresh=100.0,
+        )
+        assert result.detected_servers == frozenset()
+        assert result.campaigns == ()
+
+    def test_scores_independent_of_threshold(self, small_dataset):
+        pipeline = SmashPipeline()
+        mined = pipeline.mine(small_dataset.trace, whois=small_dataset.whois)
+        low = pipeline.finish(mined, thresh=0.5)
+        high = pipeline.finish(mined, thresh=1.5)
+        assert low.scores == high.scores
+
+
+class TestEvasionScenarios:
+    """Section VI's evasion discussion, executable."""
+
+    def make_campaign_trace(self, extra_requests=()):
+        requests = []
+        servers = [f"evil{i}.com" for i in range(8)]
+        for bot in ("b1", "b2"):
+            for server in servers:
+                requests.append(request(bot, server, uri="/gate.php", ip="6.6.6.6"))
+        for i in range(8):
+            requests.append(request(f"x{i}", "benign.com", uri=f"/p{i}.html"))
+        requests.extend(extra_requests)
+        return HttpTrace(requests), servers
+
+    def test_baseline_campaign_detected(self):
+        trace, servers = self.make_campaign_trace()
+        result = SmashPipeline().run(trace)
+        assert set(servers) <= result.detected_servers
+
+    def test_bots_visiting_benign_sites_does_not_hide_campaign(self):
+        """Evading the main dimension by blending: bots also visit benign
+        servers; those have other clients, so eq. 1 keeps them apart."""
+        extra = []
+        for bot in ("b1", "b2"):
+            for i in range(4):
+                extra.append(request(bot, f"blend{i}.com", uri="/index.html"))
+        # The blend targets have a real audience.
+        for i in range(4):
+            for j in range(10):
+                extra.append(request(f"aud{j}", f"blend{i}.com", uri=f"/q{j}.html"))
+        trace, servers = self.make_campaign_trace(extra)
+        result = SmashPipeline().run(trace)
+        assert set(servers) <= result.detected_servers
+        # The blended benign servers do not get dragged in.
+        assert not any(f"blend{i}.com" in result.detected_servers for i in range(4))
+
+    def test_splitting_filenames_evades_urifile_dimension(self):
+        """Evading the URI-file dimension: per-server filenames kill the
+        file herd; with no other secondary dimension the campaign drops
+        below thresh (the cost the paper says attackers must pay)."""
+        requests = []
+        for bot in ("b1", "b2"):
+            for index in range(8):
+                requests.append(
+                    request(bot, f"evade{index}.com", uri=f"/u{index}.php",
+                            ip=f"7.7.7.{index}")
+                )
+        for i in range(8):
+            requests.append(request(f"x{i}", "benign.com", uri=f"/p{i}.html"))
+        result = SmashPipeline().run(HttpTrace(requests))
+        assert not any(
+            f"evade{i}.com" in result.detected_servers for i in range(8)
+        )

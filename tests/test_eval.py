@@ -1,0 +1,207 @@
+"""Tests for the evaluation harness: verification, figures, tables."""
+
+import pytest
+
+from repro.core.pipeline import SmashPipeline
+from repro.core.results import Campaign
+from repro.eval.figures import (
+    dimension_decomposition,
+    idf_series,
+    main_herd_taxonomy,
+    malicious_filename_lengths,
+    persistence_series_detailed,
+    size_distributions,
+)
+from repro.eval.tables import render_mapping, render_table
+from repro.eval.verification import ServerLabel, Verifier
+
+
+@pytest.fixture(scope="module")
+def verifier(small_dataset):
+    return Verifier(small_dataset)
+
+
+@pytest.fixture(scope="module")
+def summary(verifier, small_result):
+    return verifier.verify(small_result, thresh=0.8, min_clients=2)
+
+
+@pytest.fixture(scope="module")
+def summary_single(verifier, small_result_single):
+    return verifier.verify(
+        small_result_single, thresh=1.0, min_clients=1, max_clients=1
+    )
+
+
+class TestVerifier:
+    def test_ids2013_excludes_ids2012(self, verifier):
+        assert not (verifier.ids2013_servers & verifier.ids2012_servers)
+
+    def test_campaign_counts_sum(self, summary):
+        assert sum(
+            count for verdict, count in summary.campaign_counts.items()
+            if verdict != "false_positive_noisy"
+        ) == summary.num_campaigns
+
+    def test_server_labels_cover_all_campaign_servers(self, summary):
+        labelled = sum(
+            summary.server_counts[label.value] for label in ServerLabel
+        )
+        assert labelled == summary.num_servers
+
+    def test_zeus_campaign_is_ids2013_total(self, small_dataset, summary):
+        zeus = next(
+            c for c in small_dataset.truth.campaigns if c.name == "small-zeus"
+        )
+        verdicts = [
+            v.verdict for v in summary.verdicts
+            if zeus.servers <= v.campaign.servers
+        ]
+        assert verdicts == ["ids2013_total"]
+
+    def test_new_servers_found(self, summary):
+        # The iframe campaign has 2 IDS-known victims; the rest must be
+        # confirmed as "New Servers" through shared UA/path patterns.
+        assert summary.server_counts[ServerLabel.NEW_SERVER.value] > 0
+
+    def test_fp_updated_not_larger_than_fp(self, summary):
+        assert summary.fp_campaigns_updated <= summary.fp_campaigns
+        assert summary.fp_servers_updated <= summary.fp_servers
+
+    def test_fp_rate_definition(self, summary):
+        assert summary.fp_rate == pytest.approx(
+            summary.fp_servers / summary.total_trace_servers
+        )
+
+    def test_table_rows_well_formed(self, summary):
+        row2 = summary.table2_row()
+        row3 = summary.table3_row()
+        assert row2["SMASH"] == summary.num_campaigns
+        assert row3["SMASH"] == summary.num_servers
+        assert all(isinstance(v, int) for v in row2.values())
+
+    def test_single_client_track(self, summary_single):
+        assert all(
+            v.campaign.num_clients == 1 for v in summary_single.verdicts
+        )
+
+    def test_false_negatives_reports_missed_threats(
+        self, verifier, small_dataset, small_result
+    ):
+        # small-fn is 60% covered by 2012 signatures and missed by SMASH,
+        # so its threat group must appear in the FN analysis.
+        missed = verifier.false_negatives(small_result)
+        assert "small-fn" in missed
+
+
+class TestVerdictPrecedence:
+    def make_campaign(self, servers):
+        return Campaign(
+            campaign_id=0, main_index=0,
+            servers=frozenset(servers), clients=frozenset({"c1", "c2"}),
+        )
+
+    def test_suspicious_requires_dead_majority(self, small_dataset, verifier):
+        dead = sorted(small_dataset.liveness.dead_servers)
+        unconfirmed_dead = [
+            s for s in dead
+            if s not in verifier.ids2012_servers
+            and s not in verifier.ids2013_servers
+            and not small_dataset.blacklists.is_confirmed(s)
+        ]
+        if len(unconfirmed_dead) >= 2:
+            campaign = self.make_campaign(unconfirmed_dead[:2])
+            assert verifier._campaign_verdict(campaign) == "suspicious"
+
+    def test_false_positive_for_benign(self, small_dataset, verifier):
+        benign = sorted(
+            small_dataset.truth.benign_servers
+            - small_dataset.truth.noise_servers
+            - small_dataset.liveness.dead_servers
+        )[:3]
+        campaign = self.make_campaign(benign)
+        assert verifier._campaign_verdict(campaign) == "false_positive"
+
+
+class TestFigures:
+    def test_size_distributions(self):
+        campaigns = [
+            Campaign(campaign_id=i, main_index=i,
+                     servers=frozenset({f"s{i}a", f"s{i}b"}),
+                     clients=frozenset({f"c{j}" for j in range(i + 1)}))
+            for i in range(4)
+        ]
+        dist = size_distributions(campaigns)
+        assert dist.campaign_sizes == [2, 2, 2, 2]
+        assert dist.client_counts == [1, 2, 3, 4]
+        assert dist.fraction_single_client() == 0.25
+        assert dist.fraction_small_campaigns(18) == 1.0
+
+    def test_persistence_series(self):
+        def campaign(servers, clients):
+            return Campaign(campaign_id=0, main_index=0,
+                            servers=frozenset(servers), clients=frozenset(clients))
+
+        day0 = [campaign({"a", "b"}, {"c1"})]
+        day1 = [
+            campaign({"a", "b"}, {"c1"}),        # persistent
+            campaign({"x", "y"}, {"c1"}),        # agile: new servers, old client
+            campaign({"p", "q"}, {"c9"}),        # brand new
+        ]
+        series = persistence_series_detailed([day0, day1])
+        assert series[0].new_servers_new_clients == 2
+        assert series[1].old_servers == 2
+        assert series[1].new_servers_old_clients == 2
+        assert series[1].new_servers_new_clients == 2
+
+    def test_dimension_decomposition_sums_to_one(self, small_result):
+        decomposition = dimension_decomposition(small_result)
+        assert decomposition
+        assert sum(decomposition.values()) == pytest.approx(1.0)
+        for combo in decomposition:
+            dims = set(combo.split("+"))
+            assert dims <= {"urifile", "ipset", "whois"}
+
+    def test_idf_series(self, small_dataset):
+        all_series, malicious_series = idf_series(
+            small_dataset.trace, small_dataset.ids2013
+        )
+        assert all_series[-1][1] == pytest.approx(1.0)
+        assert malicious_series
+        # Malicious servers sit in the low-popularity region (Figure 9).
+        max_malicious = max(v for v, _ in malicious_series)
+        max_all = max(v for v, _ in all_series)
+        assert max_malicious <= max_all
+
+    def test_malicious_filename_lengths(self, small_dataset):
+        lengths = malicious_filename_lengths(
+            small_dataset.trace, small_dataset.ids2013
+        )
+        assert lengths
+        assert all(isinstance(v, int) and v >= 1 for v in lengths)
+
+    def test_taxonomy_fractions(self, small_dataset, small_result):
+        taxonomy = main_herd_taxonomy(small_result, small_dataset)
+        if taxonomy:
+            assert sum(taxonomy.values()) == pytest.approx(1.0)
+            assert set(taxonomy) <= {
+                "malicious", "referrer", "redirection", "similar_content", "unknown",
+            }
+
+
+class TestTables:
+    def test_render_table(self):
+        text = render_table(
+            "Thresh", ["SMASH", "FP"],
+            {"0.5": {"SMASH": 30, "FP": 8}, "0.8": {"SMASH": 17, "FP": 3}},
+        )
+        assert "Thresh" in text and "0.5" in text and "30" in text
+        lines = text.splitlines()
+        assert len(lines) == 4
+
+    def test_render_mapping(self):
+        text = render_mapping("Decomposition", {"urifile": 0.5371, "all": 0.1505})
+        assert "0.5371" in text
+
+    def test_render_mapping_empty(self):
+        assert "empty" in render_mapping("x", {})

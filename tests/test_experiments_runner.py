@@ -1,0 +1,60 @@
+"""Smoke tests for the experiment registry at reduced scale.
+
+The full-scale runner is exercised by ``benchmarks/``; here we verify the
+plumbing (dataset/mining/result caching, table shapes) on tiny scenarios
+so the unit suite stays fast.
+"""
+
+import pytest
+
+from repro.eval.experiments import THRESHOLDS, ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.04)
+
+
+class TestRunnerPlumbing:
+    def test_dataset_cached(self, runner):
+        assert runner.dataset("2011") is runner.dataset("2011")
+
+    def test_unknown_dataset(self, runner):
+        with pytest.raises(KeyError):
+            runner.dataset("1999")
+
+    def test_mined_cached(self, runner):
+        assert runner.mined("2011") is runner.mined("2011")
+
+    def test_result_cached_per_threshold(self, runner):
+        a = runner.result("2011", 0.8)
+        b = runner.result("2011", 0.8)
+        c = runner.result("2011", 1.5)
+        assert a is b
+        assert a is not c
+
+    def test_verification_rows(self, runner):
+        summary = runner.verification("2011", 0.8)
+        row = summary.table2_row()
+        assert set(row) >= {"SMASH", "False Positives", "FP (Updated)"}
+
+    def test_table2_structure(self, runner):
+        table = runner.table2()
+        assert set(table) == {"Data2011day", "Data2012day"}
+        for sweep in table.values():
+            assert set(sweep) == set(THRESHOLDS)
+
+    def test_fig8_fractions(self, runner):
+        decomposition = runner.fig8()
+        if decomposition:
+            assert sum(decomposition.values()) == pytest.approx(1.0)
+
+    def test_table4_categories(self, runner):
+        table = runner.table4()
+        assert set(table) == {"Communication", "Attacking"}
+
+    def test_false_negatives_structure(self, runner):
+        missed = runner.false_negatives()
+        for threat, servers in missed.items():
+            assert isinstance(threat, str)
+            assert servers

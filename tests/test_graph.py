@@ -1,0 +1,244 @@
+"""Unit tests for the graph substrate: WeightedGraph, modularity, Louvain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LouvainConfig
+from repro.errors import GraphError
+from repro.graph.components import connected_components
+from repro.graph.louvain import louvain_communities
+from repro.graph.modularity import modularity
+from repro.graph.wgraph import WeightedGraph
+
+
+def clique(nodes, weight=1.0, graph=None):
+    # `graph or WeightedGraph()` would discard an *empty* caller graph
+    # (WeightedGraph is falsy when it has no nodes).
+    graph = graph if graph is not None else WeightedGraph()
+    nodes = list(nodes)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            graph.add_edge(u, v, weight)
+    return graph
+
+
+class TestWeightedGraph:
+    def test_add_edge_creates_nodes(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 2.0)
+        assert "a" in g and "b" in g
+        assert g.edge_weight("a", "b") == 2.0
+        assert g.edge_weight("b", "a") == 2.0
+
+    def test_add_edge_accumulates(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 0.5)
+        assert g.edge_weight("a", "b") == 1.5
+        assert g.num_edges() == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph().add_edge("a", "b", -1.0)
+
+    def test_self_loop_degree_doubles(self):
+        g = WeightedGraph()
+        g.add_edge("a", "a", 2.0)
+        assert g.degree("a") == 4.0
+        assert g.total_weight == 2.0
+
+    def test_degree_sums_weights(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "c", 0.5)
+        assert g.degree("a") == 1.5
+
+    def test_degree_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            WeightedGraph().degree("nope")
+
+    def test_remove_node(self):
+        g = clique("abc")
+        g.remove_node("a")
+        assert "a" not in g
+        assert g.total_weight == pytest.approx(1.0)
+        assert g.num_edges() == 1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(GraphError):
+            WeightedGraph().remove_node("x")
+
+    def test_edges_iterates_each_once(self):
+        g = clique("abcd")
+        assert len(list(g.edges())) == 6
+        assert g.num_edges() == 6
+
+    def test_subgraph(self):
+        g = clique("abcd")
+        sub = g.subgraph(["a", "b", "zz"])
+        assert len(sub) == 2
+        assert sub.edge_weight("a", "b") == 1.0
+        assert sub.num_edges() == 1
+
+    def test_density_complete(self):
+        assert clique("abcd").density() == 1.0
+
+    def test_density_paper_formula(self):
+        # 2|e| / (|v|(|v|-1)); 4 nodes, 2 edges -> 4/12.
+        g = WeightedGraph()
+        g.add_edge("a", "b")
+        g.add_edge("c", "d")
+        assert g.density() == pytest.approx(2 * 2 / (4 * 3))
+
+    def test_density_small_graphs(self):
+        assert WeightedGraph().density() == 0.0
+        g = WeightedGraph()
+        g.add_node("a")
+        assert g.density() == 0.0
+
+    def test_total_weight_tracks_removals(self):
+        g = clique("abc", weight=2.0)
+        assert g.total_weight == pytest.approx(6.0)
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b")
+        g.add_edge("c", "d")
+        g.add_node("e")
+        components = connected_components(g)
+        assert sorted(map(sorted, components)) == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_empty(self):
+        assert connected_components(WeightedGraph()) == []
+
+
+class TestModularity:
+    def test_single_community_is_zero(self):
+        g = clique("abcd")
+        q = modularity(g, {n: 0 for n in "abcd"})
+        assert q == pytest.approx(0.0)
+
+    def test_two_cliques_partition_positive(self):
+        g = clique("abc")
+        clique("xyz", graph=g)
+        g.add_edge("a", "x", 0.1)
+        partition = {n: 0 for n in "abc"} | {n: 1 for n in "xyz"}
+        assert modularity(g, partition) > 0.3
+
+    def test_bad_partition_worse_than_good(self):
+        g = clique("abc")
+        clique("xyz", graph=g)
+        g.add_edge("a", "x", 0.1)
+        good = {n: 0 for n in "abc"} | {n: 1 for n in "xyz"}
+        bad = {n: 0 for n in "abx"} | {n: 1 for n in "cyz"}
+        assert modularity(g, good) > modularity(g, bad)
+
+    def test_missing_node_raises(self):
+        g = clique("ab")
+        with pytest.raises(GraphError):
+            modularity(g, {"a": 0})
+
+    def test_empty_graph(self):
+        assert modularity(WeightedGraph(), {}) == 0.0
+
+    def test_range(self):
+        g = clique("abcde")
+        q = modularity(g, {n: i for i, n in enumerate("abcde")})
+        assert -1.0 <= q <= 1.0
+
+
+class TestLouvain:
+    def test_two_cliques_separate(self):
+        g = clique("abcd")
+        clique("wxyz", graph=g)
+        g.add_edge("a", "w", 0.05)
+        result = louvain_communities(g)
+        assert frozenset("abcd") in result.communities
+        assert frozenset("wxyz") in result.communities
+
+    def test_ring_of_cliques(self):
+        g = WeightedGraph()
+        cliques = [[f"{i}{ch}" for ch in "abcd"] for i in range(4)]
+        for members in cliques:
+            clique(members, graph=g)
+        for i in range(4):
+            g.add_edge(cliques[i][0], cliques[(i + 1) % 4][1], 0.05)
+        result = louvain_communities(g)
+        for members in cliques:
+            assert frozenset(members) in result.communities
+
+    def test_empty_graph(self):
+        result = louvain_communities(WeightedGraph())
+        assert result.communities == ()
+        assert result.modularity == 0.0
+
+    def test_isolated_nodes_are_singletons(self):
+        g = WeightedGraph()
+        g.add_node("lonely")
+        g.add_edge("a", "b")
+        result = louvain_communities(g)
+        assert frozenset({"lonely"}) in result.communities
+
+    def test_deterministic(self):
+        def build():
+            g = clique("abcd")
+            clique("wxyz", graph=g)
+            g.add_edge("a", "w", 0.05)
+            return g
+
+        first = louvain_communities(build())
+        second = louvain_communities(build())
+        assert first.communities == second.communities
+        assert first.modularity == second.modularity
+
+    def test_partition_matches_communities(self):
+        g = clique("abcd")
+        clique("wxyz", graph=g)
+        result = louvain_communities(g)
+        for node, index in result.partition.items():
+            assert node in result.communities[index]
+
+    def test_community_of(self):
+        g = clique("ab")
+        result = louvain_communities(g)
+        assert result.community_of("a") == result.community_of("b")
+
+    def test_modularity_not_worse_than_trivial(self):
+        g = clique("abc")
+        clique("xyz", graph=g)
+        g.add_edge("a", "x", 0.2)
+        result = louvain_communities(g)
+        assert result.modularity >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=40,
+    ))
+    def test_partition_covers_all_nodes(self, edges):
+        g = WeightedGraph()
+        for u, v in edges:
+            g.add_edge(f"n{u}", f"n{v}", 1.0)
+        result = louvain_communities(g)
+        covered = {node for community in result.communities for node in community}
+        assert covered == set(g.nodes)
+        assert -1.0 <= result.modularity <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 5))
+    def test_disconnected_cliques_always_recovered(self, num_cliques, size):
+        g = WeightedGraph()
+        expected = []
+        for c in range(num_cliques):
+            members = [f"c{c}n{i}" for i in range(size)]
+            clique(members, graph=g)
+            expected.append(frozenset(members))
+        result = louvain_communities(g)
+        for community in expected:
+            assert community in result.communities
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            louvain_communities(WeightedGraph(), LouvainConfig(max_levels=0))

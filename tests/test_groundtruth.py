@@ -1,0 +1,124 @@
+"""Unit tests for the IDS and blacklist ground-truth substrate."""
+
+import pytest
+
+from repro.groundtruth.blacklist import BlacklistAggregator, BlacklistService
+from repro.groundtruth.ids import SignatureIds
+from repro.groundtruth.labels import Signature, ThreatLabel
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+
+LABEL = ThreatLabel(threat_id="testbot", category="cnc")
+
+
+def request(host="evil.com", uri="/gate.php?id=1", ua="Bot/1"):
+    return HttpRequest(
+        timestamp=0.0, client="c1", host=host, server_ip="1.2.3.4",
+        uri=uri, user_agent=ua,
+    )
+
+
+class TestThreatLabel:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            ThreatLabel(threat_id="", category="cnc")
+
+
+class TestSignature:
+    def test_requires_a_criterion(self):
+        with pytest.raises(ValueError):
+            Signature(label=LABEL)
+
+    def test_server_signature(self):
+        sig = Signature(label=LABEL, server="evil.com")
+        assert sig.matches(request())
+        assert not sig.matches(request(host="good.com"))
+
+    def test_server_signature_uses_mapped_name(self):
+        sig = Signature(label=LABEL, server="evil.com")
+        assert sig.matches(request(host="www.evil.com"), server_name="evil.com")
+
+    def test_protocol_signature(self):
+        sig = Signature(label=LABEL, uri_file="gate.php", user_agent="Bot/1")
+        assert sig.matches(request())
+        assert sig.matches(request(host="anything.com"))
+        assert not sig.matches(request(ua="Mozilla/5.0"))
+        assert not sig.matches(request(uri="/other.php"))
+
+    def test_parameter_signature_sorted(self):
+        sig = Signature(label=LABEL, parameter_names=("id", "e", "p"))
+        assert sig.parameter_names == ("e", "id", "p")
+        assert sig.matches(request(uri="/x.php?p=1&id=2&e=3"))
+        assert not sig.matches(request(uri="/x.php?p=1"))
+
+
+class TestSignatureIds:
+    def make_trace(self):
+        return HttpTrace([
+            request(host="www.evil.com"),
+            request(host="good.com", ua="Mozilla/5.0", uri="/page.html"),
+            request(host="proto.com", uri="/gate.php?x=1", ua="Bot/1"),
+        ])
+
+    def test_label_servers_with_mapper(self):
+        ids = SignatureIds("test", [Signature(label=LABEL, server="evil.com")])
+        labels = ids.label_servers(self.make_trace(), lambda h: h.removeprefix("www."))
+        assert set(labels) == {"evil.com"}
+
+    def test_protocol_signature_hits_unknown_server(self):
+        ids = SignatureIds("test", [
+            Signature(label=LABEL, uri_file="gate.php", user_agent="Bot/1"),
+        ])
+        detected = ids.detected_servers(self.make_trace())
+        assert "proto.com" in detected
+        assert "good.com" not in detected
+
+    def test_threat_groups(self):
+        other = ThreatLabel(threat_id="other", category="cnc")
+        ids = SignatureIds("test", [
+            Signature(label=LABEL, server="www.evil.com"),
+            Signature(label=other, server="proto.com"),
+        ])
+        groups = ids.threat_groups(self.make_trace())
+        assert groups["testbot"] == frozenset({"www.evil.com"})
+        assert groups["other"] == frozenset({"proto.com"})
+
+    def test_len(self):
+        assert len(SignatureIds("t", [Signature(label=LABEL, server="x")])) == 1
+
+
+class TestBlacklistAggregator:
+    def test_primary_confirms_alone(self):
+        agg = BlacklistAggregator(
+            primary=[BlacklistService.from_servers("mdl", ["bad.com"])],
+        )
+        assert agg.is_confirmed("bad.com")
+        assert not agg.is_confirmed("good.com")
+
+    def test_aggregated_needs_two_votes(self):
+        # The paper requires >= 2 of the 78 WhatIsMyIPAddress feeds.
+        agg = BlacklistAggregator(
+            aggregated_feeds=[
+                BlacklistService.from_servers("feed1", ["one.com", "two.com"]),
+                BlacklistService.from_servers("feed2", ["two.com"]),
+            ],
+        )
+        assert not agg.is_confirmed("one.com")
+        assert agg.is_confirmed("two.com")
+        assert agg.vote_count("two.com") == 2
+
+    def test_confirmed_among(self):
+        agg = BlacklistAggregator(
+            primary=[BlacklistService.from_servers("mdl", ["bad.com"])],
+        )
+        assert agg.confirmed_among(["bad.com", "good.com"]) == frozenset({"bad.com"})
+
+    def test_listing_services(self):
+        agg = BlacklistAggregator.from_mapping(
+            {"mdl": ["bad.com"]}, {"feed1": ["bad.com"]},
+        )
+        assert set(agg.listing_services("bad.com")) == {"mdl", "feed1"}
+
+    def test_invalid_votes(self):
+        with pytest.raises(ValueError):
+            BlacklistAggregator(min_aggregated_votes=0)

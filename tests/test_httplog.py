@@ -1,0 +1,203 @@
+"""Unit tests for the HTTP-log substrate: URIs, records, traces, loader."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.httplog.loader import read_jsonl, write_jsonl
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+from repro.httplog.uri import query_parameter_names, split_uri, uri_file
+
+
+def make_request(**overrides):
+    defaults = dict(
+        timestamp=1.0,
+        client="c1",
+        host="example.com",
+        server_ip="1.2.3.4",
+        uri="/images/news.php?p=1&id=2",
+    )
+    defaults.update(overrides)
+    return HttpRequest(**defaults)
+
+
+class TestSplitUri:
+    def test_basic(self):
+        parts = split_uri("/images/news.php?p=1&id=2")
+        assert parts.path == "/images/"
+        assert parts.filename == "news.php"
+        assert parts.query == "p=1&id=2"
+
+    def test_root(self):
+        parts = split_uri("/")
+        assert (parts.path, parts.filename, parts.query) == ("/", "", "")
+
+    def test_no_query(self):
+        assert split_uri("/a/b.html").query == ""
+
+    def test_fragment_stripped(self):
+        assert split_uri("/a/b.html#frag").filename == "b.html"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            split_uri("")
+
+    def test_no_slash(self):
+        parts = split_uri("weird.php?x=1")
+        assert parts.filename == "weird.php"
+        assert parts.query == "x=1"
+
+
+class TestUriFile:
+    def test_paper_definition(self):
+        # "substring of a URI starting from the last '/' until the end
+        # before the question mark" (Section III-B2).
+        assert uri_file("/images/news.php?p=16435&id=21799517&e=0") == "news.php"
+
+    def test_directory_maps_to_slash(self):
+        # Sality C&C domains share the "/" file (Table VIII).
+        assert uri_file("/") == "/"
+        assert uri_file("/images/") == "/"
+
+    def test_deep_path(self):
+        assert uri_file("/wp-content/uploads/sm3.php") == "sm3.php"
+
+
+class TestQueryParameterNames:
+    def test_bagle_pattern(self):
+        # Bagle C&C pattern "p=[]&id=[]&e=[]" (Table VII).
+        assert query_parameter_names("/news.php?p=1&id=2&e=0") == ("e", "id", "p")
+
+    def test_no_query(self):
+        assert query_parameter_names("/a.html") == ()
+
+    def test_deduplicated(self):
+        assert query_parameter_names("/x?a=1&a=2&b=3") == ("a", "b")
+
+
+class TestHttpRequest:
+    def test_uri_file_property(self):
+        assert make_request().uri_file == "news.php"
+
+    def test_parameter_names_property(self):
+        assert make_request().parameter_names == ("id", "p")
+
+    def test_is_error(self):
+        assert make_request(status=404).is_error
+        assert make_request(status=503).is_error
+        assert not make_request(status=200).is_error
+        assert not make_request(status=302).is_error
+
+    def test_relative_uri_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(uri="news.php")
+
+    def test_empty_client_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(client="")
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(host="")
+
+    def test_dict_round_trip(self):
+        request = make_request(user_agent="Bot/1", referrer="http://r/", status=302)
+        assert HttpRequest.from_dict(request.to_dict()) == request
+
+
+class TestHttpTrace:
+    def make_trace(self):
+        return HttpTrace(
+            [
+                make_request(client="c1", host="a.com", server_ip="1.1.1.1", uri="/x.php"),
+                make_request(client="c2", host="a.com", server_ip="1.1.1.2", uri="/y.php"),
+                make_request(client="c1", host="b.com", server_ip="2.2.2.2", uri="/x.php"),
+            ]
+        )
+
+    def test_clients_by_server(self):
+        trace = self.make_trace()
+        assert trace.clients_by_server["a.com"] == frozenset({"c1", "c2"})
+        assert trace.clients_by_server["b.com"] == frozenset({"c1"})
+
+    def test_files_by_server(self):
+        trace = self.make_trace()
+        assert trace.files_by_server["a.com"] == frozenset({"x.php", "y.php"})
+
+    def test_ips_by_server(self):
+        assert self.make_trace().ips_by_server["a.com"] == frozenset({"1.1.1.1", "1.1.1.2"})
+
+    def test_servers_by_client(self):
+        assert self.make_trace().servers_by_client["c1"] == frozenset({"a.com", "b.com"})
+
+    def test_stats(self):
+        stats = self.make_trace().stats()
+        assert stats.num_clients == 2
+        assert stats.num_requests == 3
+        assert stats.num_servers == 2
+        # Distinct (server, file) pairs: a.com x 2 + b.com x 1.
+        assert stats.num_uri_files == 3
+
+    def test_map_hosts(self):
+        mapped = self.make_trace().map_hosts(lambda h: "x-" + h)
+        assert mapped.servers == frozenset({"x-a.com", "x-b.com"})
+        # Original trace untouched.
+        assert self.make_trace().servers == frozenset({"a.com", "b.com"})
+
+    def test_filter_servers(self):
+        kept = self.make_trace().filter_servers(lambda h: h == "a.com")
+        assert kept.servers == frozenset({"a.com"})
+        assert len(kept) == 2
+
+    def test_restrict_to_servers(self):
+        kept = self.make_trace().restrict_to_servers(["b.com"])
+        assert kept.servers == frozenset({"b.com"})
+
+    def test_concat(self):
+        trace = self.make_trace()
+        combined = HttpTrace.concat([trace, trace])
+        assert len(combined) == 6
+
+    def test_equality_and_hash(self):
+        assert self.make_trace() == self.make_trace()
+        assert hash(self.make_trace()) == hash(self.make_trace())
+
+    def test_time_window(self):
+        trace = HttpTrace([make_request(timestamp=5.0), make_request(timestamp=2.0)])
+        assert trace.time_window() == (2.0, 5.0)
+
+    def test_time_window_empty_raises(self):
+        with pytest.raises(TraceError):
+            HttpTrace([]).time_window()
+
+    def test_rejects_non_requests(self):
+        with pytest.raises(TraceError):
+            HttpTrace(["not a request"])  # type: ignore[list-item]
+
+
+class TestLoader:
+    def test_round_trip(self, tmp_path):
+        trace = HttpTrace([make_request(), make_request(client="c2", status=404)])
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(trace, path) == 2
+        loaded = read_jsonl(path)
+        assert loaded == trace
+
+    def test_gzip_round_trip(self, tmp_path):
+        trace = HttpTrace([make_request()])
+        path = tmp_path / "trace.jsonl.gz"
+        write_jsonl(trace, path)
+        assert read_jsonl(path) == trace
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1}\n')
+        with pytest.raises(TraceError, match="bad.jsonl:1"):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        trace = HttpTrace([make_request()])
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_jsonl(path)) == 1

@@ -1,0 +1,132 @@
+"""End-to-end integration tests on the small scenario.
+
+These assert the paper-shape outcomes the reproduction is built around:
+planted campaigns recovered, by-design false negatives missed, false
+positives confined to the noise categories the paper reports.
+"""
+
+import pytest
+
+
+def detected_campaign_names(dataset, result):
+    names = set()
+    for campaign in result.campaigns:
+        for server in campaign.servers:
+            planted = dataset.truth.campaign_of(server)
+            if planted is not None:
+                names.add(planted.name)
+    return names
+
+
+class TestCampaignRecovery:
+    def test_zeus_recovered_fully(self, small_dataset, small_result):
+        zeus = next(c for c in small_dataset.truth.campaigns if c.name == "small-zeus")
+        assert zeus.servers <= small_result.detected_servers
+
+    def test_iframe_recovered_fully(self, small_dataset, small_result):
+        iframe = next(
+            c for c in small_dataset.truth.campaigns if c.name == "small-iframe"
+        )
+        assert iframe.servers <= small_result.detected_servers
+
+    def test_cnc_recovered(self, small_dataset, small_result):
+        cnc = next(c for c in small_dataset.truth.campaigns if c.name == "small-cnc")
+        assert cnc.servers <= small_result.detected_servers
+
+    def test_zero_day_detected_before_signatures(self, small_dataset, small_result):
+        """The Zeus herd is invisible to 2012 signatures yet SMASH finds it."""
+        zeus = next(c for c in small_dataset.truth.campaigns if c.name == "small-zeus")
+        ids2012 = small_dataset.ids2012.detected_servers(small_dataset.trace)
+        assert not (zeus.servers & ids2012)
+        assert zeus.servers <= small_result.detected_servers
+
+    def test_undetectable_campaign_missed(self, small_dataset, small_result):
+        """small-fn shares no secondary dimension: a by-design FN
+        (Section V-A2's Cycbot/Fake AV analysis)."""
+        fn = next(c for c in small_dataset.truth.campaigns if c.name == "small-fn")
+        assert not (fn.servers & small_result.detected_servers)
+
+    def test_single_client_campaign_at_higher_thresh(
+        self, small_dataset, small_result_single
+    ):
+        single = next(
+            c for c in small_dataset.truth.campaigns if c.name == "small-single"
+        )
+        assert single.servers <= small_result_single.detected_servers
+        campaign = next(
+            c for c in small_result_single.campaigns
+            if single.servers <= c.servers
+        )
+        assert campaign.num_clients == 1
+
+
+class TestFalsePositiveStructure:
+    def test_no_pure_benign_server_fp(self, small_dataset, small_result):
+        truth = small_dataset.truth
+        for server in small_result.detected_servers:
+            planted = truth.campaign_of(server)
+            if planted is None:
+                # Anything unplanted must be a known noise herd or a
+                # pruning landing server, never an ordinary benign site.
+                category = truth.noise_category.get(server)
+                replaced = any(
+                    server in c.replaced_servers.values()
+                    for c in small_result.campaigns
+                )
+                assert category is not None or replaced, server
+
+    def test_noise_fp_categories_match_paper(self, small_dataset, small_result):
+        """FPs concentrate in the paper's two categories (torrent and
+        collaboration pools)."""
+        truth = small_dataset.truth
+        fp_categories = {
+            truth.noise_category[server]
+            for server in small_result.detected_servers
+            if server in truth.noise_category
+        }
+        assert fp_categories <= {"torrent", "collaboration", "redirect", "referrer"}
+
+    def test_referrer_groups_pruned(self, small_dataset, small_result):
+        """Embedded third-party herds collapse to their landing server."""
+        truth = small_dataset.truth
+        referrer_servers = {
+            server for server, cat in truth.noise_category.items()
+            if cat == "referrer"
+        }
+        assert not (referrer_servers & small_result.detected_servers)
+
+
+class TestHerdStructure:
+    def test_every_dimension_produced_herds(self, small_result):
+        for dimension in ("client", "urifile", "ipset", "whois"):
+            assert dimension in small_result.herds_by_dimension
+
+    def test_main_dimension_dropped_nonempty(self, small_result):
+        # Section V-C1: a large share of servers cannot be correlated.
+        assert len(small_result.main_dimension_dropped) > 0
+
+    def test_herd_densities_valid(self, small_result):
+        for herds in small_result.herds_by_dimension.values():
+            for herd in herds:
+                assert 0.0 <= herd.density <= 1.0
+                assert len(herd.servers) >= 2
+
+
+class TestCampaignMerging:
+    def test_zeus_campaign_is_one_campaign(self, small_dataset, small_result):
+        zeus = next(c for c in small_dataset.truth.campaigns if c.name == "small-zeus")
+        owners = {
+            campaign.campaign_id
+            for campaign in small_result.campaigns
+            if campaign.servers & zeus.servers
+        }
+        assert len(owners) == 1
+
+    def test_campaign_clients_from_trace(self, small_dataset, small_result):
+        from repro.domains.names import normalize_server_name
+        aggregated = small_dataset.trace.map_hosts(normalize_server_name)
+        for campaign in small_result.campaigns:
+            expected = set()
+            for server in campaign.servers:
+                expected |= aggregated.clients_by_server.get(server, frozenset())
+            assert campaign.clients == frozenset(expected)

@@ -1,0 +1,102 @@
+"""Tests for remaining small surfaces: truth merging, coarse persistence
+series, the dimension registry, result accessors."""
+
+import pytest
+
+from repro.core.dimensions import secondary_builders
+from repro.core.results import Campaign, Herd
+from repro.eval.figures import persistence_series
+from repro.synth.truth import GroundTruth, PlantedCampaign
+
+
+def planted(name, servers, clients, day=0):
+    return PlantedCampaign(
+        name=name, category="cnc", activity="communication",
+        servers=frozenset(servers), clients=frozenset(clients), day=day,
+    )
+
+
+class TestGroundTruthMerging:
+    def test_merged_with(self):
+        a = GroundTruth(
+            campaigns=(planted("a", {"s1"}, {"c1"}),),
+            benign_servers=frozenset({"b1"}),
+            noise_category={"n1": "torrent"},
+        )
+        b = GroundTruth(
+            campaigns=(planted("b", {"s2"}, {"c2"}),),
+            benign_servers=frozenset({"b2"}),
+            noise_category={"n2": "adult"},
+        )
+        merged = a.merged_with(b)
+        assert {c.name for c in merged.campaigns} == {"a", "b"}
+        assert merged.benign_servers == {"b1", "b2"}
+        assert merged.noise_category == {"n1": "torrent", "n2": "adult"}
+        assert merged.malicious_servers == {"s1", "s2"}
+
+    def test_merge_all(self):
+        truths = [
+            GroundTruth(campaigns=(planted(f"c{i}", {f"s{i}"}, {f"cl{i}"}),),
+                        benign_servers=frozenset())
+            for i in range(3)
+        ]
+        merged = GroundTruth.merge_all(truths)
+        assert len(merged.campaigns) == 3
+
+    def test_campaigns_with_min_clients(self):
+        truth = GroundTruth(
+            campaigns=(
+                planted("multi", {"s1"}, {"c1", "c2"}),
+                planted("single", {"s2"}, {"c1"}),
+            ),
+            benign_servers=frozenset(),
+        )
+        assert [c.name for c in truth.campaigns_with_min_clients(2)] == ["multi"]
+
+    def test_servers_in_tier(self):
+        campaign = PlantedCampaign(
+            name="x", category="cnc", activity="communication",
+            servers=frozenset({"a", "b"}), clients=frozenset({"c"}),
+            tier_of_server={"a": "cnc", "b": "download"},
+        )
+        assert campaign.servers_in_tier("cnc") == frozenset({"a"})
+
+
+class TestCoarsePersistenceSeries:
+    def test_client_level_attribution(self):
+        series = persistence_series([
+            (frozenset({"s1", "s2"}), frozenset({"c1"})),
+            (frozenset({"s1", "s3"}), frozenset({"c1"})),
+            (frozenset({"s9"}), frozenset({"c9"})),
+        ])
+        assert series[0].new_servers_new_clients == 2
+        assert series[1].old_servers == 1
+        assert series[1].new_servers_old_clients == 1
+        assert series[2].new_servers_new_clients == 1
+        assert all(entry.total >= 0 for entry in series)
+
+
+class TestDimensionRegistry:
+    def test_builtin_builders_listed(self):
+        builders = secondary_builders()
+        assert set(builders) == {"urifile", "ipset", "whois"}
+        assert all(callable(builder) for builder in builders.values())
+
+
+class TestResultAccessors:
+    def test_herd_validation(self):
+        with pytest.raises(ValueError):
+            Herd(dimension="client", index=0, servers=frozenset({"only"}),
+                 density=1.0)
+        with pytest.raises(ValueError):
+            Herd(dimension="client", index=0,
+                 servers=frozenset({"a", "b"}), density=1.5)
+
+    def test_campaign_dimension_accessor_empty(self):
+        campaign = Campaign(
+            campaign_id=0, main_index=0,
+            servers=frozenset({"a", "b"}), clients=frozenset({"c"}),
+        )
+        assert campaign.dimensions_of("a") == frozenset()
+        assert campaign.num_servers == 2
+        assert campaign.num_clients == 1

@@ -1,0 +1,144 @@
+"""Pipeline-level tests: single-client segregation, sweeps, invariants."""
+
+import pytest
+
+from repro.config import SmashConfig
+from repro.core.pipeline import SmashPipeline
+from repro.core.results import MAIN_DIMENSION
+from repro.errors import PipelineError
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+
+
+def request(client, host, uri="/x.html", ip=None):
+    return HttpRequest(
+        timestamp=0.0, client=client, host=host,
+        server_ip=ip or "1.1.1.1", uri=uri,
+    )
+
+
+class TestPipelineBasics:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(PipelineError):
+            SmashPipeline().run(HttpTrace([]))
+
+    def test_invalid_config_rejected_at_construction(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            SmashPipeline(SmashConfig(min_campaign_clients=0))
+
+    def test_no_whois_registry_skips_dimension(self, small_dataset):
+        mined = SmashPipeline().mine(small_dataset.trace, whois=None)
+        assert "whois" not in mined.secondary
+        assert "urifile" in mined.secondary
+
+    def test_disabled_dimension_not_mined(self, small_dataset):
+        config = SmashConfig(enabled_secondary_dimensions=("urifile",))
+        mined = SmashPipeline(config).mine(
+            small_dataset.trace, whois=small_dataset.whois
+        )
+        assert set(mined.secondary) == {"urifile"}
+
+
+class TestSingleClientSegregation:
+    def make_trace(self):
+        # Two servers visited only by lone client cx, plus a multi-client
+        # pair, plus a singleton exclusive server of another client.
+        return HttpTrace([
+            request("cx", "lone1.com"), request("cx", "lone2.com"),
+            request("c1", "multi1.com"), request("c2", "multi1.com"),
+            request("c1", "multi2.com"), request("c2", "multi2.com"),
+            request("cy", "only.com"),
+        ])
+
+    def test_single_client_herd_formed(self):
+        mined = SmashPipeline().mine(self.make_trace())
+        herd_servers = [set(h.servers) for h in mined.main.herds]
+        assert {"lone1.com", "lone2.com"} in herd_servers
+
+    def test_single_client_herd_density_one(self):
+        mined = SmashPipeline().mine(self.make_trace())
+        herd = next(
+            h for h in mined.main.herds if "lone1.com" in h.servers
+        )
+        assert herd.density == 1.0
+        assert herd.dimension == MAIN_DIMENSION
+
+    def test_lone_singleton_dropped(self):
+        mined = SmashPipeline().mine(self.make_trace())
+        assert "only.com" in mined.main.dropped
+
+    def test_single_client_servers_not_in_multi_graph_herds(self):
+        mined = SmashPipeline().mine(self.make_trace())
+        multi_herd = next(h for h in mined.main.herds if "multi1.com" in h.servers)
+        assert "lone1.com" not in multi_herd.servers
+
+
+class TestRunSweep:
+    def test_sweep_monotone(self, small_dataset):
+        pipeline = SmashPipeline()
+        results = pipeline.run_sweep(
+            small_dataset.trace, thresholds=(0.5, 0.8, 1.0, 1.5),
+            whois=small_dataset.whois, redirects=small_dataset.redirects,
+        )
+        detected = [len(results[t].detected_servers) for t in (0.5, 0.8, 1.0, 1.5)]
+        assert detected == sorted(detected, reverse=True)
+        campaigns = [len(results[t].campaigns) for t in (0.5, 0.8, 1.0, 1.5)]
+        assert campaigns == sorted(campaigns, reverse=True)
+
+    def test_sweep_equals_individual_runs(self, small_dataset):
+        pipeline = SmashPipeline()
+        sweep = pipeline.run_sweep(
+            small_dataset.trace, thresholds=(0.8,),
+            whois=small_dataset.whois, redirects=small_dataset.redirects,
+        )
+        single = pipeline.run(
+            small_dataset.trace, whois=small_dataset.whois,
+            redirects=small_dataset.redirects, thresh=0.8,
+        )
+        assert sweep[0.8].detected_servers == single.detected_servers
+
+
+class TestResultInvariants:
+    def test_campaign_servers_scored_above_thresh(self, small_result):
+        for campaign in small_result.campaigns:
+            for server, score in campaign.server_scores.items():
+                assert score >= 0.8
+
+    def test_campaigns_have_at_least_two_servers(self, small_result):
+        for campaign in small_result.campaigns:
+            assert campaign.num_servers >= 2
+
+    def test_detected_servers_union(self, small_result):
+        union = set()
+        for campaign in small_result.campaigns:
+            union |= campaign.servers
+        assert small_result.detected_servers == frozenset(union)
+
+    def test_campaigns_with_clients_bands(self, small_result):
+        multi = small_result.campaigns_with_clients(2)
+        single = small_result.campaigns_with_clients(1, 1)
+        assert all(c.num_clients >= 2 for c in multi)
+        assert all(c.num_clients == 1 for c in single)
+        assert len(multi) + len(single) == len(small_result.campaigns)
+
+    def test_candidate_ashes_reference_main_herds(self, small_result):
+        main_indices = {
+            h.index for h in small_result.herds_by_dimension[MAIN_DIMENSION]
+        }
+        for ash in small_result.candidate_ashes:
+            assert ash.main_index in main_indices
+
+    def test_determinism(self, small_dataset):
+        first = SmashPipeline().run(
+            small_dataset.trace, whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
+        )
+        second = SmashPipeline().run(
+            small_dataset.trace, whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
+        )
+        assert first.detected_servers == second.detected_servers
+        assert [c.servers for c in first.campaigns] == [
+            c.servers for c in second.campaigns
+        ]

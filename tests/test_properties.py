@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the unit suites: instead of fixed examples they assert
+the algebraic properties the pipeline's correctness rests on — similarity
+bounds and symmetry, Louvain partition validity, modularity improvement,
+preprocessing conservation laws, correlation score bounds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CorrelationConfig, DimensionConfig, PreprocessConfig
+from repro.core.correlation import phi
+from repro.core.dimensions.client import client_similarity
+from repro.core.dimensions.urifile import file_similarity, filename_similarity
+from repro.core.preprocess import preprocess
+from repro.graph.louvain import louvain_communities
+from repro.graph.modularity import modularity
+from repro.graph.wgraph import WeightedGraph
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+
+# -- strategies -----------------------------------------------------------------
+
+client_sets = st.frozensets(
+    st.integers(0, 20).map(lambda i: f"c{i}"), max_size=12
+)
+filenames = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=40,
+)
+file_sets = st.frozensets(filenames, min_size=1, max_size=8)
+
+
+def trace_strategy():
+    request = st.builds(
+        HttpRequest,
+        timestamp=st.floats(0, 1000, allow_nan=False),
+        client=st.integers(0, 8).map(lambda i: f"c{i}"),
+        host=st.sampled_from(
+            ["a.xyz.com", "b.xyz.com", "other.net", "www.third.org", "10.0.0.1"]
+        ),
+        server_ip=st.sampled_from(["1.1.1.1", "2.2.2.2"]),
+        uri=st.sampled_from(["/x.php", "/y/z.html", "/", "/a.php?p=1"]),
+    )
+    return st.lists(request, min_size=1, max_size=40).map(HttpTrace)
+
+
+# -- similarity properties -------------------------------------------------------
+
+
+class TestSimilarityProperties:
+    @given(client_sets, client_sets)
+    def test_client_similarity_bounds_and_symmetry(self, a, b):
+        value = client_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(client_similarity(b, a))
+
+    @given(client_sets)
+    def test_client_similarity_identity(self, a):
+        if a:
+            assert client_similarity(a, a) == pytest.approx(1.0)
+
+    @given(client_sets, client_sets)
+    def test_client_similarity_one_iff_equal(self, a, b):
+        if a and b and client_similarity(a, b) == pytest.approx(1.0):
+            assert a == b
+
+    @given(filenames, filenames)
+    def test_filename_similarity_binary_and_symmetric(self, a, b):
+        value = filename_similarity(a, b)
+        assert value in (0.0, 1.0)
+        assert value == filename_similarity(b, a)
+
+    @given(filenames)
+    def test_filename_self_similarity(self, name):
+        assert filename_similarity(name, name) == 1.0
+
+    @given(file_sets, file_sets)
+    def test_file_similarity_bounds_and_symmetry(self, a, b):
+        config = DimensionConfig()
+        value = file_similarity(a, b, config)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value == pytest.approx(file_similarity(b, a, config))
+
+    @given(file_sets)
+    def test_file_similarity_identity(self, a):
+        assert file_similarity(a, a) == pytest.approx(1.0)
+
+
+# -- phi properties ----------------------------------------------------------------
+
+
+class TestPhiProperties:
+    @given(st.floats(-100, 1000, allow_nan=False))
+    def test_bounds(self, x):
+        assert 0.0 <= phi(x) <= 1.0
+
+    @given(st.floats(0, 500), st.floats(0, 500))
+    def test_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert phi(low) <= phi(high) + 1e-12
+
+    @given(st.floats(0.1, 20.0))
+    def test_sigma_controls_steepness(self, sigma):
+        # At x = mu the value is exactly one half regardless of sigma.
+        assert phi(4.0, mu=4.0, sigma=sigma) == pytest.approx(0.5)
+
+
+# -- graph properties ----------------------------------------------------------------
+
+
+def graph_from_edges(edges):
+    graph = WeightedGraph()
+    for u, v, w in edges:
+        graph.add_edge(f"n{u}", f"n{v}", w)
+    return graph
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10), st.floats(0.01, 5.0)),
+    min_size=1, max_size=30,
+)
+
+
+class TestLouvainProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(edges_strategy)
+    def test_partition_is_a_partition(self, edges):
+        graph = graph_from_edges(edges)
+        result = louvain_communities(graph)
+        seen = set()
+        for community in result.communities:
+            assert not (community & seen), "communities must be disjoint"
+            seen |= community
+        assert seen == set(graph.nodes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edges_strategy)
+    def test_louvain_not_worse_than_singletons(self, edges):
+        graph = graph_from_edges(edges)
+        result = louvain_communities(graph)
+        singletons = {node: i for i, node in enumerate(graph.nodes)}
+        assert result.modularity >= modularity(graph, singletons) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(edges_strategy)
+    def test_reported_modularity_matches_partition(self, edges):
+        graph = graph_from_edges(edges)
+        result = louvain_communities(graph)
+        assert result.modularity == pytest.approx(
+            modularity(graph, result.partition)
+        )
+
+
+# -- preprocessing properties ------------------------------------------------------------
+
+
+class TestPreprocessProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(trace_strategy())
+    def test_conservation(self, trace):
+        kept, report = preprocess(trace, PreprocessConfig(idf_threshold=3))
+        assert report.kept_requests == len(kept)
+        assert report.kept_servers == len(kept.servers)
+        assert report.kept_requests <= report.raw_requests
+        assert report.aggregated_servers <= report.raw_servers
+        assert 0.0 <= report.traffic_reduction <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace_strategy())
+    def test_popularity_bound_holds(self, trace):
+        config = PreprocessConfig(idf_threshold=2)
+        kept, _ = preprocess(trace, config)
+        for count in kept.client_counts().values():
+            assert count <= 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace_strategy())
+    def test_idempotent(self, trace):
+        config = PreprocessConfig(idf_threshold=3)
+        once, _ = preprocess(trace, config)
+        twice, _ = preprocess(once, config)
+        assert once == twice
+
+
+# -- correlation properties ----------------------------------------------------------------
+
+
+class TestCorrelationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 12), st.integers(1, 3))
+    def test_score_bounded_by_dimension_count(self, herd_size, num_dims):
+        from repro.core.ashmining import MiningOutcome, mine_herds
+        from repro.core.correlation import correlate
+
+        servers = [f"s{i}" for i in range(herd_size)]
+        graph = WeightedGraph()
+        for i, first in enumerate(servers):
+            for second in servers[i + 1:]:
+                graph.add_edge(first, second, 1.0)
+        outcome = mine_herds(graph, "client")
+        secondary = {
+            f"dim{d}": mine_herds(graph, f"dim{d}") for d in range(num_dims)
+        }
+        result = correlate(outcome, secondary, CorrelationConfig(), thresh=0.0)
+        for score in result.scores.values():
+            assert 0.0 <= score <= num_dims + 1e-9

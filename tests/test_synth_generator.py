@@ -1,0 +1,230 @@
+"""Tests for the synthetic dataset generator and scenario specs."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.synth import ScenarioSpec, TraceGenerator, small_scenario
+from repro.synth.campaigns import CampaignSpec, NoiseSpec, TierSpec
+from repro.synth.scenarios import (
+    bagle_like,
+    data2011day,
+    data2012week,
+    generic_cnc,
+    single_client_campaign,
+    zeus_like,
+)
+
+
+class TestSpecValidation:
+    def test_tier_requires_files(self):
+        with pytest.raises(ScenarioError):
+            TierSpec(role="x", num_servers=2)
+
+    def test_tier_bad_contact_fraction(self):
+        with pytest.raises(ScenarioError):
+            TierSpec(role="x", num_servers=1, uri_files=("a.php",),
+                     contact_fraction=0.0)
+
+    def test_campaign_unknown_category(self):
+        with pytest.raises(ScenarioError):
+            CampaignSpec(
+                name="x", category="nonsense", num_clients=1,
+                tiers=(TierSpec(role="t", num_servers=1, uri_files=("a.php",)),),
+            )
+
+    def test_ids2013_must_extend_2012(self):
+        with pytest.raises(ScenarioError):
+            CampaignSpec(
+                name="x", category="cnc", num_clients=1,
+                tiers=(TierSpec(role="t", num_servers=1, uri_files=("a.php",)),),
+                ids2012_fraction=0.5, ids2013_fraction=0.2,
+            )
+
+    def test_scenario_client_overcommit(self):
+        spec = ScenarioSpec(
+            name="x", seed=1, num_clients=3,
+            num_popular_sites=1, num_medium_sites=1, num_longtail_sites=1,
+            sites_per_client_mean=2.0,
+            campaigns=(generic_cnc("a", num_clients=3, num_servers=2),),
+        )
+        with pytest.raises(ScenarioError):
+            spec.validate()
+
+    def test_duplicate_campaign_names(self):
+        spec = ScenarioSpec(
+            name="x", seed=1, num_clients=50,
+            num_popular_sites=1, num_medium_sites=1, num_longtail_sites=1,
+            sites_per_client_mean=2.0,
+            campaigns=(generic_cnc("a", 1, 2), generic_cnc("a", 1, 2)),
+        )
+        with pytest.raises(ScenarioError):
+            spec.validate()
+
+    def test_campaign_active_day_out_of_range(self):
+        spec = ScenarioSpec(
+            name="x", seed=1, num_clients=50,
+            num_popular_sites=1, num_medium_sites=1, num_longtail_sites=1,
+            sites_per_client_mean=2.0,
+            campaigns=(generic_cnc("a", 1, 2, active_days=(3,)),),
+            days=2,
+        )
+        with pytest.raises(ScenarioError):
+            spec.validate()
+
+    def test_activity_classification(self):
+        assert zeus_like().activity == "communication"
+        from repro.synth.scenarios import iframe_injection
+        assert iframe_injection().activity == "attacking"
+
+
+class TestGeneratorDeterminism:
+    def test_same_spec_same_dataset(self):
+        a = TraceGenerator(small_scenario()).generate_day(0)
+        b = TraceGenerator(small_scenario()).generate_day(0)
+        assert a.trace == b.trace
+        assert a.truth.malicious_servers == b.truth.malicious_servers
+        assert a.liveness.dead_servers == b.liveness.dead_servers
+
+    def test_different_seed_different_trace(self):
+        a = TraceGenerator(small_scenario(seed=1)).generate_day(0)
+        b = TraceGenerator(small_scenario(seed=2)).generate_day(0)
+        assert a.trace != b.trace
+
+    def test_day_out_of_range(self):
+        generator = TraceGenerator(small_scenario())
+        with pytest.raises(ScenarioError):
+            generator.generate_day(1)
+
+
+class TestGeneratedDataset:
+    def test_campaign_clients_disjoint(self, small_dataset):
+        seen = set()
+        for campaign in small_dataset.truth.campaigns:
+            assert not (campaign.clients & seen)
+            seen |= campaign.clients
+
+    def test_campaign_servers_in_trace(self, small_dataset):
+        from repro.domains.names import normalize_server_name
+        trace_servers = {
+            normalize_server_name(h) for h in small_dataset.trace.servers
+        }
+        for campaign in small_dataset.truth.campaigns:
+            assert campaign.servers <= trace_servers
+
+    def test_whois_covers_campaign_domains(self, small_dataset):
+        from repro.domains.names import is_ip_address
+        for campaign in small_dataset.truth.campaigns:
+            for server in campaign.servers:
+                if not is_ip_address(server):
+                    assert small_dataset.whois.lookup(server) is not None
+
+    def test_ids2013_extends_ids2012(self, small_dataset):
+        s2012 = small_dataset.ids2012.detected_servers(small_dataset.trace)
+        s2013 = small_dataset.ids2013.detected_servers(small_dataset.trace)
+        assert s2012 <= s2013
+
+    def test_truth_accessors(self, small_dataset):
+        truth = small_dataset.truth
+        campaign = truth.campaigns[0]
+        server = sorted(campaign.servers)[0]
+        assert truth.campaign_of(server) is campaign
+        assert truth.campaign_of("definitely-not-planted.example") is None
+        assert truth.noise_servers <= truth.benign_servers
+
+
+class TestWeekGeneration:
+    @pytest.fixture(scope="class")
+    def week(self):
+        spec = small_scenario(seed=5, days=3)
+        return TraceGenerator(spec).generate_week()
+
+    def test_number_of_days(self, week):
+        assert len(week) == 3
+
+    def test_persistent_campaign_keeps_servers(self, week):
+        # small_scenario campaigns are not agile: same servers daily.
+        for name in ("small-zeus", "small-cnc"):
+            per_day = [
+                next(c.servers for c in day.truth.campaigns if c.name == name)
+                for day in week
+            ]
+            assert per_day[0] == per_day[1] == per_day[2]
+
+    def test_timestamps_in_day_window(self, week):
+        # A visit that starts just before midnight may spill its later
+        # fetches a few seconds past the boundary; allow that slop.
+        for day_index, day in enumerate(week):
+            low, high = day.trace.time_window()
+            assert low >= day_index * 86400.0
+            assert high < (day_index + 1) * 86400.0 + 60.0
+
+
+class TestAgileCampaigns:
+    def test_agile_rotates_servers(self):
+        campaign = generic_cnc(
+            "agile", num_clients=2, num_servers=4, agile=True,
+            active_days=(0, 1),
+        )
+        spec = ScenarioSpec(
+            name="agile-test", seed=3, num_clients=60,
+            num_popular_sites=2, num_medium_sites=10, num_longtail_sites=30,
+            sites_per_client_mean=3.0,
+            campaigns=(campaign,), days=2,
+        )
+        week = TraceGenerator(spec).generate_week()
+        day0 = next(c for c in week[0].truth.campaigns if c.name == "agile")
+        day1 = next(c for c in week[1].truth.campaigns if c.name == "agile")
+        assert day0.servers != day1.servers
+        assert day0.clients == day1.clients  # same infected clients
+
+
+class TestPresets:
+    def test_presets_validate(self):
+        data2011day().validate()
+        data2012week().validate()
+
+    def test_scaled_preset(self):
+        spec = data2011day(scale=0.1)
+        spec.validate()
+        assert spec.num_clients < data2011day().num_clients
+
+    def test_bagle_two_tiers(self):
+        spec = bagle_like()
+        assert {tier.role for tier in spec.tiers} == {"download", "cnc"}
+        assert spec.total_servers == 14 + 18
+
+    def test_single_client_campaign(self):
+        assert single_client_campaign("x").num_clients == 1
+
+    def test_noise_spec_negative_rejected(self):
+        with pytest.raises(ScenarioError):
+            NoiseSpec(torrent_clients=-1)
+
+
+class TestConfickerFactory:
+    def test_spec_shape(self):
+        from repro.synth.scenarios import conficker_like
+        spec = conficker_like()
+        assert spec.category == "cnc"
+        assert spec.tiers[0].share_whois
+        assert spec.tiers[0].dga_domains
+
+    def test_detected_end_to_end(self):
+        from repro.core.pipeline import SmashPipeline
+        from repro.synth import ScenarioSpec, TraceGenerator
+        from repro.synth.scenarios import conficker_like
+
+        spec = ScenarioSpec(
+            name="conficker-demo", seed=13, num_clients=120,
+            num_popular_sites=4, num_medium_sites=30, num_longtail_sites=400,
+            sites_per_client_mean=5.0,
+            campaigns=(conficker_like(num_clients=3, domains=12),),
+        )
+        dataset = TraceGenerator(spec).generate_day(0)
+        result = SmashPipeline().run(
+            dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+        )
+        planted = dataset.truth.campaigns[0]
+        found = planted.servers & result.detected_servers
+        # The herd coheres on client + URI file + Whois (no IP fluxing).
+        assert len(found) >= len(planted.servers) * 0.7

@@ -1,0 +1,117 @@
+"""Unit tests for synthetic name generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.namegen import (
+    benign_domain,
+    benign_filename,
+    dga_domain,
+    ipv4,
+    obfuscated_filename_family,
+    pseudo_word,
+)
+from repro.util.rng import make_rng
+from repro.util.text import charset_cosine
+
+
+class TestPseudoWord:
+    def test_nonempty_lowercase(self):
+        rng = make_rng(1)
+        for _ in range(20):
+            word = pseudo_word(rng)
+            assert word and word == word.lower()
+
+
+class TestBenignDomain:
+    def test_suffix(self):
+        rng = make_rng(2)
+        assert benign_domain(rng, suffix="co.uk").endswith(".co.uk")
+
+    def test_registrable(self):
+        from repro.domains.names import second_level_domain
+        rng = make_rng(3)
+        for _ in range(20):
+            domain = benign_domain(rng, suffix="com")
+            assert second_level_domain(domain) == domain
+
+
+class TestDgaDomain:
+    def test_template_digits(self):
+        rng = make_rng(4)
+        domain = dga_domain(rng, suffix="cz.cc", template="4k0t1NNm")
+        label = domain.split(".")[0]
+        assert len(label) == 8
+        assert label.startswith("4k0t1") and label.endswith("m")
+        assert label[5:7].isdigit()
+
+    def test_template_family_shares_shape(self):
+        rng = make_rng(5)
+        labels = {dga_domain(rng, template="4k0t1NNm").split(".")[0] for _ in range(30)}
+        assert all(l.startswith("4k0t1") for l in labels)
+        assert len(labels) > 5  # actually varies
+
+    def test_random_label_length(self):
+        rng = make_rng(6)
+        for _ in range(10):
+            label = dga_domain(rng).split(".")[0]
+            assert 8 <= len(label) <= 12
+            assert not label[0].isdigit()
+
+
+class TestObfuscatedFamily:
+    def test_pairwise_cosine_above_threshold(self):
+        # The family must trip the paper's eq.-4 test (cos > 0.8).
+        rng = make_rng(7)
+        family = obfuscated_filename_family(rng, count=6, length=40)
+        stems = [name.rsplit(".", 1)[0] for name in family]
+        for i, a in enumerate(stems):
+            for b in stems[i + 1:]:
+                assert charset_cosine(a, b) > 0.8
+
+    def test_names_are_long_and_distinct(self):
+        rng = make_rng(8)
+        family = obfuscated_filename_family(rng, count=5, length=40)
+        assert len(set(family)) == 5
+        assert all(len(name) > 25 for name in family)
+
+    def test_extension(self):
+        rng = make_rng(9)
+        assert all(
+            name.endswith(".php")
+            for name in obfuscated_filename_family(rng, count=3)
+        )
+
+    def test_validation(self):
+        rng = make_rng(10)
+        with pytest.raises(ValueError):
+            obfuscated_filename_family(rng, count=0)
+        with pytest.raises(ValueError):
+            obfuscated_filename_family(rng, count=2, length=4)
+
+
+class TestBenignFilename:
+    def test_high_entropy_no_easy_collisions(self):
+        rng = make_rng(11)
+        names = {benign_filename(rng) for _ in range(2000)}
+        # Essentially unique (the URI-file dimension relies on benign
+        # names not colliding across servers).
+        assert len(names) > 1950
+
+    @settings(max_examples=10)
+    @given(st.integers(0, 10**6))
+    def test_short_names(self, seed):
+        # Benign slugs stay under the paper's len=25 obfuscation cutoff
+        # most of the time (they are compared by exact match).
+        rng = make_rng(seed)
+        assert len(benign_filename(rng)) < 30
+
+
+class TestIpv4:
+    def test_format(self):
+        rng = make_rng(12)
+        for _ in range(20):
+            parts = ipv4(rng).split(".")
+            assert len(parts) == 4
+            assert all(0 <= int(p) <= 255 for p in parts)

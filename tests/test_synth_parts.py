@@ -1,0 +1,203 @@
+"""Tests for the synthetic-trace building blocks: benign universe,
+campaign planting, noise herds, oracles."""
+
+import pytest
+
+from repro.synth.benign import UBIQUITOUS_FILES, BenignUniverse
+from repro.synth.campaigns import NoiseSpec
+from repro.synth.malicious import plant_campaign
+from repro.synth.noise import build_noise
+from repro.synth.oracles import HostLiveness, RedirectOracle
+from repro.synth.scenarios import (
+    generic_cnc,
+    iframe_injection,
+    tdss_like,
+    zeus_like,
+)
+
+
+class TestBenignUniverse:
+    @pytest.fixture(scope="class")
+    def universe(self):
+        return BenignUniverse(seed=1, num_popular=3, num_medium=10, num_longtail=30)
+
+    def test_site_count(self, universe):
+        assert len(universe.sites) == 43
+
+    def test_popularity_ordering(self, universe):
+        weights = [site.weight for site in universe.sites]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_popular_sites_have_subdomains(self, universe):
+        assert len(universe.sites[0].hosts) > 2
+
+    def test_ubiquitous_files_everywhere(self, universe):
+        for site in universe.sites:
+            assert set(UBIQUITOUS_FILES) <= set(site.files)
+
+    def test_whois_coverage(self, universe):
+        records = universe.whois_records()
+        assert {r.domain for r in records} == universe.domains
+
+    def test_some_proxy_registrations(self, universe):
+        records = universe.whois_records()
+        assert any(r.is_proxy for r in records)
+        assert any(not r.is_proxy for r in records)
+
+    def test_browse_deterministic(self, universe):
+        a = universe.browse_day(["c1", "c2"], day=0, sites_per_client_mean=3.0)
+        b = universe.browse_day(["c1", "c2"], day=0, sites_per_client_mean=3.0)
+        assert a == b
+
+    def test_browse_day_key_changes_traffic(self, universe):
+        a = universe.browse_day(["c1"], day=0, sites_per_client_mean=3.0)
+        b = universe.browse_day(["c1"], day=1, sites_per_client_mean=3.0)
+        assert a != b
+
+    def test_visits_start_with_landing_page(self, universe):
+        requests = universe.browse_day(["c1"], day=0, sites_per_client_mean=3.0)
+        first_by_host = {}
+        for request in requests:
+            first_by_host.setdefault(request.host, request.uri)
+        assert all(uri == "/index.html" for uri in first_by_host.values())
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(Exception):
+            BenignUniverse(seed=1, num_popular=0, num_medium=0, num_longtail=0)
+
+
+class TestPlantCampaign:
+    def plant(self, spec, day=0):
+        clients = [f"bot{i}" for i in range(spec.num_clients)]
+        return plant_campaign(spec, clients, seed=9, day=day,
+                              background_clients=["bg1", "bg2", "bg3"])
+
+    def test_server_count(self):
+        result = self.plant(zeus_like(name="z"))
+        assert len(result.planted.servers) == 8
+
+    def test_all_clients_recorded(self):
+        spec = zeus_like(name="z", num_clients=2)
+        result = self.plant(spec)
+        assert result.planted.clients == {"bot0", "bot1"}
+
+    def test_ids_fractions(self):
+        spec = generic_cnc("g", 2, 10, ids2012_fraction=0.3, ids2013_fraction=0.5,
+                           blacklist_fraction=0.0)
+        result = self.plant(spec)
+        servers_2012 = {s.server for s in result.signatures_2012}
+        servers_2013 = {s.server for s in result.signatures_2013}
+        assert len(servers_2012) == 3
+        assert len(servers_2013) == 5
+        assert servers_2012 <= servers_2013
+
+    def test_persistent_servers_stable_across_days(self):
+        spec = zeus_like(name="z")
+        assert self.plant(spec, day=0).planted.servers == self.plant(spec, day=3).planted.servers
+
+    def test_agile_servers_rotate(self):
+        spec = generic_cnc("g", 2, 5, agile=True)
+        assert self.plant(spec, day=0).planted.servers != self.plant(spec, day=1).planted.servers
+
+    def test_traffic_carries_campaign_protocol(self):
+        spec = zeus_like(name="z")
+        result = self.plant(spec)
+        campaign_requests = [
+            r for r in result.requests if r.client.startswith("bot")
+        ]
+        assert all(r.uri_file == "login.php" for r in campaign_requests)
+
+    def test_obfuscated_tier_long_filenames(self):
+        result = self.plant(tdss_like(name="t"))
+        files = {r.uri_file for r in result.requests if r.client.startswith("bot")}
+        assert all(len(f) > 25 for f in files)
+        assert len(files) == 6  # one per server
+
+    def test_compromised_victims_not_marked_dead(self):
+        result = self.plant(iframe_injection(name="i", victims=10, num_clients=2))
+        assert result.dead_servers == []
+
+    def test_dead_fraction_applies(self):
+        spec = generic_cnc("g", 2, 10, dead_fraction=1.0)
+        result = self.plant(spec)
+        assert len(result.dead_servers) == 10
+
+    def test_client_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            plant_campaign(zeus_like(name="z", num_clients=2), ["only-one"], seed=1, day=0)
+
+    def test_shared_ip_tier(self):
+        spec = zeus_like(name="z")  # share_ips with 2 IPs
+        result = self.plant(spec)
+        ips = {r.server_ip for r in result.requests if r.client.startswith("bot")}
+        assert len(ips) <= 2
+
+
+class TestNoise:
+    def make(self, **kwargs):
+        spec = NoiseSpec(**kwargs)
+        return build_noise(
+            spec,
+            torrent_clients=["t1", "t2", "t3"],
+            collaboration_clients=["k1", "k2", "k3", "k4"],
+            browsing_clients=[f"b{i}" for i in range(20)],
+            seed=4,
+            day=0,
+        )
+
+    def test_torrent_shares_scrape_file(self):
+        result = self.make(torrent_clients=3, torrent_trackers=6)
+        tracker_requests = [r for r in result.requests if "tracker" in r.host]
+        assert all(r.uri_file == "scrape.php" for r in tracker_requests)
+        assert set(result.category_of.values()) == {"torrent"}
+
+    def test_collaboration_pool_shares_file(self):
+        result = self.make(collaboration_pools=1, collaboration_pool_size=5,
+                           collaboration_clients=4)
+        relay_requests = [r for r in result.requests if "relay" in r.host]
+        assert all(r.uri_file == "din.aspx" for r in relay_requests)
+
+    def test_referrer_group_sets_referer_header(self):
+        result = self.make(referrer_groups=1, referrer_group_size=4)
+        embedded = [r for r in result.requests if r.referrer and "assets" in r.uri]
+        assert embedded
+        referrers = {r.referrer for r in embedded}
+        assert len(referrers) == 1
+
+    def test_redirect_chains_recorded(self):
+        result = self.make(redirect_chains=2, redirect_chain_length=3)
+        assert len(result.redirect_chains) == 2
+        assert all(len(chain) == 3 for chain in result.redirect_chains)
+        # Non-landing hops share the redirector script.
+        hops = [r for r in result.requests if r.status == 302]
+        assert all(r.uri_file == "go.php" for r in hops)
+
+    def test_shared_hosting_single_ip_per_group(self):
+        result = self.make(shared_hosting_groups=1, shared_hosting_group_size=4)
+        hosted = [
+            r for r in result.requests
+            if result.category_of.get(r.host) == "shared_hosting"
+        ]
+        assert len({r.server_ip for r in hosted}) == 1
+
+
+class TestOracles:
+    def test_redirect_oracle(self):
+        oracle = RedirectOracle()
+        oracle.add_chain(["a.to", "b.to", "land.com"])
+        assert oracle.landing_server("a.to") == "land.com"
+        assert oracle.landing_server("land.com") == "land.com"
+        assert oracle.landing_server("other.com") is None
+        assert oracle.on_chain("b.to")
+        assert oracle.chain_members() == frozenset({"a.to", "b.to", "land.com"})
+
+    def test_redirect_oracle_short_chain_rejected(self):
+        with pytest.raises(ValueError):
+            RedirectOracle().add_chain(["only.com"])
+
+    def test_liveness(self):
+        liveness = HostLiveness(dead=["gone.com"])
+        assert not liveness.is_alive("gone.com")
+        assert liveness.is_alive("here.com")
+        liveness.mark_dead("here.com")
+        assert not liveness.is_alive("here.com")

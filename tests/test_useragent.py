@@ -1,0 +1,47 @@
+"""Unit tests for User-Agent helpers."""
+
+from repro.httplog.records import HttpRequest
+from repro.httplog.useragent import (
+    dominant_user_agent,
+    is_generic_user_agent,
+    user_agent_profile,
+)
+
+
+def request(ua):
+    return HttpRequest(
+        timestamp=0.0, client="c1", host="x.com", server_ip="1.1.1.1",
+        uri="/a.html", user_agent=ua,
+    )
+
+
+class TestIsGeneric:
+    def test_browser_strings_generic(self):
+        assert is_generic_user_agent("Mozilla/5.0 (Windows NT 6.1) Gecko")
+        assert is_generic_user_agent("Opera/9.80")
+
+    def test_malware_strings_distinctive(self):
+        # The paper's campaign UAs must stay distinctive.
+        assert not is_generic_user_agent("KUKU v5.05exp")
+        assert not is_generic_user_agent("Internet Exploder")
+        assert not is_generic_user_agent("ZmEu")
+
+    def test_absent_ua_distinctive(self):
+        # Table IX: the iframe campaign's "-" UA is a signal, not noise.
+        assert not is_generic_user_agent("-")
+        assert not is_generic_user_agent("")
+
+
+class TestDominantUserAgent:
+    def test_most_common(self):
+        requests = [request("A"), request("B"), request("A")]
+        assert dominant_user_agent(requests) == "A"
+
+    def test_empty(self):
+        assert dominant_user_agent([]) is None
+
+
+class TestProfile:
+    def test_filters_generic(self):
+        requests = [request("Mozilla/5.0 X"), request("Bot/1"), request("-")]
+        assert user_agent_profile(requests) == frozenset({"Bot/1", "-"})

@@ -1,0 +1,89 @@
+"""Unit tests for repro.util.stats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import ecdf, percentile_of, summarize, value_at_fraction
+
+
+class TestEcdf:
+    def test_empty(self):
+        assert ecdf([]) == []
+
+    def test_single_value(self):
+        assert ecdf([5]) == [(5, 1.0)]
+
+    def test_duplicates_collapse(self):
+        points = ecdf([1, 1, 2])
+        assert points == [(1, pytest.approx(2 / 3)), (2, 1.0)]
+
+    def test_monotone_and_ends_at_one(self):
+        points = ecdf([3, 1, 4, 1, 5, 9, 2, 6])
+        values = [p[1] for p in points]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    def test_properties(self, data):
+        points = ecdf(data)
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(set(data))
+        assert ys[-1] == pytest.approx(1.0)
+        assert all(0 < y <= 1.0 + 1e-12 for y in ys)
+
+
+class TestPercentileOf:
+    def test_empty(self):
+        assert percentile_of([], 10) == 0.0
+
+    def test_all_below(self):
+        assert percentile_of([1, 2, 3], 10) == 1.0
+
+    def test_none_below(self):
+        assert percentile_of([5, 6], 1) == 0.0
+
+    def test_half(self):
+        assert percentile_of([1, 2, 3, 4], 2) == 0.5
+
+
+class TestValueAtFraction:
+    def test_median(self):
+        assert value_at_fraction([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_full(self):
+        assert value_at_fraction([1, 2, 3], 1.0) == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            value_at_fraction([], 0.5)
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            value_at_fraction([1], 0.0)
+        with pytest.raises(ValueError):
+            value_at_fraction([1], 1.5)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=40),
+           st.floats(0.01, 1.0))
+    def test_consistency_with_percentile(self, data, fraction):
+        value = value_at_fraction(data, fraction)
+        assert percentile_of(data, value) >= fraction - 1e-9
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.minimum == 1
+        assert s.maximum == 5
+        assert s.mean == 3
+        assert s.median == 3
+
+    def test_even_median(self):
+        assert summarize([1, 2, 3, 4]).median == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

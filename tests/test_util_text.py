@@ -1,0 +1,117 @@
+"""Unit tests for repro.util.text (charset cosine, set overlap scores)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.text import charset_cosine, charset_vector, jaccard, overlap_ratio_product
+
+
+class TestCharsetVector:
+    def test_counts_characters(self):
+        assert charset_vector("aab") == {"a": 2, "b": 1}
+
+    def test_empty_string(self):
+        assert charset_vector("") == {}
+
+    def test_case_sensitive(self):
+        assert charset_vector("aA") == {"a": 1, "A": 1}
+
+
+class TestCharsetCosine:
+    def test_identical_strings(self):
+        assert charset_cosine("abcdef", "abcdef") == 1.0
+
+    def test_anagrams_score_one(self):
+        assert charset_cosine("listen", "silent") == pytest.approx(1.0)
+
+    def test_disjoint_alphabets(self):
+        assert charset_cosine("aaa", "bbb") == 0.0
+
+    def test_both_empty(self):
+        assert charset_cosine("", "") == 1.0
+
+    def test_one_empty(self):
+        assert charset_cosine("abc", "") == 0.0
+        assert charset_cosine("", "abc") == 0.0
+
+    def test_partial_overlap_value(self):
+        # "ab" vs "ac": vectors (1,1,0) and (1,0,1) -> cos = 1/2.
+        assert charset_cosine("ab", "ac") == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert charset_cosine("hello", "world") == charset_cosine("world", "hello")
+
+    @given(st.text(max_size=50), st.text(max_size=50))
+    def test_bounds(self, a, b):
+        value = charset_cosine(a, b)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.text(min_size=1, max_size=50))
+    def test_self_similarity_is_one(self, s):
+        assert charset_cosine(s, s) == pytest.approx(1.0)
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_shuffle_invariance(self, s):
+        assert charset_cosine(s, s[::-1]) == pytest.approx(1.0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_half(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+
+class TestOverlapRatioProduct:
+    def test_identical_sets(self):
+        assert overlap_ratio_product({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint(self):
+        assert overlap_ratio_product({1}, {2}) == 0.0
+
+    def test_empty_either(self):
+        assert overlap_ratio_product(set(), {1}) == 0.0
+        assert overlap_ratio_product({1}, set()) == 0.0
+
+    def test_paper_equation_value(self):
+        # |A∩B|=1, |A|=2, |B|=4 -> (1/2)(1/4) = 0.125.
+        assert overlap_ratio_product({1, 2}, {2, 3, 4, 5}) == pytest.approx(0.125)
+
+    def test_subset_asymmetric_sizes(self):
+        # A ⊂ B: (|A|/|A|)(|A|/|B|) = |A|/|B|.
+        assert overlap_ratio_product({1, 2}, {1, 2, 3, 4}) == pytest.approx(0.5)
+
+    @given(
+        st.frozensets(st.integers(0, 30), max_size=15),
+        st.frozensets(st.integers(0, 30), max_size=15),
+    )
+    def test_bounds_and_symmetry(self, a, b):
+        value = overlap_ratio_product(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(overlap_ratio_product(b, a))
+
+    @given(st.frozensets(st.integers(0, 30), min_size=1, max_size=15))
+    def test_self_is_one(self, a):
+        assert overlap_ratio_product(a, a) == pytest.approx(1.0)
+
+    @given(
+        st.frozensets(st.integers(0, 20), min_size=1, max_size=10),
+        st.frozensets(st.integers(0, 20), min_size=1, max_size=10),
+    )
+    def test_never_exceeds_jaccard_squared_relation(self, a, b):
+        # overlap product <= min ratio <= jaccard is not generally true;
+        # but product <= each individual ratio <= 1 is.
+        inter = len(a & b)
+        if inter:
+            assert overlap_ratio_product(a, b) <= inter / len(a) + 1e-12
+            assert overlap_ratio_product(a, b) <= inter / len(b) + 1e-12

@@ -1,0 +1,80 @@
+"""Unit tests for the Whois substrate."""
+
+import pytest
+
+from repro.whois.record import WHOIS_FIELDS, WhoisRecord
+from repro.whois.registry import WhoisRegistry
+
+
+def record(domain="example.com", **overrides):
+    defaults = dict(
+        registrant="John Doe",
+        address="1 Main St",
+        email="admin@example.com",
+        phone="+1.5551234",
+        name_servers=("ns1.dns.com", "ns2.dns.com"),
+    )
+    defaults.update(overrides)
+    return WhoisRecord(domain=domain, **defaults)
+
+
+class TestWhoisRecord:
+    def test_name_servers_sorted(self):
+        r = record(name_servers=("ns2.x.com", "ns1.x.com"))
+        assert r.name_servers == ("ns1.x.com", "ns2.x.com")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            WhoisRecord(domain="")
+
+    def test_field_value_unknown_field(self):
+        with pytest.raises(KeyError):
+            record().field_value("created")
+
+    def test_shared_fields_identical(self):
+        assert record().shared_fields(record(domain="other.com")) == WHOIS_FIELDS
+
+    def test_shared_fields_figure5_case(self):
+        # Figure 5: different registrants, same address/phone/name servers.
+        a = record(registrant="Alice")
+        b = record(domain="other.com", registrant="Bob", email="bob@other.com")
+        shared = a.shared_fields(b)
+        assert "registrant" not in shared
+        assert "email" not in shared
+        assert set(shared) == {"address", "phone", "name_servers"}
+
+    def test_empty_values_never_shared(self):
+        a = record(phone="")
+        b = record(domain="o.com", phone="")
+        assert "phone" not in a.shared_fields(b)
+
+    def test_present_fields(self):
+        r = record(phone="", email="")
+        assert set(r.present_fields()) == {"registrant", "address", "name_servers"}
+
+
+class TestWhoisRegistry:
+    def test_lookup_case_insensitive(self):
+        registry = WhoisRegistry([record()])
+        assert registry.lookup("EXAMPLE.COM") is not None
+
+    def test_lookup_missing(self):
+        assert WhoisRegistry().lookup("nope.com") is None
+
+    def test_overwrite(self):
+        registry = WhoisRegistry([record(registrant="Old")])
+        registry.add(record(registrant="New"))
+        assert registry.lookup("example.com").registrant == "New"
+        assert len(registry) == 1
+
+    def test_contains(self):
+        registry = WhoisRegistry([record()])
+        assert "example.com" in registry
+        assert "other.com" not in registry
+
+    def test_merged_with(self):
+        a = WhoisRegistry([record()])
+        b = WhoisRegistry([record(domain="other.com")])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert len(a) == 1  # originals untouched
