@@ -1,11 +1,29 @@
-"""Setup shim.
+"""Packaging for the SMASH reproduction.
 
-The offline environment lacks the ``wheel`` package, so PEP-517 editable
-installs (which build a wheel) fail.  This shim lets
-``pip install -e . --no-build-isolation --no-use-pep517`` take the legacy
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+Metadata lives here rather than in ``pyproject.toml``: the offline
+environment lacks the ``wheel`` package, so PEP-517 installs (which
+build a wheel) fail — use ``python setup.py develop`` there instead
+(modern pip rejects ``--no-use-pep517`` without wheel).  Environments
+with wheel available install normally with ``pip install -e .``.
+``pyproject.toml`` carries only the build backend declaration and tool
+configuration (pytest).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-smash",
+    version="1.0.0",
+    description=(
+        "Reproduction of SMASH: Systematic Mining of Associated Server "
+        "Herds for Malware Campaign Discovery (ICDCS 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "smash = repro.cli:main",
+        ],
+    },
+)

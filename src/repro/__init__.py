@@ -19,6 +19,10 @@ Packages:
 
 * :mod:`repro.core` — the SMASH pipeline (preprocess, dimensions, ASH
   mining, correlation, pruning, campaign inference);
+* :mod:`repro.stream` — incremental multi-day streaming engine: rolling
+  window, per-advance pipeline runs, cross-day campaign identity
+  tracking (stable IDs, persistence, churn), alert sinks and
+  checkpoint/resume;
 * :mod:`repro.synth` — synthetic ISP trace generator (the evaluation
   substrate);
 * :mod:`repro.groundtruth` — signature IDS + blacklist ground truth;
@@ -40,19 +44,31 @@ from repro.config import (
 )
 from repro.core import Campaign, Herd, SmashPipeline, SmashResult
 from repro.errors import (
+    CheckpointError,
     ConfigError,
     GraphError,
     GroundTruthError,
     PipelineError,
     ReproError,
     ScenarioError,
+    StreamError,
     TraceError,
+)
+from repro.stream import (
+    CampaignTracker,
+    RollingWindow,
+    StreamingSmash,
+    StreamUpdate,
+    TrackedCampaign,
+    TrackerConfig,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Campaign",
+    "CampaignTracker",
+    "CheckpointError",
     "ConfigError",
     "CorrelationConfig",
     "DimensionConfig",
@@ -64,10 +80,16 @@ __all__ = [
     "PreprocessConfig",
     "PruningConfig",
     "ReproError",
+    "RollingWindow",
     "ScenarioError",
     "SmashConfig",
     "SmashPipeline",
     "SmashResult",
+    "StreamError",
+    "StreamUpdate",
+    "StreamingSmash",
     "TraceError",
+    "TrackedCampaign",
+    "TrackerConfig",
     "__version__",
 ]

@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Three subcommands cover the deploy-and-operate loop the paper describes
+Four subcommands cover the deploy-and-operate loop the paper describes
 ("SMASH ... can be run everyday to detect daily malicious activities"):
 
 * ``generate`` — materialise a synthetic scenario day to a JSONL trace
   (plus whois/oracle sidecar files), for demos and load testing;
 * ``run`` — run the pipeline on a JSONL trace and write the campaign
   report as JSON;
-* ``report`` — print a human-readable summary of a campaign JSON file.
+* ``report`` — print a human-readable summary of a campaign JSON file;
+* ``stream`` — run the incremental engine (:mod:`repro.stream`) over a
+  multi-day stream with cross-day campaign tracking, alerts and
+  checkpoint/resume.
 
 Examples::
 
@@ -15,6 +18,9 @@ Examples::
     python -m repro run --trace day0/trace.jsonl --whois day0/whois.json \
         --redirects day0/redirects.json --out campaigns.json
     python -m repro report campaigns.json
+    python -m repro stream --scenario small --days 7 \
+        --checkpoint stream.ckpt --events events.jsonl --out summary.json
+    python -m repro stream --day-dirs day0 day1 day2 --window 2
 """
 
 from __future__ import annotations
@@ -44,49 +50,22 @@ _SCENARIOS = {
 
 def _write_whois_json(registry: WhoisRegistry, path: Path) -> None:
     records = [
-        {
-            "domain": record.domain,
-            "registrant": record.registrant,
-            "address": record.address,
-            "email": record.email,
-            "phone": record.phone,
-            "name_servers": list(record.name_servers),
-            "registered_on": record.registered_on,
-            "is_proxy": record.is_proxy,
-        }
-        for record in sorted(registry, key=lambda r: r.domain)
+        record.to_dict() for record in sorted(registry, key=lambda r: r.domain)
     ]
     path.write_text(json.dumps(records, indent=1) + "\n")
 
 
 def _read_whois_json(path: Path) -> WhoisRegistry:
     records = json.loads(path.read_text())
-    return WhoisRegistry(
-        WhoisRecord(
-            domain=entry["domain"],
-            registrant=entry.get("registrant", ""),
-            address=entry.get("address", ""),
-            email=entry.get("email", ""),
-            phone=entry.get("phone", ""),
-            name_servers=tuple(entry.get("name_servers", ())),
-            registered_on=float(entry.get("registered_on", 0.0)),
-            is_proxy=bool(entry.get("is_proxy", False)),
-        )
-        for entry in records
-    )
+    return WhoisRegistry(WhoisRecord.from_dict(entry) for entry in records)
 
 
 def _write_redirects_json(oracle: RedirectOracle, path: Path) -> None:
-    mapping = {
-        server: oracle.landing_server(server)
-        for server in sorted(oracle.chain_members())
-    }
-    path.write_text(json.dumps(mapping, indent=1) + "\n")
+    path.write_text(json.dumps(oracle.to_dict(), indent=1) + "\n")
 
 
 def _read_redirects_json(path: Path) -> RedirectOracle:
-    mapping = json.loads(path.read_text())
-    return RedirectOracle(landing_of=mapping)
+    return RedirectOracle.from_dict(json.loads(path.read_text()))
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -160,6 +139,119 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        JsonlSink,
+        StreamingSmash,
+        TrackerConfig,
+        load_checkpoint,
+        save_checkpoint,
+    )
+    from repro.stream.window import DayPartition
+
+    sinks = (JsonlSink(args.events),) if args.events else ()
+    checkpoint = Path(args.checkpoint) if args.checkpoint else None
+    if args.resume and checkpoint is not None and checkpoint.exists():
+        engine = load_checkpoint(checkpoint, sinks=sinks)
+        print(f"resumed from {checkpoint} (last day: {engine.last_day})")
+        # The checkpoint carries the stream's window size and tracker
+        # tuning; changing them mid-stream would silently change what a
+        # "matched" campaign means, so the checkpointed values win.
+        if engine.window.size != args.window:
+            print(f"note: --window {args.window} ignored on resume "
+                  f"(checkpoint uses {engine.window.size})")
+        if engine.tracker.config.server_jaccard != args.match_jaccard:
+            print(f"note: --match-jaccard {args.match_jaccard} ignored on resume "
+                  f"(checkpoint uses {engine.tracker.config.server_jaccard})")
+    else:
+        engine = StreamingSmash(
+            window_size=args.window,
+            tracker_config=TrackerConfig(server_jaccard=args.match_jaccard),
+            sinks=sinks,
+        )
+    start_day = 0 if engine.last_day is None else engine.last_day + 1
+
+    def feed():
+        if args.day_dirs:
+            for day, directory in enumerate(args.day_dirs):
+                if day < start_day:
+                    continue
+                root = Path(directory)
+                whois_path = root / "whois.json"
+                redirects_path = root / "redirects.json"
+                yield DayPartition(
+                    day=day,
+                    trace=read_jsonl(root / "trace.jsonl"),
+                    whois=_read_whois_json(whois_path) if whois_path.exists() else None,
+                    redirects=_read_redirects_json(redirects_path)
+                    if redirects_path.exists() else None,
+                )
+        else:
+            factory = _SCENARIOS[args.scenario]
+            if args.scenario == "small":
+                spec = factory(seed=args.seed, days=args.days)
+            else:
+                spec = factory(scale=args.scale, seed=args.seed)
+            generator = TraceGenerator(spec)
+            for dataset in generator.iter_days(start=start_day):
+                yield DayPartition(
+                    day=dataset.day,
+                    trace=dataset.trace,
+                    whois=dataset.whois,
+                    redirects=dataset.redirects,
+                )
+
+    updates = []
+    for partition in feed():
+        update = engine.ingest_day(
+            partition.day, partition.trace,
+            whois=partition.whois, redirects=partition.redirects,
+        )
+        updates.append(update)
+        new = len(update.events_of("new_campaign"))
+        grown = len(update.events_of("campaign_growth"))
+        died = len(update.events_of("campaign_died"))
+        print(
+            f"day {update.day}: {update.num_campaigns} campaigns, "
+            f"{len(update.detected_servers)} servers "
+            f"(+{new} new, {grown} grown, -{died} died, "
+            f"{len(update.active)} active identities)"
+        )
+        if checkpoint is not None:
+            save_checkpoint(engine, checkpoint)
+    engine.close()
+
+    if not updates and start_day > 0:
+        print("nothing to do: stream already past the requested days")
+
+    tracker = engine.tracker
+    print(f"\n{len(tracker.campaigns)} campaign identities tracked:")
+    for row in tracker.lifetimes():
+        status = "active" if row["alive"] else "dead"
+        print(
+            f"  {row['uid']}: days {row['first_seen']}-{row['last_seen']} "
+            f"({row['days_seen']} seen, {row['max_consecutive_days']} consecutive), "
+            f"{row['servers']} servers ({row['all_servers']} all-time), {status}"
+        )
+
+    if args.out:
+        summary = {
+            "lifetimes": tracker.lifetimes(),
+            "persistence": [
+                {
+                    "day": p.day,
+                    "old_servers": p.old_servers,
+                    "new_servers_old_clients": p.new_servers_old_clients,
+                    "new_servers_new_clients": p.new_servers_new_clients,
+                }
+                for p in tracker.persistence_series()
+            ],
+        }
+        Path(args.out).write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"\nsummary -> {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SMASH malware-campaign discovery (ICDCS 2015)"
@@ -191,6 +283,35 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("campaigns")
     report.add_argument("--max-servers", type=int, default=5)
     report.set_defaults(func=_cmd_report)
+
+    stream = sub.add_parser(
+        "stream", help="run the incremental multi-day streaming engine"
+    )
+    stream.add_argument("--scenario", choices=sorted(_SCENARIOS), default="small")
+    stream.add_argument("--scale", type=float, default=1.0)
+    stream.add_argument("--seed", type=int, default=7)
+    stream.add_argument(
+        "--days", type=int, default=7,
+        help="number of days (small scenario only; presets fix their own)",
+    )
+    stream.add_argument(
+        "--day-dirs", nargs="+", default=None, metavar="DIR",
+        help="stream from 'repro generate' output directories instead of "
+             "generating a scenario (each holds trace.jsonl [+ sidecars])",
+    )
+    stream.add_argument("--window", type=int, default=1, help="rolling window size in days")
+    stream.add_argument(
+        "--match-jaccard", type=float, default=0.3,
+        help="server-set Jaccard threshold for cross-day campaign identity",
+    )
+    stream.add_argument("--checkpoint", default=None, help="checkpoint file, saved after every day")
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint if it exists",
+    )
+    stream.add_argument("--events", default=None, help="append tracker events to this JSONL file")
+    stream.add_argument("--out", default=None, help="write lifetimes + persistence summary JSON")
+    stream.set_defaults(func=_cmd_stream)
     return parser
 
 

@@ -35,3 +35,11 @@ class GroundTruthError(ReproError):
 
 class PipelineError(ReproError):
     """The SMASH pipeline was driven with inconsistent inputs."""
+
+
+class StreamError(ReproError):
+    """The streaming engine was driven with inconsistent inputs."""
+
+
+class CheckpointError(StreamError):
+    """A streaming checkpoint is missing, corrupt or incompatible."""

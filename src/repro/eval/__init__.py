@@ -1,5 +1,6 @@
-"""Evaluation harness: the paper's verification methodology and the
-table/figure series of Section V."""
+"""Evaluation harness: the paper's verification methodology, the
+table/figure series of Section V, and streaming reformulations of the
+week-long experiments (:mod:`repro.eval.streaming`)."""
 
 from repro.eval.verification import (
     CampaignVerdict,
@@ -8,6 +9,12 @@ from repro.eval.verification import (
     Verifier,
 )
 from repro.eval.experiments import ExperimentRunner
+from repro.eval.streaming import (
+    campaign_lifetimes,
+    daily_tracking_summary,
+    fig7_streaming,
+    stream_week,
+)
 
 __all__ = [
     "CampaignVerdict",
@@ -15,4 +22,8 @@ __all__ = [
     "ServerLabel",
     "VerificationSummary",
     "Verifier",
+    "campaign_lifetimes",
+    "daily_tracking_summary",
+    "fig7_streaming",
+    "stream_week",
 ]

@@ -51,6 +51,7 @@ class ExperimentRunner:
         self._mined: dict[str, MinedDimensions] = {}
         self._results: dict[tuple[str, float], SmashResult] = {}
         self._verifiers: dict[str, Verifier] = {}
+        self._streamed = None
         self.pipeline = SmashPipeline(self.config)
 
     # -- dataset / pipeline plumbing -------------------------------------------------
@@ -262,6 +263,43 @@ class ExperimentRunner:
             )
             daily.append(campaigns)
         return persistence_series_detailed(daily)
+
+    # -- streaming (repro.stream) reformulations of the week experiments ----------------
+
+    def streamed_week(self):
+        """Run the week through :class:`~repro.stream.engine.StreamingSmash`.
+
+        Cached: one stream drive serves :meth:`fig7_streaming`,
+        :meth:`campaign_lifetimes` and :meth:`table5_streaming`.
+        Returns ``(engine, updates)``.
+        """
+        if self._streamed is None:
+            from repro.eval.streaming import stream_week
+
+            self._streamed = stream_week(self.week(), config=self.config)
+        return self._streamed
+
+    def fig7_streaming(self) -> list[PersistenceDay]:
+        """Figure 7 from the campaign tracker's live bookkeeping.
+
+        Agrees with :meth:`fig7` on the same week — the tracker records
+        the identical decomposition incrementally instead of comparing
+        retained daily results post hoc.
+        """
+        engine, _ = self.streamed_week()
+        return engine.tracker.persistence_series()
+
+    def campaign_lifetimes(self) -> list[dict[str, object]]:
+        """Cross-day campaign lifetime/churn rows from the tracker."""
+        engine, _ = self.streamed_week()
+        return engine.tracker.lifetimes()
+
+    def table5_streaming(self) -> list[dict[str, int]]:
+        """Per-day campaign counts with tracker event breakdown."""
+        from repro.eval.streaming import daily_tracking_summary
+
+        _, updates = self.streamed_week()
+        return daily_tracking_summary(updates)
 
     def fig8(self, name: str = "2011") -> dict[str, float]:
         """Secondary-dimension decomposition of detected servers."""

@@ -1,0 +1,63 @@
+"""Incremental multi-day streaming engine with cross-day campaign tracking.
+
+The batch pipeline answers "what is malicious in *this* trace?"; this
+package answers the operational question the paper closes with — SMASH
+"can be run everyday to detect daily malicious activities" — by running
+the pipeline continuously:
+
+* :mod:`repro.stream.window` — rolling N-day window over per-day log
+  partitions (trace + Whois + redirect sidecars), oldest day evicted as
+  the stream advances;
+* :mod:`repro.stream.engine` — :class:`StreamingSmash`, one pipeline
+  run per window advance with mining reused across thresholds;
+* :mod:`repro.stream.tracker` — :class:`CampaignTracker`, stable
+  campaign identities matched across days via server-set Jaccard (with
+  a client-set fallback for agile campaigns), yielding Figure 7's
+  persistence decomposition and campaign lifetimes as live bookkeeping;
+* :mod:`repro.stream.alerts` — pluggable sinks for new-campaign /
+  campaign-growth / campaign-died events;
+* :mod:`repro.stream.checkpoint` — JSON snapshot/resume of the whole
+  engine (window + tracker), so a killed stream resumes losslessly.
+
+Quick start::
+
+    from repro.stream import StreamingSmash
+    from repro.synth import TraceGenerator, small_scenario
+
+    engine = StreamingSmash()
+    for dataset in TraceGenerator(small_scenario(days=7)).iter_days():
+        update = engine.ingest_dataset(dataset)
+        print(update.day, update.num_campaigns, [c.uid for c in update.active])
+"""
+
+from repro.stream.alerts import AlertSink, CallbackSink, ConsoleSink, JsonlSink, ListSink
+from repro.stream.checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
+from repro.stream.engine import StreamingSmash, StreamUpdate
+from repro.stream.tracker import (
+    CampaignTracker,
+    TrackedCampaign,
+    TrackerConfig,
+    TrackEvent,
+    jaccard,
+)
+from repro.stream.window import DayPartition, RollingWindow
+
+__all__ = [
+    "AlertSink",
+    "CHECKPOINT_VERSION",
+    "CallbackSink",
+    "CampaignTracker",
+    "ConsoleSink",
+    "DayPartition",
+    "JsonlSink",
+    "ListSink",
+    "RollingWindow",
+    "StreamUpdate",
+    "StreamingSmash",
+    "TrackEvent",
+    "TrackedCampaign",
+    "TrackerConfig",
+    "jaccard",
+    "load_checkpoint",
+    "save_checkpoint",
+]

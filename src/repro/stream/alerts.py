@@ -1,0 +1,87 @@
+"""Pluggable alert sinks for tracker events.
+
+The engine pushes every :class:`~repro.stream.tracker.TrackEvent`
+(new campaign, campaign growth, campaign death) to each configured sink
+as the stream advances.  Sinks are deliberately tiny: an operational
+deployment would point one at a SIEM or message queue; here we ship the
+in-memory, console, JSONL-file and callback varieties the tests,
+examples and CLI need.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections.abc import Callable
+from pathlib import Path
+from typing import IO
+
+from repro.stream.tracker import TrackEvent
+
+
+class AlertSink:
+    """Interface: receives every tracker event as it is produced."""
+
+    def emit(self, event: TrackEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; called by ``StreamingSmash.close()``."""
+
+
+class ListSink(AlertSink):
+    """Collect events in memory (tests and examples)."""
+
+    def __init__(self) -> None:
+        self.events: list[TrackEvent] = []
+
+    def emit(self, event: TrackEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[TrackEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+class ConsoleSink(AlertSink):
+    """Print one human-readable line per event."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream or sys.stdout
+
+    def emit(self, event: TrackEvent) -> None:
+        detail = " ".join(f"{key}={value}" for key, value in sorted(event.detail.items()))
+        print(f"[day {event.day}] {event.kind} {event.uid} {detail}".rstrip(),
+              file=self.stream)
+
+
+class JsonlSink(AlertSink):
+    """Append one JSON object per event to a file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    def emit(self, event: TrackEvent) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        # Alerts must be at least as durable as the per-day checkpoints a
+        # stream takes: a buffered line lost to a crash would vanish for
+        # good, because resume skips the already-checkpointed days.
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallbackSink(AlertSink):
+    """Invoke an arbitrary callable per event (embedding into other systems)."""
+
+    def __init__(self, callback: Callable[[TrackEvent], None]) -> None:
+        self.callback = callback
+
+    def emit(self, event: TrackEvent) -> None:
+        self.callback(event)

@@ -1,0 +1,69 @@
+"""JSON checkpoints for the streaming engine.
+
+A checkpoint freezes a :class:`~repro.stream.engine.StreamingSmash` —
+its rolling window (per-day traces and oracle sidecars) and its
+:class:`~repro.stream.tracker.CampaignTracker` state — so a multi-day
+stream killed mid-week resumes with identical identities, persistence
+series and window contents.  The :class:`~repro.config.SmashConfig` and
+alert sinks are process-level wiring, not stream state; pass the same
+ones to :func:`load_checkpoint` that the original engine used.
+
+Writes are atomic (temp file + rename) so a crash during ``save``
+never corrupts the previous checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.config import SmashConfig
+from repro.errors import CheckpointError
+from repro.stream.alerts import AlertSink
+from repro.stream.engine import StreamingSmash
+
+#: Bump on any incompatible change to the checkpoint layout.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(engine: StreamingSmash, path: str | Path) -> Path:
+    """Atomically write *engine*'s state to *path*; returns the path."""
+    path = Path(path)
+    payload = {
+        "format": "repro.stream.checkpoint",
+        "version": CHECKPOINT_VERSION,
+        "state": engine.state_dict(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(
+    path: str | Path,
+    config: SmashConfig | None = None,
+    sinks: tuple[AlertSink, ...] = (),
+) -> StreamingSmash:
+    """Rebuild an engine from a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"corrupt checkpoint {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != "repro.stream.checkpoint":
+        raise CheckpointError(f"{path} is not a streaming checkpoint")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} unsupported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    try:
+        return StreamingSmash.from_state_dict(payload["state"], config=config, sinks=sinks)
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"malformed checkpoint {path}: {error}") from error

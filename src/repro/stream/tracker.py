@@ -1,0 +1,427 @@
+"""Cross-day campaign identity tracking.
+
+A daily SMASH run numbers its campaigns from zero, so campaign #3 today
+and campaign #7 tomorrow may be the same herd.  :class:`CampaignTracker`
+assigns *stable* identifiers by matching each run's campaigns against the
+campaigns it already tracks:
+
+* primary match — Jaccard overlap of **server** sets (persistent
+  campaigns keep most of their infrastructure day over day);
+* fallback match — Jaccard overlap of **client** sets (agile campaigns
+  rotate every server daily but reuse the same infected bots; server
+  overlap alone would mint a fresh identity each day — Section V-B).
+
+Matching is greedy best-score one-to-one, so a campaign that splits into
+two keeps its identity on the better-matching half and the other half
+becomes a new campaign.  With the tracker in place the paper's
+longitudinal analyses fall out of bookkeeping: Figure 7's
+persistent/agile decomposition is recorded as the tracker advances, and
+campaign lifetimes/churn are per-identity counters instead of post-hoc
+set comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.core.results import Campaign
+from repro.errors import StreamError
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.eval imports
+    # repro.eval.streaming, which imports this module — a module-level
+    # import of repro.eval.figures here would close that cycle.
+    from repro.eval.figures import PersistenceDay
+
+
+def jaccard(left: frozenset[str], right: frozenset[str]) -> float:
+    """Jaccard similarity of two sets (0.0 when both are empty)."""
+    if not left and not right:
+        return 0.0
+    return len(left & right) / len(left | right)
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Matching and expiry tunables of :class:`CampaignTracker`."""
+
+    #: Minimum server-set Jaccard for two campaigns to be the same herd.
+    server_jaccard: float = 0.3
+
+    #: Minimum client-set Jaccard for the agile-campaign fallback match.
+    client_jaccard: float = 0.5
+
+    #: Whether the client-set fallback is used at all.
+    match_clients: bool = True
+
+    #: A tracked campaign unseen for more than this many consecutive
+    #: stream advances is declared dead (its ID is never reused).
+    max_gap_days: int = 2
+
+    def validate(self) -> None:
+        if not 0.0 < self.server_jaccard <= 1.0:
+            raise StreamError("server_jaccard must be in (0, 1]")
+        if not 0.0 < self.client_jaccard <= 1.0:
+            raise StreamError("client_jaccard must be in (0, 1]")
+        if self.max_gap_days < 0:
+            raise StreamError("max_gap_days must be >= 0")
+
+
+@dataclass(frozen=True)
+class TrackedCampaign:
+    """One campaign identity and its cross-day history."""
+
+    uid: str
+    first_seen: int
+    last_seen: int
+    days_seen: tuple[int, ...]
+    servers: frozenset[str]
+    clients: frozenset[str]
+    #: Every server ever attributed to this identity.
+    all_servers: frozenset[str]
+    #: Cumulative servers that joined/left across matched advances.
+    servers_added: int = 0
+    servers_removed: int = 0
+    alive: bool = True
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def span_days(self) -> int:
+        """Calendar span from first to last sighting, inclusive."""
+        return self.last_seen - self.first_seen + 1
+
+    @property
+    def max_consecutive_days(self) -> int:
+        """Length of the longest run of consecutive sighting days."""
+        best = run = 1
+        for previous, current in zip(self.days_seen, self.days_seen[1:]):
+            run = run + 1 if current == previous + 1 else 1
+            best = max(best, run)
+        return best
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "uid": self.uid,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "days_seen": list(self.days_seen),
+            "servers": sorted(self.servers),
+            "clients": sorted(self.clients),
+            "all_servers": sorted(self.all_servers),
+            "servers_added": self.servers_added,
+            "servers_removed": self.servers_removed,
+            "alive": self.alive,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "TrackedCampaign":
+        return cls(
+            uid=str(data["uid"]),
+            first_seen=int(data["first_seen"]),  # type: ignore[arg-type]
+            last_seen=int(data["last_seen"]),  # type: ignore[arg-type]
+            days_seen=tuple(data["days_seen"]),  # type: ignore[arg-type]
+            servers=frozenset(data["servers"]),  # type: ignore[arg-type]
+            clients=frozenset(data["clients"]),  # type: ignore[arg-type]
+            all_servers=frozenset(data["all_servers"]),  # type: ignore[arg-type]
+            servers_added=int(data.get("servers_added", 0)),  # type: ignore[arg-type]
+            servers_removed=int(data.get("servers_removed", 0)),  # type: ignore[arg-type]
+            alive=bool(data.get("alive", True)),
+        )
+
+
+@dataclass(frozen=True)
+class TrackEvent:
+    """One alertable tracker observation (see :mod:`repro.stream.alerts`)."""
+
+    kind: str  # "new_campaign" | "campaign_growth" | "campaign_died"
+    day: int
+    uid: str
+    detail: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "day": self.day, "uid": self.uid, **self.detail}
+
+
+class CampaignTracker:
+    """Assign stable cross-day identities to per-run campaigns."""
+
+    def __init__(self, config: TrackerConfig | None = None) -> None:
+        self.config = config or TrackerConfig()
+        self.config.validate()
+        self._campaigns: dict[str, TrackedCampaign] = {}
+        self._next_id = 1
+        self._last_day: int | None = None
+        #: All servers/clients ever seen in any tracked campaign — the
+        #: "seen before" baselines of the Figure-7 classification.
+        self._seen_servers: set[str] = set()
+        self._seen_clients: set[str] = set()
+        self._persistence: list["PersistenceDay"] = []
+
+    # -- read API -----------------------------------------------------------------
+
+    @property
+    def campaigns(self) -> tuple[TrackedCampaign, ...]:
+        """All identities ever tracked, in creation order."""
+        return tuple(self._campaigns.values())
+
+    @property
+    def active(self) -> tuple[TrackedCampaign, ...]:
+        return tuple(c for c in self._campaigns.values() if c.alive)
+
+    @property
+    def last_day(self) -> int | None:
+        return self._last_day
+
+    def get(self, uid: str) -> TrackedCampaign:
+        try:
+            return self._campaigns[uid]
+        except KeyError:
+            raise StreamError(f"unknown campaign id {uid!r}") from None
+
+    def persistence_series(self) -> list["PersistenceDay"]:
+        """Figure 7's persistent/agile decomposition, recorded live.
+
+        Equivalent to
+        :func:`repro.eval.figures.persistence_series_detailed` over the
+        same per-day campaign lists, but accumulated as the stream
+        advances instead of recomputed from retained daily results.
+        """
+        return list(self._persistence)
+
+    def lifetimes(self) -> list[dict[str, object]]:
+        """Per-identity lifetime/churn rows (campaign lifetime analysis)."""
+        return [
+            {
+                "uid": c.uid,
+                "first_seen": c.first_seen,
+                "last_seen": c.last_seen,
+                "days_seen": len(c.days_seen),
+                "span_days": c.span_days,
+                "max_consecutive_days": c.max_consecutive_days,
+                "servers": len(c.servers),
+                "all_servers": len(c.all_servers),
+                "servers_added": c.servers_added,
+                "servers_removed": c.servers_removed,
+                "alive": c.alive,
+            }
+            for c in self._campaigns.values()
+        ]
+
+    # -- advance ------------------------------------------------------------------
+
+    def advance(self, day: int, campaigns: list[Campaign]) -> list[TrackEvent]:
+        """Match *day*'s campaigns against tracked identities.
+
+        Returns the day's events (new / grown / died) in a deterministic
+        order: matches processed best-score first, then new campaigns,
+        then deaths.
+        """
+        if self._last_day is not None and day <= self._last_day:
+            raise StreamError(
+                f"tracker days must be strictly increasing: got day {day} "
+                f"after day {self._last_day}"
+            )
+        config = self.config
+        self._record_persistence(day, campaigns)
+
+        # Score every (tracked, observed) pair.  Candidates are ranked
+        # server-matches first (tier 0), then client-only fallbacks
+        # (tier 1), best score first; ties break on identity age then
+        # observed order, so matching is deterministic.
+        candidates: list[tuple[int, float, str, int]] = []
+        for uid, tracked in self._campaigns.items():
+            if not tracked.alive:
+                continue
+            for index, observed in enumerate(campaigns):
+                server_score = jaccard(tracked.servers, observed.servers)
+                if server_score >= config.server_jaccard:
+                    candidates.append((0, server_score, uid, index))
+                    continue
+                if config.match_clients:
+                    client_score = jaccard(tracked.clients, observed.clients)
+                    if client_score >= config.client_jaccard:
+                        candidates.append((1, client_score, uid, index))
+        candidates.sort(key=lambda entry: (entry[0], -entry[1], entry[2], entry[3]))
+
+        events: list[TrackEvent] = []
+        matched_uids: set[str] = set()
+        matched_observed: set[int] = set()
+        for tier, score, uid, index in candidates:
+            if uid in matched_uids or index in matched_observed:
+                continue
+            matched_uids.add(uid)
+            matched_observed.add(index)
+            events.extend(self._update_matched(day, uid, campaigns[index], score, tier))
+
+        for index, observed in enumerate(campaigns):
+            if index in matched_observed:
+                continue
+            events.append(self._track_new(day, observed))
+
+        events.extend(self._expire(day, matched_uids))
+
+        for campaign in campaigns:
+            self._seen_servers |= campaign.servers
+            self._seen_clients |= campaign.clients
+        self._last_day = day
+        return events
+
+    def _record_persistence(self, day: int, campaigns: list[Campaign]) -> None:
+        from repro.eval.figures import PersistenceDay
+
+        old = new_old = new_new = 0
+        for campaign in campaigns:
+            campaign_is_old_clients = bool(campaign.clients & self._seen_clients)
+            for server in campaign.servers:
+                if server in self._seen_servers:
+                    old += 1
+                elif campaign_is_old_clients:
+                    new_old += 1
+                else:
+                    new_new += 1
+        self._persistence.append(
+            PersistenceDay(
+                day=day,
+                old_servers=old,
+                new_servers_old_clients=new_old,
+                new_servers_new_clients=new_new,
+            )
+        )
+
+    def _update_matched(
+        self, day: int, uid: str, observed: Campaign, score: float, tier: int
+    ) -> list[TrackEvent]:
+        tracked = self._campaigns[uid]
+        added = observed.servers - tracked.servers
+        removed = tracked.servers - observed.servers
+        updated = replace(
+            tracked,
+            last_seen=day,
+            days_seen=tracked.days_seen + (day,),
+            servers=observed.servers,
+            clients=observed.clients,
+            all_servers=tracked.all_servers | observed.servers,
+            servers_added=tracked.servers_added + len(added),
+            servers_removed=tracked.servers_removed + len(removed),
+        )
+        self._campaigns[uid] = updated
+        if len(observed.servers) > len(tracked.servers):
+            return [
+                TrackEvent(
+                    kind="campaign_growth",
+                    day=day,
+                    uid=uid,
+                    detail={
+                        "servers": len(observed.servers),
+                        "previous_servers": len(tracked.servers),
+                        "added": sorted(added),
+                        "match_score": round(score, 4),
+                        "matched_on": "servers" if tier == 0 else "clients",
+                    },
+                )
+            ]
+        return []
+
+    def _track_new(self, day: int, observed: Campaign) -> TrackEvent:
+        uid = f"C{self._next_id:04d}"
+        self._next_id += 1
+        self._campaigns[uid] = TrackedCampaign(
+            uid=uid,
+            first_seen=day,
+            last_seen=day,
+            days_seen=(day,),
+            servers=observed.servers,
+            clients=observed.clients,
+            all_servers=observed.servers,
+        )
+        return TrackEvent(
+            kind="new_campaign",
+            day=day,
+            uid=uid,
+            detail={
+                "servers": len(observed.servers),
+                "clients": len(observed.clients),
+            },
+        )
+
+    def _expire(self, day: int, matched_uids: set[str]) -> list[TrackEvent]:
+        events = []
+        for uid, tracked in self._campaigns.items():
+            if not tracked.alive or uid in matched_uids:
+                continue
+            if day - tracked.last_seen > self.config.max_gap_days:
+                self._campaigns[uid] = replace(tracked, alive=False)
+                events.append(
+                    TrackEvent(
+                        kind="campaign_died",
+                        day=day,
+                        uid=uid,
+                        detail={
+                            "last_seen": tracked.last_seen,
+                            "days_seen": len(tracked.days_seen),
+                            "servers": len(tracked.servers),
+                        },
+                    )
+                )
+        return events
+
+    # -- checkpoint support -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "config": {
+                "server_jaccard": self.config.server_jaccard,
+                "client_jaccard": self.config.client_jaccard,
+                "match_clients": self.config.match_clients,
+                "max_gap_days": self.config.max_gap_days,
+            },
+            "next_id": self._next_id,
+            "last_day": self._last_day,
+            "seen_servers": sorted(self._seen_servers),
+            "seen_clients": sorted(self._seen_clients),
+            "campaigns": [c.to_dict() for c in self._campaigns.values()],
+            "persistence": [
+                {
+                    "day": p.day,
+                    "old_servers": p.old_servers,
+                    "new_servers_old_clients": p.new_servers_old_clients,
+                    "new_servers_new_clients": p.new_servers_new_clients,
+                }
+                for p in self._persistence
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "CampaignTracker":
+        from repro.eval.figures import PersistenceDay
+
+        config_data = data.get("config", {})
+        tracker = cls(
+            TrackerConfig(
+                server_jaccard=float(config_data.get("server_jaccard", 0.3)),  # type: ignore[union-attr]
+                client_jaccard=float(config_data.get("client_jaccard", 0.5)),  # type: ignore[union-attr]
+                match_clients=bool(config_data.get("match_clients", True)),  # type: ignore[union-attr]
+                max_gap_days=int(config_data.get("max_gap_days", 2)),  # type: ignore[union-attr]
+            )
+        )
+        tracker._next_id = int(data.get("next_id", 1))  # type: ignore[arg-type]
+        last_day = data.get("last_day")
+        tracker._last_day = None if last_day is None else int(last_day)  # type: ignore[arg-type]
+        tracker._seen_servers = set(data.get("seen_servers", ()))  # type: ignore[arg-type]
+        tracker._seen_clients = set(data.get("seen_clients", ()))  # type: ignore[arg-type]
+        for entry in data.get("campaigns", ()):  # type: ignore[union-attr]
+            campaign = TrackedCampaign.from_dict(entry)  # type: ignore[arg-type]
+            tracker._campaigns[campaign.uid] = campaign
+        tracker._persistence = [
+            PersistenceDay(
+                day=int(entry["day"]),  # type: ignore[arg-type, index]
+                old_servers=int(entry["old_servers"]),  # type: ignore[arg-type, index]
+                new_servers_old_clients=int(entry["new_servers_old_clients"]),  # type: ignore[arg-type, index]
+                new_servers_new_clients=int(entry["new_servers_new_clients"]),  # type: ignore[arg-type, index]
+            )
+            for entry in data.get("persistence", ())  # type: ignore[union-attr]
+        ]
+        return tracker

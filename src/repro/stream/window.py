@@ -1,0 +1,165 @@
+"""Rolling multi-day window over HTTP log partitions.
+
+The streaming engine ingests one :class:`DayPartition` per trace day and
+keeps the most recent *N* of them.  Each partition bundles the day's
+trace with its oracle sidecars (Whois registry, redirect oracle) — the
+same triple :meth:`~repro.core.pipeline.SmashPipeline.run` consumes —
+so the window can hand the pipeline a combined view of the whole window
+without regenerating or re-reading any per-day input.
+
+Combined views are cached per window state: advancing the window
+invalidates them, re-running the same window (e.g. a second threshold)
+reuses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StreamError
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+from repro.synth.oracles import RedirectOracle
+from repro.whois.record import WhoisRecord
+from repro.whois.registry import WhoisRegistry
+
+
+def whois_to_list(registry: WhoisRegistry | None) -> list[dict[str, object]]:
+    """Serialise a Whois registry to JSON-compatible records."""
+    if registry is None:
+        return []
+    return [
+        record.to_dict() for record in sorted(registry, key=lambda r: r.domain)
+    ]
+
+
+def whois_from_list(entries: list[dict[str, object]]) -> WhoisRegistry | None:
+    """Inverse of :func:`whois_to_list` (empty list -> ``None``)."""
+    if not entries:
+        return None
+    return WhoisRegistry(WhoisRecord.from_dict(entry) for entry in entries)
+
+
+def redirects_to_dict(oracle: RedirectOracle | None) -> dict[str, str]:
+    """Serialise a redirect oracle to its landing-server mapping."""
+    if oracle is None:
+        return {}
+    return oracle.to_dict()
+
+
+def redirects_from_dict(mapping: dict[str, str]) -> RedirectOracle | None:
+    """Inverse of :func:`redirects_to_dict` (empty dict -> ``None``)."""
+    if not mapping:
+        return None
+    return RedirectOracle.from_dict(mapping)
+
+
+@dataclass(frozen=True)
+class DayPartition:
+    """One ingested day: trace plus oracle sidecars."""
+
+    day: int
+    trace: HttpTrace
+    whois: WhoisRegistry | None = None
+    redirects: RedirectOracle | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "day": self.day,
+            "trace_name": self.trace.name,
+            "requests": [request.to_dict() for request in self.trace],
+            "whois": whois_to_list(self.whois),
+            "redirects": redirects_to_dict(self.redirects),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "DayPartition":
+        requests = [
+            HttpRequest.from_dict(entry)  # type: ignore[arg-type]
+            for entry in data.get("requests", ())  # type: ignore[union-attr]
+        ]
+        return cls(
+            day=int(data["day"]),  # type: ignore[arg-type]
+            trace=HttpTrace(requests, name=str(data.get("trace_name", "trace"))),
+            whois=whois_from_list(data.get("whois", [])),  # type: ignore[arg-type]
+            redirects=redirects_from_dict(data.get("redirects", {})),  # type: ignore[arg-type]
+        )
+
+
+class RollingWindow:
+    """The most recent *size* day partitions, oldest evicted first.
+
+    Days must be appended in strictly increasing order — the window
+    models a forward-moving stream, not random access.
+    """
+
+    def __init__(self, size: int = 1) -> None:
+        if size < 1:
+            raise StreamError(f"window size must be >= 1, got {size}")
+        self.size = size
+        self._partitions: list[DayPartition] = []
+        self._combined: tuple[HttpTrace, WhoisRegistry | None, RedirectOracle | None] | None = None
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def partitions(self) -> tuple[DayPartition, ...]:
+        return tuple(self._partitions)
+
+    @property
+    def days(self) -> tuple[int, ...]:
+        """Day indices currently inside the window, oldest first."""
+        return tuple(partition.day for partition in self._partitions)
+
+    def append(self, partition: DayPartition) -> tuple[DayPartition, ...]:
+        """Add the next day; return the partitions evicted to make room."""
+        if self._partitions and partition.day <= self._partitions[-1].day:
+            raise StreamError(
+                f"stream days must be strictly increasing: got day "
+                f"{partition.day} after day {self._partitions[-1].day}"
+            )
+        self._partitions.append(partition)
+        evicted = tuple(self._partitions[: -self.size])
+        self._partitions = self._partitions[-self.size:]
+        self._combined = None
+        return evicted
+
+    def combined(self) -> tuple[HttpTrace, WhoisRegistry | None, RedirectOracle | None]:
+        """The window's merged (trace, whois, redirects) pipeline inputs."""
+        if not self._partitions:
+            raise StreamError("cannot combine an empty window")
+        if self._combined is None:
+            traces = [partition.trace for partition in self._partitions]
+            name = f"window-days-{self.days[0]}-{self.days[-1]}"
+            trace = traces[0] if len(traces) == 1 else HttpTrace.concat(traces, name=name)
+
+            whois: WhoisRegistry | None = None
+            for partition in self._partitions:
+                if partition.whois is None:
+                    continue
+                whois = partition.whois if whois is None else whois.merged_with(partition.whois)
+
+            landing: dict[str, str] = {}
+            for partition in self._partitions:
+                if partition.redirects is None:
+                    continue
+                landing.update(redirects_to_dict(partition.redirects))
+            redirects = RedirectOracle(landing_of=landing) if landing else None
+            self._combined = (trace, whois, redirects)
+        return self._combined
+
+    # -- checkpoint support -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "size": self.size,
+            "partitions": [partition.to_dict() for partition in self._partitions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "RollingWindow":
+        window = cls(size=int(data.get("size", 1)))  # type: ignore[arg-type]
+        for entry in data.get("partitions", ()):  # type: ignore[union-attr]
+            window.append(DayPartition.from_dict(entry))  # type: ignore[arg-type]
+        return window

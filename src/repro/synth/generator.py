@@ -12,6 +12,7 @@ randomness is derived from the scenario seed with stable key paths, so:
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.errors import ScenarioError
@@ -191,3 +192,13 @@ class TraceGenerator:
     def generate_week(self) -> list[SyntheticDataset]:
         """Generate all days of the scenario."""
         return [self.generate_day(day) for day in range(self.spec.days)]
+
+    def iter_days(self, start: int = 0) -> Iterator[SyntheticDataset]:
+        """Lazily generate days ``start .. spec.days`` one at a time.
+
+        The streaming engine's natural feed: each day is materialised
+        only when the stream is ready to ingest it, so a long scenario
+        never holds more than one day in memory on the producer side.
+        """
+        for day in range(start, self.spec.days):
+            yield self.generate_day(day)

@@ -45,6 +45,15 @@ class RedirectOracle:
     def chain_members(self) -> frozenset[str]:
         return frozenset(self._landing_of)
 
+    def to_dict(self) -> dict[str, str]:
+        """The landing-server mapping, sorted (the redirects.json sidecar
+        and streaming-checkpoint schema; inverse of :meth:`from_dict`)."""
+        return dict(sorted(self._landing_of.items()))
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, str]) -> "RedirectOracle":
+        return cls(landing_of=mapping)
+
 
 class HostLiveness:
     """Records which servers still "exist" when the analyst verifies them."""

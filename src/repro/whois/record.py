@@ -65,3 +65,30 @@ class WhoisRecord:
     def present_fields(self) -> tuple[str, ...]:
         """Names of the fields carrying a non-empty value in this record."""
         return tuple(f for f in WHOIS_FIELDS if self.field_value(f))
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to a JSON-compatible dict (the whois.json sidecar and
+        streaming-checkpoint schema; inverse of :meth:`from_dict`)."""
+        return {
+            "domain": self.domain,
+            "registrant": self.registrant,
+            "address": self.address,
+            "email": self.email,
+            "phone": self.phone,
+            "name_servers": list(self.name_servers),
+            "registered_on": self.registered_on,
+            "is_proxy": self.is_proxy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "WhoisRecord":
+        return cls(
+            domain=str(data["domain"]),
+            registrant=str(data.get("registrant", "")),
+            address=str(data.get("address", "")),
+            email=str(data.get("email", "")),
+            phone=str(data.get("phone", "")),
+            name_servers=tuple(data.get("name_servers", ())),  # type: ignore[arg-type]
+            registered_on=float(data.get("registered_on", 0.0)),  # type: ignore[arg-type]
+            is_proxy=bool(data.get("is_proxy", False)),
+        )

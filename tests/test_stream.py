@@ -1,0 +1,305 @@
+"""Streaming engine tests: window eviction, cross-day campaign identity,
+checkpoint round-trips, and an end-to-end synthetic week."""
+
+import json
+
+import pytest
+
+from repro.core.results import Campaign
+from repro.errors import CheckpointError, StreamError
+from repro.eval.figures import persistence_series_detailed
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+from repro.stream import (
+    CampaignTracker,
+    DayPartition,
+    ListSink,
+    RollingWindow,
+    StreamingSmash,
+    TrackerConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.synth import TraceGenerator, small_scenario
+from repro.synth.oracles import RedirectOracle
+from repro.whois.record import WhoisRecord
+from repro.whois.registry import WhoisRegistry
+
+
+def request(client, host, uri="/x.html"):
+    return HttpRequest(
+        timestamp=0.0, client=client, host=host, server_ip="1.1.1.1", uri=uri
+    )
+
+
+def partition(day, hosts, whois=None, redirects=None):
+    trace = HttpTrace([request(f"c{day}", host) for host in hosts], name=f"day{day}")
+    return DayPartition(day=day, trace=trace, whois=whois, redirects=redirects)
+
+
+def campaign(campaign_id, servers, clients):
+    return Campaign(
+        campaign_id=campaign_id,
+        main_index=0,
+        servers=frozenset(servers),
+        clients=frozenset(clients),
+    )
+
+
+class TestRollingWindow:
+    def test_size_must_be_positive(self):
+        with pytest.raises(StreamError):
+            RollingWindow(0)
+
+    def test_eviction_keeps_last_n_days(self):
+        window = RollingWindow(size=2)
+        assert window.append(partition(0, ["a.com"])) == ()
+        assert window.append(partition(1, ["b.com"])) == ()
+        evicted = window.append(partition(2, ["c.com"]))
+        assert [p.day for p in evicted] == [0]
+        assert window.days == (1, 2)
+
+    def test_days_must_increase(self):
+        window = RollingWindow(size=3)
+        window.append(partition(1, ["a.com"]))
+        with pytest.raises(StreamError):
+            window.append(partition(1, ["b.com"]))
+        with pytest.raises(StreamError):
+            window.append(partition(0, ["b.com"]))
+
+    def test_combined_merges_trace_whois_redirects(self):
+        whois0 = WhoisRegistry([WhoisRecord(domain="a.com", registrant="r0")])
+        whois1 = WhoisRegistry([WhoisRecord(domain="b.com", registrant="r1")])
+        redirects1 = RedirectOracle(landing_of={"b.com": "land.com"})
+        window = RollingWindow(size=2)
+        window.append(partition(0, ["a.com"], whois=whois0))
+        window.append(partition(1, ["b.com"], whois=whois1, redirects=redirects1))
+        trace, whois, redirects = window.combined()
+        assert len(trace) == 2
+        assert {r.host for r in trace} == {"a.com", "b.com"}
+        assert "a.com" in whois and "b.com" in whois
+        assert redirects.landing_server("b.com") == "land.com"
+
+    def test_combined_cached_until_advance(self):
+        window = RollingWindow(size=2)
+        window.append(partition(0, ["a.com"]))
+        first = window.combined()
+        assert window.combined() is first
+        window.append(partition(1, ["b.com"]))
+        assert window.combined() is not first
+
+    def test_combined_empty_window_rejected(self):
+        with pytest.raises(StreamError):
+            RollingWindow().combined()
+
+    def test_partition_roundtrip(self):
+        original = partition(
+            3,
+            ["a.com", "b.com"],
+            whois=WhoisRegistry([WhoisRecord(domain="a.com", registrant="r")]),
+            redirects=RedirectOracle(landing_of={"a.com": "land.com"}),
+        )
+        restored = DayPartition.from_dict(original.to_dict())
+        assert restored.day == 3
+        assert restored.trace == original.trace
+        assert restored.whois.lookup("a.com").registrant == "r"
+        assert restored.redirects.landing_server("a.com") == "land.com"
+
+
+class TestCampaignTracker:
+    def test_new_campaigns_get_sequential_stable_ids(self):
+        tracker = CampaignTracker()
+        events = tracker.advance(0, [campaign(0, ["a", "b"], ["c1"]),
+                                     campaign(1, ["x", "y"], ["c2"])])
+        assert [e.kind for e in events] == ["new_campaign", "new_campaign"]
+        assert [c.uid for c in tracker.campaigns] == ["C0001", "C0002"]
+
+    def test_server_overlap_keeps_identity(self):
+        tracker = CampaignTracker()
+        tracker.advance(0, [campaign(0, ["a", "b", "c"], ["c1"])])
+        events = tracker.advance(1, [campaign(0, ["a", "b", "d"], ["c1"])])
+        assert events == []  # matched, same size: nothing alertable
+        (tracked,) = tracker.campaigns
+        assert tracked.uid == "C0001"
+        assert tracked.days_seen == (0, 1)
+        assert tracked.servers == frozenset({"a", "b", "d"})
+        assert tracked.all_servers == frozenset({"a", "b", "c", "d"})
+        assert tracked.servers_added == 1
+        assert tracked.servers_removed == 1
+
+    def test_agile_campaign_matched_through_clients(self):
+        tracker = CampaignTracker()
+        tracker.advance(0, [campaign(0, ["a", "b"], ["bot1", "bot2"])])
+        # Full server rotation, same bots — the agile pattern of Fig. 7.
+        tracker.advance(1, [campaign(0, ["x", "y"], ["bot1", "bot2"])])
+        (tracked,) = tracker.campaigns
+        assert tracked.uid == "C0001"
+        assert tracked.days_seen == (0, 1)
+        assert tracked.servers_added == 2 and tracked.servers_removed == 2
+
+    def test_client_fallback_can_be_disabled(self):
+        tracker = CampaignTracker(TrackerConfig(match_clients=False, max_gap_days=0))
+        tracker.advance(0, [campaign(0, ["a", "b"], ["bot1"])])
+        tracker.advance(1, [campaign(0, ["x", "y"], ["bot1"])])
+        assert [c.uid for c in tracker.campaigns] == ["C0001", "C0002"]
+
+    def test_growth_event_reports_added_servers(self):
+        tracker = CampaignTracker()
+        tracker.advance(0, [campaign(0, ["a", "b"], ["c1"])])
+        events = tracker.advance(1, [campaign(0, ["a", "b", "c"], ["c1"])])
+        (event,) = events
+        assert event.kind == "campaign_growth"
+        assert event.uid == "C0001"
+        assert event.detail["added"] == ["c"]
+        assert event.detail["previous_servers"] == 2
+
+    def test_death_after_gap_and_id_never_reused(self):
+        tracker = CampaignTracker(TrackerConfig(max_gap_days=1))
+        tracker.advance(0, [campaign(0, ["a", "b"], ["c1"])])
+        assert tracker.advance(1, []) == []  # within the allowed gap
+        (event,) = tracker.advance(2, [])
+        assert event.kind == "campaign_died" and event.uid == "C0001"
+        assert tracker.active == ()
+        # A fresh, unrelated campaign mints a new id.
+        tracker.advance(3, [campaign(0, ["z1", "z2"], ["c9"])])
+        assert [c.uid for c in tracker.campaigns] == ["C0001", "C0002"]
+
+    def test_greedy_matching_is_one_to_one(self):
+        tracker = CampaignTracker()
+        tracker.advance(0, [campaign(0, ["a", "b", "c", "d"], ["c1"])])
+        # Both halves overlap the tracked identity; the better-matching
+        # one keeps the id, the other becomes a new campaign.
+        events = tracker.advance(1, [
+            campaign(0, ["a", "b", "c"], ["c1"]),
+            campaign(1, ["d", "e", "f", "g"], ["c2"]),
+        ])
+        assert [e.kind for e in events].count("new_campaign") == 1
+        best = tracker.get("C0001")
+        assert best.servers == frozenset({"a", "b", "c"})
+
+    def test_days_must_increase(self):
+        tracker = CampaignTracker()
+        tracker.advance(0, [])
+        with pytest.raises(StreamError):
+            tracker.advance(0, [])
+
+    def test_persistence_matches_batch_computation(self):
+        daily = [
+            [campaign(0, ["a", "b"], ["c1"]), campaign(1, ["x"], ["c2"])],
+            [campaign(0, ["a", "b", "n"], ["c1"])],
+            [campaign(0, ["p", "q"], ["c9"])],
+        ]
+        tracker = CampaignTracker()
+        for day, campaigns in enumerate(daily):
+            tracker.advance(day, list(campaigns))
+        assert tracker.persistence_series() == persistence_series_detailed(daily)
+
+    def test_state_roundtrip(self):
+        tracker = CampaignTracker(TrackerConfig(server_jaccard=0.5, max_gap_days=1))
+        tracker.advance(0, [campaign(0, ["a", "b"], ["c1"])])
+        tracker.advance(1, [campaign(0, ["a", "b", "c"], ["c1"])])
+        restored = CampaignTracker.from_dict(tracker.to_dict())
+        assert restored.to_dict() == tracker.to_dict()
+        # The restored tracker keeps matching where the original left off.
+        tracker.advance(2, [campaign(0, ["a", "b", "c"], ["c1"])])
+        restored.advance(2, [campaign(0, ["a", "b", "c"], ["c1"])])
+        assert restored.to_dict() == tracker.to_dict()
+
+
+@pytest.fixture(scope="module")
+def week_datasets():
+    """Seven days of the small scenario (persistent + agile campaigns)."""
+    return list(TraceGenerator(small_scenario(seed=3, days=7)).iter_days())
+
+
+@pytest.fixture(scope="module")
+def streamed(week_datasets):
+    """One full streaming run over the week."""
+    sink = ListSink()
+    engine = StreamingSmash(sinks=(sink,))
+    updates = engine.run_datasets(week_datasets)
+    return engine, updates, sink
+
+
+class TestStreamingSmashEndToEnd:
+    def test_week_produces_daily_campaigns(self, streamed):
+        _, updates, _ = streamed
+        assert [u.day for u in updates] == list(range(7))
+        assert all(u.num_campaigns >= 1 for u in updates)
+        assert all(u.window_days == (u.day,) for u in updates)
+
+    def test_stable_identity_persists_across_days(self, streamed):
+        engine, _, _ = streamed
+        persistent = [
+            c for c in engine.tracker.campaigns if c.max_consecutive_days >= 3
+        ]
+        assert persistent, "expected campaigns persisting >= 3 consecutive days"
+        for tracked in persistent:
+            assert tracked.first_seen + len(tracked.days_seen) - 1 <= tracked.last_seen + 1
+
+    def test_events_mirror_sink(self, streamed):
+        _, updates, sink = streamed
+        assert [e.to_dict() for u in updates for e in u.events] == [
+            e.to_dict() for e in sink.events
+        ]
+        assert sink.of_kind("new_campaign")
+
+    def test_tracker_persistence_matches_batch_figure7(self, streamed):
+        engine, updates, _ = streamed
+        batch = persistence_series_detailed([list(u.campaigns) for u in updates])
+        assert engine.tracker.persistence_series() == batch
+
+    def test_rerun_at_reuses_cached_mining(self, streamed):
+        engine, updates, _ = streamed
+        rerun = engine.rerun_at(engine.thresh)
+        assert rerun.campaigns == updates[-1].result.campaigns
+
+    def test_checkpoint_resume_reproduces_final_state(self, week_datasets, tmp_path):
+        full = StreamingSmash()
+        interrupted = StreamingSmash()
+        checkpoint = tmp_path / "mid.ckpt"
+        for dataset in week_datasets[:4]:
+            full.ingest_dataset(dataset)
+            interrupted.ingest_dataset(dataset)
+        save_checkpoint(interrupted, checkpoint)
+        del interrupted  # "kill" the original process
+        resumed = load_checkpoint(checkpoint)
+        assert resumed.last_day == 3
+        for dataset in week_datasets[4:]:
+            full.ingest_dataset(dataset)
+            resumed.ingest_dataset(dataset)
+        assert resumed.tracker.to_dict() == full.tracker.to_dict()
+        assert resumed.state_dict() == full.state_dict()
+
+    def test_multi_day_window_combines_days(self, week_datasets):
+        engine = StreamingSmash(window_size=2, single_client_thresh=None)
+        first = engine.ingest_dataset(week_datasets[0])
+        second = engine.ingest_dataset(week_datasets[1])
+        assert first.window_days == (0,)
+        assert second.window_days == (0, 1)
+
+
+class TestCheckpointErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_foreign_file(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(CheckpointError, match="not a streaming checkpoint"):
+            load_checkpoint(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "old.ckpt"
+        path.write_text(json.dumps(
+            {"format": "repro.stream.checkpoint", "version": 999, "state": {}}
+        ))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
