@@ -5,7 +5,9 @@ serves all benches: scenario generation and ASH mining are cached, so
 each bench times its own experiment-specific computation and prints the
 paper-shaped table.  Output is also written to ``results/<bench>.txt``.
 
-Set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink the scenarios.
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink the scenarios and
+``REPRO_BENCH_WORKERS`` (default 1) to fan per-dimension mining out over
+a pool (identical results, different wall time).
 """
 
 from __future__ import annotations
@@ -23,7 +25,8 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-    return ExperimentRunner(scale=scale)
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return ExperimentRunner(scale=scale, workers=workers)
 
 
 @pytest.fixture(scope="session")

@@ -103,7 +103,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trace = read_jsonl(args.trace)
     whois = _read_whois_json(Path(args.whois)) if args.whois else None
     redirects = _read_redirects_json(Path(args.redirects)) if args.redirects else None
-    config = SmashConfig().with_thresh(args.thresh)
+    config = SmashConfig().with_thresh(args.thresh).replace(
+        workers=args.workers, executor=args.executor
+    )
     if args.dimensions:
         config = config.replace(
             enabled_secondary_dimensions=tuple(args.dimensions.split(","))
@@ -150,9 +152,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.stream.window import DayPartition
 
     sinks = (JsonlSink(args.events),) if args.events else ()
+    config = SmashConfig().replace(workers=args.workers, executor=args.executor)
+    config.validate()
     checkpoint = Path(args.checkpoint) if args.checkpoint else None
     if args.resume and checkpoint is not None and checkpoint.exists():
-        engine = load_checkpoint(checkpoint, sinks=sinks)
+        engine = load_checkpoint(checkpoint, config=config, sinks=sinks)
         print(f"resumed from {checkpoint} (last day: {engine.last_day})")
         # The checkpoint carries the stream's window size and tracker
         # tuning; changing them mid-stream would silently change what a
@@ -165,6 +169,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                   f"(checkpoint uses {engine.tracker.config.server_jaccard})")
     else:
         engine = StreamingSmash(
+            config=config,
             window_size=args.window,
             tracker_config=TrackerConfig(server_jaccard=args.match_jaccard),
             sinks=sinks,
@@ -252,6 +257,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--executor`` for per-dimension parallel mining."""
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="workers for per-dimension mining (0 = one per CPU, default 1 = "
+             "serial); every worker count produces identical output",
+    )
+    parser.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="thread",
+        help="executor used when --workers > 1 (default: thread)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SMASH malware-campaign discovery (ICDCS 2015)"
@@ -277,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: urifile,ipset,whois)",
     )
     run.add_argument("--out", required=True, help="campaign JSON output path")
+    _add_worker_flags(run)
     run.set_defaults(func=_cmd_run)
 
     report = sub.add_parser("report", help="summarise a campaign JSON file")
@@ -311,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--events", default=None, help="append tracker events to this JSONL file")
     stream.add_argument("--out", default=None, help="write lifetimes + persistence summary JSON")
+    _add_worker_flags(stream)
     stream.set_defaults(func=_cmd_stream)
     return parser
 

@@ -18,6 +18,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.util.parallel import EXECUTOR_KINDS
 
 
 @dataclass(frozen=True)
@@ -244,6 +245,18 @@ class SmashConfig:
     #: dimension ablations.
     enabled_secondary_dimensions: tuple[str, ...] = ("urifile", "ipset", "whois")
 
+    #: Worker count for per-dimension mining inside ``SmashPipeline.mine``
+    #: (the main dimension plus each enabled secondary dimension is an
+    #: independent build-graph + Louvain job).  ``1`` (the default) mines
+    #: serially; ``0`` means one worker per available CPU.  Mining is
+    #: deterministic by construction, so every worker count produces an
+    #: identical :class:`~repro.core.results.SmashResult`.
+    workers: int = 1
+
+    #: Executor used when ``workers > 1``: ``"serial"``, ``"thread"`` or
+    #: ``"process"`` (see :mod:`repro.util.parallel` for the trade-offs).
+    executor: str = "thread"
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any parameter is out of range."""
         self.preprocess.validate()
@@ -257,6 +270,12 @@ class SmashConfig:
         unknown = set(self.enabled_secondary_dimensions) - known
         if unknown:
             raise ConfigError(f"unknown secondary dimensions: {sorted(unknown)}")
+        if self.workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = one per CPU)")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
 
     def replace(self, **changes: object) -> "SmashConfig":
         """Return a copy with the given top-level fields replaced."""

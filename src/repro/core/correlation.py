@@ -93,7 +93,10 @@ def correlate(
         return density_cache[key]
 
     for main_herd in main.herds:
-        for server in main_herd.servers:
+        # Sorted member iteration keeps the scores/contributions dicts (and
+        # the intersection accumulators) in an order derived from the data,
+        # not from frozenset hash order.
+        for server in sorted(main_herd.servers):
             per_dim: dict[str, float] = {}
             for dimension, herd_of in secondary_herd_of.items():
                 sec_herd = herd_of.get(server)

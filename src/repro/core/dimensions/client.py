@@ -40,7 +40,10 @@ def build_client_graph(
     config = config or DimensionConfig()
     clients_by_server = trace.clients_by_server
     graph = WeightedGraph()
-    for server in clients_by_server:
+    # Canonical node/edge insertion order: the graph's iteration order (and
+    # the float accumulation order of its total weight) is a function of
+    # the trace contents, not of trace order or set hash order.
+    for server in sorted(clients_by_server):
         graph.add_node(server)
 
     pair_common: Counter[tuple[str, str]] = Counter()
@@ -51,7 +54,7 @@ def build_client_graph(
                 pair_common[(first, second)] += 1
 
     floor = max(config.min_edge_weight, config.client_min_edge_weight)
-    for (first, second), common in pair_common.items():
+    for (first, second), common in sorted(pair_common.items()):
         weight = (common / len(clients_by_server[first])) * (
             common / len(clients_by_server[second])
         )

@@ -26,7 +26,8 @@ def build_ipset_graph(
     config = config or DimensionConfig()
     ips_by_server = trace.ips_by_server
     graph = WeightedGraph()
-    for server in ips_by_server:
+    # Canonical node order (see build_client_graph): sorted, not set order.
+    for server in sorted(ips_by_server):
         graph.add_node(server)
 
     servers_by_ip: dict[str, set[str]] = defaultdict(set)
@@ -34,17 +35,19 @@ def build_ipset_graph(
         for ip in ips:
             servers_by_ip[ip].add(server)
 
-    seen_pairs: set[tuple[str, str]] = set()
+    candidates: set[tuple[str, str]] = set()
     for servers in servers_by_ip.values():
         if len(servers) < 2:
             continue
-        for first, second in combinations(sorted(servers), 2):
-            if (first, second) in seen_pairs:
-                continue
-            seen_pairs.add((first, second))
-            weight = overlap_ratio_product(
-                ips_by_server[first], ips_by_server[second]
-            )
-            if weight >= config.min_edge_weight:
-                graph.add_edge(first, second, weight)
+        candidates.update(combinations(sorted(servers), 2))
+
+    # Sorted candidate iteration: edge insertion order must not follow the
+    # hash order of the candidate set (or of the per-IP posting sets that
+    # fed it).
+    for first, second in sorted(candidates):
+        weight = overlap_ratio_product(
+            ips_by_server[first], ips_by_server[second]
+        )
+        if weight >= config.min_edge_weight:
+            graph.add_edge(first, second, weight)
     return graph

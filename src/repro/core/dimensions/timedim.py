@@ -51,7 +51,9 @@ def build_time_graph(
     config = config or DimensionConfig()
     windows_of = active_windows_by_server(trace, window_seconds)
     graph = WeightedGraph()
-    for server in trace.servers:
+    # Canonical node order: trace.servers is a frozenset, so iterating it
+    # directly would insert nodes in hash order.
+    for server in sorted(trace.servers):
         graph.add_node(server)
     num_servers = len(trace.servers)
     if num_servers < 2:
@@ -70,7 +72,7 @@ def build_time_graph(
         for pair in combinations(sorted(servers), 2):
             candidates.add(pair)
 
-    for first, second in candidates:
+    for first, second in sorted(candidates):
         weight = overlap_ratio_product(windows_of[first], windows_of[second])
         if weight >= config.min_edge_weight:
             graph.add_edge(first, second, weight)

@@ -92,7 +92,8 @@ def build_urifile_graph(
     files_by_server = trace.files_by_server
     num_servers = len(files_by_server)
     graph = WeightedGraph()
-    for server in files_by_server:
+    # Canonical node order (see build_client_graph): sorted, not set order.
+    for server in sorted(files_by_server):
         graph.add_node(server)
     if num_servers < 2:
         return graph
@@ -157,7 +158,9 @@ def build_urifile_graph(
         for pair in combinations(sorted(servers), 2):
             candidates.add(pair)
 
-    for first, second in candidates:
+    # Sorted candidate iteration: `candidates` is a set, so iterating it
+    # directly would insert edges in hash order.
+    for first, second in sorted(candidates):
         weight = file_similarity(effective[first], effective[second], config)
         if weight >= config.min_edge_weight:
             graph.add_edge(first, second, weight)

@@ -54,7 +54,9 @@ def build_urlparam_graph(
     config = config or DimensionConfig()
     patterns_of = parameter_patterns_by_server(trace)
     graph = WeightedGraph()
-    for server in trace.servers:
+    # Canonical node order: trace.servers is a frozenset, so iterating it
+    # directly would insert nodes in hash order.
+    for server in sorted(trace.servers):
         graph.add_node(server)
     num_servers = len(trace.servers)
     if num_servers < 2:
@@ -73,7 +75,7 @@ def build_urlparam_graph(
         for pair in combinations(sorted(servers), 2):
             candidates.add(pair)
 
-    for first, second in candidates:
+    for first, second in sorted(candidates):
         weight = overlap_ratio_product(patterns_of[first], patterns_of[second])
         if weight >= config.min_edge_weight:
             graph.add_edge(first, second, weight)

@@ -80,7 +80,9 @@ def build_whois_graph(
     config = config or DimensionConfig()
     graph = WeightedGraph()
     records: dict[str, WhoisRecord] = {}
-    for server in trace.servers:
+    # Canonical node order: trace.servers is a frozenset, so iterating it
+    # directly would insert nodes in hash order.
+    for server in sorted(trace.servers):
         graph.add_node(server)
         record = whois.lookup(server)
         if record is not None:
@@ -99,7 +101,7 @@ def build_whois_graph(
         for pair in combinations(sorted(servers), 2):
             candidates.add(pair)
 
-    for first, second in candidates:
+    for first, second in sorted(candidates):
         weight = whois_similarity(records[first], records[second], config)
         if weight >= max(config.min_edge_weight, 1e-12):
             graph.add_edge(first, second, weight)

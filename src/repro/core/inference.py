@@ -53,11 +53,13 @@ def infer_campaigns(
                 servers=servers,
                 clients=frozenset(clients),
                 server_scores={
-                    server: scores[server] for server in servers if server in scores
+                    server: scores[server]
+                    for server in sorted(servers)
+                    if server in scores
                 },
                 contributions={
                     server: dict(contributions[server])
-                    for server in servers
+                    for server in sorted(servers)
                     if server in contributions
                 },
                 replaced_servers={

@@ -7,11 +7,20 @@
 the configured threshold, pruning and campaign inference.  ``run_sweep``
 re-correlates the mined herds at several thresholds without redoing the
 expensive graph work — how the Table II/III threshold sweeps are produced.
+
+Per-dimension mining is dispatched through ``SECONDARY_GRAPH_BUILDERS``
+(a registry, so extensions can add dimensions without touching ``mine``)
+and can fan out over a thread or process pool via
+``SmashConfig(workers=..., executor=...)`` or ``mine(workers=N)``; the
+mining core is deterministic by construction, so parallel and serial runs
+produce identical results.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from functools import partial
 
 from repro.config import SmashConfig
 from repro.core.ashmining import MiningOutcome, mine_herds
@@ -27,9 +36,96 @@ from repro.core.preprocess import PreprocessReport, preprocess
 from repro.core.pruning import prune_ashes
 from repro.core.results import MAIN_DIMENSION, SmashResult
 from repro.errors import PipelineError
+from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 from repro.synth.oracles import RedirectOracle
+from repro.util.parallel import resolve_workers, run_jobs
 from repro.whois.registry import WhoisRegistry
+
+#: A secondary-dimension graph builder: ``(trace, whois, config) -> graph``.
+#: Returning ``None`` means the dimension cannot run (e.g. no Whois
+#: registry available) and contributes no herds.
+SecondaryGraphBuilder = Callable[
+    [HttpTrace, "WhoisRegistry | None", SmashConfig], "WeightedGraph | None"
+]
+
+
+def _build_urifile(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> WeightedGraph:
+    return build_urifile_graph(trace, config.dimensions)
+
+
+def _build_ipset(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> WeightedGraph:
+    return build_ipset_graph(trace, config.dimensions)
+
+
+def _build_whois(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> WeightedGraph | None:
+    if whois is None:
+        # No registry available: the dimension contributes no herds
+        # (equivalent to all lookups failing).
+        return None
+    return build_whois_graph(trace, whois, config.dimensions)
+
+
+def _build_urlparam(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> WeightedGraph:
+    return build_urlparam_graph(trace, config.dimensions)
+
+
+def _build_time(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> WeightedGraph:
+    return build_time_graph(trace, config.dimensions)
+
+
+#: Registry of secondary-dimension builders, replacing the old if/elif
+#: dispatch in ``SmashPipeline.mine``.  Extensions can register additional
+#: dimensions here (and add them to ``SmashConfig.validate``'s known set).
+SECONDARY_GRAPH_BUILDERS: dict[str, SecondaryGraphBuilder] = {
+    "urifile": _build_urifile,
+    "ipset": _build_ipset,
+    "whois": _build_whois,
+    "urlparam": _build_urlparam,
+    "time": _build_time,
+}
+
+
+def _mine_secondary_dimension(
+    dimension: str,
+    trace: HttpTrace,
+    whois: WhoisRegistry | None,
+    config: SmashConfig,
+) -> MiningOutcome | None:
+    """One secondary-dimension job: build the graph, then mine herds.
+
+    Module-level (not a closure) so the process executor can pickle it.
+    """
+    try:
+        builder = SECONDARY_GRAPH_BUILDERS[dimension]
+    except KeyError:  # pragma: no cover - guarded by SmashConfig.validate
+        raise PipelineError(f"unknown dimension {dimension!r}") from None
+    graph = builder(trace, whois, config)
+    if graph is None:
+        return None
+    return mine_herds(graph, dimension, config.louvain)
+
+
+def _mine_main_dimension(
+    multi_trace: HttpTrace,
+    single_client_servers: set[str],
+    clients_by_server: dict[str, frozenset[str]],
+    config: SmashConfig,
+) -> MiningOutcome:
+    """The main-dimension job: client graph, Louvain, single-client herds."""
+    graph = build_client_graph(multi_trace, config.dimensions)
+    main = mine_herds(graph, MAIN_DIMENSION, config.louvain)
+    return _append_single_client_herds(main, single_client_servers, clients_by_server)
 
 
 def _append_single_client_herds(
@@ -109,8 +205,18 @@ class SmashPipeline:
         self,
         trace: HttpTrace,
         whois: WhoisRegistry | None = None,
+        workers: int | None = None,
+        executor: str | None = None,
     ) -> MinedDimensions:
         """Preprocess *trace* and mine ASHs on every enabled dimension.
+
+        The main dimension and each enabled secondary dimension are
+        independent build-graph + Louvain jobs; with ``workers > 1`` they
+        run concurrently on the configured executor (*workers* and
+        *executor* override :class:`~repro.config.SmashConfig`'s
+        ``workers`` / ``executor`` fields).  Mining is deterministic by
+        construction, so every worker count and executor kind returns an
+        identical :class:`MinedDimensions`.
 
         Servers visited by exactly one client are handled the way the
         paper handles them (Appendix C, footnote 10): "all the servers
@@ -124,6 +230,17 @@ class SmashPipeline:
         if len(trace) == 0:
             raise PipelineError("cannot run SMASH on an empty trace")
         config = self.config
+        if workers is not None or executor is not None:
+            # Fold the overrides into the config and re-validate, so a bad
+            # value fails fast with a ConfigError instead of surfacing as
+            # a ValueError after the preprocessing pass.
+            config = config.replace(
+                workers=config.workers if workers is None else workers,
+                executor=config.executor if executor is None else executor,
+            )
+            config.validate()
+        workers = config.workers
+        executor = config.executor
         prepared, report = preprocess(trace, config.preprocess)
 
         clients_by_server = prepared.clients_by_server
@@ -135,31 +252,38 @@ class SmashPipeline:
         multi_trace = prepared.filter_servers(
             lambda server: server not in single_client_servers
         )
-        main_graph = build_client_graph(multi_trace, config.dimensions)
-        main = mine_herds(main_graph, MAIN_DIMENSION, config.louvain)
-        main = _append_single_client_herds(
-            main, single_client_servers, clients_by_server
-        )
+        # Under the thread executor, materialise the shared indices before
+        # fanning out so workers read (not race to build) the cached
+        # dicts.  Serial and process runs skip this: serial builds lazily
+        # in order, and process workers re-derive the indices anyway
+        # because HttpTrace pickles without its caches.  (`prepared`'s
+        # indices were already built by `clients_by_server` above; one
+        # access builds all of a trace's indices.)
+        if executor == "thread" and resolve_workers(workers) > 1:
+            _ = multi_trace.servers_by_client
 
+        jobs = [
+            partial(
+                _mine_main_dimension,
+                multi_trace,
+                single_client_servers,
+                clients_by_server,
+                config,
+            )
+        ]
+        jobs += [
+            partial(_mine_secondary_dimension, dimension, prepared, whois, config)
+            for dimension in config.enabled_secondary_dimensions
+        ]
+        outcomes = run_jobs(jobs, workers=workers, executor=executor)
+
+        main = outcomes[0]
         secondary: dict[str, MiningOutcome] = {}
-        for dimension in config.enabled_secondary_dimensions:
-            if dimension == "urifile":
-                graph = build_urifile_graph(prepared, config.dimensions)
-            elif dimension == "ipset":
-                graph = build_ipset_graph(prepared, config.dimensions)
-            elif dimension == "whois":
-                if whois is None:
-                    # No registry available: the dimension contributes no
-                    # herds (equivalent to all lookups failing).
-                    continue
-                graph = build_whois_graph(prepared, whois, config.dimensions)
-            elif dimension == "urlparam":
-                graph = build_urlparam_graph(prepared, config.dimensions)
-            elif dimension == "time":
-                graph = build_time_graph(prepared, config.dimensions)
-            else:  # pragma: no cover - guarded by SmashConfig.validate
-                raise PipelineError(f"unknown dimension {dimension!r}")
-            secondary[dimension] = mine_herds(graph, dimension, config.louvain)
+        for dimension, outcome in zip(
+            config.enabled_secondary_dimensions, outcomes[1:]
+        ):
+            if outcome is not None:
+                secondary[dimension] = outcome
         return MinedDimensions(
             trace=prepared,
             preprocess_report=report,

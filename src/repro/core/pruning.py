@@ -87,7 +87,9 @@ def prune_ashes(
 
     for ash in ashes:
         members: set[str] = set()
-        for server in ash.servers:
+        # Sorted so the replacement dicts fill in data order, not frozenset
+        # hash order.
+        for server in sorted(ash.servers):
             replacement = server
             if config.prune_redirection_groups:
                 landing = redirect_oracle.landing_server(server)

@@ -12,6 +12,15 @@ two-phase scheme:
 
 The node visiting order is shuffled with a seeded RNG so results are both
 randomised (as in the reference implementation) and reproducible.
+
+Determinism
+-----------
+The run is a pure function of the graph's *contents* and the config seed,
+independent of graph insertion order and of ``PYTHONHASHSEED``: nodes are
+indexed in canonical sorted order and the integer adjacency lists are
+sorted once per level, so the seeded shuffle, the neighbour-community
+accumulation order, and therefore every equal-gain tie-break are fixed by
+construction.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.config import LouvainConfig
 from repro.graph.modularity import modularity
-from repro.graph.wgraph import WeightedGraph
+from repro.graph.wgraph import WeightedGraph, canonical_nodes
 from repro.util.rng import make_rng
 
 Node = Hashable
@@ -148,7 +157,9 @@ def _aggregate(level: _Level) -> tuple[_Level, list[int]]:
                     loops[cu] += weight
             else:
                 adjacency[cu][cv] += weight
-    coarse = _Level([dict(neigh) for neigh in adjacency], loops)
+    # Keep the coarse adjacency lists in sorted-index order as well, so
+    # every level inherits the entry level's order-independence.
+    coarse = _Level([dict(sorted(neigh.items())) for neigh in adjacency], loops)
     return coarse, mapping
 
 
@@ -164,7 +175,10 @@ def louvain_communities(
     config.validate()
     rng = make_rng(config.seed)
 
-    nodes = list(graph.nodes)
+    # Canonical node indexing: the integer id of a node depends only on the
+    # node set, not on graph insertion order, so the seeded shuffle visits
+    # the same servers in the same order on every run.
+    nodes = canonical_nodes(graph.nodes)
     if not nodes:
         return LouvainResult(communities=(), partition={}, modularity=0.0, levels=0)
     index_of = {node: i for i, node in enumerate(nodes)}
@@ -180,6 +194,10 @@ def louvain_communities(
             iu, iv = index_of[u], index_of[v]
             adjacency[iu][iv] = adjacency[iu].get(iv, 0.0) + weight
             adjacency[iv][iu] = adjacency[iv].get(iu, 0.0) + weight
+    # Sort each adjacency list by neighbour index: the iteration order of
+    # `neighbor_community_weights` (and with it every equal-gain
+    # tie-break) becomes a function of the topology alone.
+    adjacency = [dict(sorted(neigh.items())) for neigh in adjacency]
 
     level = _Level(adjacency, loops)
     # membership[i] = community label of original node i on the current level.

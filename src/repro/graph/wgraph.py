@@ -15,6 +15,23 @@ from repro.errors import GraphError
 Node = Hashable
 
 
+def node_sort_key(node: Node) -> str:
+    """Canonical sort key for graph nodes.
+
+    ``repr`` is total and stable across processes for the label types the
+    pipeline uses (strings, ints, tuples of those), unlike ``hash`` which
+    varies with ``PYTHONHASHSEED``.  Every place that materialises a node
+    *set* into an iteration order sorts with this key, so graph contents —
+    not interpreter hash state — determine downstream behaviour.
+    """
+    return repr(node)
+
+
+def canonical_nodes(nodes: Iterable[Node]) -> list[Node]:
+    """Sort *nodes* into the canonical deterministic order."""
+    return sorted(nodes, key=node_sort_key)
+
+
 class WeightedGraph:
     """Undirected graph with non-negative edge weights and optional self-loops.
 
@@ -57,6 +74,19 @@ class WeightedGraph:
         del self._adj[node]
 
     # -- queries -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same nodes, edges and weights.
+
+        Insertion order is ignored (``dict`` equality is order-blind), so
+        two graphs built by different executions compare equal exactly when
+        they describe the same weighted topology.
+        """
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    __hash__ = None  # mutable container; unhashable like list/dict
 
     def __contains__(self, node: Node) -> bool:
         return node in self._adj
@@ -119,12 +149,18 @@ class WeightedGraph:
     # -- derived graphs --------------------------------------------------------------
 
     def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
-        """Induced subgraph on *nodes* (missing nodes are ignored)."""
+        """Induced subgraph on *nodes* (missing nodes are ignored).
+
+        Nodes are inserted in canonical order so the subgraph's iteration
+        order depends only on its contents, never on the hash order of the
+        *nodes* set handed in (communities are usually frozensets).
+        """
         keep = {node for node in nodes if node in self._adj}
+        ordered = canonical_nodes(keep)
         sub = WeightedGraph()
-        for node in keep:
+        for node in ordered:
             sub.add_node(node)
-        for u in keep:
+        for u in ordered:
             for v, weight in self._adj[u].items():
                 if v in keep and (u == v or not sub.has_edge(u, v)):
                     sub.add_edge(u, v, weight)

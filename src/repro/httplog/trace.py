@@ -76,6 +76,25 @@ class HttpTrace:
     def __repr__(self) -> str:
         return f"HttpTrace(name={self.name!r}, requests={len(self._requests)})"
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle only the requests, not the cached inverted indices.
+
+        The indices are derived state, rebuilt lazily (and
+        deterministically) on first use; shipping them to process-pool
+        workers would double the payload of every per-dimension mining
+        job for data the worker can re-derive in linear time.
+        """
+        state = self.__dict__.copy()
+        for key in (
+            "_clients_by_server",
+            "_files_by_server",
+            "_ips_by_server",
+            "_requests_by_server",
+            "_servers_by_client",
+        ):
+            state[key] = None
+        return state
+
     @property
     def requests(self) -> tuple[HttpRequest, ...]:
         return self._requests

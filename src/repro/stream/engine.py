@@ -78,10 +78,22 @@ class StreamingSmash:
         sinks: tuple[AlertSink, ...] = (),
         thresh: float = DEFAULT_THRESH,
         single_client_thresh: float | None = SINGLE_CLIENT_THRESH,
+        workers: int | None = None,
+        executor: str | None = None,
     ) -> None:
         if tracker is not None and tracker_config is not None:
             raise StreamError("pass either tracker or tracker_config, not both")
         self.config = config or SmashConfig()
+        # Per-advance runs mine every dimension over the current window;
+        # `workers`/`executor` override the config's fan-out settings
+        # without the caller having to build a SmashConfig.  Mining is
+        # deterministic, so this never changes the stream's campaigns or
+        # tracker identities — only how fast each advance completes.
+        if workers is not None or executor is not None:
+            self.config = self.config.replace(
+                workers=self.config.workers if workers is None else workers,
+                executor=self.config.executor if executor is None else executor,
+            )
         self.pipeline = SmashPipeline(self.config)
         self.window = RollingWindow(window_size)
         self.tracker = tracker or CampaignTracker(tracker_config)

@@ -1,15 +1,19 @@
-"""Small shared utilities: text vectors, statistics, deterministic RNG."""
+"""Small shared utilities: text vectors, statistics, RNG, task execution."""
 
 from repro.util.text import charset_cosine, charset_vector
 from repro.util.stats import ecdf, percentile_of, summarize
 from repro.util.rng import child_rng, make_rng
+from repro.util.parallel import EXECUTOR_KINDS, resolve_workers, run_jobs
 
 __all__ = [
+    "EXECUTOR_KINDS",
     "charset_cosine",
     "charset_vector",
     "child_rng",
     "ecdf",
     "make_rng",
     "percentile_of",
+    "resolve_workers",
+    "run_jobs",
     "summarize",
 ]

@@ -1,0 +1,76 @@
+"""Configurable task execution for the per-dimension mining fan-out.
+
+:func:`run_jobs` runs a list of zero-argument callables and returns their
+results **in job order**, on one of three executors:
+
+* ``"serial"`` — plain loop in the calling thread (the reference
+  behaviour; also used whenever ``workers <= 1`` or there is only one
+  job, so the pools are never spun up for nothing);
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`; cheap
+  to start and shares the trace indices, but the pure-Python mining is
+  GIL-bound, so the win is bounded (it helps when numpy/scipy-backed
+  builders release the GIL);
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`; real
+  CPU parallelism at the cost of pickling each job's arguments, so jobs
+  must be module-level callables (``functools.partial`` over picklable
+  arguments).
+
+Because the mining core is deterministic by construction (canonical node
+order, sorted adjacency, seeded Louvain shuffle), every executor produces
+*identical* results — scheduling only changes wall-clock time, never the
+output.  That equivalence is asserted by the parallel-equivalence tests.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+
+#: The accepted executor kinds, in increasing order of start-up cost.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: int) -> int:
+    """Translate a ``workers`` setting into a concrete worker count.
+
+    ``0`` means "one per available CPU"; any positive value is taken
+    as-is.  "Available" honours CPU affinity / cgroup cpusets where the
+    platform exposes them, so ``workers=0`` in a container pinned to 2
+    of a 64-core host gives 2, not 64.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        if hasattr(os, "sched_getaffinity"):
+            return len(os.sched_getaffinity(0)) or 1
+        return os.cpu_count() or 1
+    return workers
+
+
+def run_jobs(
+    jobs: Sequence[Callable[[], T]],
+    workers: int = 1,
+    executor: str = "serial",
+) -> list[T]:
+    """Run *jobs* and return their results in job order.
+
+    The first job exception is re-raised in the caller (remaining jobs
+    are allowed to finish; the pools are always shut down).
+    """
+    if executor not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}"
+        )
+    effective = resolve_workers(workers)
+    if executor == "serial" or effective <= 1 or len(jobs) <= 1:
+        return [job() for job in jobs]
+    pool_cls: type[Executor] = (
+        ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    )
+    with pool_cls(max_workers=min(effective, len(jobs))) as pool:
+        futures = [pool.submit(job) for job in jobs]
+        return [future.result() for future in futures]
