@@ -32,7 +32,7 @@ from pathlib import Path
 
 from repro.config import SmashConfig
 from repro.core.pipeline import SmashPipeline
-from repro.eval.export import result_to_dict, write_result_json
+from repro.eval.export import write_result_json
 from repro.httplog.loader import read_jsonl, write_jsonl
 from repro.synth.generator import TraceGenerator
 from repro.synth.oracles import RedirectOracle
@@ -152,11 +152,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.stream.window import DayPartition
 
     sinks = (JsonlSink(args.events),) if args.events else ()
-    config = SmashConfig().replace(workers=args.workers, executor=args.executor)
+    config = SmashConfig().replace(
+        workers=args.workers,
+        executor=args.executor,
+        incremental=args.incremental,
+    )
     config.validate()
     checkpoint = Path(args.checkpoint) if args.checkpoint else None
     if args.resume and checkpoint is not None and checkpoint.exists():
-        engine = load_checkpoint(checkpoint, config=config, sinks=sinks)
+        engine = load_checkpoint(
+            checkpoint, config=config, sinks=sinks, store_dir=args.store
+        )
         print(f"resumed from {checkpoint} (last day: {engine.last_day})")
         # The checkpoint carries the stream's window size and tracker
         # tuning; changing them mid-stream would silently change what a
@@ -173,6 +179,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             window_size=args.window,
             tracker_config=TrackerConfig(server_jaccard=args.match_jaccard),
             sinks=sinks,
+            store_dir=args.store,
         )
     start_day = 0 if engine.last_day is None else engine.last_day + 1
 
@@ -216,11 +223,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         new = len(update.events_of("new_campaign"))
         grown = len(update.events_of("campaign_growth"))
         died = len(update.events_of("campaign_died"))
+        total_dims = len(update.mined_dimensions) + len(update.reused_dimensions)
         print(
             f"day {update.day}: {update.num_campaigns} campaigns, "
             f"{len(update.detected_servers)} servers "
             f"(+{new} new, {grown} grown, -{died} died, "
-            f"{len(update.active)} active identities)"
+            f"{len(update.active)} active identities; "
+            f"mined {len(update.mined_dimensions)}/{total_dims} dims)"
         )
         if checkpoint is not None:
             save_checkpoint(engine, checkpoint)
@@ -238,6 +247,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"({row['days_seen']} seen, {row['max_consecutive_days']} consecutive), "
             f"{row['servers']} servers ({row['all_servers']} all-time), {status}"
         )
+
+    if args.campaigns_out:
+        if updates:
+            write_result_json(updates[-1].result, args.campaigns_out)
+            print(f"final-window campaigns -> {args.campaigns_out}")
+        else:
+            print("no new days streamed; --campaigns-out not written")
 
     if args.out:
         summary = {
@@ -328,8 +344,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint if it exists",
     )
+    stream.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist each day partition into this on-disk trace store; "
+             "checkpoints then hold (day, digest) references instead of "
+             "embedded traces and stay a few KB regardless of window size",
+    )
+    stream.add_argument(
+        "--no-incremental", dest="incremental", action="store_false", default=True,
+        help="disable the per-dimension incremental mining cache and fully "
+             "re-mine the window every day (results are identical either way)",
+    )
     stream.add_argument("--events", default=None, help="append tracker events to this JSONL file")
     stream.add_argument("--out", default=None, help="write lifetimes + persistence summary JSON")
+    stream.add_argument(
+        "--campaigns-out", default=None,
+        help="write the final window's campaign JSON (same schema as 'run --out')",
+    )
     _add_worker_flags(stream)
     stream.set_defaults(func=_cmd_stream)
     return parser

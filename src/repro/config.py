@@ -257,6 +257,16 @@ class SmashConfig:
     #: ``"process"`` (see :mod:`repro.util.parallel` for the trade-offs).
     executor: str = "thread"
 
+    #: Default for the streaming engine's per-dimension mining cache: on
+    #: window advance, dimensions whose content signature is unchanged by
+    #: the entering/leaving days are spliced in from cache instead of
+    #: re-mined (see :class:`~repro.core.pipeline.DimensionCache`).  A
+    #: cache hit is provably identical to a cold re-mine, so this only
+    #: changes advance latency, never results; disable (or pass
+    #: ``--no-incremental``) to force full re-mines, e.g. when measuring
+    #: cold-path performance.
+    incremental: bool = True
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any parameter is out of range."""
         self.preprocess.validate()

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.config import CorrelationConfig
 from repro.core.ashmining import MiningOutcome
-from repro.core.results import MAIN_DIMENSION, CandidateAsh
+from repro.core.results import CandidateAsh
 
 
 def phi(x: float, mu: float = 4.0, sigma: float = 5.5) -> float:

@@ -14,9 +14,21 @@ and can fan out over a thread or process pool via
 ``SmashConfig(workers=..., executor=...)`` or ``mine(workers=N)``; the
 mining core is deterministic by construction, so parallel and serial runs
 produce identical results.
+
+``mine(cache=DimensionCache())`` makes repeated runs over overlapping
+inputs incremental: each dimension's mining outcome is cached under a
+content signature of exactly the inputs its graph builder reads (the
+``DIMENSION_SIGNATURES`` registry), so a re-run only rebuilds dimensions
+whose inputs actually changed — the seam the streaming engine uses to
+advance a multi-day window without re-mining untouched dimensions.
+Because a signature hit proves the builder's inputs are byte-identical
+and mining is deterministic, the cached outcome *is* the outcome a cold
+rebuild would produce, under any ``PYTHONHASHSEED``.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -94,6 +106,157 @@ SECONDARY_GRAPH_BUILDERS: dict[str, SecondaryGraphBuilder] = {
     "urlparam": _build_urlparam,
     "time": _build_time,
 }
+
+
+#: A dimension's input signature: a stable string covering *exactly* the
+#: data its graph builder reads from the (preprocessed) trace and
+#: sidecars.  Two calls with equal signatures are guaranteed to mine
+#: identical outcomes, which is what lets ``DimensionCache`` reuse them.
+DimensionSignature = Callable[
+    [HttpTrace, "WhoisRegistry | None", SmashConfig], str
+]
+
+
+def _digest(*parts: object) -> str:
+    payload = "\x1f".join(repr(part) for part in parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _mapping_payload(mapping: dict[str, frozenset[str]]) -> list[tuple[str, tuple[str, ...]]]:
+    return sorted(
+        (key, tuple(sorted(values))) for key, values in mapping.items()
+    )
+
+
+def _mapping_signature(dimension: str, attribute: str) -> DimensionSignature:
+    """Signature for builders that read one server -> set mapping.
+
+    The main dimension qualifies too: the client graph, the
+    single-client herds and the multi/single server split are all
+    functions of ``clients_by_server`` alone.
+    """
+
+    def signer(
+        trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+    ) -> str:
+        return _digest(
+            dimension,
+            repr(config.dimensions),
+            repr(config.louvain),
+            _mapping_payload(getattr(trace, attribute)),
+        )
+
+    return signer
+
+
+def _signature_whois(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> str:
+    if whois is None:
+        records: object = None
+    else:
+        records = [
+            (server, None if record is None else sorted(record.to_dict().items()))
+            for server in sorted(trace.servers)
+            for record in (whois.lookup(server),)
+        ]
+    return _digest(
+        "whois", repr(config.dimensions), repr(config.louvain), records
+    )
+
+
+def _signature_urlparam(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> str:
+    from repro.core.dimensions.urlparam import parameter_patterns_by_server
+
+    patterns = sorted(
+        (server, tuple(sorted(found)))
+        for server, found in parameter_patterns_by_server(trace).items()
+    )
+    return _digest(
+        "urlparam",
+        repr(config.dimensions),
+        repr(config.louvain),
+        sorted(trace.servers),
+        patterns,
+    )
+
+
+def _signature_time(
+    trace: HttpTrace, whois: WhoisRegistry | None, config: SmashConfig
+) -> str:
+    from repro.core.dimensions.timedim import active_windows_by_server
+
+    windows = sorted(
+        (server, tuple(sorted(found)))
+        for server, found in active_windows_by_server(trace).items()
+    )
+    return _digest(
+        "time",
+        repr(config.dimensions),
+        repr(config.louvain),
+        sorted(trace.servers),
+        windows,
+    )
+
+
+#: Signature functions per dimension, parallel to
+#: ``SECONDARY_GRAPH_BUILDERS`` (plus the main dimension).  Computing a
+#: signature is one linear pass over the trace — orders of magnitude
+#: cheaper than candidate-pair enumeration plus Louvain — so checking
+#: the cache is always worth it.  A dimension registered here without a
+#: builder (or vice versa) fails loudly in ``mine``.
+DIMENSION_SIGNATURES: dict[str, DimensionSignature] = {
+    MAIN_DIMENSION: _mapping_signature(MAIN_DIMENSION, "clients_by_server"),
+    "urifile": _mapping_signature("urifile", "files_by_server"),
+    "ipset": _mapping_signature("ipset", "ips_by_server"),
+    "whois": _signature_whois,
+    "urlparam": _signature_urlparam,
+    "time": _signature_time,
+}
+
+
+class DimensionCache:
+    """Content-addressed cache of per-dimension mining outcomes.
+
+    Keyed by dimension name; an entry is reused only when the current
+    input signature matches the cached one, so a hit is provably
+    equivalent to re-mining (the ISSUE's "incremental == full re-mine"
+    invariant).  The streaming engine keeps one of these per stream and
+    passes it to every :meth:`SmashPipeline.mine` as the window slides;
+    dimensions untouched by the entering/leaving days keep their
+    signatures and are spliced back in, dirtied dimensions re-mine.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[str, MiningOutcome | None]] = {}
+        self.hits = 0
+        self.misses = 0
+        #: Dimensions reused / re-mined by the most recent ``mine`` call.
+        self.last_reused: tuple[str, ...] = ()
+        self.last_mined: tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, dimension: str, signature: str) -> tuple[bool, "MiningOutcome | None"]:
+        entry = self._entries.get(dimension)
+        if entry is not None and entry[0] == signature:
+            self.hits += 1
+            return True, entry[1]
+        self.misses += 1
+        return False, None
+
+    def update(
+        self, dimension: str, signature: str, outcome: "MiningOutcome | None"
+    ) -> None:
+        self._entries[dimension] = (signature, outcome)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.last_reused = ()
+        self.last_mined = ()
 
 
 def _mine_secondary_dimension(
@@ -207,6 +370,7 @@ class SmashPipeline:
         whois: WhoisRegistry | None = None,
         workers: int | None = None,
         executor: str | None = None,
+        cache: DimensionCache | None = None,
     ) -> MinedDimensions:
         """Preprocess *trace* and mine ASHs on every enabled dimension.
 
@@ -217,6 +381,12 @@ class SmashPipeline:
         ``workers`` / ``executor`` fields).  Mining is deterministic by
         construction, so every worker count and executor kind returns an
         identical :class:`MinedDimensions`.
+
+        With *cache* (a :class:`DimensionCache`), dimensions whose input
+        signature matches a cached entry are spliced in from the cache
+        instead of re-mined; only dirtied dimensions become jobs.  The
+        result is structurally identical either way — a signature hit
+        proves the dimension's inputs did not change.
 
         Servers visited by exactly one client are handled the way the
         paper handles them (Appendix C, footnote 10): "all the servers
@@ -262,26 +432,66 @@ class SmashPipeline:
         if executor == "thread" and resolve_workers(workers) > 1:
             _ = multi_trace.servers_by_client
 
-        jobs = [
-            partial(
-                _mine_main_dimension,
-                multi_trace,
-                single_client_servers,
-                clients_by_server,
-                config,
-            )
-        ]
-        jobs += [
-            partial(_mine_secondary_dimension, dimension, prepared, whois, config)
-            for dimension in config.enabled_secondary_dimensions
-        ]
-        outcomes = run_jobs(jobs, workers=workers, executor=executor)
+        dimensions = (MAIN_DIMENSION, *config.enabled_secondary_dimensions)
+        signatures: dict[str, str] = {}
+        reused: dict[str, MiningOutcome | None] = {}
+        to_mine: list[str] = []
+        if cache is None:
+            to_mine = list(dimensions)
+        else:
+            for dimension in dimensions:
+                try:
+                    signer = DIMENSION_SIGNATURES[dimension]
+                except KeyError:
+                    raise PipelineError(
+                        f"dimension {dimension!r} has no entry in "
+                        f"DIMENSION_SIGNATURES; register one to make it cacheable"
+                    ) from None
+                signatures[dimension] = signer(prepared, whois, config)
+                hit, outcome = cache.lookup(dimension, signatures[dimension])
+                if hit:
+                    reused[dimension] = outcome
+                else:
+                    to_mine.append(dimension)
 
-        main = outcomes[0]
+        jobs = []
+        for dimension in to_mine:
+            if dimension == MAIN_DIMENSION:
+                jobs.append(
+                    partial(
+                        _mine_main_dimension,
+                        multi_trace,
+                        single_client_servers,
+                        clients_by_server,
+                        config,
+                    )
+                )
+            else:
+                jobs.append(
+                    partial(
+                        _mine_secondary_dimension, dimension, prepared, whois, config
+                    )
+                )
+        outcomes = run_jobs(jobs, workers=workers, executor=executor) if jobs else []
+        mined_now: dict[str, MiningOutcome | None] = dict(zip(to_mine, outcomes))
+
+        if cache is not None:
+            for dimension in to_mine:
+                cache.update(dimension, signatures[dimension], mined_now[dimension])
+            cache.last_reused = tuple(d for d in dimensions if d in reused)
+            cache.last_mined = tuple(to_mine)
+
+        main = (
+            reused[MAIN_DIMENSION]
+            if MAIN_DIMENSION in reused
+            else mined_now[MAIN_DIMENSION]
+        )
+        assert main is not None  # the main-dimension job never returns None
         secondary: dict[str, MiningOutcome] = {}
-        for dimension, outcome in zip(
-            config.enabled_secondary_dimensions, outcomes[1:]
-        ):
+        for dimension in config.enabled_secondary_dimensions:
+            outcome = (
+                reused[dimension] if dimension in reused else mined_now[dimension]
+            )
             if outcome is not None:
                 secondary[dimension] = outcome
         return MinedDimensions(

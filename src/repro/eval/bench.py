@@ -1,0 +1,204 @@
+"""Streaming perf-trajectory benchmark (the CI ``bench`` job).
+
+Measures the costs the incremental-streaming work (PR 3) is supposed to
+remove, and writes them as one JSON document (``BENCH_stream.json`` in
+CI) so the numbers are tracked per PR instead of asserted once and
+forgotten:
+
+* per-day advance time, cold (``--no-incremental``, full re-mine every
+  day) vs incremental, on two workloads:
+
+  - ``varying`` — a generated multi-day scenario where every day brings
+    new requests in every dimension (the incremental cache's honest
+    lower bound: little to reuse);
+  - ``steady`` — the same day content re-ingested day over day (steady
+    state traffic; the cache's ceiling: after warm-up every dimension is
+    reused);
+
+* checkpoint bytes with and without a :class:`~repro.stream.store.TraceStore`
+  attached, plus the bytes the store itself occupies;
+* days/sec throughput and the incremental/cold speedup.
+
+The harness re-checks incremental == cold campaign output while it
+times, so a benchmark run is also an equivalence smoke test.
+
+Run directly::
+
+    python -m repro.eval.bench --days 4 --window 2 --out BENCH_stream.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.stream.checkpoint import save_checkpoint
+from repro.stream.engine import StreamingSmash
+from repro.stream.store import TraceStore
+from repro.stream.window import DayPartition
+from repro.synth.generator import TraceGenerator
+from repro.synth.scenarios import small_scenario
+
+
+def _timed_stream(
+    partitions: list[DayPartition],
+    window_size: int,
+    incremental: bool,
+    store_dir: str | Path | None = None,
+) -> tuple[StreamingSmash, dict[str, object]]:
+    """Ingest *partitions* into a fresh engine, timing each advance."""
+    engine = StreamingSmash(
+        window_size=window_size, incremental=incremental, store_dir=store_dir
+    )
+    per_day: list[float] = []
+    reused: list[int] = []
+    campaigns: list[tuple[tuple[str, ...], ...]] = []
+    start = time.perf_counter()
+    for partition in partitions:
+        tick = time.perf_counter()
+        update = engine.ingest_day(
+            partition.day,
+            partition.trace,
+            whois=partition.whois,
+            redirects=partition.redirects,
+        )
+        per_day.append(time.perf_counter() - tick)
+        reused.append(len(update.reused_dimensions))
+        campaigns.append(
+            tuple(tuple(sorted(c.servers)) for c in update.campaigns)
+        )
+    total = time.perf_counter() - start
+    stats = {
+        "per_day_seconds": [round(seconds, 6) for seconds in per_day],
+        "total_seconds": round(total, 6),
+        "days_per_second": round(len(partitions) / total, 4) if total else None,
+        "reused_dimensions_per_day": reused,
+        "_campaigns": campaigns,  # stripped before serialisation
+    }
+    return engine, stats
+
+
+def _speedup(cold: dict[str, object], warm: dict[str, object]) -> float | None:
+    cold_total = cold["total_seconds"]
+    warm_total = warm["total_seconds"]
+    if not isinstance(cold_total, float) or not isinstance(warm_total, float):
+        return None
+    if warm_total <= 0:
+        return None
+    return round(cold_total / warm_total, 3)
+
+
+def bench_stream(
+    days: int = 4, window: int = 2, seed: int = 7
+) -> dict[str, object]:
+    """Run the streaming benchmark and return the result document."""
+    datasets = list(TraceGenerator(small_scenario(seed=seed, days=days)).iter_days())
+    varying = [
+        DayPartition(
+            day=dataset.day,
+            trace=dataset.trace,
+            whois=dataset.whois,
+            redirects=dataset.redirects,
+        )
+        for dataset in datasets
+    ]
+    # Steady state: the same day content arriving day after day.
+    first = varying[0]
+    steady = [
+        DayPartition(
+            day=day, trace=first.trace, whois=first.whois, redirects=first.redirects
+        )
+        for day in range(days)
+    ]
+
+    document: dict[str, object] = {
+        "benchmark": "repro.stream",
+        "days": days,
+        "window": window,
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workloads": {},
+    }
+
+    workloads: dict[str, object] = {}
+    for name, partitions in (("varying", varying), ("steady", steady)):
+        _, cold = _timed_stream(partitions, window, incremental=False)
+        _, warm = _timed_stream(partitions, window, incremental=True)
+        if cold.pop("_campaigns") != warm.pop("_campaigns"):
+            raise AssertionError(
+                f"incremental and cold runs diverged on the {name} workload"
+            )
+        workloads[name] = {
+            "cold": cold,
+            "incremental": warm,
+            "speedup": _speedup(cold, warm),
+        }
+    document["workloads"] = workloads
+
+    # Checkpoint footprint: inline (v1-style embedded window) vs store-backed.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        root = Path(tmp)
+        inline_engine, _ = _timed_stream(varying, window, incremental=True)
+        save_checkpoint(inline_engine, root / "inline.ckpt")
+        store_engine, _ = _timed_stream(
+            varying, window, incremental=True, store_dir=root / "store"
+        )
+        save_checkpoint(store_engine, root / "store.ckpt")
+        inline_bytes = (root / "inline.ckpt").stat().st_size
+        store_bytes = (root / "store.ckpt").stat().st_size
+        document["checkpoint"] = {
+            "inline_bytes": inline_bytes,
+            "store_bytes": store_bytes,
+            "shrink_factor": round(inline_bytes / store_bytes, 1)
+            if store_bytes
+            else None,
+            "store_partition_bytes": TraceStore(root / "store").total_bytes(),
+        }
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.bench",
+        description="streaming perf-trajectory benchmark (writes one JSON doc)",
+    )
+    parser.add_argument("--days", type=int, default=4)
+    parser.add_argument("--window", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", default="BENCH_stream.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    document = bench_stream(days=args.days, window=args.window, seed=args.seed)
+    out = Path(args.out)
+    out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+
+    workloads = document["workloads"]
+    assert isinstance(workloads, dict)
+    for name, entry in workloads.items():
+        assert isinstance(entry, dict)
+        print(
+            f"{name}: cold {entry['cold']['total_seconds']}s, "
+            f"incremental {entry['incremental']['total_seconds']}s "
+            f"(speedup {entry['speedup']}x)"
+        )
+    checkpoint = document["checkpoint"]
+    assert isinstance(checkpoint, dict)
+    print(
+        f"checkpoint: inline {checkpoint['inline_bytes']} B, "
+        f"store-backed {checkpoint['store_bytes']} B "
+        f"({checkpoint['shrink_factor']}x smaller)"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -24,14 +24,20 @@ def stream_week(
     config: SmashConfig | None = None,
     window_size: int = 1,
     tracker_config: TrackerConfig | None = None,
+    incremental: bool | None = None,
 ) -> tuple[StreamingSmash, list[StreamUpdate]]:
     """Drive a sequence of per-day datasets through a fresh engine.
 
     Returns the engine (whose tracker holds the longitudinal state) and
-    the per-advance updates.
+    the per-advance updates.  *incremental* toggles the per-dimension
+    mining cache (default: the config's setting); results are identical
+    either way.
     """
     engine = StreamingSmash(
-        config=config, window_size=window_size, tracker_config=tracker_config
+        config=config,
+        window_size=window_size,
+        tracker_config=tracker_config,
+        incremental=incremental,
     )
     updates = engine.run_datasets(datasets)
     return engine, updates

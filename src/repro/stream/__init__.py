@@ -17,7 +17,11 @@ the pipeline continuously:
 * :mod:`repro.stream.alerts` — pluggable sinks for new-campaign /
   campaign-growth / campaign-died events;
 * :mod:`repro.stream.checkpoint` — JSON snapshot/resume of the whole
-  engine (window + tracker), so a killed stream resumes losslessly.
+  engine (window + tracker), so a killed stream resumes losslessly;
+* :mod:`repro.stream.store` — :class:`TraceStore`, an on-disk
+  content-addressed day-partition store; with one attached the window
+  holds lazy :class:`PartitionRef` handles and checkpoints shrink to
+  metadata plus tracker state.
 
 Quick start::
 
@@ -33,6 +37,7 @@ Quick start::
 from repro.stream.alerts import AlertSink, CallbackSink, ConsoleSink, JsonlSink, ListSink
 from repro.stream.checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
 from repro.stream.engine import StreamingSmash, StreamUpdate
+from repro.stream.store import PartitionRef, TraceStore, partition_digest
 from repro.stream.tracker import (
     CampaignTracker,
     TrackedCampaign,
@@ -51,13 +56,16 @@ __all__ = [
     "DayPartition",
     "JsonlSink",
     "ListSink",
+    "PartitionRef",
     "RollingWindow",
     "StreamUpdate",
     "StreamingSmash",
+    "TraceStore",
     "TrackEvent",
     "TrackedCampaign",
     "TrackerConfig",
     "jaccard",
     "load_checkpoint",
+    "partition_digest",
     "save_checkpoint",
 ]

@@ -8,6 +8,14 @@ series and window contents.  The :class:`~repro.config.SmashConfig` and
 alert sinks are process-level wiring, not stream state; pass the same
 ones to :func:`load_checkpoint` that the original engine used.
 
+Engines with a :class:`~repro.stream.store.TraceStore` attached write
+*metadata* checkpoints (version 2): the window serialises as per-day
+``(day, digest)`` store references instead of embedded traces, so the
+file stays a few KB however long the window is.  :func:`load_checkpoint`
+reopens the store recorded in the checkpoint automatically, or takes an
+explicit ``store``/``store_dir`` when the store has moved.  Version-1
+checkpoints (fully inline windows) still load.
+
 Writes are atomic (temp file + rename) so a crash during ``save``
 never corrupts the previous checkpoint.
 """
@@ -19,20 +27,30 @@ import os
 from pathlib import Path
 
 from repro.config import SmashConfig
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StreamError
 from repro.stream.alerts import AlertSink
 from repro.stream.engine import StreamingSmash
+from repro.stream.store import TraceStore
 
-#: Bump on any incompatible change to the checkpoint layout.
-CHECKPOINT_VERSION = 1
+#: Bump on any incompatible change to the checkpoint layout.  Version 2
+#: added store-referenced windows; version-1 (inline) payloads are a
+#: subset and remain readable.
+CHECKPOINT_VERSION = 2
+
+_READABLE_VERSIONS = frozenset({1, CHECKPOINT_VERSION})
 
 
 def save_checkpoint(engine: StreamingSmash, path: str | Path) -> Path:
-    """Atomically write *engine*'s state to *path*; returns the path."""
+    """Atomically write *engine*'s state to *path*; returns the path.
+
+    Storeless engines produce a payload that is byte-compatible with
+    version 1, and are stamped as such so older builds can still resume
+    them; only store-referenced windows need version 2.
+    """
     path = Path(path)
     payload = {
         "format": "repro.stream.checkpoint",
-        "version": CHECKPOINT_VERSION,
+        "version": CHECKPOINT_VERSION if engine.store is not None else 1,
         "state": engine.state_dict(),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -46,11 +64,25 @@ def load_checkpoint(
     path: str | Path,
     config: SmashConfig | None = None,
     sinks: tuple[AlertSink, ...] = (),
+    store: TraceStore | None = None,
+    store_dir: str | Path | None = None,
+    incremental: bool | None = None,
 ) -> StreamingSmash:
-    """Rebuild an engine from a checkpoint written by :func:`save_checkpoint`."""
+    """Rebuild an engine from a checkpoint written by :func:`save_checkpoint`.
+
+    For store-referenced checkpoints, *store*/*store_dir* override the
+    store root recorded in the checkpoint (use when the store moved);
+    with neither given, the recorded root is reopened.  A missing store
+    or a missing/corrupt partition raises
+    :class:`~repro.errors.StreamError`.
+    """
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"no checkpoint at {path}")
+    if store is not None and store_dir is not None:
+        raise CheckpointError("pass either store or store_dir, not both")
+    if store_dir is not None:
+        store = TraceStore(store_dir)
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as error:
@@ -58,12 +90,20 @@ def load_checkpoint(
     if not isinstance(payload, dict) or payload.get("format") != "repro.stream.checkpoint":
         raise CheckpointError(f"{path} is not a streaming checkpoint")
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise CheckpointError(
-            f"checkpoint version {version!r} unsupported "
-            f"(this build reads version {CHECKPOINT_VERSION})"
+            f"checkpoint version {version!r} unsupported (this build reads "
+            f"versions {sorted(_READABLE_VERSIONS)})"
         )
     try:
-        return StreamingSmash.from_state_dict(payload["state"], config=config, sinks=sinks)
+        return StreamingSmash.from_state_dict(
+            payload["state"],
+            config=config,
+            sinks=sinks,
+            store=store,
+            incremental=incremental,
+        )
+    except StreamError:
+        raise
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointError(f"malformed checkpoint {path}: {error}") from error

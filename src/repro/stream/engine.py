@@ -14,18 +14,32 @@ reuses mining across thresholds.  The mined dimensions stay cached for
 the current window, so :meth:`~StreamingSmash.rerun_at` can explore
 additional thresholds without re-mining, and the window itself caches
 every per-day input so nothing is regenerated as the window slides.
+
+Two further levers make the advance itself incremental:
+
+* ``incremental=True`` (the default) keeps a
+  :class:`~repro.core.pipeline.DimensionCache` across advances, so only
+  dimensions whose inputs are dirtied by the entering/leaving days are
+  re-mined; the rest are spliced in from cache, provably identical to a
+  cold full-window re-mine;
+* ``store_dir=...`` persists every ingested day into a
+  :class:`~repro.stream.store.TraceStore`, so the window holds on-disk
+  handles and checkpoints shrink to metadata plus tracker state.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from dataclasses import dataclass
 
 from repro.config import SmashConfig
-from repro.core.pipeline import MinedDimensions, SmashPipeline
-from repro.core.results import Campaign, SmashResult
+from repro.core.pipeline import DimensionCache, MinedDimensions, SmashPipeline
+from repro.core.results import MAIN_DIMENSION, Campaign, SmashResult
 from repro.errors import StreamError
 from repro.httplog.trace import HttpTrace
 from repro.stream.alerts import AlertSink
+from repro.stream.store import TraceStore
 from repro.stream.tracker import CampaignTracker, TrackedCampaign, TrackerConfig, TrackEvent
 from repro.stream.window import DayPartition, RollingWindow
 from repro.synth.oracles import RedirectOracle
@@ -50,6 +64,11 @@ class StreamUpdate:
     events: tuple[TrackEvent, ...]
     #: Snapshot of the identities alive after this advance.
     active: tuple[TrackedCampaign, ...]
+    #: Dimensions spliced in from the incremental cache this advance
+    #: (empty when the engine runs with ``incremental=False``).
+    reused_dimensions: tuple[str, ...] = ()
+    #: Dimensions actually re-mined this advance.
+    mined_dimensions: tuple[str, ...] = ()
 
     @property
     def num_campaigns(self) -> int:
@@ -80,9 +99,14 @@ class StreamingSmash:
         single_client_thresh: float | None = SINGLE_CLIENT_THRESH,
         workers: int | None = None,
         executor: str | None = None,
+        store: TraceStore | None = None,
+        store_dir: str | Path | None = None,
+        incremental: bool | None = None,
     ) -> None:
         if tracker is not None and tracker_config is not None:
             raise StreamError("pass either tracker or tracker_config, not both")
+        if store is not None and store_dir is not None:
+            raise StreamError("pass either store or store_dir, not both")
         self.config = config or SmashConfig()
         # Per-advance runs mine every dimension over the current window;
         # `workers`/`executor` override the config's fan-out settings
@@ -95,11 +119,16 @@ class StreamingSmash:
                 executor=self.config.executor if executor is None else executor,
             )
         self.pipeline = SmashPipeline(self.config)
-        self.window = RollingWindow(window_size)
+        self.store = TraceStore(store_dir) if store_dir is not None else store
+        self.window = RollingWindow(window_size, store=self.store)
         self.tracker = tracker or CampaignTracker(tracker_config)
         self.sinks = tuple(sinks)
         self.thresh = thresh
         self.single_client_thresh = single_client_thresh
+        self.incremental = (
+            self.config.incremental if incremental is None else incremental
+        )
+        self._dimension_cache = DimensionCache() if self.incremental else None
         self._mined: tuple[tuple[int, ...], MinedDimensions] | None = None
 
     # -- ingestion ----------------------------------------------------------------
@@ -115,8 +144,19 @@ class StreamingSmash:
         self.window.append(DayPartition(day=day, trace=trace, whois=whois, redirects=redirects))
         combined_trace, combined_whois, combined_redirects = self.window.combined()
 
-        mined = self.pipeline.mine(combined_trace, whois=combined_whois)
+        mined = self.pipeline.mine(
+            combined_trace, whois=combined_whois, cache=self._dimension_cache
+        )
         self._mined = (self.window.days, mined)
+        if self._dimension_cache is not None:
+            reused_dimensions = self._dimension_cache.last_reused
+            mined_dimensions = self._dimension_cache.last_mined
+        else:
+            reused_dimensions = ()
+            mined_dimensions = (
+                MAIN_DIMENSION,
+                *self.config.enabled_secondary_dimensions,
+            )
 
         result = self.pipeline.finish(mined, combined_redirects, thresh=self.thresh)
         campaigns = list(result.campaigns_with_clients(2))
@@ -140,6 +180,8 @@ class StreamingSmash:
             campaigns=tuple(campaigns),
             events=tuple(events),
             active=self.tracker.active,
+            reused_dimensions=reused_dimensions,
+            mined_dimensions=mined_dimensions,
         )
 
     def ingest_dataset(self, dataset, day: int | None = None) -> StreamUpdate:
@@ -166,7 +208,14 @@ class StreamingSmash:
             if not len(self.window):
                 raise StreamError("no day ingested yet")
             combined_trace, combined_whois, _ = self.window.combined()
-            self._mined = (self.window.days, self.pipeline.mine(combined_trace, whois=combined_whois))
+            self._mined = (
+                self.window.days,
+                self.pipeline.mine(
+                    combined_trace,
+                    whois=combined_whois,
+                    cache=self._dimension_cache,
+                ),
+            )
         _, _, combined_redirects = self.window.combined()
         return self.pipeline.finish(self._mined[1], combined_redirects, thresh=thresh)
 
@@ -185,14 +234,21 @@ class StreamingSmash:
 
         The :class:`~repro.config.SmashConfig` and alert sinks are *not*
         serialised; pass them again when restoring.  The mined-dimension
-        cache is derived state and is rebuilt on demand.
+        and incremental caches are derived state, rebuilt on demand.
+
+        With a trace store attached the window serialises as per-day
+        ``(day, digest)`` references plus the store root, so checkpoints
+        stay a few KB regardless of window length.
         """
-        return {
+        state: dict[str, object] = {
             "thresh": self.thresh,
             "single_client_thresh": self.single_client_thresh,
             "window": self.window.to_dict(),
             "tracker": self.tracker.to_dict(),
         }
+        if self.store is not None:
+            state["store_root"] = str(self.store.root.resolve())
+        return state
 
     @classmethod
     def from_state_dict(
@@ -200,8 +256,17 @@ class StreamingSmash:
         state: dict[str, object],
         config: SmashConfig | None = None,
         sinks: tuple[AlertSink, ...] = (),
+        store: TraceStore | None = None,
+        incremental: bool | None = None,
     ) -> "StreamingSmash":
-        window = RollingWindow.from_dict(state["window"])  # type: ignore[arg-type]
+        window_state = state["window"]
+        if store is None and isinstance(window_state, dict) and window_state.get("store"):
+            # Reopen the store the checkpoint was written against, if it
+            # is still where the checkpoint says it was.
+            root = state.get("store_root")
+            if isinstance(root, str) and Path(root).is_dir():
+                store = TraceStore(root)
+        window = RollingWindow.from_dict(window_state, store=store)  # type: ignore[arg-type]
         single = state.get("single_client_thresh")
         engine = cls(
             config=config,
@@ -210,6 +275,8 @@ class StreamingSmash:
             sinks=sinks,
             thresh=float(state.get("thresh", DEFAULT_THRESH)),  # type: ignore[arg-type]
             single_client_thresh=None if single is None else float(single),  # type: ignore[arg-type]
+            store=store,
+            incremental=incremental,
         )
         engine.window = window
         return engine

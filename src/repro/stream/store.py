@@ -1,0 +1,309 @@
+"""On-disk store of day partitions for the streaming engine.
+
+PR 1's checkpoints embedded every windowed day's trace in one JSON blob,
+so both checkpoint size and save time grew linearly with the window.
+:class:`TraceStore` moves the bulk data out of the checkpoint: each
+:class:`~repro.stream.window.DayPartition` is persisted once as its own
+directory of plain files (trace JSONL plus the whois/redirect sidecars,
+the same layout ``repro generate`` emits), content-addressed by a digest
+of the partition's canonical serialisation.  Window state then
+serialises as ``(day, digest)`` references — a checkpoint is metadata
+plus tracker state, a few KB regardless of window length — and
+:class:`PartitionRef` handles load the heavy data back lazily, only when
+the window actually needs it (i.e. on the first advance after a resume).
+
+Layout under the store root::
+
+    store/
+      day-00004-3f9ae1c20b77/
+        MANIFEST.json     # day, digest, trace name, request count
+        trace.jsonl       # the day's requests
+        whois.json        # only when the partition has a registry
+        redirects.json    # only when the partition has an oracle
+
+Writes are atomic (temp directory + rename) and idempotent: re-putting
+an identical partition is a no-op, re-putting a *different* partition
+for the same day gets a different digest directory.  Every load
+recomputes the content digest and compares it to the address, so a
+truncated or hand-edited partition raises
+:class:`~repro.errors.StreamError` instead of silently corrupting the
+stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+
+from repro.errors import StreamError
+from repro.httplog.loader import read_jsonl, write_jsonl
+from repro.stream.window import (
+    DayPartition,
+    redirects_to_dict,
+    whois_from_list,
+    whois_to_list,
+)
+
+#: Bump on any incompatible change to the partition layout.
+STORE_VERSION = 1
+
+_MANIFEST_NAME = "MANIFEST.json"
+_TRACE_NAME = "trace.jsonl"
+_WHOIS_NAME = "whois.json"
+_REDIRECTS_NAME = "redirects.json"
+
+#: Hex digits of the content digest used in directory names; enough to
+#: make day-level collisions implausible while keeping paths readable.
+_DIGEST_PREFIX = 12
+
+
+def partition_digest(partition: DayPartition) -> str:
+    """Content digest of a partition's canonical JSON serialisation."""
+    payload = json.dumps(
+        partition.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PartitionRef:
+    """Lazy handle to a day partition resident in a :class:`TraceStore`.
+
+    The streaming window holds these instead of full partitions: ``day``
+    and ``digest`` are enough to checkpoint, and :meth:`load` memoises
+    the materialised partition so the live path reads the disk at most
+    once per resume.
+    """
+
+    __slots__ = ("day", "digest", "_store", "_partition")
+
+    def __init__(
+        self,
+        day: int,
+        digest: str,
+        store: "TraceStore",
+        partition: DayPartition | None = None,
+    ) -> None:
+        self.day = day
+        self.digest = digest
+        self._store = store
+        self._partition = partition
+
+    def load(self) -> DayPartition:
+        """Materialise the partition (verified against its digest)."""
+        if self._partition is None:
+            self._partition = self._store.get(self.day, digest=self.digest)
+        return self._partition
+
+    def release(self) -> None:
+        """Drop the memoised partition; the on-disk copy remains."""
+        self._partition = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {"day": self.day, "digest": self.digest}
+
+    def __repr__(self) -> str:
+        loaded = "loaded" if self._partition is not None else "on disk"
+        return f"PartitionRef(day={self.day}, digest={self.digest[:12]}, {loaded})"
+
+
+class TraceStore:
+    """Persist day partitions as content-addressed on-disk directories."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ---------------------------------------------------------------
+
+    @staticmethod
+    def _dirname(day: int, digest: str) -> str:
+        return f"day-{day:05d}-{digest[:_DIGEST_PREFIX]}"
+
+    def path_of(self, day: int, digest: str) -> Path:
+        """Directory a (day, digest) partition lives in (may not exist)."""
+        return self.root / self._dirname(day, digest)
+
+    def _find(self, day: int, digest: str | None = None) -> Path | None:
+        if digest is not None:
+            path = self.path_of(day, digest)
+            return path if path.is_dir() else None
+        # Orphaned ``.tmp-<pid>`` directories from a crashed put() are
+        # never valid partitions, whatever they contain.
+        matches = sorted(
+            path
+            for path in self.root.glob(f"day-{day:05d}-*")
+            if ".tmp-" not in path.name
+        )
+        return matches[-1] if matches else None
+
+    def days(self) -> tuple[int, ...]:
+        """Sorted day indices with at least one stored partition."""
+        found: set[int] = set()
+        for path in self.root.glob("day-*-*"):
+            if ".tmp-" in path.name or not (path / _MANIFEST_NAME).is_file():
+                continue
+            try:
+                found.add(int(path.name.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return tuple(sorted(found))
+
+    def has(self, day: int, digest: str | None = None) -> bool:
+        path = self._find(day, digest)
+        return path is not None and (path / _MANIFEST_NAME).is_file()
+
+    # -- write path ---------------------------------------------------------------
+
+    def put(self, partition: DayPartition) -> PartitionRef:
+        """Persist *partition*; idempotent for identical content."""
+        digest = partition_digest(partition)
+        final = self.path_of(partition.day, digest)
+        if (final / _MANIFEST_NAME).is_file():
+            return PartitionRef(partition.day, digest, self, partition)
+
+        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        try:
+            write_jsonl(partition.trace, tmp / _TRACE_NAME)
+            if partition.whois is not None:
+                (tmp / _WHOIS_NAME).write_text(
+                    json.dumps(whois_to_list(partition.whois), indent=1) + "\n"
+                )
+            if partition.redirects is not None:
+                (tmp / _REDIRECTS_NAME).write_text(
+                    json.dumps(
+                        redirects_to_dict(partition.redirects), sort_keys=True
+                    )
+                    + "\n"
+                )
+            manifest = {
+                "format": "repro.stream.store",
+                "version": STORE_VERSION,
+                "day": partition.day,
+                "digest": digest,
+                "trace_name": partition.trace.name,
+                "num_requests": len(partition.trace),
+                "has_whois": partition.whois is not None,
+                "has_redirects": partition.redirects is not None,
+            }
+            # The manifest is written last: a crash mid-put leaves a
+            # directory `has()`/`get()` treat as absent.
+            (tmp / _MANIFEST_NAME).write_text(
+                json.dumps(manifest, indent=1, sort_keys=True) + "\n"
+            )
+            if final.exists():  # identical content raced in; keep it
+                shutil.rmtree(tmp)
+            else:
+                try:
+                    os.replace(tmp, final)
+                except OSError as error:
+                    # A concurrent writer renamed the same content into
+                    # place between our exists() check and the rename;
+                    # content addressing makes that a success, anything
+                    # else is a real store failure.
+                    shutil.rmtree(tmp, ignore_errors=True)
+                    if not (final / _MANIFEST_NAME).is_file():
+                        raise StreamError(
+                            f"could not persist partition into {final}: {error}"
+                        ) from error
+        except Exception:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return PartitionRef(partition.day, digest, self, partition)
+
+    # -- read path ----------------------------------------------------------------
+
+    def get(self, day: int, digest: str | None = None) -> DayPartition:
+        """Load a stored partition, verifying content against its digest.
+
+        Without *digest* the day must be unambiguous; when several
+        content variants of one day exist, callers must address the one
+        they mean.
+        """
+        if digest is None:
+            variants = [
+                path
+                for path in self.root.glob(f"day-{day:05d}-*")
+                if ".tmp-" not in path.name and (path / _MANIFEST_NAME).is_file()
+            ]
+            if len(variants) > 1:
+                raise StreamError(
+                    f"trace store {self.root} holds {len(variants)} variants of "
+                    f"day {day}; pass the digest of the one you mean"
+                )
+        path = self._find(day, digest)
+        if path is None or not (path / _MANIFEST_NAME).is_file():
+            wanted = f"day {day}" if digest is None else f"day {day} ({digest[:12]})"
+            raise StreamError(f"trace store {self.root} has no partition for {wanted}")
+        try:
+            manifest = json.loads((path / _MANIFEST_NAME).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StreamError(f"corrupt partition manifest in {path}: {error}") from error
+        if not isinstance(manifest, dict) or manifest.get("format") != "repro.stream.store":
+            raise StreamError(f"{path} is not a trace-store partition")
+        if manifest.get("version") != STORE_VERSION:
+            raise StreamError(
+                f"partition version {manifest.get('version')!r} in {path} unsupported "
+                f"(this build reads version {STORE_VERSION})"
+            )
+
+        expected = str(manifest.get("digest", ""))
+        try:
+            trace = read_jsonl(
+                path / _TRACE_NAME, name=str(manifest.get("trace_name", "trace"))
+            )
+            whois_path = path / _WHOIS_NAME
+            whois = (
+                whois_from_list(json.loads(whois_path.read_text()))
+                if manifest.get("has_whois")
+                else None
+            )
+            redirects_path = path / _REDIRECTS_NAME
+            redirects = None
+            if manifest.get("has_redirects"):
+                from repro.synth.oracles import RedirectOracle
+
+                redirects = RedirectOracle.from_dict(
+                    json.loads(redirects_path.read_text())
+                )
+        except StreamError:
+            raise
+        except Exception as error:  # missing file, bad JSON, bad records
+            raise StreamError(f"corrupt partition in {path}: {error}") from error
+
+        partition = DayPartition(
+            day=int(manifest.get("day", day)),
+            trace=trace,
+            whois=whois,
+            redirects=redirects,
+        )
+        actual = partition_digest(partition)
+        if actual != expected or (digest is not None and actual != digest):
+            raise StreamError(
+                f"corrupt partition in {path}: content digest {actual[:12]} does not "
+                f"match stored digest {(digest or expected)[:12]}"
+            )
+        return partition
+
+    def ref(self, day: int, digest: str) -> PartitionRef:
+        """Unloaded handle for a stored partition; fails fast if absent."""
+        if not self.has(day, digest):
+            raise StreamError(
+                f"trace store {self.root} has no partition for day {day} "
+                f"({digest[:12]}); was the store moved or pruned?"
+            )
+        return PartitionRef(day, digest, self)
+
+    def total_bytes(self) -> int:
+        """Bytes used by all stored partitions (for the bench harness)."""
+        return sum(
+            path.stat().st_size for path in self.root.rglob("*") if path.is_file()
+        )
+
+    def __repr__(self) -> str:
+        return f"TraceStore(root={str(self.root)!r}, days={len(self.days())})"

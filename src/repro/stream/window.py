@@ -10,13 +10,24 @@ without regenerating or re-reading any per-day input.
 Combined views are cached per window state: advancing the window
 invalidates them, re-running the same window (e.g. a second threshold)
 reuses them.
+
+With a :class:`~repro.stream.store.TraceStore` attached the window holds
+:class:`~repro.stream.store.PartitionRef` handles instead of full
+partitions: every appended day is persisted to the store, serialisation
+emits ``(day, digest)`` references instead of embedding requests, and a
+resumed window loads partitions back lazily on first use.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from dataclasses import dataclass
 
 from repro.errors import StreamError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports window)
+    from repro.stream.store import PartitionRef, TraceStore
 from repro.httplog.records import HttpRequest
 from repro.httplog.trace import HttpTrace
 from repro.synth.oracles import RedirectOracle
@@ -91,57 +102,76 @@ class RollingWindow:
 
     Days must be appended in strictly increasing order — the window
     models a forward-moving stream, not random access.
+
+    With *store* attached, appended partitions are persisted immediately
+    and the window keeps :class:`~repro.stream.store.PartitionRef`
+    handles; without one it keeps the partitions in memory exactly as
+    before.
     """
 
-    def __init__(self, size: int = 1) -> None:
+    def __init__(self, size: int = 1, store: "TraceStore | None" = None) -> None:
         if size < 1:
             raise StreamError(f"window size must be >= 1, got {size}")
         self.size = size
-        self._partitions: list[DayPartition] = []
+        self.store = store
+        self._slots: list["DayPartition | PartitionRef"] = []
         self._combined: tuple[HttpTrace, WhoisRegistry | None, RedirectOracle | None] | None = None
 
+    @staticmethod
+    def _materialise(slot: "DayPartition | PartitionRef") -> DayPartition:
+        return slot if isinstance(slot, DayPartition) else slot.load()
+
     def __len__(self) -> int:
-        return len(self._partitions)
+        return len(self._slots)
 
     @property
     def partitions(self) -> tuple[DayPartition, ...]:
-        return tuple(self._partitions)
+        return tuple(self._materialise(slot) for slot in self._slots)
 
     @property
     def days(self) -> tuple[int, ...]:
         """Day indices currently inside the window, oldest first."""
-        return tuple(partition.day for partition in self._partitions)
+        return tuple(slot.day for slot in self._slots)
 
-    def append(self, partition: DayPartition) -> tuple[DayPartition, ...]:
-        """Add the next day; return the partitions evicted to make room."""
-        if self._partitions and partition.day <= self._partitions[-1].day:
+    def append(self, partition: DayPartition) -> "tuple[DayPartition | PartitionRef, ...]":
+        """Add the next day; return the slots evicted to make room.
+
+        Evicted days stay resident in the attached store (the stream's
+        history); only the in-memory window forgets them.  With a store
+        the evicted entries are :class:`~repro.stream.store.PartitionRef`
+        handles, returned *without* forcing a disk load — call
+        ``.load()`` if the full partition is wanted.
+        """
+        if self._slots and partition.day <= self._slots[-1].day:
             raise StreamError(
                 f"stream days must be strictly increasing: got day "
-                f"{partition.day} after day {self._partitions[-1].day}"
+                f"{partition.day} after day {self._slots[-1].day}"
             )
-        self._partitions.append(partition)
-        evicted = tuple(self._partitions[: -self.size])
-        self._partitions = self._partitions[-self.size:]
+        slot = partition if self.store is None else self.store.put(partition)
+        self._slots.append(slot)
+        evicted = tuple(self._slots[: -self.size])
+        self._slots = self._slots[-self.size:]
         self._combined = None
         return evicted
 
     def combined(self) -> tuple[HttpTrace, WhoisRegistry | None, RedirectOracle | None]:
         """The window's merged (trace, whois, redirects) pipeline inputs."""
-        if not self._partitions:
+        if not self._slots:
             raise StreamError("cannot combine an empty window")
         if self._combined is None:
-            traces = [partition.trace for partition in self._partitions]
+            partitions = self.partitions
+            traces = [partition.trace for partition in partitions]
             name = f"window-days-{self.days[0]}-{self.days[-1]}"
             trace = traces[0] if len(traces) == 1 else HttpTrace.concat(traces, name=name)
 
             whois: WhoisRegistry | None = None
-            for partition in self._partitions:
+            for partition in partitions:
                 if partition.whois is None:
                     continue
                 whois = partition.whois if whois is None else whois.merged_with(partition.whois)
 
             landing: dict[str, str] = {}
-            for partition in self._partitions:
+            for partition in partitions:
                 if partition.redirects is None:
                     continue
                 landing.update(redirects_to_dict(partition.redirects))
@@ -152,14 +182,39 @@ class RollingWindow:
     # -- checkpoint support -------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:
+        if self.store is not None:
+            return {
+                "size": self.size,
+                "store": True,
+                "partitions": [
+                    {"day": slot.day, "digest": slot.digest}  # type: ignore[union-attr]
+                    for slot in self._slots
+                ],
+            }
         return {
             "size": self.size,
-            "partitions": [partition.to_dict() for partition in self._partitions],
+            "partitions": [
+                self._materialise(slot).to_dict() for slot in self._slots
+            ],
         }
 
     @classmethod
-    def from_dict(cls, data: dict[str, object]) -> "RollingWindow":
-        window = cls(size=int(data.get("size", 1)))  # type: ignore[arg-type]
-        for entry in data.get("partitions", ()):  # type: ignore[union-attr]
-            window.append(DayPartition.from_dict(entry))  # type: ignore[arg-type]
+    def from_dict(
+        cls, data: dict[str, object], store: "TraceStore | None" = None
+    ) -> "RollingWindow":
+        if data.get("store") and store is None:
+            raise StreamError(
+                "window state references a trace store; pass the store "
+                "(load_checkpoint(..., store_dir=...) or --store) to restore it"
+            )
+        window = cls(size=int(data.get("size", 1)), store=store)  # type: ignore[arg-type]
+        if data.get("store"):
+            assert store is not None
+            for entry in data.get("partitions", ()):  # type: ignore[union-attr]
+                window._slots.append(
+                    store.ref(int(entry["day"]), str(entry["digest"]))
+                )
+        else:
+            for entry in data.get("partitions", ()):  # type: ignore[union-attr]
+                window.append(DayPartition.from_dict(entry))  # type: ignore[arg-type]
         return window

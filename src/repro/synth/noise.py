@@ -28,7 +28,6 @@ import numpy as np
 from repro.httplog.records import HttpRequest
 from repro.synth.campaigns import NoiseSpec
 from repro.synth.namegen import benign_domain, benign_filename, ipv4, pseudo_word
-from repro.synth.oracles import RedirectOracle
 from repro.util.rng import child_rng
 from repro.whois.record import WhoisRecord
 

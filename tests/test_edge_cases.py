@@ -1,10 +1,8 @@
 """Edge cases and failure injection across the pipeline."""
 
-import pytest
 
 from repro.config import PreprocessConfig, SmashConfig
 from repro.core.pipeline import SmashPipeline
-from repro.errors import PipelineError
 from repro.httplog.records import HttpRequest
 from repro.httplog.trace import HttpTrace
 from repro.synth.oracles import RedirectOracle

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.pipeline import SmashPipeline
 from repro.core.results import Campaign
 from repro.eval.figures import (
     dimension_decomposition,

@@ -1,0 +1,188 @@
+"""Incremental per-dimension mining: the DimensionCache must be
+invisible in results (incremental == cold full re-mine, structurally)
+while re-mining only the dimensions whose inputs actually changed."""
+
+import pytest
+
+from repro.config import DimensionConfig, SmashConfig
+from repro.core.pipeline import (
+    DIMENSION_SIGNATURES,
+    SECONDARY_GRAPH_BUILDERS,
+    DimensionCache,
+    SmashPipeline,
+)
+from repro.core.results import MAIN_DIMENSION
+from repro.errors import ConfigError
+from repro.httplog.records import HttpRequest
+from repro.httplog.trace import HttpTrace
+from repro.stream import StreamingSmash
+from repro.synth import TraceGenerator, small_scenario
+
+
+def request(client, host, uri="/mal.html", ip="9.9.9.9", timestamp=0.0):
+    return HttpRequest(
+        timestamp=timestamp, client=client, host=host, server_ip=ip, uri=uri
+    )
+
+
+def campaign_trace(name="day", uri="/mal.html"):
+    """Three bots visiting the same two servers (a minable herd)."""
+    requests = []
+    for bot in ("bot1", "bot2", "bot3"):
+        for host in ("evil-a.com", "evil-b.com"):
+            requests.append(request(bot, host, uri=uri))
+    requests.append(request("visitor", "benign.com", uri="/index.html"))
+    return HttpTrace(requests, name=name)
+
+
+@pytest.fixture(scope="module")
+def six_days():
+    """Six generated days whose campaigns overlap across days."""
+    return list(TraceGenerator(small_scenario(seed=3, days=6)).iter_days())
+
+
+class TestDimensionSignatures:
+    def test_every_builder_has_a_signature(self):
+        assert set(DIMENSION_SIGNATURES) == set(SECONDARY_GRAPH_BUILDERS) | {
+            MAIN_DIMENSION
+        }
+
+    def test_signatures_stable_for_equal_traces(self):
+        config = SmashConfig()
+        first, second = campaign_trace("a"), campaign_trace("b")
+        for dimension, signer in DIMENSION_SIGNATURES.items():
+            assert signer(first, None, config) == signer(second, None, config), (
+                dimension
+            )
+
+    def test_signature_changes_with_dimension_config(self):
+        trace = campaign_trace()
+        base = SmashConfig()
+        tweaked = base.replace(dimensions=DimensionConfig(filename_length_cutoff=10))
+        for signer in DIMENSION_SIGNATURES.values():
+            assert signer(trace, None, base) != signer(trace, None, tweaked)
+
+
+class TestDimensionCache:
+    def test_second_mine_reuses_everything(self):
+        pipeline = SmashPipeline()
+        cache = DimensionCache()
+        trace = campaign_trace()
+        first = pipeline.mine(trace, cache=cache)
+        assert cache.last_mined and not cache.last_reused
+        second = pipeline.mine(campaign_trace(name="again"), cache=cache)
+        assert not cache.last_mined
+        assert set(cache.last_reused) == set(DIMENSION_SIGNATURES) - {
+            "urlparam",
+            "time",
+        }
+        assert second.main == first.main
+        assert second.secondary == first.secondary
+
+    def test_cached_mine_equals_cold_mine(self):
+        trace = campaign_trace()
+        cold = SmashPipeline().mine(trace)
+        cache = DimensionCache()
+        pipeline = SmashPipeline()
+        pipeline.mine(trace, cache=cache)  # warm the cache
+        warm = pipeline.mine(trace, cache=cache)  # all dimensions reused
+        assert warm.main == cold.main
+        assert warm.secondary == cold.secondary
+        assert warm.trace == cold.trace
+
+    def test_only_dirtied_dimension_remines(self):
+        pipeline = SmashPipeline()
+        cache = DimensionCache()
+        pipeline.mine(campaign_trace(), cache=cache)
+        # Same clients, IPs and servers; one filename changes -> only the
+        # URI-file dimension's inputs are touched.
+        pipeline.mine(campaign_trace(uri="/other.html"), cache=cache)
+        assert cache.last_mined == ("urifile",)
+        assert set(cache.last_reused) == {MAIN_DIMENSION, "ipset", "whois"}
+
+    def test_unknown_dimension_is_rejected_before_mining(self):
+        config = SmashConfig(enabled_secondary_dimensions=("urifile", "mystery"))
+        with pytest.raises(ConfigError):
+            SmashPipeline(config)
+
+    def test_hit_and_miss_counters(self):
+        pipeline = SmashPipeline()
+        cache = DimensionCache()
+        pipeline.mine(campaign_trace(), cache=cache)
+        assert cache.misses == 4 and cache.hits == 0
+        pipeline.mine(campaign_trace(), cache=cache)
+        assert cache.hits == 4
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_mine_without_cache_unchanged(self):
+        trace = campaign_trace()
+        assert SmashPipeline().mine(trace).main == SmashPipeline().mine(trace).main
+
+
+class TestIncrementalStreamEquivalence:
+    def test_incremental_equals_full_over_six_days(self, six_days):
+        """The acceptance invariant: every advance's SmashResult must be
+        structurally identical between the cached engine and a cold
+        full-window re-mine, across >= 5 days of overlapping campaigns."""
+        incremental = StreamingSmash(window_size=3, incremental=True)
+        full = StreamingSmash(window_size=3, incremental=False)
+        for dataset in six_days:
+            warm = incremental.ingest_dataset(dataset)
+            cold = full.ingest_dataset(dataset)
+            assert warm.result == cold.result
+            assert warm.single_client_result == cold.single_client_result
+            assert warm.campaigns == cold.campaigns
+            assert [e.to_dict() for e in warm.events] == [
+                e.to_dict() for e in cold.events
+            ]
+        assert incremental.tracker.to_dict() == full.tracker.to_dict()
+
+    def test_steady_stream_reuses_dimensions(self, six_days):
+        """Re-ingesting identical day content must hit the cache."""
+        first = six_days[0]
+        engine = StreamingSmash(window_size=2, incremental=True)
+        updates = [
+            engine.ingest_day(
+                day, first.trace, whois=first.whois, redirects=first.redirects
+            )
+            for day in range(3)
+        ]
+        assert updates[0].reused_dimensions == ()
+        for update in updates[1:]:
+            assert update.mined_dimensions == ()
+            assert set(update.reused_dimensions) == {
+                MAIN_DIMENSION,
+                "urifile",
+                "ipset",
+                "whois",
+            }
+        # And the results repeat exactly (same window content each day).
+        assert updates[2].result == updates[1].result
+
+    def test_no_incremental_reports_all_dimensions_mined(self, six_days):
+        engine = StreamingSmash(window_size=1, incremental=False)
+        update = engine.ingest_dataset(six_days[0])
+        assert update.reused_dimensions == ()
+        assert set(update.mined_dimensions) == {
+            MAIN_DIMENSION,
+            "urifile",
+            "ipset",
+            "whois",
+        }
+
+    def test_config_flag_drives_engine_default(self):
+        assert StreamingSmash().incremental is True
+        disabled = StreamingSmash(config=SmashConfig(incremental=False))
+        assert disabled.incremental is False
+        overridden = StreamingSmash(
+            config=SmashConfig(incremental=False), incremental=True
+        )
+        assert overridden.incremental is True
+
+    def test_rerun_at_uses_cache_after_resume(self, six_days):
+        engine = StreamingSmash(window_size=2, incremental=True)
+        for dataset in six_days[:2]:
+            engine.ingest_dataset(dataset)
+        rerun = engine.rerun_at(engine.thresh)
+        assert rerun.campaigns == engine.rerun_at(engine.thresh).campaigns

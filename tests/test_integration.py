@@ -5,7 +5,6 @@ planted campaigns recovered, by-design false negatives missed, false
 positives confined to the noise categories the paper reports.
 """
 
-import pytest
 
 
 def detected_campaign_names(dataset, result):

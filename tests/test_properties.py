@@ -192,7 +192,7 @@ class TestCorrelationProperties:
     @settings(max_examples=20, deadline=None)
     @given(st.integers(2, 12), st.integers(1, 3))
     def test_score_bounded_by_dimension_count(self, herd_size, num_dims):
-        from repro.core.ashmining import MiningOutcome, mine_herds
+        from repro.core.ashmining import mine_herds
         from repro.core.correlation import correlate
 
         servers = [f"s{i}" for i in range(herd_size)]

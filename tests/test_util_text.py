@@ -1,6 +1,5 @@
 """Unit tests for repro.util.text (charset cosine, set overlap scores)."""
 
-import math
 
 import pytest
 from hypothesis import given
