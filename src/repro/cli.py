@@ -141,8 +141,51 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ids_evidence(arg: str | None):
+    """``--ids`` sources: 'scenario' binds the generator's per-day IDS
+    generations; a path loads ``{"ids2012": [servers], "ids2013": [...]}``."""
+    from repro.domains.names import normalize_server_name
+    from repro.stream import StaticEvidence
+    from repro.stream.scoring import scenario_ids_evidence
+
+    if arg is None:
+        return ()
+    if arg == "scenario":
+        return scenario_ids_evidence()
+    data = json.loads(Path(arg).read_text())
+    # Campaign servers are pipeline-aggregated second-level names; feed
+    # entries ("www.evil.com") must land in the same name space or they
+    # silently never match.
+    known_2012 = frozenset(normalize_server_name(s) for s in data.get("ids2012", ()))
+    known_2013 = frozenset(normalize_server_name(s) for s in data.get("ids2013", ()))
+    return (
+        StaticEvidence("ids2012", known_2012, kind="ids"),
+        StaticEvidence("ids2013_zero_day", known_2013 - known_2012, kind="zero_day"),
+    )
+
+
+def _blacklist_evidence(arg: str | None):
+    """``--blacklist`` source: 'scenario' binds the generator's per-day
+    aggregator; a path loads a JSON array of servers (or feed->servers map)."""
+    from repro.domains.names import normalize_server_name
+    from repro.stream import BlacklistEvidence, StaticEvidence
+
+    if arg is None:
+        return ()
+    if arg == "scenario":
+        return (BlacklistEvidence(),)
+    data = json.loads(Path(arg).read_text())
+    if isinstance(data, dict):
+        servers = [server for feed in data.values() for server in feed]
+    else:
+        servers = list(data)
+    normalized = [normalize_server_name(server) for server in servers]
+    return (StaticEvidence("blacklist", normalized, kind="blacklist"),)
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.stream import (
+        AlertPolicy,
         JsonlSink,
         StreamingSmash,
         TrackerConfig,
@@ -151,7 +194,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     from repro.stream.window import DayPartition
 
-    sinks = (JsonlSink(args.events),) if args.events else ()
+    evidence = _ids_evidence(args.ids) + _blacklist_evidence(args.blacklist)
+    if args.day_dirs and any(flag == "scenario" for flag in (args.ids, args.blacklist)):
+        print("error: --ids/--blacklist scenario evidence needs a generated "
+              "scenario feed, not --day-dirs (pass evidence files instead)",
+              file=sys.stderr)
+        return 2
+    policy = AlertPolicy(min_severity=args.min_severity, growth_rate=args.growth_rate)
+    policy.validate()
+    # On --resume the sinks dedupe against what their files already hold
+    # (the resumed stream replays at most the crashed day); a fresh
+    # stream appends plainly, so reusing a file never swallows new days.
+    sinks: tuple[JsonlSink, ...] = ()
+    if args.events:
+        # The event log stays complete whatever the severity floor; only
+        # the --alerts feed is filtered.
+        sinks += (JsonlSink(args.events, resume_safe=args.resume, receive_all=True),)
+    if args.alerts:
+        sinks += (JsonlSink(args.alerts, resume_safe=args.resume),)
     config = SmashConfig().replace(
         workers=args.workers,
         executor=args.executor,
@@ -160,8 +220,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     config.validate()
     checkpoint = Path(args.checkpoint) if args.checkpoint else None
     if args.resume and checkpoint is not None and checkpoint.exists():
+        # Evidence accumulations are restored from the checkpoint into
+        # the freshly-built sources; the alert policy is operational
+        # tuning (like sinks), so the command line's flags apply.
         engine = load_checkpoint(
-            checkpoint, config=config, sinks=sinks, store_dir=args.store
+            checkpoint, config=config, sinks=sinks, store_dir=args.store,
+            evidence=evidence, policy=policy,
         )
         print(f"resumed from {checkpoint} (last day: {engine.last_day})")
         # The checkpoint carries the stream's window size and tracker
@@ -180,6 +244,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             tracker_config=TrackerConfig(server_jaccard=args.match_jaccard),
             sinks=sinks,
             store_dir=args.store,
+            evidence=evidence,
+            policy=policy,
         )
     start_day = 0 if engine.last_day is None else engine.last_day + 1
 
@@ -206,6 +272,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 spec = factory(scale=args.scale, seed=args.seed)
             generator = TraceGenerator(spec)
             for dataset in generator.iter_days(start=start_day):
+                # Scenario ground truth rotates with the campaigns; the
+                # evidence sources adopt each day's IDS/blacklists just
+                # before the engine ingests that day.
+                for source in engine.evidence:
+                    source.bind_dataset(dataset)
                 yield DayPartition(
                     day=dataset.day,
                     trace=dataset.trace,
@@ -224,11 +295,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         grown = len(update.events_of("campaign_growth"))
         died = len(update.events_of("campaign_died"))
         total_dims = len(update.mined_dimensions) + len(update.reused_dimensions)
+        critical = sum(1 for event in update.alerts if event.severity == "critical")
         print(
             f"day {update.day}: {update.num_campaigns} campaigns, "
             f"{len(update.detected_servers)} servers "
             f"(+{new} new, {grown} grown, -{died} died, "
             f"{len(update.active)} active identities; "
+            f"{len(update.alerts)} alerts, {critical} critical; "
             f"mined {len(update.mined_dimensions)}/{total_dims} dims)"
         )
         if checkpoint is not None:
@@ -355,7 +428,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the per-dimension incremental mining cache and fully "
              "re-mine the window every day (results are identical either way)",
     )
-    stream.add_argument("--events", default=None, help="append tracker events to this JSONL file")
+    stream.add_argument(
+        "--events", default=None,
+        help="append every scored tracker event to this JSONL file "
+             "(unfiltered by --min-severity)",
+    )
+    stream.add_argument(
+        "--alerts", default=None, metavar="FILE",
+        help="append scored alerts (severity >= --min-severity) to this "
+             "JSONL file; with --resume, replayed days are never duplicated",
+    )
+    stream.add_argument(
+        "--min-severity", choices=["info", "warning", "critical"], default="info",
+        help="suppress events below this severity before they reach any "
+             "sink (default: info = everything)",
+    )
+    stream.add_argument(
+        "--growth-rate", type=float, default=3.0,
+        help="servers added per advance that makes a growth event at "
+             "least a warning (default: 3)",
+    )
+    stream.add_argument(
+        "--ids", default=None, metavar="SCENARIO_OR_FILE",
+        help="IDS evidence: 'scenario' runs the generated scenario's "
+             "2012/2013 signature generations over each day (zero-day "
+             "hits escalate to critical), or a JSON file "
+             '{"ids2012": [servers], "ids2013": [servers]}',
+    )
+    stream.add_argument(
+        "--blacklist", default=None, metavar="SCENARIO_OR_FILE",
+        help="blacklist evidence: 'scenario' checks servers against the "
+             "generated scenario's blacklist aggregator, or a JSON array "
+             "of servers / {feed: [servers]} file",
+    )
     stream.add_argument("--out", default=None, help="write lifetimes + persistence summary JSON")
     stream.add_argument(
         "--campaigns-out", default=None,

@@ -8,6 +8,7 @@ from repro.eval.verification import (
     VerificationSummary,
     Verifier,
 )
+from repro.eval.alerts import alert_quality, planted_campaign_servers
 from repro.eval.experiments import ExperimentRunner
 from repro.eval.streaming import (
     campaign_lifetimes,
@@ -22,8 +23,10 @@ __all__ = [
     "ServerLabel",
     "VerificationSummary",
     "Verifier",
+    "alert_quality",
     "campaign_lifetimes",
     "daily_tracking_summary",
     "fig7_streaming",
+    "planted_campaign_servers",
     "stream_week",
 ]

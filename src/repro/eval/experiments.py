@@ -58,6 +58,7 @@ class ExperimentRunner:
         self._results: dict[tuple[str, float], SmashResult] = {}
         self._verifiers: dict[str, Verifier] = {}
         self._streamed = None
+        self._streamed_scored = None
         self.pipeline = SmashPipeline(self.config)
 
     # -- dataset / pipeline plumbing -------------------------------------------------
@@ -306,6 +307,29 @@ class ExperimentRunner:
 
         _, updates = self.streamed_week()
         return daily_tracking_summary(updates)
+
+    def alert_quality(self) -> dict[str, dict[str, object]]:
+        """Alert precision/recall per severity over the streamed week.
+
+        Streams the week with the scenario's IDS generations and
+        blacklists wired as evidence sources and the default alert
+        policy, then scores the resulting alert feed against the planted
+        ground truth (:func:`repro.eval.alerts.alert_quality`).  Cached
+        separately from :meth:`streamed_week`, which streams unscored.
+        """
+        if self._streamed_scored is None:
+            from repro.eval.streaming import stream_week
+            from repro.stream.scoring import scenario_evidence
+
+            self._streamed_scored = stream_week(
+                self.week(), config=self.config, evidence=scenario_evidence()
+            )
+        from repro.eval.alerts import alert_quality
+
+        engine, updates = self._streamed_scored
+        return alert_quality(
+            engine, updates, [dataset.truth for dataset in self.week()]
+        )
 
     def fig8(self, name: str = "2011") -> dict[str, float]:
         """Secondary-dimension decomposition of detected servers."""

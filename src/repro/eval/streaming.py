@@ -16,6 +16,7 @@ from collections.abc import Iterable, Sequence
 from repro.config import SmashConfig
 from repro.eval.figures import PersistenceDay
 from repro.stream.engine import StreamingSmash, StreamUpdate
+from repro.stream.scoring import AlertPolicy, EvidenceSource
 from repro.stream.tracker import TrackerConfig
 
 
@@ -25,19 +26,25 @@ def stream_week(
     window_size: int = 1,
     tracker_config: TrackerConfig | None = None,
     incremental: bool | None = None,
+    evidence: tuple[EvidenceSource, ...] = (),
+    policy: AlertPolicy | None = None,
 ) -> tuple[StreamingSmash, list[StreamUpdate]]:
     """Drive a sequence of per-day datasets through a fresh engine.
 
     Returns the engine (whose tracker holds the longitudinal state) and
     the per-advance updates.  *incremental* toggles the per-dimension
     mining cache (default: the config's setting); results are identical
-    either way.
+    either way.  *evidence*/*policy* switch on the alert-scoring layer
+    (:mod:`repro.stream.scoring`): evidence sources adopt each dataset's
+    ground-truth objects as the stream advances.
     """
     engine = StreamingSmash(
         config=config,
         window_size=window_size,
         tracker_config=tracker_config,
         incremental=incremental,
+        evidence=evidence,
+        policy=policy,
     )
     updates = engine.run_datasets(datasets)
     return engine, updates

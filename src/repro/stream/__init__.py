@@ -16,6 +16,12 @@ the pipeline continuously:
   persistence decomposition and campaign lifetimes as live bookkeeping;
 * :mod:`repro.stream.alerts` — pluggable sinks for new-campaign /
   campaign-growth / campaign-died events;
+* :mod:`repro.stream.scoring` — evidence-driven alert scoring:
+  :class:`EvidenceSource` providers over the ground-truth IDS /
+  blacklists, a :class:`CampaignScorer` deriving a deterministic risk
+  score from each identity's history, and an :class:`AlertPolicy` that
+  attaches ``severity``/``score`` to every event and suppresses
+  sub-threshold noise before it reaches the sinks;
 * :mod:`repro.stream.checkpoint` — JSON snapshot/resume of the whole
   engine (window + tracker), so a killed stream resumes losslessly;
 * :mod:`repro.stream.store` — :class:`TraceStore`, an on-disk
@@ -37,6 +43,21 @@ Quick start::
 from repro.stream.alerts import AlertSink, CallbackSink, ConsoleSink, JsonlSink, ListSink
 from repro.stream.checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
 from repro.stream.engine import StreamingSmash, StreamUpdate
+from repro.stream.scoring import (
+    SEVERITIES,
+    SEVERITY_RANK,
+    AlertPolicy,
+    BlacklistEvidence,
+    CampaignScorer,
+    EvidenceSource,
+    IdsEvidence,
+    RiskFeatures,
+    ScorerConfig,
+    StaticEvidence,
+    scenario_evidence,
+    scenario_ids_evidence,
+    severity_at_least,
+)
 from repro.stream.store import PartitionRef, TraceStore, partition_digest
 from repro.stream.tracker import (
     CampaignTracker,
@@ -48,16 +69,26 @@ from repro.stream.tracker import (
 from repro.stream.window import DayPartition, RollingWindow
 
 __all__ = [
+    "AlertPolicy",
     "AlertSink",
+    "BlacklistEvidence",
     "CHECKPOINT_VERSION",
     "CallbackSink",
+    "CampaignScorer",
     "CampaignTracker",
     "ConsoleSink",
     "DayPartition",
+    "EvidenceSource",
+    "IdsEvidence",
     "JsonlSink",
     "ListSink",
     "PartitionRef",
+    "RiskFeatures",
     "RollingWindow",
+    "SEVERITIES",
+    "SEVERITY_RANK",
+    "ScorerConfig",
+    "StaticEvidence",
     "StreamUpdate",
     "StreamingSmash",
     "TraceStore",
@@ -68,4 +99,7 @@ __all__ = [
     "load_checkpoint",
     "partition_digest",
     "save_checkpoint",
+    "scenario_evidence",
+    "scenario_ids_evidence",
+    "severity_at_least",
 ]

@@ -20,7 +20,17 @@ from repro.stream.tracker import TrackEvent
 
 
 class AlertSink:
-    """Interface: receives every tracker event as it is produced."""
+    """Interface: receives tracker events as they are produced.
+
+    With an alert policy attached to the engine, a sink normally gets
+    only the events at or above the policy's ``min_severity``; a sink
+    whose ``receive_all`` is true gets the full scored event feed
+    regardless of the floor (e.g. a complete audit log kept alongside a
+    filtered alert feed).
+    """
+
+    #: Deliver every scored event, bypassing the policy's severity floor.
+    receive_all: bool = False
 
     def emit(self, event: TrackEvent) -> None:
         raise NotImplementedError
@@ -49,23 +59,100 @@ class ConsoleSink(AlertSink):
         self.stream = stream or sys.stdout
 
     def emit(self, event: TrackEvent) -> None:
+        prefix = f"[day {event.day}]"
+        if event.severity is not None:
+            prefix += f" {event.severity.upper()}"
         detail = " ".join(f"{key}={value}" for key, value in sorted(event.detail.items()))
-        print(f"[day {event.day}] {event.kind} {event.uid} {detail}".rstrip(),
+        if event.score is not None:
+            detail = f"score={event.score} {detail}"
+        print(f"{prefix} {event.kind} {event.uid} {detail}".rstrip(),
               file=self.stream)
+
+    def close(self) -> None:
+        # A caller-supplied stream (a log file, a socket wrapper) may be
+        # block-buffered; without a flush here the final alerts of a
+        # stream only surface whenever the caller happens to close it.
+        try:
+            self.stream.flush()
+        except ValueError:
+            pass  # stream already closed by the caller
 
 
 class JsonlSink(AlertSink):
-    """Append one JSON object per event to a file."""
+    """Append one JSON object per event to a file.
 
-    def __init__(self, path: str | Path) -> None:
+    Append mode plus checkpoint/resume would duplicate alerts: a stream
+    killed after emitting a day but before that day's checkpoint lands
+    replays the day on resume and appends its events a second time.  With
+    ``resume_safe`` the sink reads the file on first open and skips
+    exactly what is already there: events from days before the last
+    recorded day (those days were fully emitted, or resume would have
+    replayed them), and events of the last recorded day whose JSON line
+    is already present — so a day that was only partially flushed before
+    a crash completes instead of duplicating or losing its tail (events
+    are deterministic, so replayed lines are byte-identical).
+
+    ``resume_safe`` must only be set when the stream actually resumed
+    (the CLI ties it to ``--resume``): it infers "already emitted" from
+    the file contents, so a *fresh* stream pointed at an old file would
+    wrongly swallow its own early days.  The default is plain append.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        resume_safe: bool = False,
+        receive_all: bool = False,
+    ) -> None:
         self.path = Path(path)
+        self.resume_safe = resume_safe
+        self.receive_all = receive_all
         self._handle: IO[str] | None = None
+        self._skip_before: int | None = None
+        self._boundary_lines: frozenset[str] = frozenset()
+
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("rb") as existing:
+                existing.seek(-1, 2)
+                # A crash mid-write leaves a torn line with no newline;
+                # appending straight after it would corrupt the next
+                # event, so start on a fresh line.
+                needs_newline = existing.read(1) != b"\n"
+        if self.resume_safe and self.path.exists():
+            last: int | None = None
+            boundary: set[str] = set()
+            for line in self.path.read_text().splitlines():
+                try:
+                    day = json.loads(line).get("day")
+                except (json.JSONDecodeError, AttributeError):
+                    continue  # torn write from a crash mid-line
+                if not isinstance(day, int):
+                    continue
+                if last is None or day > last:
+                    last, boundary = day, {line}
+                elif day == last:
+                    boundary.add(line)
+            if last is not None:
+                self._skip_before = last
+                self._boundary_lines = frozenset(boundary)
+        self._handle = self.path.open("a")
+        if needs_newline:
+            self._handle.write("\n")
 
     def emit(self, event: TrackEvent) -> None:
         if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("a")
-        self._handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            self._open()
+        line = json.dumps(event.to_dict(), sort_keys=True)
+        if self._skip_before is not None:
+            if event.day < self._skip_before:
+                return
+            if event.day == self._skip_before and line in self._boundary_lines:
+                return
+        assert self._handle is not None
+        self._handle.write(line + "\n")
         # Alerts must be at least as durable as the per-day checkpoints a
         # stream takes: a buffered line lost to a crash would vanish for
         # good, because resume skips the already-checkpointed days.

@@ -30,6 +30,7 @@ from repro.config import SmashConfig
 from repro.errors import CheckpointError, StreamError
 from repro.stream.alerts import AlertSink
 from repro.stream.engine import StreamingSmash
+from repro.stream.scoring import AlertPolicy, CampaignScorer, EvidenceSource, ScorerConfig
 from repro.stream.store import TraceStore
 
 #: Bump on any incompatible change to the checkpoint layout.  Version 2
@@ -67,6 +68,9 @@ def load_checkpoint(
     store: TraceStore | None = None,
     store_dir: str | Path | None = None,
     incremental: bool | None = None,
+    evidence: tuple[EvidenceSource, ...] = (),
+    policy: AlertPolicy | None = None,
+    scorer: CampaignScorer | ScorerConfig | None = None,
 ) -> StreamingSmash:
     """Rebuild an engine from a checkpoint written by :func:`save_checkpoint`.
 
@@ -75,6 +79,11 @@ def load_checkpoint(
     with neither given, the recorded root is reopened.  A missing store
     or a missing/corrupt partition raises
     :class:`~repro.errors.StreamError`.
+
+    Like sinks, *evidence* sources are process wiring: pass the same
+    ones the original engine used and each gets its accumulated hits
+    restored by name; the checkpointed :class:`AlertPolicy` applies
+    unless an explicit *policy* overrides it.
     """
     path = Path(path)
     if not path.exists():
@@ -102,6 +111,9 @@ def load_checkpoint(
             sinks=sinks,
             store=store,
             incremental=incremental,
+            evidence=evidence,
+            policy=policy,
+            scorer=scorer,
         )
     except StreamError:
         raise

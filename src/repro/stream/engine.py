@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 
 from repro.config import SmashConfig
 from repro.core.pipeline import DimensionCache, MinedDimensions, SmashPipeline
@@ -39,6 +39,7 @@ from repro.core.results import MAIN_DIMENSION, Campaign, SmashResult
 from repro.errors import StreamError
 from repro.httplog.trace import HttpTrace
 from repro.stream.alerts import AlertSink
+from repro.stream.scoring import AlertPolicy, CampaignScorer, EvidenceSource, ScorerConfig
 from repro.stream.store import TraceStore
 from repro.stream.tracker import CampaignTracker, TrackedCampaign, TrackerConfig, TrackEvent
 from repro.stream.window import DayPartition, RollingWindow
@@ -69,6 +70,9 @@ class StreamUpdate:
     reused_dimensions: tuple[str, ...] = ()
     #: Dimensions actually re-mined this advance.
     mined_dimensions: tuple[str, ...] = ()
+    #: The subset of ``events`` at or above the policy's ``min_severity``
+    #: — exactly what was emitted to the alert sinks this advance.
+    alerts: tuple[TrackEvent, ...] = ()
 
     @property
     def num_campaigns(self) -> int:
@@ -102,6 +106,9 @@ class StreamingSmash:
         store: TraceStore | None = None,
         store_dir: str | Path | None = None,
         incremental: bool | None = None,
+        evidence: tuple[EvidenceSource, ...] = (),
+        policy: AlertPolicy | None = None,
+        scorer: CampaignScorer | ScorerConfig | None = None,
     ) -> None:
         if tracker is not None and tracker_config is not None:
             raise StreamError("pass either tracker or tracker_config, not both")
@@ -130,6 +137,15 @@ class StreamingSmash:
         )
         self._dimension_cache = DimensionCache() if self.incremental else None
         self._mined: tuple[tuple[int, ...], MinedDimensions] | None = None
+        self.evidence = tuple(evidence)
+        names = [source.name for source in self.evidence]
+        if len(names) != len(set(names)):
+            raise StreamError(f"evidence source names must be unique: {names}")
+        self.policy = policy or AlertPolicy()
+        self.policy.validate()
+        if isinstance(scorer, ScorerConfig):
+            scorer = CampaignScorer(scorer)
+        self.scorer = scorer or CampaignScorer()
 
     # -- ingestion ----------------------------------------------------------------
 
@@ -168,8 +184,18 @@ class StreamingSmash:
             campaigns.extend(single_result.campaigns_with_clients(1, 1))
 
         events = self.tracker.advance(day, campaigns)
+
+        # Evidence accumulates from the day's own traffic *before* the
+        # day's events are scored, so a campaign whose server trips an
+        # IDS signature today is already escalated in today's alerts.
+        for source in self.evidence:
+            source.observe_day(day, trace)
+        scored = tuple(self._score_event(event) for event in events)
+        alerts = tuple(
+            event for event in scored if self.policy.passes(event.severity or "info")
+        )
         for sink in self.sinks:
-            for event in events:
+            for event in scored if sink.receive_all else alerts:
                 sink.emit(event)
 
         return StreamUpdate(
@@ -178,14 +204,29 @@ class StreamingSmash:
             result=result,
             single_client_result=single_result,
             campaigns=tuple(campaigns),
-            events=tuple(events),
+            events=scored,
             active=self.tracker.active,
             reused_dimensions=reused_dimensions,
             mined_dimensions=mined_dimensions,
+            alerts=alerts,
         )
 
+    def _score_event(self, event: TrackEvent) -> TrackEvent:
+        """Attach score + severity from the identity's current history."""
+        campaign = self.tracker.get(event.uid)
+        features, score = self.scorer.assess(campaign, self.evidence)
+        severity = self.policy.severity(event, features, score)
+        return dc_replace(event, severity=severity, score=score)
+
     def ingest_dataset(self, dataset, day: int | None = None) -> StreamUpdate:
-        """Ingest a :class:`~repro.synth.generator.SyntheticDataset`."""
+        """Ingest a :class:`~repro.synth.generator.SyntheticDataset`.
+
+        Evidence sources adopt the dataset's ground-truth objects first
+        (scenario generators rebuild the IDS signature sets and blacklist
+        listings per day as campaigns rotate infrastructure).
+        """
+        for source in self.evidence:
+            source.bind_dataset(dataset)
         return self.ingest_day(
             day if day is not None else dataset.day,
             dataset.trace,
@@ -220,8 +261,16 @@ class StreamingSmash:
         return self.pipeline.finish(self._mined[1], combined_redirects, thresh=thresh)
 
     def close(self) -> None:
+        """Close every sink; one failing sink never skips the rest."""
+        first_error: BaseException | None = None
         for sink in self.sinks:
-            sink.close()
+            try:
+                sink.close()
+            except Exception as error:  # noqa: BLE001 - sinks are third-party code
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
 
     # -- checkpoint support -------------------------------------------------------
 
@@ -248,6 +297,13 @@ class StreamingSmash:
         }
         if self.store is not None:
             state["store_root"] = str(self.store.root.resolve())
+        if self.evidence:
+            # Evidence accumulations are stream state like the tracker:
+            # a resumed stream must score a replayed day identically.
+            state["evidence"] = {
+                source.name: source.state_dict() for source in self.evidence
+            }
+        state["policy"] = self.policy.to_dict()
         return state
 
     @classmethod
@@ -258,7 +314,16 @@ class StreamingSmash:
         sinks: tuple[AlertSink, ...] = (),
         store: TraceStore | None = None,
         incremental: bool | None = None,
+        evidence: tuple[EvidenceSource, ...] = (),
+        policy: AlertPolicy | None = None,
+        scorer: CampaignScorer | ScorerConfig | None = None,
     ) -> "StreamingSmash":
+        """Rebuild an engine; evidence *objects* are process wiring (like
+        sinks and the config) and must be passed again, but each one's
+        accumulated hits are restored from the checkpoint by source name.
+        With no explicit *policy* the checkpointed severity rules win,
+        mirroring how resume treats the window size and tracker tuning.
+        """
         window_state = state["window"]
         if store is None and isinstance(window_state, dict) and window_state.get("store"):
             # Reopen the store the checkpoint was written against, if it
@@ -268,6 +333,10 @@ class StreamingSmash:
                 store = TraceStore(root)
         window = RollingWindow.from_dict(window_state, store=store)  # type: ignore[arg-type]
         single = state.get("single_client_thresh")
+        if policy is None:
+            policy_state = state.get("policy")
+            if isinstance(policy_state, dict):
+                policy = AlertPolicy.from_dict(policy_state)
         engine = cls(
             config=config,
             window_size=window.size,
@@ -277,6 +346,15 @@ class StreamingSmash:
             single_client_thresh=None if single is None else float(single),  # type: ignore[arg-type]
             store=store,
             incremental=incremental,
+            evidence=evidence,
+            policy=policy,
+            scorer=scorer,
         )
         engine.window = window
+        evidence_state = state.get("evidence")
+        if isinstance(evidence_state, dict):
+            for source in engine.evidence:
+                source_state = evidence_state.get(source.name)
+                if isinstance(source_state, dict):
+                    source.load_state(source_state)
         return engine

@@ -1,0 +1,477 @@
+"""Evidence-driven alert scoring for tracked campaigns.
+
+The tracker (:mod:`repro.stream.tracker`) fires an event for *every*
+new, grown or died campaign identity, which at production volume is an
+unreadable feed.  Section V of the paper never treats all detections
+equally either: campaigns are validated against external evidence — IDS
+signature hits (including the IDS2013-only "zero-day" set) and blacklist
+confirmations — and the longitudinal analysis separates fast-growing
+agile campaigns from stable persistent ones.  This module turns those
+distinctions into an alert pipeline:
+
+* :class:`EvidenceSource` — accumulates external confirmations for
+  servers as the stream advances.  Concrete providers wrap the existing
+  ground-truth substrate: :class:`IdsEvidence` runs a
+  :class:`~repro.groundtruth.ids.SignatureIds` generation over each
+  day's traffic (with an ``exclude`` hook that derives the 2013-only
+  zero-day set), :class:`BlacklistEvidence` checks observed servers
+  against a :class:`~repro.groundtruth.blacklist.BlacklistAggregator`,
+  and :class:`StaticEvidence` carries a fixed feed (CLI files, tests).
+
+* :class:`CampaignScorer` — computes per-identity
+  :class:`RiskFeatures` from a
+  :class:`~repro.stream.tracker.TrackedCampaign`'s history (server
+  growth and churn per matched advance, lifetime, client- and
+  server-set sizes) plus per-source evidence counts, and combines them
+  into one deterministic risk score via saturating transforms
+  ``x / (x + scale)`` — smooth, monotone, and byte-stable under any
+  ``PYTHONHASHSEED``.
+
+* :class:`AlertPolicy` — maps an event + its features to a severity
+  (``info`` | ``warning`` | ``critical``): growth above a configurable
+  rate or a score past ``warning_score`` is a warning, any zero-day or
+  blacklist evidence (or ``critical_score``) escalates to critical, and
+  events below ``min_severity`` are suppressed before they reach the
+  alert sinks.
+
+The engine (:class:`~repro.stream.engine.StreamingSmash`) owns the
+wiring: it feeds each ingested day to every evidence source, attaches
+``severity`` and ``score`` to every
+:class:`~repro.stream.tracker.TrackEvent`, and only emits events the
+policy lets through.  Evidence accumulations are checkpointed with the
+tracker so a resumed stream scores identically to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.domains.names import normalize_server_name
+from repro.errors import StreamError
+from repro.groundtruth.blacklist import BlacklistAggregator
+from repro.groundtruth.ids import SignatureIds
+from repro.httplog.trace import HttpTrace
+from repro.stream.tracker import TrackedCampaign, TrackEvent
+
+#: Severity levels, least to most severe.
+SEVERITIES: tuple[str, ...] = ("info", "warning", "critical")
+
+#: Severity -> rank, for ordering comparisons.
+SEVERITY_RANK: dict[str, int] = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def _check_severity(value: str) -> str:
+    if value not in SEVERITY_RANK:
+        raise StreamError(f"unknown severity {value!r}; expected one of {', '.join(SEVERITIES)}")
+    return value
+
+
+def severity_at_least(severity: str, floor: str) -> bool:
+    """True when *severity* is at least as severe as *floor*."""
+    return SEVERITY_RANK[_check_severity(severity)] >= SEVERITY_RANK[_check_severity(floor)]
+
+
+# -- evidence providers ---------------------------------------------------------------
+
+
+class EvidenceSource:
+    """Accumulating feed of externally confirmed servers.
+
+    ``name`` identifies the source in event details and checkpoints;
+    ``kind`` drives scoring/policy semantics: ``"ids"`` (signature hit),
+    ``"zero_day"`` (hit only the newer signature generation knows),
+    ``"blacklist"`` (blacklist confirmation) or ``"custom"``.
+    """
+
+    name: str = "evidence"
+    kind: str = "custom"
+
+    def observe_day(self, day: int, trace: HttpTrace) -> None:
+        """Update the accumulated hit set from one day of traffic."""
+
+    def bind_dataset(self, dataset) -> None:
+        """Adopt a :class:`~repro.synth.generator.SyntheticDataset`'s
+        ground-truth object for the coming day (scenario streams rebuild
+        IDS/blacklist content per day as campaigns rotate servers)."""
+
+    def matched(self) -> frozenset[str]:
+        """All servers with at least one hit so far."""
+        raise NotImplementedError
+
+    def hits_among(self, servers: Iterable[str]) -> frozenset[str]:
+        """Subset of *servers* this source has evidence for."""
+        return frozenset(servers) & self.matched()
+
+    # -- checkpoint support -----------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "matched": sorted(self.matched())}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore the accumulated hits from :meth:`state_dict` output."""
+
+
+class StaticEvidence(EvidenceSource):
+    """A fixed set of known-bad servers (feed files, tests)."""
+
+    def __init__(self, name: str, servers: Iterable[str], kind: str = "custom") -> None:
+        self.name = name
+        self.kind = kind
+        self._servers = frozenset(servers)
+
+    def matched(self) -> frozenset[str]:
+        return self._servers
+
+
+class IdsEvidence(EvidenceSource):
+    """Run one IDS signature generation over each ingested day.
+
+    ``exclude`` subtracts another :class:`IdsEvidence`'s hits at read
+    time: ``IdsEvidence(name="ids2013_zero_day", dataset_attr="ids2013",
+    exclude=ids2012_source)`` yields exactly the paper's zero-day set —
+    servers only the newer 2013 signatures know.  ``dataset_attr`` names
+    the :class:`~repro.synth.generator.SyntheticDataset` attribute
+    :meth:`bind_dataset` adopts (default: the source's name).
+    """
+
+    kind = "ids"
+
+    def __init__(
+        self,
+        ids: SignatureIds | None = None,
+        name: str | None = None,
+        exclude: "IdsEvidence | None" = None,
+        dataset_attr: str | None = None,
+    ) -> None:
+        if ids is None and name is None:
+            raise StreamError("IdsEvidence needs an ids object or a name")
+        self.ids = ids
+        self.name = name if name is not None else ids.name  # type: ignore[union-attr]
+        self.exclude = exclude
+        self.dataset_attr = dataset_attr or self.name
+        if exclude is not None:
+            self.kind = "zero_day"
+        self._hits: set[str] = set()
+
+    def observe_day(self, day: int, trace: HttpTrace) -> None:
+        if self.ids is not None:
+            self._hits |= self.ids.detected_servers(trace, normalize_server_name)
+
+    def bind_dataset(self, dataset) -> None:
+        ids = getattr(dataset, self.dataset_attr, None)
+        if ids is not None:
+            self.ids = ids
+
+    def matched(self) -> frozenset[str]:
+        hits = frozenset(self._hits)
+        if self.exclude is not None:
+            hits -= self.exclude.matched()
+        return hits
+
+    def state_dict(self) -> dict[str, object]:
+        # Raw hits, not the exclude-adjusted view: the excluded source
+        # checkpoints its own hits, and applying the subtraction at read
+        # time keeps the pair consistent however they are restored.
+        return {"kind": self.kind, "matched": sorted(self._hits)}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self._hits = {str(server) for server in state.get("matched", ())}
+
+
+class BlacklistEvidence(EvidenceSource):
+    """Check each day's observed servers against a blacklist aggregator."""
+
+    kind = "blacklist"
+
+    def __init__(
+        self,
+        blacklists: BlacklistAggregator | None = None,
+        name: str = "blacklist",
+    ) -> None:
+        self.blacklists = blacklists
+        self.name = name
+        self._hits: set[str] = set()
+
+    def observe_day(self, day: int, trace: HttpTrace) -> None:
+        if self.blacklists is None:
+            return
+        servers = {normalize_server_name(host) for host in trace.servers}
+        self._hits |= {s for s in servers if self.blacklists.is_confirmed(s)}
+
+    def bind_dataset(self, dataset) -> None:
+        blacklists = getattr(dataset, "blacklists", None)
+        if blacklists is not None:
+            self.blacklists = blacklists
+
+    def matched(self) -> frozenset[str]:
+        return frozenset(self._hits)
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self._hits = {str(server) for server in state.get("matched", ())}
+
+
+def scenario_ids_evidence() -> tuple[IdsEvidence, IdsEvidence]:
+    """The paired IDS generations: ``(ids2012, ids2013 zero-day)``.
+
+    Both sources adopt a
+    :class:`~repro.synth.generator.SyntheticDataset`'s signature sets
+    via :meth:`EvidenceSource.bind_dataset`; the second subtracts the
+    first's hits, yielding the servers only the 2013 signatures know.
+    """
+    ids2012 = IdsEvidence(name="ids2012")
+    zero_day = IdsEvidence(name="ids2013_zero_day", dataset_attr="ids2013", exclude=ids2012)
+    return (ids2012, zero_day)
+
+
+def scenario_evidence() -> tuple[EvidenceSource, ...]:
+    """The standard provider trio for synthetic-scenario streams.
+
+    Returns ``(ids2012, ids2013 zero-day, blacklist)`` sources that
+    adopt each :class:`~repro.synth.generator.SyntheticDataset`'s
+    ground-truth objects via :meth:`EvidenceSource.bind_dataset` — pass
+    them to :class:`~repro.stream.engine.StreamingSmash` and drive it
+    with :meth:`~repro.stream.engine.StreamingSmash.ingest_dataset`.
+    """
+    return (*scenario_ids_evidence(), BlacklistEvidence())
+
+
+# -- risk features and scoring --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RiskFeatures:
+    """Per-identity risk inputs, derived from tracker history + evidence."""
+
+    #: Servers that joined per matched advance (agile/fast-growing
+    #: campaigns rotate or add infrastructure daily — Section V-B).
+    growth_rate: float
+    #: Servers that joined or left per matched advance.
+    churn_rate: float
+    #: Number of days the identity was sighted.
+    lifetime_days: int
+    num_servers: int
+    num_clients: int
+    #: Evidence-source name -> number of the identity's all-time servers
+    #: that source has confirmed.
+    evidence: dict[str, int] = field(default_factory=dict)
+    #: Evidence kind ("ids" | "zero_day" | "blacklist" | "custom") ->
+    #: total confirmed-server count across sources of that kind.
+    evidence_by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_evidence(self) -> int:
+        return sum(self.evidence.values())
+
+    def evidence_of_kind(self, kind: str) -> int:
+        return self.evidence_by_kind.get(kind, 0)
+
+
+def _saturate(value: float, scale: float) -> float:
+    """Monotone map of ``[0, inf)`` onto ``[0, 1)``; 0.5 at ``scale``."""
+    if value <= 0.0:
+        return 0.0
+    return value / (value + scale)
+
+
+@dataclass(frozen=True)
+class ScorerConfig:
+    """Weights and scales of :class:`CampaignScorer`.
+
+    Each behavioural feature contributes ``weight * x / (x + scale)``
+    (half the weight at ``x == scale``); evidence adds a saturating
+    per-source term plus flat bonuses for the strongest evidence kinds.
+    The defaults put a quiet single-day campaign well under 1.0, a
+    fast-growing or long-lived one above ``warning_score`` and any
+    zero-day/blacklist-confirmed one above ``critical_score`` of the
+    default :class:`AlertPolicy`.
+    """
+
+    growth_weight: float = 1.0
+    growth_scale: float = 2.0
+    churn_weight: float = 0.5
+    churn_scale: float = 4.0
+    lifetime_weight: float = 0.5
+    lifetime_scale: float = 3.0
+    size_weight: float = 0.5
+    size_scale: float = 10.0
+    clients_weight: float = 0.25
+    clients_scale: float = 10.0
+    evidence_weight: float = 1.0
+    evidence_scale: float = 2.0
+    #: Flat bonus when any server is confirmed by a zero-day source.
+    zero_day_bonus: float = 1.0
+    #: Flat bonus when any server is blacklist-confirmed.
+    blacklist_bonus: float = 0.75
+    #: Decimal places scores are rounded to (byte-stable JSON output).
+    precision: int = 4
+
+    def validate(self) -> None:
+        for name in (
+            "growth_scale",
+            "churn_scale",
+            "lifetime_scale",
+            "size_scale",
+            "clients_scale",
+            "evidence_scale",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise StreamError(f"{name} must be > 0")
+        for name in (
+            "growth_weight",
+            "churn_weight",
+            "lifetime_weight",
+            "size_weight",
+            "clients_weight",
+            "evidence_weight",
+            "zero_day_bonus",
+            "blacklist_bonus",
+        ):
+            if getattr(self, name) < 0.0:
+                raise StreamError(f"{name} must be >= 0")
+        if self.precision < 0:
+            raise StreamError("precision must be >= 0")
+
+
+class CampaignScorer:
+    """Deterministic per-identity risk score from history + evidence."""
+
+    def __init__(self, config: ScorerConfig | None = None) -> None:
+        self.config = config or ScorerConfig()
+        self.config.validate()
+
+    def features(
+        self,
+        campaign: TrackedCampaign,
+        evidence: Sequence[EvidenceSource] = (),
+    ) -> RiskFeatures:
+        """Risk features of one tracked identity.
+
+        Evidence is counted against the identity's *all-time* server set:
+        an agile campaign that rotated away from a blacklisted server is
+        still a confirmed campaign.
+        """
+        advances = max(1, len(campaign.days_seen) - 1)
+        counts: dict[str, int] = {}
+        by_kind: dict[str, int] = {}
+        for source in evidence:
+            hits = len(source.hits_among(campaign.all_servers))
+            counts[source.name] = hits
+            by_kind[source.kind] = by_kind.get(source.kind, 0) + hits
+        return RiskFeatures(
+            growth_rate=campaign.servers_added / advances,
+            churn_rate=(campaign.servers_added + campaign.servers_removed) / advances,
+            lifetime_days=len(campaign.days_seen),
+            num_servers=len(campaign.servers),
+            num_clients=len(campaign.clients),
+            evidence=counts,
+            evidence_by_kind=by_kind,
+        )
+
+    def score(self, features: RiskFeatures) -> float:
+        """Combine *features* into one score (rounded, order-free)."""
+        config = self.config
+        total = config.growth_weight * _saturate(features.growth_rate, config.growth_scale)
+        total += config.churn_weight * _saturate(features.churn_rate, config.churn_scale)
+        total += config.lifetime_weight * _saturate(features.lifetime_days, config.lifetime_scale)
+        total += config.size_weight * _saturate(features.num_servers, config.size_scale)
+        total += config.clients_weight * _saturate(features.num_clients, config.clients_scale)
+        # Per-source terms are summed in sorted-name order; float addition
+        # is not associative, so a fixed order keeps the score independent
+        # of how the caller happened to arrange the sources.
+        for name in sorted(features.evidence):
+            total += config.evidence_weight * _saturate(
+                features.evidence[name], config.evidence_scale
+            )
+        if features.evidence_of_kind("zero_day") > 0:
+            total += config.zero_day_bonus
+        if features.evidence_of_kind("blacklist") > 0:
+            total += config.blacklist_bonus
+        return round(total, config.precision)
+
+    def assess(
+        self,
+        campaign: TrackedCampaign,
+        evidence: Sequence[EvidenceSource] = (),
+    ) -> tuple[RiskFeatures, float]:
+        features = self.features(campaign, evidence)
+        return features, self.score(features)
+
+
+# -- alert policy ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlertPolicy:
+    """Severity rules and the suppression floor for tracker events.
+
+    Severity is the strongest applicable rule:
+
+    * **critical** — any evidence of a kind in ``critical_evidence``
+      (zero-day signature hits and blacklist confirmations by default),
+      or score at least ``critical_score``;
+    * **warning** — a growth event at or above ``growth_rate`` servers
+      per advance, any evidence at all, or score at least
+      ``warning_score``;
+    * **info** — everything else.
+
+    Events strictly below ``min_severity`` never reach the alert sinks
+    (they still appear, scored, on the
+    :class:`~repro.stream.engine.StreamUpdate`).
+    """
+
+    min_severity: str = "info"
+    #: Growth (servers added per matched advance) that makes a
+    #: ``campaign_growth`` event at least a warning.
+    growth_rate: float = 3.0
+    warning_score: float = 1.0
+    critical_score: float = 2.0
+    #: Evidence kinds whose presence alone escalates to critical.
+    critical_evidence: tuple[str, ...] = ("zero_day", "blacklist")
+
+    def validate(self) -> None:
+        _check_severity(self.min_severity)
+        if self.growth_rate < 0.0:
+            raise StreamError("growth_rate must be >= 0")
+        if self.warning_score < 0.0:
+            raise StreamError("warning_score must be >= 0")
+        if self.critical_score < self.warning_score:
+            raise StreamError("critical_score must be >= warning_score")
+
+    def severity(self, event: TrackEvent, features: RiskFeatures, score: float) -> str:
+        if score >= self.critical_score or any(
+            features.evidence_of_kind(kind) > 0 for kind in self.critical_evidence
+        ):
+            return "critical"
+        if (
+            score >= self.warning_score
+            or features.total_evidence > 0
+            or (event.kind == "campaign_growth" and features.growth_rate >= self.growth_rate)
+        ):
+            return "warning"
+        return "info"
+
+    def passes(self, severity: str) -> bool:
+        return severity_at_least(severity, self.min_severity)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "min_severity": self.min_severity,
+            "growth_rate": self.growth_rate,
+            "warning_score": self.warning_score,
+            "critical_score": self.critical_score,
+            "critical_evidence": list(self.critical_evidence),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "AlertPolicy":
+        critical_kinds = data.get("critical_evidence", ("zero_day", "blacklist"))
+        policy = cls(
+            min_severity=str(data.get("min_severity", "info")),
+            growth_rate=float(data.get("growth_rate", 3.0)),  # type: ignore[arg-type]
+            warning_score=float(data.get("warning_score", 1.0)),  # type: ignore[arg-type]
+            critical_score=float(data.get("critical_score", 2.0)),  # type: ignore[arg-type]
+            critical_evidence=tuple(critical_kinds),  # type: ignore[arg-type]
+        )
+        policy.validate()
+        return policy

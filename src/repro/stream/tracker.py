@@ -83,6 +83,11 @@ class TrackedCampaign:
     servers_added: int = 0
     servers_removed: int = 0
     alive: bool = True
+    #: Numeric creation counter — the age order used for match
+    #: tie-breaking.  The zero-padded ``uid`` string stops sorting in age
+    #: order at ``C10000`` (``"C10000" < "C9999"`` lexicographically), so
+    #: age comparisons must never fall back to it.
+    serial: int = 0
 
     @property
     def num_servers(self) -> int:
@@ -96,6 +101,8 @@ class TrackedCampaign:
     @property
     def max_consecutive_days(self) -> int:
         """Length of the longest run of consecutive sighting days."""
+        if not self.days_seen:
+            return 0
         best = run = 1
         for previous, current in zip(self.days_seen, self.days_seen[1:]):
             run = run + 1 if current == previous + 1 else 1
@@ -114,12 +121,21 @@ class TrackedCampaign:
             "servers_added": self.servers_added,
             "servers_removed": self.servers_removed,
             "alive": self.alive,
+            "serial": self.serial,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "TrackedCampaign":
+        uid = str(data["uid"])
+        serial = data.get("serial")
+        if serial is None:
+            # Checkpoints written before the serial field derive age from
+            # the uid's digits ("C0042" -> 42), which is exact for every
+            # tracker-minted id.
+            digits = "".join(ch for ch in uid if ch.isdigit())
+            serial = int(digits) if digits else 0
         return cls(
-            uid=str(data["uid"]),
+            uid=uid,
             first_seen=int(data["first_seen"]),  # type: ignore[arg-type]
             last_seen=int(data["last_seen"]),  # type: ignore[arg-type]
             days_seen=tuple(data["days_seen"]),  # type: ignore[arg-type]
@@ -129,20 +145,52 @@ class TrackedCampaign:
             servers_added=int(data.get("servers_added", 0)),  # type: ignore[arg-type]
             servers_removed=int(data.get("servers_removed", 0)),  # type: ignore[arg-type]
             alive=bool(data.get("alive", True)),
+            serial=int(serial),  # type: ignore[arg-type]
         )
+
+
+#: ``TrackEvent.to_dict`` flattens ``detail`` into the envelope; these
+#: envelope keys may therefore never appear as detail keys (a detail
+#: named ``"day"`` would silently overwrite the event's day).
+RESERVED_EVENT_KEYS = frozenset({"kind", "day", "uid", "severity", "score"})
 
 
 @dataclass(frozen=True)
 class TrackEvent:
-    """One alertable tracker observation (see :mod:`repro.stream.alerts`)."""
+    """One alertable tracker observation (see :mod:`repro.stream.alerts`).
+
+    ``severity`` and ``score`` are attached by the engine's alert-scoring
+    layer (:mod:`repro.stream.scoring`); raw tracker output leaves them
+    unset.
+    """
 
     kind: str  # "new_campaign" | "campaign_growth" | "campaign_died"
     day: int
     uid: str
     detail: dict[str, object] = field(default_factory=dict)
+    severity: str | None = None
+    score: float | None = None
+
+    def __post_init__(self) -> None:
+        clash = RESERVED_EVENT_KEYS & self.detail.keys()
+        if clash:
+            raise StreamError(
+                f"TrackEvent detail may not use reserved envelope keys: "
+                f"{sorted(clash)}"
+            )
 
     def to_dict(self) -> dict[str, object]:
-        return {"kind": self.kind, "day": self.day, "uid": self.uid, **self.detail}
+        payload: dict[str, object] = {
+            "kind": self.kind,
+            "day": self.day,
+            "uid": self.uid,
+            **self.detail,
+        }
+        if self.severity is not None:
+            payload["severity"] = self.severity
+        if self.score is not None:
+            payload["score"] = self.score
+        return payload
 
 
 class CampaignTracker:
@@ -229,27 +277,29 @@ class CampaignTracker:
 
         # Score every (tracked, observed) pair.  Candidates are ranked
         # server-matches first (tier 0), then client-only fallbacks
-        # (tier 1), best score first; ties break on identity age then
-        # observed order, so matching is deterministic.
-        candidates: list[tuple[int, float, str, int]] = []
+        # (tier 1), best score first; ties break on identity age (the
+        # numeric creation serial — the uid *string* stops sorting in age
+        # order at C10000) then observed order, so matching is
+        # deterministic.
+        candidates: list[tuple[int, float, int, int, str]] = []
         for uid, tracked in self._campaigns.items():
             if not tracked.alive:
                 continue
             for index, observed in enumerate(campaigns):
                 server_score = jaccard(tracked.servers, observed.servers)
                 if server_score >= config.server_jaccard:
-                    candidates.append((0, server_score, uid, index))
+                    candidates.append((0, server_score, tracked.serial, index, uid))
                     continue
                 if config.match_clients:
                     client_score = jaccard(tracked.clients, observed.clients)
                     if client_score >= config.client_jaccard:
-                        candidates.append((1, client_score, uid, index))
+                        candidates.append((1, client_score, tracked.serial, index, uid))
         candidates.sort(key=lambda entry: (entry[0], -entry[1], entry[2], entry[3]))
 
         events: list[TrackEvent] = []
         matched_uids: set[str] = set()
         matched_observed: set[int] = set()
-        for tier, score, uid, index in candidates:
+        for tier, score, _serial, index, uid in candidates:
             if uid in matched_uids or index in matched_observed:
                 continue
             matched_uids.add(uid)
@@ -326,7 +376,8 @@ class CampaignTracker:
         return []
 
     def _track_new(self, day: int, observed: Campaign) -> TrackEvent:
-        uid = f"C{self._next_id:04d}"
+        serial = self._next_id
+        uid = f"C{serial:04d}"
         self._next_id += 1
         self._campaigns[uid] = TrackedCampaign(
             uid=uid,
@@ -336,6 +387,7 @@ class CampaignTracker:
             servers=observed.servers,
             clients=observed.clients,
             all_servers=observed.servers,
+            serial=serial,
         )
         return TrackEvent(
             kind="new_campaign",

@@ -17,6 +17,7 @@ point: nothing below may depend on it.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -143,6 +144,32 @@ def test_stream_is_hash_seed_invariant(tmp_path: Path) -> None:
     ]
     assert dumps[0] == dumps[1]
     assert '"lifetimes"' in dumps[0]
+
+
+def test_scored_alert_stream_is_hash_seed_invariant(tmp_path: Path) -> None:
+    """`smash stream` with evidence-driven scoring writes a byte-identical
+    alerts JSONL under any hash seed (scores, severities and suppression
+    are deterministic functions of tracker history + evidence sets)."""
+    alert_files: list[bytes] = []
+    for seed in HASH_SEEDS[:2]:
+        alerts = tmp_path / f"alerts_{seed}.jsonl"
+        _run_python(
+            [
+                "-m", "repro", "stream",
+                "--scenario", "small", "--days", "3",
+                "--ids", "scenario", "--blacklist", "scenario",
+                "--min-severity", "warning",
+                "--alerts", str(alerts),
+            ],
+            hash_seed=seed,
+            cwd=tmp_path,
+        )
+        alert_files.append(alerts.read_bytes())
+    assert alert_files[0] == alert_files[1]
+    lines = [json.loads(line) for line in alert_files[0].splitlines()]
+    assert lines, "expected at least one alert from the small scenario"
+    assert all("severity" in line and "score" in line for line in lines)
+    assert all(line["severity"] in ("warning", "critical") for line in lines)
 
 
 # -- in-process order-invariance guards -------------------------------------------

@@ -205,6 +205,103 @@ class TestCampaignTracker:
         restored.advance(2, [campaign(0, ["a", "b", "c"], ["c1"])])
         assert restored.to_dict() == tracker.to_dict()
 
+    def test_age_tie_break_survives_five_digit_uids(self):
+        """Regression: age ties used to break on the zero-padded uid
+        string, which stops being age order at C10000 ("C10000" sorts
+        before "C9999"); the numeric creation serial must win."""
+        tracker = CampaignTracker()
+        # Mint 10001 identities in one cheap advance (no tracked
+        # campaigns yet, so no pairwise scoring happens).
+        tracker.advance(
+            0,
+            [campaign(i, [f"srv{i}"], [f"cli{i}"]) for i in range(10001)],
+        )
+        assert tracker.campaigns[-1].uid == "C10001"
+        # Give the old C9999 and the young C10001 an equal-score claim on
+        # one observed campaign; the *older* identity must keep it.
+        from dataclasses import replace
+
+        tracker._campaigns["C9999"] = replace(
+            tracker._campaigns["C9999"], servers=frozenset({"shared", "nine"})
+        )
+        tracker._campaigns["C10001"] = replace(
+            tracker._campaigns["C10001"], servers=frozenset({"shared", "ten"})
+        )
+        tracker.advance(1, [campaign(0, ["shared"], ["cli-new"])])
+        assert tracker.get("C9999").last_seen == 1
+        assert tracker.get("C10001").last_seen == 0
+
+    def test_expiry_tolerates_gaps_within_max_gap_days(self):
+        tracker = CampaignTracker(TrackerConfig(max_gap_days=2))
+        tracker.advance(0, [campaign(0, ["a", "b"], ["c1"])])
+        # Seen again after a one-day hole: still the same identity, and
+        # the gap does not count toward expiry.
+        assert tracker.advance(1, []) == []
+        tracker.advance(2, [campaign(0, ["a", "b"], ["c1"])])
+        tracked = tracker.get("C0001")
+        assert tracked.days_seen == (0, 2)
+        assert tracked.max_consecutive_days == 1
+        # Unseen for exactly max_gap_days: alive; one more day: dead.
+        assert tracker.advance(3, []) == []
+        assert tracker.advance(4, []) == []
+        (event,) = tracker.advance(5, [])
+        assert event.kind == "campaign_died" and event.uid == "C0001"
+
+    def test_growth_event_on_client_fallback_match(self):
+        tracker = CampaignTracker()
+        tracker.advance(0, [campaign(0, ["a", "b"], ["bot1", "bot2"])])
+        # Full rotation onto *more* servers, same bots: the growth event
+        # must fire off the tier-1 client match and say so.
+        (event,) = tracker.advance(1, [campaign(0, ["x", "y", "z"], ["bot1", "bot2"])])
+        assert event.kind == "campaign_growth"
+        assert event.detail["matched_on"] == "clients"
+        assert event.detail["previous_servers"] == 2
+        assert event.detail["servers"] == 3
+
+    def test_max_consecutive_days_zero_when_never_sighted(self):
+        from repro.stream import TrackedCampaign
+
+        restored = TrackedCampaign.from_dict(
+            {
+                "uid": "C0001",
+                "first_seen": 0,
+                "last_seen": 0,
+                "days_seen": [],
+                "servers": [],
+                "clients": [],
+                "all_servers": [],
+            }
+        )
+        assert restored.max_consecutive_days == 0
+
+    def test_legacy_checkpoint_derives_serial_from_uid(self):
+        from repro.stream import TrackedCampaign
+
+        legacy = {
+            "uid": "C10234",
+            "first_seen": 0,
+            "last_seen": 0,
+            "days_seen": [0],
+            "servers": ["a"],
+            "clients": ["c"],
+            "all_servers": ["a"],
+        }
+        assert TrackedCampaign.from_dict(legacy).serial == 10234
+
+    def test_event_detail_rejects_reserved_envelope_keys(self):
+        from repro.stream import TrackEvent
+
+        with pytest.raises(StreamError):
+            TrackEvent(kind="new_campaign", day=0, uid="C0001", detail={"day": 9})
+        event = TrackEvent(
+            kind="new_campaign", day=0, uid="C0001",
+            detail={"servers": 3}, severity="info", score=0.5,
+        )
+        assert event.to_dict() == {
+            "kind": "new_campaign", "day": 0, "uid": "C0001",
+            "servers": 3, "severity": "info", "score": 0.5,
+        }
+
 
 @pytest.fixture(scope="module")
 def week_datasets():
