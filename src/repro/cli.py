@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the deploy-and-operate loop the paper describes
+Five subcommands cover the deploy-and-operate loop the paper describes
 ("SMASH ... can be run everyday to detect daily malicious activities"):
 
 * ``generate`` — materialise a synthetic scenario day to a JSONL trace
@@ -10,7 +10,10 @@ Four subcommands cover the deploy-and-operate loop the paper describes
 * ``report`` — print a human-readable summary of a campaign JSON file;
 * ``stream`` — run the incremental engine (:mod:`repro.stream`) over a
   multi-day stream with cross-day campaign tracking, alerts and
-  checkpoint/resume.
+  checkpoint/resume;
+* ``bench`` — run the performance suites (:mod:`repro.eval.bench`):
+  the interned-core scaling benchmark (``BENCH_mine.json``) and/or the
+  streaming perf-trajectory benchmark (``BENCH_stream.json``).
 
 Examples::
 
@@ -21,6 +24,7 @@ Examples::
     python -m repro stream --scenario small --days 7 \
         --checkpoint stream.ckpt --events events.jsonl --out summary.json
     python -m repro stream --day-dirs day0 day1 day2 --window 2
+    python -m repro bench --scales 0.25,0.5,1.0 --out BENCH_mine.json
 """
 
 from __future__ import annotations
@@ -346,6 +350,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval.bench import run_bench_cli
+
+    return run_bench_cli(args)
+
+
 def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
     """``--workers`` / ``--executor`` for per-dimension parallel mining."""
     parser.add_argument(
@@ -468,6 +478,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_worker_flags(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf benchmarks (mine scaling and/or streaming)",
+    )
+    from repro.eval.bench import add_bench_arguments
+
+    add_bench_arguments(bench, default_suite="mine")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

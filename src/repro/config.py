@@ -88,6 +88,16 @@ class DimensionConfig:
     #: dimension; acts like the IDF filter but for filenames.
     max_file_server_fraction: float = 0.25
 
+    #: Heavy-hitter gate for candidate generation: sharing groups (a
+    #: client's servers, an IP's domains, a filename's servers, ...) with
+    #: more than this many members are skipped during pair accumulation.
+    #: ``0`` (the default) disables the gate, and the mined edge set is
+    #: exactly the pre-interning one; a positive cap bounds the quadratic
+    #: per-group cost deterministically at the price of missing edges
+    #: that only manifest through capped groups (the same trade the
+    #: ubiquity and posting-list rules already make).
+    max_group_size: int = 0
+
     def validate(self) -> None:
         if self.filename_length_cutoff < 1:
             raise ConfigError("filename_length_cutoff must be >= 1")
@@ -101,6 +111,8 @@ class DimensionConfig:
             raise ConfigError("client_min_edge_weight must be >= 0")
         if not 0.0 < self.max_file_server_fraction <= 1.0:
             raise ConfigError("max_file_server_fraction must be in (0, 1]")
+        if self.max_group_size < 0:
+            raise ConfigError("max_group_size must be >= 0 (0 = no cap)")
 
 
 @dataclass(frozen=True)

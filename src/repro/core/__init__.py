@@ -9,6 +9,7 @@ Entry point: :class:`repro.core.pipeline.SmashPipeline`.
 """
 
 from repro.core.results import Campaign, CandidateAsh, Herd, SmashResult
+from repro.core.interning import Interner
 from repro.core.pipeline import SmashPipeline
 from repro.core.preprocess import PreprocessReport, preprocess
 
@@ -16,6 +17,7 @@ __all__ = [
     "Campaign",
     "CandidateAsh",
     "Herd",
+    "Interner",
     "PreprocessReport",
     "SmashPipeline",
     "SmashResult",

@@ -53,10 +53,11 @@ def _refine_community(
     """
     if depth >= config.max_refine_depth or len(community) <= config.min_refine_size:
         return [community]
-    subgraph = graph.subgraph(community)
-    if subgraph.density() >= config.refine_density_stop:
+    if graph.density_of(community) >= config.refine_density_stop:
         # Already a tight herd; splitting a quasi-clique only shreds it.
+        # (density_of == subgraph().density(), minus the subgraph build.)
         return [community]
+    subgraph = graph.subgraph(community)
     local = louvain_communities(subgraph, config)
     non_trivial = [c for c in local.communities if len(c) >= 1]
     if len(non_trivial) <= 1 or local.modularity <= config.refine_min_modularity:
@@ -90,13 +91,12 @@ def mine_herds(
         if len(community) < 2:
             dropped.extend(community)  # type: ignore[arg-type]
             continue
-        subgraph = graph.subgraph(community)
         herds.append(
             Herd(
                 dimension=dimension,
                 index=index,
                 servers=frozenset(community),  # type: ignore[arg-type]
-                density=subgraph.density(),
+                density=graph.density_of(community),
             )
         )
         index += 1

@@ -4,16 +4,20 @@
 
 Two servers are similar when their shared clients are important to *both*
 of them.  The graph is built from the client -> servers inverted index:
-only server pairs that actually share a client are enumerated, which keeps
-construction near-linear in practice (the popular servers that would
-create quadratic blow-ups were removed by the IDF filter).
+server ids are interned once (dense ints in canonical order), each
+client's server set becomes an ascending id group, and shared-client
+counts are accumulated per pair (:func:`accumulate_pair_counts`) — the
+numerator of eq. 1 falls out arithmetically, with no per-pair set
+intersections and no per-group candidate materialisation.  The popular
+servers that would create quadratic blow-ups were removed by the IDF
+filter; ``config.max_group_size`` (off by default) additionally gates
+pathologically busy clients.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-
 from repro.config import DimensionConfig
+from repro.core.interning import PairStats, accumulate_pair_counts, overlap_ratio_edges
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 
@@ -28,6 +32,43 @@ def client_similarity(
     return (common / len(clients_a)) * (common / len(clients_b))
 
 
+def build_client_graph_from_indices(
+    clients_by_server: dict[str, frozenset[str]],
+    servers_by_client: dict[str, frozenset[str]],
+    config: DimensionConfig | None = None,
+) -> WeightedGraph:
+    """Build the main-dimension graph from the two inverted indices.
+
+    The pipeline calls this directly with the multi-client restriction of
+    the preprocessed trace's indices — filtering a server namespace never
+    changes a surviving server's client set, so deriving the restricted
+    indices replaces materialising a filtered trace.
+    """
+    config = config or DimensionConfig()
+    # Canonical node order: ids mirror the sorted server namespace, so
+    # ascending-id iteration is the canonical label iteration and the
+    # graph qualifies for the Louvain index fast path.
+    ordered = sorted(clients_by_server)
+    graph = WeightedGraph.from_sorted_labels(ordered)
+    width = len(ordered)
+    index = {server: i for i, server in enumerate(ordered)}
+    sizes = [len(clients_by_server[server]) for server in ordered]
+
+    groups = [
+        sorted(index[server] for server in servers)
+        for servers in servers_by_client.values()
+    ]
+    stats = PairStats()
+    pair_common = accumulate_pair_counts(
+        groups, width, cap=config.max_group_size, stats=stats
+    )
+
+    floor = max(config.min_edge_weight, config.client_min_edge_weight)
+    graph.add_sorted_edges(overlap_ratio_edges(pair_common, width, sizes, floor))
+    graph.build_stats = {"dimension": "client", **stats.to_dict()}
+    return graph
+
+
 def build_client_graph(
     trace: HttpTrace, config: DimensionConfig | None = None
 ) -> WeightedGraph:
@@ -37,27 +78,6 @@ def build_client_graph(
     servers "dropped by the main dimension"); edges carry eq. 1 weights
     and pairs below ``config.min_edge_weight`` are omitted.
     """
-    config = config or DimensionConfig()
-    clients_by_server = trace.clients_by_server
-    graph = WeightedGraph()
-    # Canonical node/edge insertion order: the graph's iteration order (and
-    # the float accumulation order of its total weight) is a function of
-    # the trace contents, not of trace order or set hash order.
-    for server in sorted(clients_by_server):
-        graph.add_node(server)
-
-    pair_common: Counter[tuple[str, str]] = Counter()
-    for servers in trace.servers_by_client.values():
-        members = sorted(servers)
-        for i, first in enumerate(members):
-            for second in members[i + 1:]:
-                pair_common[(first, second)] += 1
-
-    floor = max(config.min_edge_weight, config.client_min_edge_weight)
-    for (first, second), common in sorted(pair_common.items()):
-        weight = (common / len(clients_by_server[first])) * (
-            common / len(clients_by_server[second])
-        )
-        if weight >= floor:
-            graph.add_edge(first, second, weight)
-    return graph
+    return build_client_graph_from_indices(
+        trace.clients_by_server, trace.servers_by_client, config
+    )

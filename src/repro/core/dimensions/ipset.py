@@ -6,17 +6,22 @@ Captures domain fluxing: many malicious domains resolving into one small
 IP pool (the paper's skolewcho.com / switcho81.com / ... example).  An
 IP-literal "server" has itself as its IP set, so a fluxed domain herd and
 the raw IP it hides behind associate naturally.
+
+Server ids are interned once; each IP's posting list becomes an ascending
+id group and shared-IP counts accumulate per pair, which *is* the eq.-8
+numerator — no candidate-pair set, no per-pair set intersections.  A
+popular shared IP is this dimension's heavy hitter; ``config.max_group_size``
+(off by default) bounds it deterministically.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from itertools import combinations
 
 from repro.config import DimensionConfig
+from repro.core.interning import PairStats, accumulate_pair_counts, overlap_ratio_edges
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
-from repro.util.text import overlap_ratio_product
 
 
 def build_ipset_graph(
@@ -25,29 +30,29 @@ def build_ipset_graph(
     """Build the IP-set similarity graph from the trace's resolutions."""
     config = config or DimensionConfig()
     ips_by_server = trace.ips_by_server
-    graph = WeightedGraph()
     # Canonical node order (see build_client_graph): sorted, not set order.
-    for server in sorted(ips_by_server):
-        graph.add_node(server)
+    ordered = sorted(ips_by_server)
+    graph = WeightedGraph.from_sorted_labels(ordered)
+    width = len(ordered)
+    index = {server: i for i, server in enumerate(ordered)}
+    sizes = [len(ips_by_server[server]) for server in ordered]
 
-    servers_by_ip: dict[str, set[str]] = defaultdict(set)
+    ids_by_ip: dict[str, list[int]] = defaultdict(list)
     for server, ips in ips_by_server.items():
+        server_id = index[server]
         for ip in ips:
-            servers_by_ip[ip].add(server)
+            ids_by_ip[ip].append(server_id)
 
-    candidates: set[tuple[str, str]] = set()
-    for servers in servers_by_ip.values():
-        if len(servers) < 2:
-            continue
-        candidates.update(combinations(sorted(servers), 2))
+    stats = PairStats()
+    pair_common = accumulate_pair_counts(
+        (sorted(group) for group in ids_by_ip.values()),
+        width,
+        cap=config.max_group_size,
+        stats=stats,
+    )
 
-    # Sorted candidate iteration: edge insertion order must not follow the
-    # hash order of the candidate set (or of the per-IP posting sets that
-    # fed it).
-    for first, second in sorted(candidates):
-        weight = overlap_ratio_product(
-            ips_by_server[first], ips_by_server[second]
-        )
-        if weight >= config.min_edge_weight:
-            graph.add_edge(first, second, weight)
+    graph.add_sorted_edges(
+        overlap_ratio_edges(pair_common, width, sizes, config.min_edge_weight)
+    )
+    graph.build_stats = {"dimension": "ipset", **stats.to_dict()}
     return graph

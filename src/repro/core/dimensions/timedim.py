@@ -9,8 +9,12 @@ servers spread over their visitors' schedules.
 The similarity is window co-occurrence: bucket the trace into fixed-size
 time windows, take each server's set of active windows, and score a pair
 by the overlap-ratio product (eq.-1 form).  Windows containing a large
-share of all servers (global rush hours) carry no signal and are
-ignored, mirroring the IDF rule.
+share of all servers (global rush hours) never generate candidate pairs,
+mirroring the IDF rule, but still count toward the overlap of pairs
+found through quieter windows.  Candidates come from interned-id pair
+accumulation over the quiet windows' posting lists; the rush-hour
+remainder is added back per pair, reproducing the full-set overlap
+exactly.
 
 Disabled by default; enable via
 ``SmashConfig(enabled_secondary_dimensions=(..., "time"))``.
@@ -19,12 +23,11 @@ Disabled by default; enable via
 from __future__ import annotations
 
 from collections import defaultdict
-from itertools import combinations
 
 from repro.config import DimensionConfig
+from repro.core.interning import PairStats, accumulate_pair_counts, overlap_ratio_edges
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
-from repro.util.text import overlap_ratio_product
 
 #: Default window size: 10 minutes.
 DEFAULT_WINDOW_SECONDS = 600.0
@@ -50,30 +53,50 @@ def build_time_graph(
     """Build the temporal co-occurrence graph for *trace*."""
     config = config or DimensionConfig()
     windows_of = active_windows_by_server(trace, window_seconds)
-    graph = WeightedGraph()
     # Canonical node order: trace.servers is a frozenset, so iterating it
     # directly would insert nodes in hash order.
-    for server in sorted(trace.servers):
-        graph.add_node(server)
-    num_servers = len(trace.servers)
-    if num_servers < 2:
+    ordered = sorted(trace.servers)
+    graph = WeightedGraph.from_sorted_labels(ordered)
+    width = len(ordered)
+    if width < 2:
         return graph
+    index = {server: i for i, server in enumerate(ordered)}
 
-    servers_by_window: dict[int, set[str]] = defaultdict(set)
+    ids_by_window: dict[int, list[int]] = defaultdict(list)
     for server, windows in windows_of.items():
+        server_id = index[server]
         for window in windows:
-            servers_by_window[window].add(server)
+            ids_by_window[window].append(server_id)
 
-    max_servers = config.max_file_server_fraction * num_servers
-    candidates: set[tuple[str, str]] = set()
-    for window, servers in servers_by_window.items():
-        if len(servers) < 2 or len(servers) > max_servers:
-            continue
-        for pair in combinations(sorted(servers), 2):
-            candidates.add(pair)
+    max_servers = config.max_file_server_fraction * width
+    quiet_groups: list[list[int]] = []
+    heavy_of: dict[int, set[int]] = {}
+    for window, members in ids_by_window.items():
+        if len(members) > max_servers:
+            for server_id in members:
+                heavy_of.setdefault(server_id, set()).add(window)
+        else:
+            quiet_groups.append(sorted(members))
 
-    for first, second in sorted(candidates):
-        weight = overlap_ratio_product(windows_of[first], windows_of[second])
-        if weight >= config.min_edge_weight:
-            graph.add_edge(first, second, weight)
+    stats = PairStats()
+    pair_common = accumulate_pair_counts(
+        quiet_groups, width, cap=config.max_group_size, stats=stats
+    )
+
+    heavy_sets: dict[int, frozenset[int]] = {
+        server_id: frozenset(found) for server_id, found in heavy_of.items()
+    }
+    sizes = {
+        index[server]: len(windows) for server, windows in windows_of.items()
+    }
+    graph.add_sorted_edges(
+        overlap_ratio_edges(
+            pair_common, width, sizes, config.min_edge_weight, heavy_sets
+        )
+    )
+    graph.build_stats = {
+        "dimension": "time",
+        "heavy_postings": len(ids_by_window) - len(quiet_groups),
+        **stats.to_dict(),
+    }
     return graph

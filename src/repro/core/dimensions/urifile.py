@@ -22,14 +22,20 @@ Implementation notes
   and are excluded from *candidate generation* and from the per-server
   file inventories used in eq. 7; without this, the inverted index would
   enumerate O(N^2) benign pairs.
+* Candidate pairs come from interned-id pair accumulation over the
+  short-name posting lists and the long-name cosine families (union-find
+  over matches); a filename shared below the ubiquity threshold is this
+  dimension's heavy hitter, gated by ``config.max_group_size`` (off by
+  default).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from itertools import combinations
+from itertools import chain, combinations
 
 from repro.config import DimensionConfig
+from repro.core.interning import PairStats, accumulate_pair_counts
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 from repro.util.text import charset_cosine
@@ -90,20 +96,20 @@ def build_urifile_graph(
     """Build the URI-file similarity graph for *trace*."""
     config = config or DimensionConfig()
     files_by_server = trace.files_by_server
-    num_servers = len(files_by_server)
-    graph = WeightedGraph()
     # Canonical node order (see build_client_graph): sorted, not set order.
-    for server in sorted(files_by_server):
-        graph.add_node(server)
-    if num_servers < 2:
+    ordered = sorted(files_by_server)
+    graph = WeightedGraph.from_sorted_labels(ordered)
+    width = len(ordered)
+    if width < 2:
         return graph
+    index = {server: i for i, server in enumerate(ordered)}
 
     # Identify ubiquitous filenames to ignore.
     server_count_of_file: dict[str, int] = defaultdict(int)
     for files in files_by_server.values():
         for filename in files:
             server_count_of_file[filename] += 1
-    max_servers = config.max_file_server_fraction * num_servers
+    max_servers = config.max_file_server_fraction * width
     ubiquitous = {
         filename
         for filename, count in server_count_of_file.items()
@@ -116,27 +122,24 @@ def build_urifile_graph(
     }
 
     cutoff = config.filename_length_cutoff
-    # Candidate pairs from exact short-name matches.
-    servers_by_file: dict[str, set[str]] = defaultdict(set)
-    for server, files in effective.items():
-        for filename in files:
+    # Posting lists: exact short names, and long names for the cosine
+    # families below.
+    ids_by_file: dict[str, list[int]] = defaultdict(list)
+    long_names: dict[str, list[int]] = defaultdict(list)
+    for server in ordered:
+        server_id = index[server]
+        for filename in effective[server]:
             if len(filename) <= cutoff:
-                servers_by_file[filename].add(server)
+                ids_by_file[filename].append(server_id)
+            else:
+                long_names[filename].append(server_id)
 
-    candidates: set[tuple[str, str]] = set()
-    for servers in servers_by_file.values():
-        if len(servers) < 2:
-            continue
-        for pair in combinations(sorted(servers), 2):
-            candidates.add(pair)
-
-    # Candidate pairs from long-name charset families: cluster long names
-    # by cosine (union-find over matches), then pair up their servers.
-    long_names: dict[str, set[str]] = defaultdict(set)  # name -> servers
-    for server, files in effective.items():
-        for filename in files:
-            if len(filename) > cutoff:
-                long_names[filename].add(server)
+    # Long-name charset families: cluster long names by cosine (union-find
+    # over matches), then each family's servers form one group.  Every
+    # unordered long-name pair is compared here exactly once; the
+    # verdicts are kept so the per-pair eq.-7 weights below never have to
+    # run a cosine again.
+    threshold = config.filename_cosine_threshold
     names = sorted(long_names)
     parent = {name: name for name in names}
 
@@ -146,22 +149,87 @@ def build_urifile_graph(
             name = parent[name]
         return name
 
+    similar_pairs: set[tuple[str, str]] = set()
     for first, second in combinations(names, 2):
-        if charset_cosine(first, second) > config.filename_cosine_threshold:
+        if charset_cosine(first, second) > threshold:
             parent[find(first)] = find(second)
-    families: dict[str, set[str]] = defaultdict(set)
+            similar_pairs.add((first, second))
+    # A name compared against itself (two servers sharing one long
+    # filename) goes through the same cosine predicate, not an equality
+    # shortcut: with threshold == 1.0 even identical names don't match.
+    self_similar = {
+        name: charset_cosine(name, name) > threshold for name in names
+    }
+    families: dict[str, set[int]] = defaultdict(set)
     for name in names:
-        families[find(name)] |= long_names[name]
-    for servers in families.values():
-        if len(servers) < 2:
-            continue
-        for pair in combinations(sorted(servers), 2):
-            candidates.add(pair)
+        families[find(name)].update(long_names[name])
 
-    # Sorted candidate iteration: `candidates` is a set, so iterating it
-    # directly would insert edges in hash order.
-    for first, second in sorted(candidates):
-        weight = file_similarity(effective[first], effective[second], config)
-        if weight >= config.min_edge_weight:
-            graph.add_edge(first, second, weight)
+    stats = PairStats()
+    pair_common = accumulate_pair_counts(
+        chain(
+            (sorted(group) for group in ids_by_file.values()),
+            (sorted(group) for group in families.values()),
+        ),
+        width,
+        cap=config.max_group_size,
+        stats=stats,
+    )
+
+    # Per-server eq.-7 inputs, split once instead of once per pair.
+    split_of: dict[int, tuple[set[str], list[str], int]] = {}
+    for server in ordered:
+        files = effective[server]
+        if files:
+            split_of[index[server]] = (
+                {f for f in files if len(f) <= cutoff},
+                [f for f in files if len(f) > cutoff],
+                len(files),
+            )
+
+    def long_name_matches(name: str, long_to: list[str]) -> bool:
+        for other in long_to:
+            if name == other:
+                if self_similar[name]:
+                    return True
+            elif (
+                (name, other) if name < other else (other, name)
+            ) in similar_pairs:
+                return True
+        return False
+
+    def directed(
+        short_from: set[str],
+        long_from: list[str],
+        short_to: set[str],
+        long_to: list[str],
+        total: int,
+    ) -> float:
+        matched = len(short_from & short_to)
+        for name in long_from:
+            if long_name_matches(name, long_to):
+                matched += 1
+        return matched / total
+
+    floor = config.min_edge_weight
+
+    def edges():
+        for key in sorted(pair_common):
+            first_id, second_id = divmod(key, width)
+            short_a, long_a, total_a = split_of[first_id]
+            short_b, long_b, total_b = split_of[second_id]
+            # eq. 7 with the same matched counts file_similarity computes;
+            # only the cosine verdicts come from the precomputed table.
+            weight = directed(short_a, long_a, short_b, long_b, total_a) * directed(
+                short_b, long_b, short_a, long_a, total_b
+            )
+            if weight >= floor:
+                yield first_id, second_id, weight
+
+    graph.add_sorted_edges(edges())
+    graph.build_stats = {
+        "dimension": "urifile",
+        "ubiquitous_files": len(ubiquitous),
+        "long_name_families": len(families),
+        **stats.to_dict(),
+    }
     return graph

@@ -17,19 +17,23 @@ system; enable with::
     SmashConfig(enabled_secondary_dimensions=("urifile", "ipset", "whois", "urlparam"))
 
 Ubiquitous patterns (single generic names like ``("id",)`` appearing on a
-large share of servers) are ignored, mirroring the URI-file dimension's
-ubiquity rule.
+large share of servers) never *generate* candidate pairs, mirroring the
+URI-file dimension's ubiquity rule, but they still count toward the
+overlap of pairs found through rarer patterns.  Candidate pairs come
+from interned-id pair accumulation over the rare patterns' posting
+lists; the ubiquitous remainder of each overlap is added back per pair
+from the (tiny) per-server ubiquitous-pattern sets, reproducing the
+full-set overlap exactly.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from itertools import combinations
 
 from repro.config import DimensionConfig
+from repro.core.interning import PairStats, accumulate_pair_counts, overlap_ratio_edges
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
-from repro.util.text import overlap_ratio_product
 
 Pattern = tuple[str, ...]
 
@@ -53,30 +57,52 @@ def build_urlparam_graph(
     """
     config = config or DimensionConfig()
     patterns_of = parameter_patterns_by_server(trace)
-    graph = WeightedGraph()
     # Canonical node order: trace.servers is a frozenset, so iterating it
     # directly would insert nodes in hash order.
-    for server in sorted(trace.servers):
-        graph.add_node(server)
-    num_servers = len(trace.servers)
-    if num_servers < 2:
+    ordered = sorted(trace.servers)
+    graph = WeightedGraph.from_sorted_labels(ordered)
+    width = len(ordered)
+    if width < 2:
         return graph
+    index = {server: i for i, server in enumerate(ordered)}
 
-    servers_by_pattern: dict[Pattern, set[str]] = defaultdict(set)
+    ids_by_pattern: dict[Pattern, list[int]] = defaultdict(list)
     for server, patterns in patterns_of.items():
+        server_id = index[server]
         for pattern in patterns:
-            servers_by_pattern[pattern].add(server)
+            ids_by_pattern[pattern].append(server_id)
 
-    max_servers = config.max_file_server_fraction * num_servers
-    candidates: set[tuple[str, str]] = set()
-    for pattern, servers in servers_by_pattern.items():
-        if len(servers) < 2 or len(servers) > max_servers:
-            continue
-        for pair in combinations(sorted(servers), 2):
-            candidates.add(pair)
+    # Split posting lists at the ubiquity threshold: rare patterns drive
+    # candidate generation, ubiquitous ones only correct the overlap.
+    max_servers = config.max_file_server_fraction * width
+    rare_groups: list[list[int]] = []
+    heavy_of: dict[int, set[int]] = {}
+    for heavy_index, (pattern, members) in enumerate(ids_by_pattern.items()):
+        if len(members) > max_servers:
+            for server_id in members:
+                heavy_of.setdefault(server_id, set()).add(heavy_index)
+        else:
+            rare_groups.append(sorted(members))
 
-    for first, second in sorted(candidates):
-        weight = overlap_ratio_product(patterns_of[first], patterns_of[second])
-        if weight >= config.min_edge_weight:
-            graph.add_edge(first, second, weight)
+    stats = PairStats()
+    pair_common = accumulate_pair_counts(
+        rare_groups, width, cap=config.max_group_size, stats=stats
+    )
+
+    heavy_sets: dict[int, frozenset[int]] = {
+        server_id: frozenset(found) for server_id, found in heavy_of.items()
+    }
+    sizes = {
+        index[server]: len(patterns) for server, patterns in patterns_of.items()
+    }
+    graph.add_sorted_edges(
+        overlap_ratio_edges(
+            pair_common, width, sizes, config.min_edge_weight, heavy_sets
+        )
+    )
+    graph.build_stats = {
+        "dimension": "urlparam",
+        "heavy_postings": len(ids_by_pattern) - len(rare_groups),
+        **stats.to_dict(),
+    }
     return graph

@@ -14,14 +14,18 @@ infrastructure fields (name servers) remain comparable — two proxied
 domains never associate on the proxy's identity.
 
 IP-literal servers have no registration and never join this graph.
+
+Candidate pairs come from interned-id pair accumulation over the
+``(field, value)`` posting lists; similarity is still computed per pair
+from the two records (a handful of field comparisons).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from itertools import combinations
 
 from repro.config import DimensionConfig
+from repro.core.interning import PairStats, accumulate_pair_counts
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 from repro.whois.record import WHOIS_FIELDS, WhoisRecord
@@ -49,6 +53,24 @@ def comparable_fields(record: WhoisRecord) -> dict[str, object]:
     return fields
 
 
+def _similarity_from_fields(
+    fields_a: dict[str, object],
+    fields_b: dict[str, object],
+    min_shared_fields: int,
+) -> float:
+    shared = sum(
+        1
+        for field_name, value in fields_a.items()
+        if fields_b.get(field_name) == value
+    )
+    if shared < min_shared_fields:
+        return 0.0
+    union = len(set(fields_a) | set(fields_b))
+    if union == 0:
+        return 0.0
+    return shared / union
+
+
 def whois_similarity(
     first: WhoisRecord,
     second: WhoisRecord,
@@ -56,19 +78,11 @@ def whois_similarity(
 ) -> float:
     """Whois similarity of two records; 0.0 below the shared-field minimum."""
     config = config or DimensionConfig()
-    fields_a = comparable_fields(first)
-    fields_b = comparable_fields(second)
-    shared = sum(
-        1
-        for field_name, value in fields_a.items()
-        if fields_b.get(field_name) == value
+    return _similarity_from_fields(
+        comparable_fields(first),
+        comparable_fields(second),
+        config.whois_min_shared_fields,
     )
-    if shared < config.whois_min_shared_fields:
-        return 0.0
-    union = len(set(fields_a) | set(fields_b))
-    if union == 0:
-        return 0.0
-    return shared / union
 
 
 def build_whois_graph(
@@ -78,31 +92,49 @@ def build_whois_graph(
 ) -> WeightedGraph:
     """Build the Whois similarity graph for the servers of *trace*."""
     config = config or DimensionConfig()
-    graph = WeightedGraph()
-    records: dict[str, WhoisRecord] = {}
     # Canonical node order: trace.servers is a frozenset, so iterating it
     # directly would insert nodes in hash order.
-    for server in sorted(trace.servers):
-        graph.add_node(server)
+    ordered = sorted(trace.servers)
+    graph = WeightedGraph.from_sorted_labels(ordered)
+    width = len(ordered)
+    records: dict[int, WhoisRecord] = {}
+    for server_id, server in enumerate(ordered):
         record = whois.lookup(server)
         if record is not None:
-            records[server] = record
+            records[server_id] = record
 
-    # Inverted index: (field, value) -> servers.
-    postings: dict[tuple[str, object], set[str]] = defaultdict(set)
-    for server, record in records.items():
-        for field_name, value in comparable_fields(record).items():
-            postings[(field_name, value)].add(server)
+    # Comparable fields are computed once per record here and reused for
+    # every candidate pair the record participates in.
+    fields_of: dict[int, dict[str, object]] = {
+        server_id: comparable_fields(record)
+        for server_id, record in records.items()
+    }
 
-    candidates: set[tuple[str, str]] = set()
-    for servers in postings.values():
-        if len(servers) < 2 or len(servers) > _MAX_POSTING_LIST:
-            continue
-        for pair in combinations(sorted(servers), 2):
-            candidates.add(pair)
+    # Inverted index: (field, value) -> server ids (ascending by build).
+    postings: dict[tuple[str, object], list[int]] = defaultdict(list)
+    for server_id in sorted(fields_of):
+        for field_name, value in fields_of[server_id].items():
+            postings[(field_name, value)].append(server_id)
 
-    for first, second in sorted(candidates):
-        weight = whois_similarity(records[first], records[second], config)
-        if weight >= max(config.min_edge_weight, 1e-12):
-            graph.add_edge(first, second, weight)
+    cap = config.max_group_size
+    effective_cap = min(cap, _MAX_POSTING_LIST) if cap else _MAX_POSTING_LIST
+    stats = PairStats()
+    pair_common = accumulate_pair_counts(
+        postings.values(), width, cap=effective_cap, stats=stats
+    )
+
+    floor = max(config.min_edge_weight, 1e-12)
+    min_shared = config.whois_min_shared_fields
+
+    def edges():
+        for key in sorted(pair_common):
+            first, second = divmod(key, width)
+            weight = _similarity_from_fields(
+                fields_of[first], fields_of[second], min_shared
+            )
+            if weight >= floor:
+                yield first, second, weight
+
+    graph.add_sorted_edges(edges())
+    graph.build_stats = {"dimension": "whois", **stats.to_dict()}
     return graph

@@ -5,6 +5,12 @@ the full campaign may span several ASHs — e.g. a botnet's download tier
 and C&C tier form different URI-file herds but share the infected
 clients.  Two ASHs merge into one campaign when their servers sit in the
 same **main-dimension** herd, i.e. they share a very similar client set.
+
+Inference is the results boundary of the interned pipeline: the id core
+(:func:`infer_campaigns_ids`) merges id-domain ASHs and decodes server
+ids back to labels exactly once, while constructing the
+:class:`~repro.core.results.Campaign` objects every downstream consumer
+(export, eval, streaming) reads.
 """
 
 from __future__ import annotations
@@ -12,37 +18,42 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.core.ashmining import MiningOutcome
+from repro.core.interning import Interner
+from repro.core.pruning import EncodedPruneReport
 from repro.core.results import Campaign, CandidateAsh, PruneReport
 from repro.httplog.trace import HttpTrace
 
 
-def infer_campaigns(
-    ashes: tuple[CandidateAsh, ...],
-    main: MiningOutcome,
+def infer_campaigns_ids(
+    ashes: tuple[tuple[int, str, int, frozenset[int]], ...],
     trace: HttpTrace,
-    scores: dict[str, float],
-    contributions: dict[str, dict[str, float]],
-    prune_report: PruneReport | None = None,
+    scores: dict[int, float],
+    contributions: dict[int, dict[str, float]],
+    interner: Interner,
+    prune_report: EncodedPruneReport | None = None,
 ) -> tuple[Campaign, ...]:
-    """Merge surviving ASHs into campaigns keyed by main-dimension herd.
+    """Merge surviving id-domain ASHs into (label-domain) campaigns.
 
     Campaign clients are read back from the trace: every client that
     contacted any member server is "involved" in the campaign (this is
     what Tables II/V count as involved clients).
     """
-    by_main: dict[int, set[str]] = defaultdict(set)
-    for ash in ashes:
-        by_main[ash.main_index].update(ash.servers)
+    by_main: dict[int, set[int]] = defaultdict(set)
+    for main_index, _dimension, _secondary_index, members in ashes:
+        by_main[main_index].update(members)
 
-    replacements: dict[str, str] = {}
+    replacements: dict[int, int] = {}
     if prune_report is not None:
         replacements.update(prune_report.redirection_replacements)
         replacements.update(prune_report.referrer_replacements)
 
     clients_by_server = trace.clients_by_server
+    label_of = interner.label_of
     campaigns: list[Campaign] = []
     for campaign_id, main_index in enumerate(sorted(by_main)):
-        servers = frozenset(by_main[main_index])
+        member_ids = by_main[main_index]
+        ordered_ids = sorted(member_ids)
+        servers = frozenset(label_of(server_id) for server_id in ordered_ids)
         clients: set[str] = set()
         for server in servers:
             clients |= clients_by_server.get(server, frozenset())
@@ -53,20 +64,76 @@ def infer_campaigns(
                 servers=servers,
                 clients=frozenset(clients),
                 server_scores={
-                    server: scores[server]
-                    for server in sorted(servers)
-                    if server in scores
+                    label_of(server_id): scores[server_id]
+                    for server_id in ordered_ids
+                    if server_id in scores
                 },
                 contributions={
-                    server: dict(contributions[server])
-                    for server in sorted(servers)
-                    if server in contributions
+                    label_of(server_id): dict(contributions[server_id])
+                    for server_id in ordered_ids
+                    if server_id in contributions
                 },
                 replaced_servers={
-                    replaced: landing
+                    label_of(replaced): label_of(landing)
                     for replaced, landing in replacements.items()
-                    if landing in servers
+                    if landing in member_ids
                 },
             )
         )
     return tuple(campaigns)
+
+
+def infer_campaigns(
+    ashes: tuple[CandidateAsh, ...],
+    main: MiningOutcome,
+    trace: HttpTrace,
+    scores: dict[str, float],
+    contributions: dict[str, dict[str, float]],
+    prune_report: PruneReport | None = None,
+) -> tuple[Campaign, ...]:
+    """Label-domain wrapper over :func:`infer_campaigns_ids`.
+
+    ``main`` is accepted for signature compatibility (campaign grouping
+    is fully determined by the ASHs' main-herd indices).
+    """
+    del main  # grouping needs only the ASHs' main_index fields
+    interner = Interner(
+        set(server for ash in ashes for server in ash.servers)
+        | set(scores)
+        | set(contributions)
+    )
+    if prune_report is not None:
+        encoded_report = EncodedPruneReport(
+            redirection_replacements={
+                interner.intern(replaced): interner.intern(landing)
+                for replaced, landing in prune_report.redirection_replacements.items()
+            },
+            referrer_replacements={
+                interner.intern(replaced): interner.intern(landing)
+                for replaced, landing in prune_report.referrer_replacements.items()
+            },
+            dropped_ashes=prune_report.dropped_ashes,
+        )
+    else:
+        encoded_report = None
+    encoded_ashes = tuple(
+        (
+            ash.main_index,
+            ash.secondary_dimension,
+            ash.secondary_index,
+            interner.encode_set(ash.servers),
+        )
+        for ash in ashes
+    )
+    id_of = interner.id_of
+    return infer_campaigns_ids(
+        encoded_ashes,
+        trace,
+        {id_of(server): score for server, score in scores.items()},
+        {
+            id_of(server): dict(per_dim)
+            for server, per_dim in contributions.items()
+        },
+        interner,
+        encoded_report,
+    )

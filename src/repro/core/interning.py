@@ -1,0 +1,219 @@
+"""Dense integer interning of the server namespace.
+
+The mining core used to push string server labels through every layer:
+candidate generation hashed and sorted label tuples, graphs were keyed by
+labels, and Louvain re-indexed the whole namespace on every call.  This
+module is the substrate of the interned rewrite:
+
+* :class:`Interner` assigns each label a dense integer id **in canonical
+  ``node_sort_key`` order**, so ascending-id iteration is exactly the
+  canonical label iteration the deterministic core already used — outputs
+  stay byte-identical while every hot set operation moves from strings to
+  small ints;
+* :func:`accumulate_pair_counts` turns the per-sharing-group
+  ``itertools.combinations`` pattern into inverted-index pair-weight
+  accumulation: co-occurrence counts are accumulated directly into a flat
+  ``packed-pair -> count`` map (C-speed ``Counter.update``), producing the
+  identical edge set without materialising per-group candidate tuples.
+
+Heavy-hitter groups (a popular shared IP, a common URI filename) still
+cost O(group**2) co-occurrences; the ``cap`` argument — wired to
+``DimensionConfig.max_group_size`` and **off by default** — skips groups
+above a fixed size deterministically, trading bounded recall for bounded
+cost exactly like the existing ubiquity/posting-list rules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.graph.wgraph import node_sort_key
+
+Label = Hashable
+
+
+class Interner:
+    """Bidirectional label <-> dense-int mapping in canonical order.
+
+    The constructor namespace is sorted with
+    :func:`~repro.graph.wgraph.node_sort_key` (the order every
+    deterministic iteration in the mining core already uses), so for ids
+    ``i < j`` the labels satisfy ``node_sort_key(label_of(i)) <
+    node_sort_key(label_of(j))`` — ``sorted(ids)`` decodes to the same
+    sequence as the label-path's ``canonical_nodes``.  Labels interned
+    *after* construction (e.g. a pruning landing server outside the
+    mined namespace) are appended in first-seen order and sort after the
+    base namespace; they decode correctly but carry no order guarantee.
+    """
+
+    __slots__ = ("_labels", "_ids", "_base")
+
+    def __init__(self, labels: Iterable[Label] = ()) -> None:
+        self._labels: list[Label] = sorted(set(labels), key=node_sort_key)
+        self._ids: dict[Label, int] = {label: i for i, label in enumerate(self._labels)}
+        self._base = len(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._ids
+
+    @property
+    def labels(self) -> tuple[Label, ...]:
+        """All known labels, id order (canonical base, then appended)."""
+        return tuple(self._labels)
+
+    @property
+    def base_size(self) -> int:
+        """Size of the canonical constructor namespace (appended ids excluded)."""
+        return self._base
+
+    def id_of(self, label: Label) -> int:
+        """Id of a known label; raises ``KeyError`` for unknown labels."""
+        return self._ids[label]
+
+    def label_of(self, index: int) -> Label:
+        return self._labels[index]
+
+    def intern(self, label: Label) -> int:
+        """Id of *label*, appending a fresh id if it is unknown."""
+        index = self._ids.get(label)
+        if index is None:
+            index = len(self._labels)
+            self._ids[label] = index
+            self._labels.append(label)
+        return index
+
+    # -- bulk helpers ---------------------------------------------------------------
+
+    def encode(self, labels: Iterable[Label]) -> list[int]:
+        ids = self._ids
+        return [ids[label] for label in labels]
+
+    def encode_set(self, labels: Iterable[Label]) -> frozenset[int]:
+        ids = self._ids
+        return frozenset(ids[label] for label in labels)
+
+    def decode_set(self, ids: Iterable[int]) -> frozenset[Label]:
+        labels = self._labels
+        return frozenset(labels[index] for index in ids)
+
+    def decode_sorted(self, ids: Iterable[int]) -> list[Label]:
+        """Decode *ids* in ascending-id (canonical) order."""
+        labels = self._labels
+        return [labels[index] for index in sorted(ids)]
+
+
+@dataclass
+class PairStats:
+    """Accounting of one :func:`accumulate_pair_counts` run.
+
+    ``enumerated_pairs`` counts pair co-occurrences actually walked (the
+    quadratic cost the cap bounds); ``candidate_pairs`` the distinct
+    pairs that came out.  The benchmark reads these off the built graphs
+    (``WeightedGraph.build_stats``) to show pair counts are measured,
+    not asserted.
+    """
+
+    groups: int = 0
+    skipped_groups: int = 0
+    largest_group: int = 0
+    enumerated_pairs: int = 0
+    candidate_pairs: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "groups": self.groups,
+            "skipped_groups": self.skipped_groups,
+            "largest_group": self.largest_group,
+            "enumerated_pairs": self.enumerated_pairs,
+            "candidate_pairs": self.candidate_pairs,
+        }
+
+
+def pack_pair(first: int, second: int, width: int) -> int:
+    """Pack an ordered id pair into one int key (``first < second < width``)."""
+    return first * width + second
+
+
+def unpack_pair(key: int, width: int) -> tuple[int, int]:
+    return divmod(key, width)
+
+
+def accumulate_pair_counts(
+    groups: Iterable[Sequence[int]],
+    width: int,
+    cap: int = 0,
+    stats: PairStats | None = None,
+) -> Counter[int]:
+    """Accumulate co-occurrence counts over id *groups*.
+
+    Each group is an **ascending-sorted** sequence of server ids sharing
+    one artefact (a client, an IP, a filename, ...).  The result maps
+    ``pack_pair(i, j, width)`` (``i < j``) to the number of groups
+    containing both — for overlap-ratio dimensions this *is*
+    ``|A_i ∩ A_j|``, so edge weights fall out arithmetically instead of
+    via per-pair set intersections.
+
+    ``cap`` > 0 skips groups with more than ``cap`` members (the
+    deterministic heavy-hitter gate, off by default); groups with fewer
+    than two members contribute nothing by construction.
+    """
+    counts: Counter[int] = Counter()
+    update = counts.update
+    record = stats is not None
+    for group in groups:
+        size = len(group)
+        if record:
+            stats.groups += 1
+            if size > stats.largest_group:
+                stats.largest_group = size
+        if size < 2:
+            continue
+        if cap and size > cap:
+            if record:
+                stats.skipped_groups += 1
+            continue
+        if record:
+            stats.enumerated_pairs += size * (size - 1) // 2
+        for position in range(size - 1):
+            base = group[position] * width
+            update(map(base.__add__, group[position + 1 :]))
+    if record:
+        stats.candidate_pairs = len(counts)
+    return counts
+
+
+_NO_HEAVY: frozenset[int] = frozenset()
+
+
+def overlap_ratio_edges(
+    pair_common: Mapping[int, int],
+    width: int,
+    sizes: Mapping[int, int] | Sequence[int],
+    floor: float,
+    heavy_sets: Mapping[int, frozenset[int]] | None = None,
+) -> Iterator[tuple[int, int, float]]:
+    """Edges for the overlap-ratio dimensions (eq. 1 / eq. 8 form).
+
+    For every accumulated pair, the weight is ``(common / |A_i|) *
+    (common / |A_j|)``; pairs below *floor* are dropped.  *heavy_sets*
+    (server id -> its artefacts whose posting lists were too ubiquitous
+    to generate candidates) adds those artefacts' per-pair overlap back,
+    so the weight sees the full-set intersection.  Pairs are yielded in
+    ascending packed order — exactly the precondition of
+    ``WeightedGraph.add_sorted_edges``.
+    """
+    for key in sorted(pair_common):
+        first, second = divmod(key, width)
+        common = pair_common[key]
+        if heavy_sets is not None:
+            common += len(
+                heavy_sets.get(first, _NO_HEAVY) & heavy_sets.get(second, _NO_HEAVY)
+            )
+        weight = (common / sizes[first]) * (common / sizes[second])
+        if weight >= floor:
+            yield first, second, weight

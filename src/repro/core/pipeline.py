@@ -31,22 +31,23 @@ from __future__ import annotations
 import hashlib
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 
 from repro.config import SmashConfig
 from repro.core.ashmining import MiningOutcome, mine_herds
-from repro.core.correlation import correlate
-from repro.core.dimensions.client import build_client_graph
+from repro.core.correlation import correlate_ids
+from repro.core.dimensions.client import build_client_graph_from_indices
 from repro.core.dimensions.ipset import build_ipset_graph
 from repro.core.dimensions.timedim import build_time_graph
 from repro.core.dimensions.urifile import build_urifile_graph
 from repro.core.dimensions.urlparam import build_urlparam_graph
 from repro.core.dimensions.whoisdim import build_whois_graph
-from repro.core.inference import infer_campaigns
+from repro.core.inference import infer_campaigns_ids
+from repro.core.interning import Interner
 from repro.core.preprocess import PreprocessReport, preprocess
-from repro.core.pruning import prune_ashes
-from repro.core.results import MAIN_DIMENSION, SmashResult
+from repro.core.pruning import dominant_referrers, prune_ashes_ids
+from repro.core.results import MAIN_DIMENSION, CandidateAsh, SmashResult
 from repro.errors import PipelineError
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
@@ -280,13 +281,21 @@ def _mine_secondary_dimension(
 
 
 def _mine_main_dimension(
-    multi_trace: HttpTrace,
+    multi_clients_by_server: dict[str, frozenset[str]],
+    multi_servers_by_client: dict[str, frozenset[str]],
     single_client_servers: set[str],
     clients_by_server: dict[str, frozenset[str]],
     config: SmashConfig,
 ) -> MiningOutcome:
-    """The main-dimension job: client graph, Louvain, single-client herds."""
-    graph = build_client_graph(multi_trace, config.dimensions)
+    """The main-dimension job: client graph, Louvain, single-client herds.
+
+    Receives the multi-client restriction of the preprocessed indices
+    directly — no filtered trace is materialised (or shipped to process
+    workers) just to re-derive the same two dictionaries.
+    """
+    graph = build_client_graph_from_indices(
+        multi_clients_by_server, multi_servers_by_client, config.dimensions
+    )
     main = mine_herds(graph, MAIN_DIMENSION, config.louvain)
     return _append_single_client_herds(main, single_client_servers, clients_by_server)
 
@@ -343,12 +352,25 @@ def _append_single_client_herds(
 
 @dataclass(frozen=True)
 class MinedDimensions:
-    """Intermediate state: preprocessed trace plus per-dimension herds."""
+    """Intermediate state: preprocessed trace plus per-dimension herds.
+
+    ``interner`` maps the post-preprocess server namespace to dense
+    integer ids in canonical order; ``finish`` runs correlation, pruning
+    and inference on those ids and decodes back to labels only when
+    assembling the :class:`~repro.core.results.SmashResult`.  It is
+    ``None`` only for instances built by code that predates interning
+    (``finish`` then derives one from the trace).
+    """
 
     trace: HttpTrace
     preprocess_report: PreprocessReport
     main: MiningOutcome
     secondary: dict[str, MiningOutcome]
+    interner: Interner | None = None
+    #: Cross-``finish`` memo (e.g. the trace's dominant-referrer map):
+    #: ``finish`` is called once per threshold in a sweep and twice per
+    #: streamed day, over the same mined trace.
+    stage_cache: dict = field(default_factory=dict, compare=False, repr=False)
 
 
 class SmashPipeline:
@@ -419,18 +441,32 @@ class SmashPipeline:
             for server, clients in clients_by_server.items()
             if len(clients) == 1
         }
-        multi_trace = prepared.filter_servers(
-            lambda server: server not in single_client_servers
-        )
+        # Multi-client restriction of the two main-dimension indices,
+        # derived by dropping the single-client servers: a server-level
+        # filter cannot change a surviving server's client set, so this
+        # equals (and replaces) materialising a filtered trace.
+        multi_clients_by_server = {
+            server: clients
+            for server, clients in clients_by_server.items()
+            if server not in single_client_servers
+        }
+        multi_servers_by_client: dict[str, frozenset[str]] = {}
+        for client, servers in prepared.servers_by_client.items():
+            surviving = servers - single_client_servers
+            if surviving:
+                multi_servers_by_client[client] = (
+                    servers if len(surviving) == len(servers) else surviving
+                )
         # Under the thread executor, materialise the shared indices before
         # fanning out so workers read (not race to build) the cached
         # dicts.  Serial and process runs skip this: serial builds lazily
         # in order, and process workers re-derive the indices anyway
         # because HttpTrace pickles without its caches.  (`prepared`'s
-        # indices were already built by `clients_by_server` above; one
-        # access builds all of a trace's indices.)
+        # set-valued indices were already built by `clients_by_server`
+        # above; the file index is built separately because it is the
+        # only one that parses URIs.)
         if executor == "thread" and resolve_workers(workers) > 1:
-            _ = multi_trace.servers_by_client
+            _ = prepared.files_by_server
 
         dimensions = (MAIN_DIMENSION, *config.enabled_secondary_dimensions)
         signatures: dict[str, str] = {}
@@ -460,7 +496,8 @@ class SmashPipeline:
                 jobs.append(
                     partial(
                         _mine_main_dimension,
-                        multi_trace,
+                        multi_clients_by_server,
+                        multi_servers_by_client,
                         single_client_servers,
                         clients_by_server,
                         config,
@@ -499,6 +536,9 @@ class SmashPipeline:
             preprocess_report=report,
             main=main,
             secondary=secondary,
+            # One interning of the namespace serves every finish() call
+            # (run_sweep re-correlates at several thresholds).
+            interner=Interner(clients_by_server),
         )
 
     # -- stages 3-5: correlate, prune, infer ----------------------------------------
@@ -509,32 +549,65 @@ class SmashPipeline:
         redirects: RedirectOracle | None = None,
         thresh: float | None = None,
     ) -> SmashResult:
-        """Correlation, pruning and campaign inference on mined herds."""
+        """Correlation, pruning and campaign inference on mined herds.
+
+        The three stages run on interned server ids; labels reappear only
+        here, when the :class:`~repro.core.results.SmashResult` is
+        assembled (the results boundary).
+        """
         config = self.config
-        outcome = correlate(
-            mined.main, mined.secondary, config.correlation, thresh=thresh
+        interner = mined.interner or Interner(mined.trace.clients_by_server)
+        encoded = correlate_ids(
+            mined.main, mined.secondary, interner, config.correlation, thresh=thresh
         )
-        pruned, prune_report = prune_ashes(
-            outcome.candidate_ashes, mined.trace, redirects, config.pruning
-        )
-        campaigns = infer_campaigns(
-            pruned,
-            mined.main,
+        if config.pruning.prune_referrer_groups:
+            referrer_of = mined.stage_cache.get("dominant_referrers")
+            if referrer_of is None:
+                referrer_of = dominant_referrers(mined.trace)
+                mined.stage_cache["dominant_referrers"] = referrer_of
+        else:
+            referrer_of = {}
+        pruned, encoded_report = prune_ashes_ids(
+            encoded.candidate_ashes,
             mined.trace,
-            outcome.scores,
-            outcome.contributions,
-            prune_report,
+            interner,
+            redirects,
+            config.pruning,
+            referrer_of=referrer_of,
+        )
+        campaigns = infer_campaigns_ids(
+            pruned,
+            mined.trace,
+            encoded.scores,
+            encoded.contributions,
+            interner,
+            encoded_report,
         )
         herds_by_dimension = {MAIN_DIMENSION: mined.main.herds}
         for dimension, mining in mined.secondary.items():
             herds_by_dimension[dimension] = mining.herds
+        label_of = interner.label_of
         return SmashResult(
             herds_by_dimension=herds_by_dimension,
-            scores=outcome.scores,
-            contributions=outcome.contributions,
-            candidate_ashes=pruned,
+            scores={
+                label_of(server_id): score
+                for server_id, score in encoded.scores.items()
+            },
+            contributions={
+                label_of(server_id): dict(per_dim)
+                for server_id, per_dim in encoded.contributions.items()
+            },
+            candidate_ashes=tuple(
+                CandidateAsh(
+                    main_index=main_index,
+                    secondary_dimension=dimension,
+                    secondary_index=secondary_index,
+                    servers=interner.decode_set(members),
+                )
+                for main_index, dimension, secondary_index, members in pruned
+            ),
             campaigns=campaigns,
-            prune_report=prune_report,
+            prune_report=encoded_report.decode(interner),
             main_dimension_dropped=mined.main.dropped,
         )
 

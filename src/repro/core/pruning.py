@@ -17,32 +17,76 @@ afterwards are removed.
 Redirect chains come from the :class:`~repro.synth.oracles.RedirectOracle`
 (the stand-in for the paper's active probing); referrer relations come
 from the trace's Referer headers.
+
+The pipeline runs the interned core (:func:`prune_ashes_ids`): ASH
+members are integer server ids, and landing servers outside the mined
+namespace are appended to the interner, so campaigns downstream keep
+working on ids until the results boundary.  Referer values repeat
+enormously across a trace, so :func:`dominant_referrers` normalises each
+distinct value once.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from dataclasses import dataclass
+from operator import attrgetter
 from urllib.parse import urlparse
 
 from repro.config import PruningConfig
+from repro.core.interning import Interner
 from repro.core.results import CandidateAsh, PruneReport
 from repro.domains.names import normalize_server_name
 from repro.httplog.trace import HttpTrace
 from repro.synth.oracles import RedirectOracle
 
 
-def referrer_host(referrer: str) -> str | None:
-    """Extract the aggregated server name from a Referer header value."""
+def _referrer_netloc(referrer: str) -> str:
+    """Network-location component of a Referer value.
+
+    For the overwhelmingly common ``http(s)://`` form the netloc is
+    sliced out directly (everything up to the first ``/``, ``?`` or
+    ``#``), which is exactly what ``urlparse`` returns for those inputs;
+    anything else takes the full parser.
+    """
+    if referrer.startswith("http://"):
+        rest = referrer[7:]
+    elif referrer.startswith("https://"):
+        rest = referrer[8:]
+    else:
+        parsed = urlparse(referrer if "//" in referrer else f"http://{referrer}")
+        return parsed.netloc
+    end = len(rest)
+    for stop in "/?#":
+        position = rest.find(stop, 0, end)
+        if position != -1:
+            end = position
+    return rest[:end]
+
+
+def referrer_host(
+    referrer: str, host_cache: dict[str, str | None] | None = None
+) -> str | None:
+    """Extract the aggregated server name from a Referer header value.
+
+    ``host_cache`` memoises the normalisation per extracted host —
+    :func:`dominant_referrers` passes one so a landing page referenced
+    through thousands of distinct URLs is normalised once.
+    """
     if not referrer:
         return None
-    parsed = urlparse(referrer if "//" in referrer else f"http://{referrer}")
-    host = parsed.netloc.split(":")[0]
+    host = _referrer_netloc(referrer).split(":")[0]
     if not host:
         return None
+    if host_cache is not None and host in host_cache:
+        return host_cache[host]
     try:
-        return normalize_server_name(host)
+        landing = normalize_server_name(host)
     except ValueError:
-        return None
+        landing = None
+    if host_cache is not None:
+        host_cache[host] = landing
+    return landing
 
 
 def dominant_referrers(trace: HttpTrace) -> dict[str, str]:
@@ -53,11 +97,23 @@ def dominant_referrers(trace: HttpTrace) -> dict[str, str]:
     referrer are absent.
     """
     referrers_of: dict[str, Counter[str]] = defaultdict(Counter)
-    totals: Counter[str] = Counter()
+    totals: Counter[str] = Counter(map(attrgetter("host"), trace.requests))
+    # A trace carries a handful of distinct Referer values (and far fewer
+    # distinct referrer hosts) repeated tens of thousands of times; each
+    # distinct value is parsed once and each distinct host normalised
+    # once, turning this pass into dict lookups per request.
+    landing_of: dict[str, str | None] = {}
+    host_cache: dict[str, str | None] = {}
     for request in trace:
-        landing = referrer_host(request.referrer)
+        referrer = request.referrer
+        if not referrer:
+            continue
+        if referrer in landing_of:
+            landing = landing_of[referrer]
+        else:
+            landing = referrer_host(referrer, host_cache)
+            landing_of[referrer] = landing
         server = request.host
-        totals[server] += 1
         if landing is not None and landing != server:
             referrers_of[server][landing] += 1
     dominant: dict[str, str] = {}
@@ -68,54 +124,114 @@ def dominant_referrers(trace: HttpTrace) -> dict[str, str]:
     return dominant
 
 
+@dataclass(frozen=True)
+class EncodedPruneReport:
+    """Id-domain :class:`~repro.core.results.PruneReport` (server ids)."""
+
+    redirection_replacements: dict[int, int]
+    referrer_replacements: dict[int, int]
+    dropped_ashes: int
+
+    def decode(self, interner: Interner) -> PruneReport:
+        label_of = interner.label_of
+        return PruneReport(
+            redirection_replacements={
+                label_of(replaced): label_of(landing)
+                for replaced, landing in self.redirection_replacements.items()
+            },
+            referrer_replacements={
+                label_of(replaced): label_of(landing)
+                for replaced, landing in self.referrer_replacements.items()
+            },
+            dropped_ashes=self.dropped_ashes,
+        )
+
+
+def prune_ashes_ids(
+    ashes: tuple[tuple[int, str, int, frozenset[int]], ...],
+    trace: HttpTrace,
+    interner: Interner,
+    redirects: RedirectOracle | None = None,
+    config: PruningConfig | None = None,
+    referrer_of: dict[str, str] | None = None,
+) -> tuple[tuple[tuple[int, str, int, frozenset[int]], ...], EncodedPruneReport]:
+    """Apply both pruning steps to id-domain candidate ASHs.
+
+    Landing servers that are not part of the mined namespace are interned
+    on first sight (appended ids), so replacement members stay ids.
+    ``referrer_of`` overrides the :func:`dominant_referrers` computation —
+    the pipeline derives it once per mined trace and reuses it across
+    ``finish`` calls (threshold sweeps, the streaming engine's
+    two-threshold day).
+    """
+    config = config or PruningConfig()
+    config.validate()
+    redirect_oracle = redirects or RedirectOracle()
+    if referrer_of is None:
+        referrer_of = (
+            dominant_referrers(trace) if config.prune_referrer_groups else {}
+        )
+
+    redirection_replacements: dict[int, int] = {}
+    referrer_replacements: dict[int, int] = {}
+    kept: list[tuple[int, str, int, frozenset[int]]] = []
+    dropped = 0
+    label_of = interner.label_of
+    intern = interner.intern
+    prune_redirection = config.prune_redirection_groups
+
+    for main_index, dimension, secondary_index, servers in ashes:
+        members: set[int] = set()
+        # Sorted so the replacement dicts fill in data order, not frozenset
+        # hash order.
+        for server_id in sorted(servers):
+            server = label_of(server_id)
+            replacement_id = server_id
+            if prune_redirection:
+                landing = redirect_oracle.landing_server(server)
+                if landing is not None and landing != server:
+                    replacement_id = intern(landing)
+                    redirection_replacements[server_id] = replacement_id
+            if replacement_id == server_id and server in referrer_of:
+                replacement_id = intern(referrer_of[server])
+                referrer_replacements[server_id] = replacement_id
+            members.add(replacement_id)
+        if len(members) >= 2:
+            kept.append((main_index, dimension, secondary_index, frozenset(members)))
+        else:
+            dropped += 1
+
+    report = EncodedPruneReport(
+        redirection_replacements=redirection_replacements,
+        referrer_replacements=referrer_replacements,
+        dropped_ashes=dropped,
+    )
+    return tuple(kept), report
+
+
 def prune_ashes(
     ashes: tuple[CandidateAsh, ...],
     trace: HttpTrace,
     redirects: RedirectOracle | None = None,
     config: PruningConfig | None = None,
 ) -> tuple[tuple[CandidateAsh, ...], PruneReport]:
-    """Apply both pruning steps to the candidate ASHs."""
-    config = config or PruningConfig()
-    config.validate()
-    redirect_oracle = redirects or RedirectOracle()
-    referrer_of = dominant_referrers(trace) if config.prune_referrer_groups else {}
-
-    redirection_replacements: dict[str, str] = {}
-    referrer_replacements: dict[str, str] = {}
-    kept: list[CandidateAsh] = []
-    dropped = 0
-
-    for ash in ashes:
-        members: set[str] = set()
-        # Sorted so the replacement dicts fill in data order, not frozenset
-        # hash order.
-        for server in sorted(ash.servers):
-            replacement = server
-            if config.prune_redirection_groups:
-                landing = redirect_oracle.landing_server(server)
-                if landing is not None and landing != server:
-                    redirection_replacements[server] = landing
-                    replacement = landing
-            if replacement == server and server in referrer_of:
-                landing = referrer_of[server]
-                referrer_replacements[server] = landing
-                replacement = landing
-            members.add(replacement)
-        if len(members) >= 2:
-            kept.append(
-                CandidateAsh(
-                    main_index=ash.main_index,
-                    secondary_dimension=ash.secondary_dimension,
-                    secondary_index=ash.secondary_index,
-                    servers=frozenset(members),
-                )
-            )
-        else:
-            dropped += 1
-
-    report = PruneReport(
-        redirection_replacements=redirection_replacements,
-        referrer_replacements=referrer_replacements,
-        dropped_ashes=dropped,
+    """Label-domain wrapper over :func:`prune_ashes_ids`."""
+    interner = Interner(
+        server for ash in ashes for server in ash.servers
     )
-    return tuple(kept), report
+    encoded = tuple(
+        (ash.main_index, ash.secondary_dimension, ash.secondary_index,
+         interner.encode_set(ash.servers))
+        for ash in ashes
+    )
+    kept, report = prune_ashes_ids(encoded, trace, interner, redirects, config)
+    decoded = tuple(
+        CandidateAsh(
+            main_index=main_index,
+            secondary_dimension=dimension,
+            secondary_index=secondary_index,
+            servers=interner.decode_set(members),
+        )
+        for main_index, dimension, secondary_index, members in kept
+    )
+    return decoded, report.decode(interner)

@@ -13,7 +13,18 @@ from repro.domains.publicsuffix import PublicSuffixList, default_psl
 
 
 def is_ip_address(server: str) -> bool:
-    """True when *server* is a literal IPv4/IPv6 address."""
+    """True when *server* is a literal IPv4/IPv6 address.
+
+    The common case by far is a domain name, and ``ipaddress.ip_address``
+    rejects those by raising — an expensive way to say no.  A textual
+    IPv4 address always starts with a digit and a textual IPv6 address
+    always contains a colon, so anything failing both screens is a
+    domain, no exception required.
+    """
+    if not server:
+        return False
+    if ":" not in server and not server[0].isdigit():
+        return False
     try:
         ipaddress.ip_address(server)
     except ValueError:

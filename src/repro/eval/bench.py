@@ -1,57 +1,68 @@
-"""Streaming perf-trajectory benchmark (the CI ``bench`` job).
+"""Performance benchmarks (the CI ``bench`` job and ``smash bench``).
 
-Measures the costs the incremental-streaming work (PR 3) is supposed to
-remove, and writes them as one JSON document (``BENCH_stream.json`` in
-CI) so the numbers are tracked per PR instead of asserted once and
-forgotten:
+Two suites, each writing one JSON document so the numbers are tracked
+per PR instead of asserted once and forgotten:
 
-* per-day advance time, cold (``--no-incremental``, full re-mine every
-  day) vs incremental, on two workloads:
+``stream`` (``BENCH_stream.json``)
+    Measures the costs the incremental-streaming work (PR 3) removes:
+    per-day advance time cold vs incremental on a varying and a steady
+    workload, checkpoint bytes with and without a
+    :class:`~repro.stream.store.TraceStore`, days/sec throughput.
 
-  - ``varying`` — a generated multi-day scenario where every day brings
-    new requests in every dimension (the incremental cache's honest
-    lower bound: little to reuse);
-  - ``steady`` — the same day content re-ingested day over day (steady
-    state traffic; the cache's ceiling: after warm-up every dimension is
-    reused);
+``mine`` (``BENCH_mine.json``)
+    Measures the interned-ID mining core against the frozen pre-refactor
+    label-path core (:class:`repro.core.legacy.LegacyPipeline`) over a
+    sweep of synthetic scenario sizes (servers/clients/requests all
+    scale with the factor): end-to-end run time, mine/finish stage
+    split, requests/sec throughput, per-dimension candidate-pair
+    accounting, and a heavy-hitter section showing how the
+    ``max_group_size`` gate bounds an otherwise quadratic shared-IP
+    posting list.
 
-* checkpoint bytes with and without a :class:`~repro.stream.store.TraceStore`
-  attached, plus the bytes the store itself occupies;
-* days/sec throughput and the incremental/cold speedup.
-
-The harness re-checks incremental == cold campaign output while it
-times, so a benchmark run is also an equivalence smoke test.
+Both harnesses re-check output equivalence while they time (incremental
+== cold, interned == label path), so a benchmark run is also an
+equivalence smoke test.
 
 Run directly::
 
-    python -m repro.eval.bench --days 4 --window 2 --out BENCH_stream.json
+    python -m repro.eval.bench --suite stream --days 4 --window 2 --out BENCH_stream.json
+    python -m repro.eval.bench --suite mine --scales 0.25,0.5,1.0 --out BENCH_mine.json
+
+or via the CLI: ``smash bench --scales 0.25,0.5,1.0``.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
 import tempfile
 import time
+from typing import TYPE_CHECKING
 from pathlib import Path
 
-from repro.stream.checkpoint import save_checkpoint
-from repro.stream.engine import StreamingSmash
-from repro.stream.store import TraceStore
-from repro.stream.window import DayPartition
-from repro.synth.generator import TraceGenerator
-from repro.synth.scenarios import small_scenario
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.httplog.trace import HttpTrace
+    from repro.stream.engine import StreamingSmash
+    from repro.stream.window import DayPartition
+
+# Package imports happen inside the suite functions: the CLI imports
+# this module at parser-build time (for ``add_bench_arguments``), and
+# that must not drag the streaming engine, the synth generator and the
+# pipeline into every ``smash generate/run/report/stream`` startup.
 
 
 def _timed_stream(
-    partitions: list[DayPartition],
+    partitions: list["DayPartition"],
     window_size: int,
     incremental: bool,
     store_dir: str | Path | None = None,
-) -> tuple[StreamingSmash, dict[str, object]]:
+) -> tuple["StreamingSmash", dict[str, object]]:
     """Ingest *partitions* into a fresh engine, timing each advance."""
+    from repro.stream.engine import StreamingSmash
+
     engine = StreamingSmash(
         window_size=window_size, incremental=incremental, store_dir=store_dir
     )
@@ -97,6 +108,12 @@ def bench_stream(
     days: int = 4, window: int = 2, seed: int = 7
 ) -> dict[str, object]:
     """Run the streaming benchmark and return the result document."""
+    from repro.stream.checkpoint import save_checkpoint
+    from repro.stream.store import TraceStore
+    from repro.stream.window import DayPartition
+    from repro.synth.generator import TraceGenerator
+    from repro.synth.scenarios import small_scenario
+
     datasets = list(TraceGenerator(small_scenario(seed=seed, days=days)).iter_days())
     varying = [
         DayPartition(
@@ -163,23 +180,239 @@ def bench_stream(
     return document
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.eval.bench",
-        description="streaming perf-trajectory benchmark (writes one JSON doc)",
-    )
-    parser.add_argument("--days", type=int, default=4)
-    parser.add_argument("--window", type=int, default=2)
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument(
-        "--out", default="BENCH_stream.json", help="output JSON path"
-    )
-    args = parser.parse_args(argv)
+# -- mine-core scaling benchmark ---------------------------------------------------
 
-    document = bench_stream(days=args.days, window=args.window, seed=args.seed)
-    out = Path(args.out)
-    out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
 
+def _fresh_trace(trace: "HttpTrace") -> "HttpTrace":
+    """Same requests, no cached indices — a cold trace for honest timing."""
+    from repro.httplog.trace import HttpTrace
+
+    return HttpTrace(trace.requests, name=trace.name)
+
+
+def _timed_pipeline(
+    pipeline_factory, dataset, repeats: int
+) -> tuple[dict[str, float], object, object]:
+    """Best-of-*repeats* staged timing of one core on one dataset."""
+    best_total = None
+    best = None
+    for _ in range(max(1, repeats)):
+        pipeline = pipeline_factory()
+        trace = _fresh_trace(dataset.trace)
+        gc.collect()
+        tick = time.perf_counter()
+        mined = pipeline.mine(trace, dataset.whois)
+        mid = time.perf_counter()
+        result = pipeline.finish(mined, dataset.redirects)
+        done = time.perf_counter()
+        total = done - tick
+        if best_total is None or total < best_total:
+            best_total = total
+            best = (
+                {
+                    "mine_seconds": round(mid - tick, 6),
+                    "finish_seconds": round(done - mid, 6),
+                    "total_seconds": round(total, 6),
+                    "requests_per_second": round(len(trace) / total, 1),
+                },
+                mined,
+                result,
+            )
+    assert best is not None
+    return best
+
+
+def _dimension_stats(mined) -> dict[str, dict[str, object]]:
+    stats: dict[str, dict[str, object]] = {}
+    for dimension, outcome in (("client", mined.main), *mined.secondary.items()):
+        build_stats = dict(getattr(outcome.graph, "build_stats", {}) or {})
+        build_stats.pop("dimension", None)
+        if build_stats:
+            stats[dimension] = build_stats
+    return stats
+
+
+def _flux_trace(num_servers: int) -> "HttpTrace":
+    """A domain-flux heavy hitter: every server shares one sinkhole IP.
+
+    The shared IP's posting list has ``num_servers`` members, so
+    uncapped candidate generation walks ``n*(n-1)/2`` pairs; each
+    consecutive server pair also shares a private relay IP, so a capped
+    run still has honest (linear) work to do.
+    """
+    from repro.httplog.records import HttpRequest
+    from repro.httplog.trace import HttpTrace
+
+    requests = []
+    for index in range(num_servers):
+        host = f"flux{index:05d}.example"
+        client = f"bot{index % 97:03d}"
+        requests.append(
+            HttpRequest(
+                timestamp=float(index),
+                client=client,
+                host=host,
+                server_ip="198.51.100.7",
+                uri="/gate.php",
+            )
+        )
+        requests.append(
+            HttpRequest(
+                timestamp=float(index) + 0.5,
+                client=client,
+                host=host,
+                server_ip=f"10.{index // 250}.{index % 250}.9",
+                uri="/gate.php",
+            )
+        )
+        if index + 1 < num_servers:
+            requests.append(
+                HttpRequest(
+                    timestamp=float(index) + 0.7,
+                    client=client,
+                    host=host,
+                    server_ip=f"172.16.{index // 250}.{index % 250}",
+                    uri="/gate.php",
+                )
+            )
+        if index > 0:
+            requests.append(
+                HttpRequest(
+                    timestamp=float(index) + 0.8,
+                    client=client,
+                    host=host,
+                    server_ip=f"172.16.{(index - 1) // 250}.{(index - 1) % 250}",
+                    uri="/gate.php",
+                )
+            )
+    return HttpTrace(requests, name=f"flux{num_servers}")
+
+
+def heavy_hitter_scaling(
+    sizes: tuple[int, ...] = (200, 400, 800), cap: int = 64
+) -> dict[str, object]:
+    """Candidate-pair counts on the flux trace, capped vs uncapped.
+
+    Uncapped, the shared-IP group alone contributes ``n*(n-1)/2``
+    enumerated pairs — quadratic in scenario size.  With
+    ``DimensionConfig(max_group_size=cap)`` the group is skipped
+    deterministically and the walked-pair count stays linear (the relay
+    pairs).  Both runs are timed and their pair accounting recorded.
+    """
+    from repro.config import DimensionConfig
+    from repro.core.dimensions.ipset import build_ipset_graph
+
+    rows = []
+    for size in sizes:
+        trace = _flux_trace(size)
+        entry: dict[str, object] = {"servers": size}
+        for label, config in (
+            ("uncapped", DimensionConfig()),
+            ("capped", DimensionConfig(max_group_size=cap)),
+        ):
+            fresh = _fresh_trace(trace)
+            gc.collect()
+            tick = time.perf_counter()
+            graph = build_ipset_graph(fresh, config)
+            elapsed = time.perf_counter() - tick
+            stats = dict(graph.build_stats)
+            entry[label] = {
+                "seconds": round(elapsed, 6),
+                "enumerated_pairs": stats.get("enumerated_pairs"),
+                "candidate_pairs": stats.get("candidate_pairs"),
+                "skipped_groups": stats.get("skipped_groups"),
+                "edges": graph.num_edges(),
+            }
+        rows.append(entry)
+    return {"cap": cap, "dimension": "ipset", "sizes": rows}
+
+
+def mine_scaling(
+    scales: tuple[float, ...] = (0.25, 0.5, 1.0),
+    seed: int = 7,
+    repeats: int = 2,
+    heavy_sizes: tuple[int, ...] = (200, 400, 800),
+    heavy_cap: int = 64,
+) -> dict[str, object]:
+    """Interned core vs the frozen pre-refactor core across scenario sizes.
+
+    Returns the ``BENCH_mine.json`` document.  Every scale is an
+    equivalence check as well: the two cores' full result documents must
+    be byte-identical or the benchmark aborts.
+    """
+    from repro.core.legacy import LegacyPipeline
+    from repro.core.pipeline import SmashPipeline
+    from repro.eval.export import result_to_dict
+    from repro.synth.generator import TraceGenerator
+    from repro.synth.scenarios import data2012day
+
+    rows = []
+    for scale in scales:
+        # Separate (identical) datasets per core: the legacy pipeline
+        # injects pre-refactor-built indices into its traces, and the
+        # cores must not subsidise each other's caches.
+        dataset = TraceGenerator(data2012day(scale=scale, seed=seed)).generate_day(0)
+        dataset_legacy = TraceGenerator(data2012day(scale=scale, seed=seed)).generate_day(0)
+        interned, mined, result = _timed_pipeline(SmashPipeline, dataset, repeats)
+        legacy, _, legacy_result = _timed_pipeline(LegacyPipeline, dataset_legacy, repeats)
+        new_doc = json.dumps(result_to_dict(result), sort_keys=True)
+        old_doc = json.dumps(result_to_dict(legacy_result), sort_keys=True)
+        if new_doc != old_doc:
+            raise AssertionError(f"interned and label-path cores diverged at scale {scale}")
+        rows.append(
+            {
+                "scale": scale,
+                "requests": len(dataset.trace),
+                "servers_raw": len(dataset.trace.servers),
+                "servers_mined": len(mined.trace.servers),
+                "campaigns": len(result.campaigns),
+                "interned": interned,
+                "legacy": legacy,
+                "speedup": round(
+                    legacy["total_seconds"] / interned["total_seconds"], 3
+                ),
+                "identical_output": True,
+                "dimension_stats": _dimension_stats(mined),
+            }
+        )
+
+    document: dict[str, object] = {
+        "benchmark": "repro.mine",
+        "seed": seed,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scales": rows,
+        "largest_scale_speedup": rows[-1]["speedup"] if rows else None,
+        "heavy_hitter": heavy_hitter_scaling(heavy_sizes, heavy_cap),
+    }
+    return document
+
+
+def _print_mine_summary(document: dict[str, object]) -> None:
+    scales = document["scales"]
+    assert isinstance(scales, list)
+    for row in scales:
+        print(
+            f"scale {row['scale']}: {row['requests']} requests, "
+            f"interned {row['interned']['total_seconds']}s "
+            f"({row['interned']['requests_per_second']} req/s), "
+            f"legacy {row['legacy']['total_seconds']}s "
+            f"-> {row['speedup']}x, identical output"
+        )
+    heavy = document["heavy_hitter"]
+    assert isinstance(heavy, dict)
+    for entry in heavy["sizes"]:
+        print(
+            f"heavy-hitter {entry['servers']} servers: "
+            f"uncapped {entry['uncapped']['enumerated_pairs']} pairs "
+            f"({entry['uncapped']['seconds']}s), "
+            f"capped {entry['capped']['enumerated_pairs']} pairs "
+            f"({entry['capped']['seconds']}s)"
+        )
+
+
+def _print_stream_summary(document: dict[str, object]) -> None:
     workloads = document["workloads"]
     assert isinstance(workloads, dict)
     for name, entry in workloads.items():
@@ -196,8 +429,72 @@ def main(argv: list[str] | None = None) -> int:
         f"store-backed {checkpoint['store_bytes']} B "
         f"({checkpoint['shrink_factor']}x smaller)"
     )
-    print(f"wrote {out}")
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser, default_suite: str = "stream") -> None:
+    """The benchmark flag set, shared by ``smash bench`` and this module."""
+    parser.add_argument(
+        "--suite",
+        choices=["stream", "mine", "all"],
+        default=default_suite,
+        help=f"which benchmark suite to run (default: {default_suite})",
+    )
+    parser.add_argument("--days", type=int, default=4, help="streaming suite: days to ingest")
+    parser.add_argument("--window", type=int, default=2, help="streaming suite: window size")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--scales",
+        default="0.25,0.5,1.0",
+        help="mine suite: comma-separated scenario scale factors",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="mine suite: timing repetitions per core (best is kept)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_stream.json / BENCH_mine.json; "
+        "with --suite all, the mine document — the stream document "
+        "then goes to BENCH_stream.json)",
+    )
+    parser.add_argument(
+        "--stream-out",
+        default="BENCH_stream.json",
+        help="streaming-suite output path when --suite all (default: BENCH_stream.json)",
+    )
+
+
+def run_bench_cli(args: argparse.Namespace) -> int:
+    """Execute the suites selected on an ``add_bench_arguments`` namespace."""
+    wrote = []
+    if args.suite in ("stream", "all"):
+        document = bench_stream(days=args.days, window=args.window, seed=args.seed)
+        out = Path(args.stream_out if args.suite == "all" else (args.out or "BENCH_stream.json"))
+        out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+        _print_stream_summary(document)
+        wrote.append(out)
+    if args.suite in ("mine", "all"):
+        scales = tuple(float(part) for part in args.scales.split(",") if part)
+        document = mine_scaling(scales=scales, seed=args.seed, repeats=args.repeats)
+        out = Path(args.out or "BENCH_mine.json")
+        out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+        _print_mine_summary(document)
+        wrote.append(out)
+    for path in wrote:
+        print(f"wrote {path}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.bench",
+        description="performance benchmarks (each suite writes one JSON doc)",
+    )
+    add_bench_arguments(parser, default_suite="stream")
+    return run_bench_cli(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

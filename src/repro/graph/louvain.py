@@ -21,6 +21,17 @@ indexed in canonical sorted order and the integer adjacency lists are
 sorted once per level, so the seeded shuffle, the neighbour-community
 accumulation order, and therefore every equal-gain tie-break are fixed by
 construction.
+
+Index fast path
+---------------
+:class:`~repro.graph.wgraph.WeightedGraph` is integer-indexed internally;
+when a graph reports (via ``louvain_view``) that its ids are already in
+canonical order with ascending, loop-free, positive-weight rows — true
+for every graph the dimension builders produce — the entry level consumes
+the graph's adjacency directly, skipping the re-index/re-accumulate/
+re-sort bridge entirely.  The bridge remains as the fallback for
+arbitrary graphs and is byte-identical to the fast path on graphs where
+both apply (same ids, same row order, same float accumulation order).
 """
 
 from __future__ import annotations
@@ -83,51 +94,65 @@ class _Level:
         # Sum of degrees per community.
         self.community_degree = list(self.degree)
 
-    def neighbor_community_weights(self, node: int) -> dict[int, float]:
-        """Total edge weight from *node* to each neighbouring community."""
-        weights: dict[int, float] = defaultdict(float)
-        for neighbor, weight in self.adjacency[node].items():
-            weights[self.community[neighbor]] += weight
-        return weights
-
 
 def _local_move(level: _Level, config: LouvainConfig, rng) -> bool:
-    """Phase 1: greedy node moves.  Returns True if anything moved."""
+    """Phase 1: greedy node moves.  Returns True if anything moved.
+
+    The loop is the pipeline's single hottest region, so the invariants
+    are hoisted (``m2 * total_weight`` is the same float every
+    evaluation; ``community_degree[current]`` does not change while the
+    node is detached) and the neighbour-community accumulation is
+    inlined.  Every arithmetic operation, accumulation order and
+    tie-break is exactly the original's — outputs are byte-identical.
+    """
     m2 = 2.0 * level.total_weight
     if m2 == 0.0:
         return False
+    total_weight = level.total_weight
+    m2_total = m2 * total_weight
+    adjacency = level.adjacency
+    degrees = level.degree
+    community_of = level.community
+    community_degree = level.community_degree
+    min_gain = config.min_modularity_gain
     moved_any = False
     order = list(range(level.n))
     for _ in range(config.max_sweeps):
         rng.shuffle(order)
         moved_this_sweep = False
         for node in order:
-            current = level.community[node]
-            degree = level.degree[node]
-            neighbor_weights = level.neighbor_community_weights(node)
+            current = community_of[node]
+            degree = degrees[node]
+            # Total edge weight from `node` to each neighbouring
+            # community, accumulated in row order (ascending neighbour
+            # ids — the order that fixes every equal-gain tie-break).
+            neighbor_weights: dict[int, float] = {}
+            get_weight = neighbor_weights.get
+            for neighbor, weight in adjacency[node].items():
+                community = community_of[neighbor]
+                seen = get_weight(community)
+                neighbor_weights[community] = (
+                    weight if seen is None else seen + weight
+                )
             # Remove the node from its community for gain computation.
-            level.community_degree[current] -= degree
-            weight_to_current = neighbor_weights.get(current, 0.0)
+            community_degree[current] -= degree
+            current_degree = community_degree[current]
+            weight_to_current = get_weight(current, 0.0)
             best_community = current
             best_gain = 0.0
             for community, weight_to in neighbor_weights.items():
                 if community == current:
-                    gain = 0.0
-                else:
-                    # Delta-Q of moving `node` from `current` to `community`,
-                    # both evaluated with the node removed.
-                    gain = (weight_to - weight_to_current) / level.total_weight - (
-                        degree
-                        * (
-                            level.community_degree[community]
-                            - level.community_degree[current]
-                        )
-                    ) / (m2 * level.total_weight)
-                if gain > best_gain + config.min_modularity_gain:
+                    continue  # gain 0.0 can never beat best_gain + min_gain
+                # Delta-Q of moving `node` from `current` to `community`,
+                # both evaluated with the node removed.
+                gain = (weight_to - weight_to_current) / total_weight - (
+                    degree * (community_degree[community] - current_degree)
+                ) / m2_total
+                if gain > best_gain + min_gain:
                     best_gain = gain
                     best_community = community
-            level.community[node] = best_community
-            level.community_degree[best_community] += degree
+            community_of[node] = best_community
+            community_degree[best_community] += degree
             if best_community != current:
                 moved_this_sweep = True
                 moved_any = True
@@ -164,40 +189,60 @@ def _aggregate(level: _Level) -> tuple[_Level, list[int]]:
 
 
 def louvain_communities(
-    graph: WeightedGraph, config: LouvainConfig | None = None
+    graph: WeightedGraph,
+    config: LouvainConfig | None = None,
+    use_index: bool = True,
 ) -> LouvainResult:
     """Run Louvain community detection on *graph*.
 
     Isolated nodes come back as singleton communities.  The empty graph
-    yields an empty result.
+    yields an empty result.  ``use_index=False`` forces the rebuild
+    bridge even on index-ready graphs (the pre-interning behaviour; the
+    equivalence tests and the legacy benchmark core rely on it).
     """
     config = config or LouvainConfig()
     config.validate()
     rng = make_rng(config.seed)
 
-    # Canonical node indexing: the integer id of a node depends only on the
-    # node set, not on graph insertion order, so the seeded shuffle visits
-    # the same servers in the same order on every run.
-    nodes = canonical_nodes(graph.nodes)
-    if not nodes:
-        return LouvainResult(communities=(), partition={}, modularity=0.0, levels=0)
-    index_of = {node: i for i, node in enumerate(nodes)}
+    view = graph.louvain_view() if use_index else None
+    if view is not None:
+        # Fast path: the graph's ids are already canonical and its rows
+        # ascending and loop-free, so its adjacency *is* the entry level.
+        # `_Level` and `_aggregate` only read it; the labels are
+        # snapshotted because callers may grow the graph afterwards.
+        nodes, adjacency = list(view[0]), view[1]
+        if not nodes:
+            return LouvainResult(
+                communities=(), partition={}, modularity=0.0, levels=0
+            )
+        loops = [0.0] * len(nodes)
+    else:
+        # Canonical node indexing: the integer id of a node depends only
+        # on the node set, not on graph insertion order, so the seeded
+        # shuffle visits the same servers in the same order on every run.
+        nodes = canonical_nodes(graph.nodes)
+        if not nodes:
+            return LouvainResult(
+                communities=(), partition={}, modularity=0.0, levels=0
+            )
+        index_of = {node: i for i, node in enumerate(nodes)}
 
-    adjacency: list[dict[int, float]] = [{} for _ in nodes]
-    loops = [0.0] * len(nodes)
-    for u, v, weight in graph.edges():
-        if weight <= 0.0:
-            continue
-        if u == v:
-            loops[index_of[u]] += weight
-        else:
-            iu, iv = index_of[u], index_of[v]
-            adjacency[iu][iv] = adjacency[iu].get(iv, 0.0) + weight
-            adjacency[iv][iu] = adjacency[iv].get(iu, 0.0) + weight
-    # Sort each adjacency list by neighbour index: the iteration order of
-    # `neighbor_community_weights` (and with it every equal-gain
-    # tie-break) becomes a function of the topology alone.
-    adjacency = [dict(sorted(neigh.items())) for neigh in adjacency]
+        adjacency = [{} for _ in nodes]
+        loops = [0.0] * len(nodes)
+        for u, v, weight in graph.edges():
+            if weight <= 0.0:
+                continue
+            if u == v:
+                loops[index_of[u]] += weight
+            else:
+                iu, iv = index_of[u], index_of[v]
+                adjacency[iu][iv] = adjacency[iu].get(iv, 0.0) + weight
+                adjacency[iv][iu] = adjacency[iv].get(iu, 0.0) + weight
+        # Sort each adjacency list by neighbour index: the iteration order
+        # of `_local_move`'s neighbour-community accumulation (and with it
+        # every equal-gain tie-break) becomes a function of the topology
+        # alone.
+        adjacency = [dict(sorted(neigh.items())) for neigh in adjacency]
 
     level = _Level(adjacency, loops)
     # membership[i] = community label of original node i on the current level.

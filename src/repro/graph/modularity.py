@@ -31,18 +31,27 @@ def modularity(graph: WeightedGraph, partition: Mapping[Node, int]) -> float:
     m2 = 2.0 * graph.total_weight  # 2m
     if m2 == 0.0:
         return 0.0
-    for node in graph:
+    # Work on the graph's integer backend: same nodes in the same
+    # insertion order, same per-row neighbour order, so every float
+    # accumulates in exactly the order the label-keyed walk used — just
+    # without materialising a label dict per node.
+    labels = graph.nodes
+    communities: list[int] = []
+    for node in labels:
         if node not in partition:
             raise GraphError(f"partition is missing node {node!r}")
+        communities.append(partition[node])
 
     internal: dict[int, float] = defaultdict(float)  # sum of internal weights * 2
     degree_sum: dict[int, float] = defaultdict(float)
-    for node in graph:
-        community = partition[node]
-        degree_sum[community] += graph.degree(node)
-        for neighbor, weight in graph.neighbors(node).items():
-            if partition[neighbor] == community:
-                if neighbor == node:
+    adjacency = graph._adj  # rows are id-indexed; labels[i] names row i
+    for index in range(len(labels)):
+        community = communities[index]
+        row = adjacency[index]
+        degree_sum[community] += sum(row.values()) + row.get(index, 0.0)
+        for neighbor, weight in row.items():
+            if communities[neighbor] == community:
+                if neighbor == index:
                     internal[community] += 2.0 * weight
                 else:
                     internal[community] += weight

@@ -60,6 +60,28 @@ class HttpRequest:
         if not self.uri.startswith("/"):
             raise ValueError(f"HttpRequest.uri must be absolute, got {self.uri!r}")
 
+    def with_host(self, host: str) -> "HttpRequest":
+        """Copy of this request addressed to *host* (all else unchanged).
+
+        Preprocessing renames every aggregated request, so this skips the
+        dataclass constructor and its re-validation: every other field
+        was validated when this record was built, and *host* must be
+        non-empty like the original.
+        """
+        if not host:
+            raise ValueError("HttpRequest.host must be non-empty")
+        clone = object.__new__(HttpRequest)
+        object.__setattr__(clone, "timestamp", self.timestamp)
+        object.__setattr__(clone, "client", self.client)
+        object.__setattr__(clone, "host", host)
+        object.__setattr__(clone, "server_ip", self.server_ip)
+        object.__setattr__(clone, "uri", self.uri)
+        object.__setattr__(clone, "user_agent", self.user_agent)
+        object.__setattr__(clone, "referrer", self.referrer)
+        object.__setattr__(clone, "status", self.status)
+        object.__setattr__(clone, "method", self.method)
+        return clone
+
     @property
     def uri_file(self) -> str:
         """The paper's URI file (filename component) of this request."""

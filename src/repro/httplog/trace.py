@@ -56,6 +56,7 @@ class HttpTrace:
         self._ips_by_server: dict[str, frozenset[str]] | None = None
         self._requests_by_server: dict[str, tuple[HttpRequest, ...]] | None = None
         self._servers_by_client: dict[str, frozenset[str]] | None = None
+        self._servers: frozenset[str] | None = None
 
     # -- basic container protocol -------------------------------------------------
 
@@ -91,6 +92,7 @@ class HttpTrace:
             "_ips_by_server",
             "_requests_by_server",
             "_servers_by_client",
+            "_servers",
         ):
             state[key] = None
         return state
@@ -113,25 +115,53 @@ class HttpTrace:
             if new_host == request.host:
                 renamed.append(request)
             else:
-                renamed.append(
-                    HttpRequest(
-                        timestamp=request.timestamp,
-                        client=request.client,
-                        host=new_host,
-                        server_ip=request.server_ip,
-                        uri=request.uri,
-                        user_agent=request.user_agent,
-                        referrer=request.referrer,
-                        status=request.status,
-                        method=request.method,
-                    )
-                )
+                renamed.append(request.with_host(new_host))
         return HttpTrace(renamed, name=name or self.name)
 
     def filter_servers(self, keep: Callable[[str], bool], name: str | None = None) -> "HttpTrace":
-        """Return a new trace keeping only requests whose host passes *keep*."""
+        """Return a new trace keeping only requests whose host passes *keep*.
+
+        Per-server indices this trace has already built are *derived* for
+        the filtered trace by dropping the removed servers' keys — a
+        server-level filter cannot change any surviving server's client,
+        file or IP sets, so the derivation is exactly what a fresh build
+        over the kept requests would produce, minus the request re-scan
+        (and, for the file index, minus re-parsing every URI).
+        """
         kept = [request for request in self._requests if keep(request.host)]
-        return HttpTrace(kept, name=name or self.name)
+        filtered = HttpTrace(kept, name=name or self.name)
+        if self._clients_by_server is not None:
+            kept_servers = {
+                server for server in self._clients_by_server if keep(server)
+            }
+            filtered._clients_by_server = {
+                server: clients
+                for server, clients in self._clients_by_server.items()
+                if server in kept_servers
+            }
+            filtered._servers = frozenset(kept_servers)
+            if self._servers_by_client is not None:
+                servers_of: dict[str, frozenset[str]] = {}
+                for client, servers in self._servers_by_client.items():
+                    surviving = servers & kept_servers
+                    if surviving:
+                        servers_of[client] = (
+                            servers if len(surviving) == len(servers) else surviving
+                        )
+                filtered._servers_by_client = servers_of
+            if self._ips_by_server is not None:
+                filtered._ips_by_server = {
+                    server: ips
+                    for server, ips in self._ips_by_server.items()
+                    if server in kept_servers
+                }
+        if self._files_by_server is not None:
+            filtered._files_by_server = {
+                server: files
+                for server, files in self._files_by_server.items()
+                if keep(server)
+            }
+        return filtered
 
     def restrict_to_servers(self, servers: Iterable[str]) -> "HttpTrace":
         """Convenience wrapper over :meth:`filter_servers` for a fixed set."""
@@ -141,22 +171,45 @@ class HttpTrace:
     # -- inverted indices ---------------------------------------------------------
 
     def _build_indices(self) -> None:
+        """Build the set-valued indices (clients, IPs, client->servers).
+
+        The URI-file index (the only one that *parses*) and the
+        per-server request lists (the only one that materialises request
+        tuples) are built separately on first use, so the preprocess
+        stages — which look at clients and hosts only — never pay for
+        them on traces that are about to be aggregated or filtered away.
+        """
         clients: dict[str, set[str]] = defaultdict(set)
-        files: dict[str, set[str]] = defaultdict(set)
         ips: dict[str, set[str]] = defaultdict(set)
-        per_server: dict[str, list[HttpRequest]] = defaultdict(list)
         servers_of: dict[str, set[str]] = defaultdict(set)
         for request in self._requests:
-            clients[request.host].add(request.client)
-            files[request.host].add(request.uri_file)
-            ips[request.host].add(request.server_ip)
-            per_server[request.host].append(request)
-            servers_of[request.client].add(request.host)
+            host = request.host
+            clients[host].add(request.client)
+            ips[host].add(request.server_ip)
+            servers_of[request.client].add(host)
         self._clients_by_server = {s: frozenset(v) for s, v in clients.items()}
-        self._files_by_server = {s: frozenset(v) for s, v in files.items()}
         self._ips_by_server = {s: frozenset(v) for s, v in ips.items()}
-        self._requests_by_server = {s: tuple(v) for s, v in per_server.items()}
         self._servers_by_client = {c: frozenset(v) for c, v in servers_of.items()}
+
+    def _build_request_index(self) -> None:
+        per_server: dict[str, list[HttpRequest]] = defaultdict(list)
+        for request in self._requests:
+            per_server[request.host].append(request)
+        self._requests_by_server = {s: tuple(v) for s, v in per_server.items()}
+
+    def _build_file_index(self) -> None:
+        # URIs repeat massively across a trace; parse each distinct one
+        # once instead of once per request.
+        files: dict[str, set[str]] = defaultdict(set)
+        file_of: dict[str, str] = {}
+        for request in self._requests:
+            uri = request.uri
+            filename = file_of.get(uri)
+            if filename is None:
+                filename = request.uri_file
+                file_of[uri] = filename
+            files[request.host].add(filename)
+        self._files_by_server = {s: frozenset(v) for s, v in files.items()}
 
     @property
     def clients_by_server(self) -> dict[str, frozenset[str]]:
@@ -170,7 +223,7 @@ class HttpTrace:
     def files_by_server(self) -> dict[str, frozenset[str]]:
         """Mapping server -> set of URI files requested from it."""
         if self._files_by_server is None:
-            self._build_indices()
+            self._build_file_index()
         assert self._files_by_server is not None
         return self._files_by_server
 
@@ -186,7 +239,7 @@ class HttpTrace:
     def requests_by_server(self) -> dict[str, tuple[HttpRequest, ...]]:
         """Mapping server -> all requests sent to it (trace order)."""
         if self._requests_by_server is None:
-            self._build_indices()
+            self._build_request_index()
         assert self._requests_by_server is not None
         return self._requests_by_server
 
@@ -200,7 +253,16 @@ class HttpTrace:
 
     @property
     def servers(self) -> frozenset[str]:
-        return frozenset(self.clients_by_server)
+        if self._servers is None:
+            if self._clients_by_server is not None:
+                self._servers = frozenset(self._clients_by_server)
+            else:
+                # One attribute pass; no need to build the full indices
+                # just to enumerate the server namespace.
+                self._servers = frozenset(
+                    request.host for request in self._requests
+                )
+        return self._servers
 
     @property
     def clients(self) -> frozenset[str]:

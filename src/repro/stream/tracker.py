@@ -35,10 +35,15 @@ if TYPE_CHECKING:  # imported lazily at runtime: repro.eval imports
 
 
 def jaccard(left: frozenset[str], right: frozenset[str]) -> float:
-    """Jaccard similarity of two sets (0.0 when both are empty)."""
+    """Jaccard similarity of two sets (0.0 when both are empty).
+
+    The intersection is materialised once; the union size is
+    ``|A| + |B| - |A ∩ B|`` — same integer, one temporary set fewer.
+    """
     if not left and not right:
         return 0.0
-    return len(left & right) / len(left | right)
+    intersection = len(left & right)
+    return intersection / (len(left) + len(right) - intersection)
 
 
 @dataclass(frozen=True)
@@ -275,25 +280,63 @@ class CampaignTracker:
         config = self.config
         self._record_persistence(day, campaigns)
 
-        # Score every (tracked, observed) pair.  Candidates are ranked
-        # server-matches first (tier 0), then client-only fallbacks
-        # (tier 1), best score first; ties break on identity age (the
-        # numeric creation serial — the uid *string* stops sorting in age
-        # order at C10000) then observed order, so matching is
-        # deterministic.
-        candidates: list[tuple[int, float, int, int, str]] = []
+        # Score (tracked, observed) pairs that share at least one server
+        # (or, for the fallback tier, one client).  The per-advance
+        # inverted indexes below find exactly those pairs, so matching
+        # work scales with actual overlap instead of tracked x observed;
+        # a pair with no overlap at all scores 0.0 on both tiers and
+        # could never have been a candidate (both thresholds are > 0).
+        # Candidates are ranked server-matches first (tier 0), then
+        # client-only fallbacks (tier 1), best score first; ties break on
+        # identity age (the numeric creation serial — the uid *string*
+        # stops sorting in age order at C10000) then observed order.  The
+        # sort key is total per (uid, observed) pair, so the result is
+        # deterministic whatever order the indexes surfaced the pairs in.
+        server_uids: dict[str, list[str]] = {}
+        client_uids: dict[str, list[str]] = {}
         for uid, tracked in self._campaigns.items():
             if not tracked.alive:
                 continue
-            for index, observed in enumerate(campaigns):
-                server_score = jaccard(tracked.servers, observed.servers)
-                if server_score >= config.server_jaccard:
-                    candidates.append((0, server_score, tracked.serial, index, uid))
-                    continue
-                if config.match_clients:
-                    client_score = jaccard(tracked.clients, observed.clients)
+            for server in tracked.servers:
+                server_uids.setdefault(server, []).append(uid)
+            if config.match_clients:
+                for client in tracked.clients:
+                    client_uids.setdefault(client, []).append(uid)
+
+        candidates: list[tuple[int, float, int, int, str]] = []
+        for index, observed in enumerate(campaigns):
+            server_overlap: dict[str, int] = {}
+            for server in observed.servers:
+                for uid in server_uids.get(server, ()):
+                    server_overlap[uid] = server_overlap.get(uid, 0) + 1
+            client_overlap: dict[str, int] = {}
+            if config.match_clients:
+                for client in observed.clients:
+                    for uid in client_uids.get(client, ()):
+                        client_overlap[uid] = client_overlap.get(uid, 0) + 1
+            num_servers = len(observed.servers)
+            num_clients = len(observed.clients)
+            for uid in server_overlap.keys() | client_overlap.keys():
+                tracked = self._campaigns[uid]
+                shared = server_overlap.get(uid, 0)
+                if shared:
+                    server_score = shared / (
+                        len(tracked.servers) + num_servers - shared
+                    )
+                    if server_score >= config.server_jaccard:
+                        candidates.append(
+                            (0, server_score, tracked.serial, index, uid)
+                        )
+                        continue
+                shared_clients = client_overlap.get(uid, 0)
+                if shared_clients:
+                    client_score = shared_clients / (
+                        len(tracked.clients) + num_clients - shared_clients
+                    )
                     if client_score >= config.client_jaccard:
-                        candidates.append((1, client_score, tracked.serial, index, uid))
+                        candidates.append(
+                            (1, client_score, tracked.serial, index, uid)
+                        )
         candidates.sort(key=lambda entry: (entry[0], -entry[1], entry[2], entry[3]))
 
         events: list[TrackEvent] = []

@@ -1,0 +1,160 @@
+"""Interned core == pre-refactor label path, byte for byte (PR 5).
+
+The mining core was rewritten onto dense integer server ids: interned
+graphs, index-driven candidate generation, id-domain correlation/
+pruning/inference with decoding only at the results boundary.  The
+refactor's contract is that outputs are **byte-identical** to the
+pre-refactor label-path implementation, which lives on (frozen) in
+:mod:`repro.core.legacy` exactly for this comparison.
+
+The suite runs under whatever ``PYTHONHASHSEED`` pytest inherited (CI
+pins it to ``random``), and both cores run in-process, so JSON string
+equality here is genuine byte equality of the result documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import legacy
+from repro.core.dimensions.client import build_client_graph
+from repro.core.dimensions.ipset import build_ipset_graph
+from repro.core.dimensions.timedim import build_time_graph
+from repro.core.dimensions.urifile import build_urifile_graph
+from repro.core.dimensions.urlparam import build_urlparam_graph
+from repro.core.dimensions.whoisdim import build_whois_graph
+from repro.core.legacy import LegacyPipeline
+from repro.core.pipeline import SmashPipeline
+from repro.core.preprocess import preprocess
+from repro.eval.export import result_to_dict
+from repro.stream import JsonlSink, StreamingSmash
+from repro.stream.scoring import scenario_evidence
+from repro.synth.generator import TraceGenerator
+from repro.synth.scenarios import small_scenario
+
+THRESHOLDS = (0.5, 0.8, 1.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return TraceGenerator(small_scenario(seed=7)).generate_day(0)
+
+
+@pytest.fixture(scope="module")
+def prepared(dataset):
+    trace, _ = preprocess(dataset.trace)
+    return trace
+
+
+def result_doc(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+class TestBuilderEquivalence:
+    """Each interned builder mines the identical weighted topology."""
+
+    def test_client(self, prepared):
+        single = {
+            server
+            for server, clients in prepared.clients_by_server.items()
+            if len(clients) == 1
+        }
+        multi = prepared.filter_servers(lambda server: server not in single)
+        new = build_client_graph(multi)
+        old = legacy.legacy_build_client_graph(multi)
+        assert new == old
+        assert new.nodes == old.nodes  # same canonical insertion order
+
+    def test_ipset(self, prepared):
+        assert build_ipset_graph(prepared) == legacy.legacy_build_ipset_graph(prepared)
+
+    def test_urifile(self, prepared):
+        assert build_urifile_graph(prepared) == legacy.legacy_build_urifile_graph(prepared)
+
+    def test_whois(self, prepared, dataset):
+        new = build_whois_graph(prepared, dataset.whois)
+        assert new == legacy.legacy_build_whois_graph(prepared, dataset.whois)
+
+    def test_urlparam(self, prepared):
+        assert build_urlparam_graph(prepared) == legacy.legacy_build_urlparam_graph(prepared)
+
+    def test_time(self, prepared):
+        assert build_time_graph(prepared) == legacy.legacy_build_time_graph(prepared)
+
+    def test_pair_cap_off_by_default_and_gates_when_set(self, prepared):
+        from repro.config import DimensionConfig
+
+        assert DimensionConfig().max_group_size == 0
+        capped = build_ipset_graph(prepared, DimensionConfig(max_group_size=2))
+        uncapped = build_ipset_graph(prepared)
+        assert capped.num_edges() <= uncapped.num_edges()
+
+
+class TestPipelineEquivalence:
+    def test_run_byte_identical(self, dataset):
+        new = SmashPipeline().run(dataset.trace, whois=dataset.whois, redirects=dataset.redirects)
+        old = LegacyPipeline().run(dataset.trace, whois=dataset.whois, redirects=dataset.redirects)
+        assert result_doc(new) == result_doc(old)
+        # Scores carry raw floats; require exact equality, not rounding.
+        assert new.scores == old.scores
+        assert new.contributions == old.contributions
+        assert new.candidate_ashes == old.candidate_ashes
+        assert new.campaigns == old.campaigns
+
+    def test_run_sweep_byte_identical(self, dataset):
+        new = SmashPipeline().run_sweep(
+            dataset.trace, THRESHOLDS, whois=dataset.whois, redirects=dataset.redirects
+        )
+        old = LegacyPipeline().run_sweep(
+            dataset.trace, THRESHOLDS, whois=dataset.whois, redirects=dataset.redirects
+        )
+        for threshold in THRESHOLDS:
+            assert result_doc(new[threshold]) == result_doc(old[threshold]), threshold
+
+    def test_all_dimensions_enabled_byte_identical(self, dataset):
+        from repro.config import SmashConfig
+
+        config = SmashConfig(
+            enabled_secondary_dimensions=("urifile", "ipset", "whois", "urlparam", "time")
+        )
+        new = SmashPipeline(config).run(
+            dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+        )
+        old = LegacyPipeline(config).run(
+            dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+        )
+        assert result_doc(new) == result_doc(old)
+
+
+def _stream_three_days(tmp_path, label: str, use_legacy: bool):
+    """Run a scored 3-day stream; return (campaign docs, alerts bytes)."""
+    alerts_path = tmp_path / f"alerts_{label}.jsonl"
+    engine = StreamingSmash(
+        window_size=2,
+        evidence=scenario_evidence(),
+        sinks=(JsonlSink(alerts_path),),
+    )
+    if use_legacy:
+        # The engine drives its pipeline only through mine()/finish(),
+        # which the frozen legacy core implements with the same
+        # signatures (ignoring the incremental cache — a cache hit is
+        # provably identical to re-mining, so results cannot differ).
+        engine.pipeline = LegacyPipeline(engine.config)
+    generator = TraceGenerator(small_scenario(seed=7, days=3))
+    campaign_docs = []
+    for dataset in generator.iter_days():
+        update = engine.ingest_dataset(dataset)
+        campaign_docs.append(result_doc(update.result))
+    engine.close()
+    return campaign_docs, alerts_path.read_bytes()
+
+
+class TestStreamEquivalence:
+    def test_three_day_stream_campaigns_and_alerts_byte_identical(self, tmp_path):
+        new_campaigns, new_alerts = _stream_three_days(tmp_path, "new", False)
+        old_campaigns, old_alerts = _stream_three_days(tmp_path, "legacy", True)
+        assert new_campaigns == old_campaigns
+        assert new_alerts == old_alerts
+        assert new_alerts, "expected scored alerts from the small scenario"

@@ -1,0 +1,194 @@
+"""Unit tests for the interning substrate (PR 5).
+
+Covers the :class:`~repro.core.interning.Interner`, the inverted-index
+pair accumulator (including the config-gated heavy-hitter cap), and the
+integer-indexed ``WeightedGraph`` backend features the interned core
+relies on (canonical-index fast path, ``density_of``,
+``add_sorted_edges``).
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.config import DimensionConfig
+from repro.core.interning import (
+    Interner,
+    PairStats,
+    accumulate_pair_counts,
+    pack_pair,
+    unpack_pair,
+)
+from repro.errors import ConfigError
+from repro.graph.louvain import louvain_communities
+from repro.graph.wgraph import WeightedGraph, node_sort_key
+
+
+class TestInterner:
+    def test_ids_follow_canonical_order(self):
+        labels = ["zeta.com", "alpha.com", "10.0.0.1", "mid.net"]
+        interner = Interner(labels)
+        decoded = [interner.label_of(i) for i in range(len(interner))]
+        assert decoded == sorted(labels, key=node_sort_key)
+        for index, label in enumerate(decoded):
+            assert interner.id_of(label) == index
+
+    def test_duplicates_collapse(self):
+        interner = Interner(["a", "b", "a", "b"])
+        assert len(interner) == 2
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            Interner(["a"]).id_of("missing")
+
+    def test_intern_appends_after_base(self):
+        interner = Interner(["b", "c"])
+        assert interner.base_size == 2
+        appended = interner.intern("a")  # sorts before the base namespace
+        assert appended == 2  # ...but gets the next dense id
+        assert interner.intern("a") == appended  # idempotent
+        assert interner.label_of(appended) == "a"
+        assert len(interner) == 3
+        assert interner.base_size == 2
+
+    def test_encode_decode_roundtrip(self):
+        interner = Interner(["s3", "s1", "s2"])
+        ids = interner.encode_set(["s1", "s3"])
+        assert interner.decode_set(ids) == frozenset({"s1", "s3"})
+        assert interner.decode_sorted(ids) == ["s1", "s3"]
+        assert interner.encode(["s2", "s1"]) == [
+            interner.id_of("s2"),
+            interner.id_of("s1"),
+        ]
+
+    def test_contains_and_labels(self):
+        interner = Interner(["x"])
+        assert "x" in interner
+        assert "y" not in interner
+        assert interner.labels == ("x",)
+
+
+class TestPairAccumulator:
+    def test_counts_match_bruteforce(self):
+        groups = [[0, 2, 5], [2, 5], [1, 2], [3]]
+        width = 6
+        counts = accumulate_pair_counts(groups, width)
+        expected: dict[tuple[int, int], int] = {}
+        for group in groups:
+            for a, b in combinations(group, 2):
+                expected[(a, b)] = expected.get((a, b), 0) + 1
+        assert {unpack_pair(k, width): v for k, v in counts.items()} == expected
+
+    def test_pack_unpack_roundtrip(self):
+        assert unpack_pair(pack_pair(3, 7, 10), 10) == (3, 7)
+
+    def test_singletons_and_empty_groups_contribute_nothing(self):
+        assert accumulate_pair_counts([[4], []], 5) == {}
+
+    def test_stats_accounting(self):
+        stats = PairStats()
+        accumulate_pair_counts([[0, 1, 2], [3], [0, 1]], 4, stats=stats)
+        assert stats.groups == 3
+        assert stats.largest_group == 3
+        assert stats.skipped_groups == 0
+        assert stats.enumerated_pairs == 3 + 1
+        assert stats.candidate_pairs == 3  # (0,1) (0,2) (1,2); (0,1) reinforced
+
+    def test_heavy_hitter_group_is_capped_deterministically(self):
+        # One shared artefact on 500 servers previously meant 124750
+        # materialised candidate pairs; with the gate the group is
+        # skipped outright and only the honest small groups are walked.
+        heavy = list(range(500))
+        small = [[0, 1], [2, 3]]
+        stats = PairStats()
+        counts = accumulate_pair_counts([heavy, *small], 500, cap=64, stats=stats)
+        assert stats.skipped_groups == 1
+        assert stats.enumerated_pairs == 2
+        assert set(counts) == {pack_pair(0, 1, 500), pack_pair(2, 3, 500)}
+        again = accumulate_pair_counts([heavy, *small], 500, cap=64)
+        assert counts == again
+
+    def test_cap_off_walks_heavy_group(self):
+        heavy = list(range(100))
+        stats = PairStats()
+        counts = accumulate_pair_counts([heavy], 100, cap=0, stats=stats)
+        assert stats.enumerated_pairs == 100 * 99 // 2
+        assert len(counts) == 100 * 99 // 2
+
+    def test_max_group_size_config_validates(self):
+        DimensionConfig(max_group_size=10).validate()
+        with pytest.raises(ConfigError):
+            DimensionConfig(max_group_size=-1).validate()
+
+
+class TestIndexedGraphBackend:
+    def test_canonical_build_exposes_louvain_view(self):
+        graph = WeightedGraph.from_sorted_labels(["a", "b", "c"])
+        graph.add_edge_ids(0, 1, 1.0)
+        graph.add_edge_ids(0, 2, 0.5)
+        view = graph.louvain_view()
+        assert view is not None
+        labels, adjacency = view
+        assert labels == ["a", "b", "c"]
+        assert adjacency[0] == {1: 1.0, 2: 0.5}
+
+    def test_out_of_order_nodes_disable_fast_path(self):
+        graph = WeightedGraph()
+        graph.add_node("b")
+        graph.add_node("a")
+        assert graph.louvain_view() is None
+
+    def test_out_of_order_edges_disable_fast_path(self):
+        graph = WeightedGraph.from_sorted_labels(["a", "b", "c"])
+        graph.add_edge("b", "c", 1.0)
+        graph.add_edge("a", "b", 1.0)  # inserts 0 into b's row after 2
+        assert graph.louvain_view() is None
+
+    def test_self_loops_and_zero_weights_disable_fast_path(self):
+        looped = WeightedGraph.from_sorted_labels(["a", "b"])
+        looped.add_edge("a", "a", 1.0)
+        assert looped.louvain_view() is None
+        zero = WeightedGraph.from_sorted_labels(["a", "b"])
+        zero.add_edge("a", "b", 0.0)
+        assert zero.louvain_view() is None
+
+    def test_fast_path_matches_fallback(self):
+        graph = WeightedGraph.from_sorted_labels(["a", "b", "c", "d", "w", "x"])
+        for u, v, w in [
+            ("a", "b", 1.0), ("a", "c", 1.0), ("b", "c", 1.0),
+            ("c", "d", 0.05), ("w", "x", 2.0),
+        ]:
+            graph.add_edge(u, v, w)
+        assert graph.louvain_view() is not None
+        fast = louvain_communities(graph)
+        slow = louvain_communities(graph, use_index=False)
+        assert fast.communities == slow.communities
+        assert fast.partition == slow.partition
+        assert fast.modularity == slow.modularity
+
+    def test_density_of_equals_subgraph_density(self):
+        graph = WeightedGraph()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("e", "f")]:
+            graph.add_edge(u, v, 1.0)
+        for members in (["a", "b", "c"], ["a", "d"], ["a", "b", "c", "d", "zz"], ["e"], []):
+            assert graph.density_of(members) == graph.subgraph(members).density()
+
+    def test_add_sorted_edges_matches_incremental_adds(self):
+        edges = [(0, 1, 0.5), (0, 3, 1.5), (1, 2, 1.0), (2, 3, 0.25)]
+        bulk = WeightedGraph.from_sorted_labels(["a", "b", "c", "d"])
+        bulk.add_sorted_edges(iter(edges))
+        single = WeightedGraph.from_sorted_labels(["a", "b", "c", "d"])
+        for iu, iv, w in edges:
+            single.add_edge_ids(iu, iv, w)
+        assert bulk == single
+        assert bulk.total_weight == single.total_weight
+        assert bulk.louvain_view() is not None
+        assert bulk.louvain_view()[1] == single.louvain_view()[1]
+
+    def test_ids_and_labels_roundtrip(self):
+        graph = WeightedGraph.from_sorted_labels(["a", "b"])
+        assert graph.id_of("b") == 1
+        assert graph.label_of(0) == "a"
+
+    def test_build_stats_default_empty(self):
+        assert WeightedGraph().build_stats == {}
