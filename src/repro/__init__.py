@@ -26,6 +26,9 @@ Packages:
 * :mod:`repro.synth` — synthetic ISP trace generator (the evaluation
   substrate);
 * :mod:`repro.groundtruth` — signature IDS + blacklist ground truth;
+* :mod:`repro.obs` — opt-in observability: metrics registry, stage
+  spans, Prometheus-text and JSONL-snapshot exporters (recording never
+  changes outputs);
 * :mod:`repro.eval` — the paper's verification methodology and every
   table/figure of Section V;
 * :mod:`repro.baselines` — IDS-only, blacklist-only, client-clustering
@@ -48,6 +51,7 @@ from repro.errors import (
     ConfigError,
     GraphError,
     GroundTruthError,
+    ObsError,
     PipelineError,
     ReproError,
     ScenarioError,
@@ -76,6 +80,7 @@ __all__ = [
     "GroundTruthError",
     "Herd",
     "LouvainConfig",
+    "ObsError",
     "PipelineError",
     "PreprocessConfig",
     "PruningConfig",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the deploy-and-operate loop the paper describes
+Subcommands cover the deploy-and-operate loop the paper describes
 ("SMASH ... can be run everyday to detect daily malicious activities"):
 
 * ``generate`` — materialise a synthetic scenario day to a JSONL trace
@@ -13,7 +13,9 @@ Five subcommands cover the deploy-and-operate loop the paper describes
   checkpoint/resume;
 * ``bench`` — run the performance suites (:mod:`repro.eval.bench`):
   the interned-core scaling benchmark (``BENCH_mine.json``) and/or the
-  streaming perf-trajectory benchmark (``BENCH_stream.json``).
+  streaming perf-trajectory benchmark (``BENCH_stream.json``);
+* ``stats`` — render a human-readable report from a metrics artifact
+  written by ``--metrics-out`` / ``--trace-out`` (:mod:`repro.obs`).
 
 Examples::
 
@@ -23,7 +25,9 @@ Examples::
     python -m repro report campaigns.json
     python -m repro stream --scenario small --days 7 \
         --checkpoint stream.ckpt --events events.jsonl --out summary.json
-    python -m repro stream --day-dirs day0 day1 day2 --window 2
+    python -m repro stream --day-dirs day0 day1 day2 --window 2 \
+        --metrics-out metrics.prom --trace-out trace.jsonl
+    python -m repro stats trace.jsonl
     python -m repro bench --scales 0.25,0.5,1.0 --out BENCH_mine.json
 """
 
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 
@@ -38,6 +43,13 @@ from repro.config import SmashConfig
 from repro.core.pipeline import SmashPipeline
 from repro.eval.export import write_result_json
 from repro.httplog.loader import read_jsonl, write_jsonl
+from repro.obs import (
+    MetricsRegistry,
+    configure_logging,
+    render_stats,
+    write_prometheus,
+    write_snapshot,
+)
 from repro.synth.generator import TraceGenerator
 from repro.synth.oracles import RedirectOracle
 from repro.synth.scenarios import data2011day, data2012day, data2012week, small_scenario
@@ -103,12 +115,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_registry(args: argparse.Namespace) -> MetricsRegistry | None:
+    """A live registry when any obs export flag asks for one, else None."""
+    if getattr(args, "metrics_out", None) or getattr(args, "trace_out", None):
+        return MetricsRegistry()
+    return None
+
+
+def _export_obs(registry: MetricsRegistry | None, args: argparse.Namespace) -> None:
+    if registry is None:
+        return
+    if args.metrics_out:
+        write_prometheus(registry, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    if args.trace_out:
+        write_snapshot(registry, args.trace_out)
+        print(f"trace snapshot -> {args.trace_out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = read_jsonl(args.trace)
     whois = _read_whois_json(Path(args.whois)) if args.whois else None
     redirects = _read_redirects_json(Path(args.redirects)) if args.redirects else None
+    registry = _obs_registry(args)
     config = SmashConfig().with_thresh(args.thresh).replace(
-        workers=args.workers, executor=args.executor
+        workers=args.workers, executor=args.executor, metrics=registry
     )
     if args.dimensions:
         config = config.replace(
@@ -121,6 +152,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{len(result.campaigns)} campaigns, "
         f"{len(result.detected_servers)} servers -> {args.out}"
     )
+    _export_obs(registry, args)
     return 0
 
 
@@ -198,6 +230,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     from repro.stream.window import DayPartition
 
+    configure_logging(args.log_level, args.log_json)
+    logger = logging.getLogger("repro.stream.cli")
+    registry = _obs_registry(args)
     evidence = _ids_evidence(args.ids) + _blacklist_evidence(args.blacklist)
     if args.day_dirs and any(flag == "scenario" for flag in (args.ids, args.blacklist)):
         print("error: --ids/--blacklist scenario evidence needs a generated "
@@ -229,7 +264,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         # tuning (like sinks), so the command line's flags apply.
         engine = load_checkpoint(
             checkpoint, config=config, sinks=sinks, store_dir=args.store,
-            evidence=evidence, policy=policy,
+            evidence=evidence, policy=policy, metrics=registry,
         )
         print(f"resumed from {checkpoint} (last day: {engine.last_day})")
         # The checkpoint carries the stream's window size and tracker
@@ -250,6 +285,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             store_dir=args.store,
             evidence=evidence,
             policy=policy,
+            metrics=registry,
         )
     start_day = 0 if engine.last_day is None else engine.last_day + 1
 
@@ -295,18 +331,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             whois=partition.whois, redirects=partition.redirects,
         )
         updates.append(update)
-        new = len(update.events_of("new_campaign"))
-        grown = len(update.events_of("campaign_growth"))
-        died = len(update.events_of("campaign_died"))
-        total_dims = len(update.mined_dimensions) + len(update.reused_dimensions)
         critical = sum(1 for event in update.alerts if event.severity == "critical")
-        print(
-            f"day {update.day}: {update.num_campaigns} campaigns, "
-            f"{len(update.detected_servers)} servers "
-            f"(+{new} new, {grown} grown, -{died} died, "
-            f"{len(update.active)} active identities; "
-            f"{len(update.alerts)} alerts, {critical} critical; "
-            f"mined {len(update.mined_dimensions)}/{total_dims} dims)"
+        logger.info(
+            f"day {update.day}",
+            extra={
+                "data": {
+                    "day": update.day,
+                    "campaigns": update.num_campaigns,
+                    "servers": len(update.detected_servers),
+                    "new": len(update.events_of("new_campaign")),
+                    "grown": len(update.events_of("campaign_growth")),
+                    "died": len(update.events_of("campaign_died")),
+                    "active": len(update.active),
+                    "alerts": len(update.alerts),
+                    "critical": critical,
+                    "mined_dimensions": len(update.mined_dimensions),
+                    "reused_dimensions": len(update.reused_dimensions),
+                }
+            },
         )
         if checkpoint is not None:
             save_checkpoint(engine, checkpoint)
@@ -344,9 +386,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 }
                 for p in tracker.persistence_series()
             ],
+            # Per-day, per-dimension candidate-pair accounting: the
+            # heavy-hitter load signal, now visible outside `smash bench`.
+            "build_stats": [
+                {"day": update.day, "dimensions": update.build_stats}
+                for update in updates
+            ],
         }
         Path(args.out).write_text(json.dumps(summary, indent=1) + "\n")
         print(f"\nsummary -> {args.out}")
+    _export_obs(registry, args)
     return 0
 
 
@@ -354,6 +403,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.eval.bench import run_bench_cli
 
     return run_bench_cli(args)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """``--metrics-out`` / ``--trace-out`` metric export destinations."""
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metrics as a Prometheus text exposition to FILE",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a JSONL metrics + stage-span snapshot to FILE "
+             "(render with 'repro stats FILE')",
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    print(render_stats(args.file), end="")
+    return 0
 
 
 def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
@@ -395,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--out", required=True, help="campaign JSON output path")
     _add_worker_flags(run)
+    _add_obs_flags(run)
     run.set_defaults(func=_cmd_run)
 
     report = sub.add_parser("report", help="summarise a campaign JSON file")
@@ -476,7 +544,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--campaigns-out", default=None,
         help="write the final window's campaign JSON (same schema as 'run --out')",
     )
+    stream.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="stderr log level for per-advance summaries (default: info)",
+    )
+    stream.add_argument(
+        "--log-json", action="store_true",
+        help="emit log lines as JSON objects instead of human-readable text",
+    )
     _add_worker_flags(stream)
+    _add_obs_flags(stream)
     stream.set_defaults(func=_cmd_stream)
 
     bench = sub.add_parser(
@@ -487,6 +565,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_arguments(bench, default_suite="mine")
     bench.set_defaults(func=_cmd_bench)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a metrics/trace artifact written by --metrics-out/--trace-out",
+    )
+    stats.add_argument("file", help="Prometheus text exposition or JSONL snapshot")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -279,6 +279,15 @@ class SmashConfig:
     #: cold-path performance.
     incremental: bool = True
 
+    #: Metrics recorder (a :class:`~repro.obs.MetricsRegistry`) the
+    #: pipeline records spans and counters into; ``None`` (the default)
+    #: selects the shared :data:`~repro.obs.NULL_RECORDER`, whose every
+    #: method is a no-op.  Recording is metadata-only by contract — it
+    #: never influences mining results — so the field is excluded from
+    #: equality, repr, and (being top-level) the incremental-mining
+    #: content signatures, which digest only the sub-configs.
+    metrics: object | None = field(default=None, compare=False, repr=False)
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if any parameter is out of range."""
         self.preprocess.validate()

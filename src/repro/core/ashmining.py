@@ -24,12 +24,19 @@ class MiningOutcome:
 
     ``graph`` is the similarity graph the herds were mined from; the
     correlation stage measures intersection-ASH densities on it (eq. 9).
+    The ``louvain_*`` fields aggregate the work done by the top-level
+    Louvain run plus every refinement re-run — observability metadata,
+    never consumed by later stages.
     """
 
     herds: tuple[Herd, ...]
     dropped: frozenset[str]
     modularity: float
     graph: WeightedGraph
+    louvain_runs: int = 0
+    louvain_levels: int = 0
+    louvain_moves: int = 0
+    louvain_sweeps: int = 0
 
     def herd_of(self) -> dict[str, Herd]:
         """server -> its herd (each server is in at most one herd)."""
@@ -40,11 +47,20 @@ class MiningOutcome:
         return mapping
 
 
+def _tally(tally: list[int], result) -> None:
+    """Fold one Louvain run's work counters into a ``[runs, levels, moves, sweeps]`` tally."""
+    tally[0] += 1
+    tally[1] += result.levels
+    tally[2] += result.moves
+    tally[3] += result.sweeps
+
+
 def _refine_community(
     graph: WeightedGraph,
     community: frozenset,
     config: LouvainConfig,
     depth: int,
+    tally: list[int],
 ) -> list[frozenset]:
     """Recursively split *community* by re-running Louvain on its subgraph.
 
@@ -59,12 +75,13 @@ def _refine_community(
         return [community]
     subgraph = graph.subgraph(community)
     local = louvain_communities(subgraph, config)
+    _tally(tally, local)
     non_trivial = [c for c in local.communities if len(c) >= 1]
     if len(non_trivial) <= 1 or local.modularity <= config.refine_min_modularity:
         return [community]
     refined: list[frozenset] = []
     for part in non_trivial:
-        refined.extend(_refine_community(graph, part, config, depth + 1))
+        refined.extend(_refine_community(graph, part, config, depth + 1, tally))
     return refined
 
 
@@ -76,11 +93,13 @@ def mine_herds(
     """Extract the ASHs of *dimension* from its similarity graph."""
     config = config or LouvainConfig()
     result = louvain_communities(graph, config)
+    tally = [0, 0, 0, 0]  # runs, levels, moves, sweeps
+    _tally(tally, result)
     communities: list[frozenset] = list(result.communities)
     if config.refine:
         refined: list[frozenset] = []
         for community in communities:
-            refined.extend(_refine_community(graph, community, config, 0))
+            refined.extend(_refine_community(graph, community, config, 0, tally))
         communities = refined
     herds: list[Herd] = []
     dropped: list[str] = []
@@ -105,4 +124,8 @@ def mine_herds(
         dropped=frozenset(dropped),
         modularity=result.modularity,
         graph=graph,
+        louvain_runs=tally[0],
+        louvain_levels=tally[1],
+        louvain_moves=tally[2],
+        louvain_sweeps=tally[3],
     )

@@ -29,6 +29,7 @@ rebuild would produce, under any ``PYTHONHASHSEED``.
 from __future__ import annotations
 
 import hashlib
+import time
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -50,6 +51,7 @@ from repro.core.pruning import dominant_referrers, prune_ashes_ids
 from repro.core.results import MAIN_DIMENSION, CandidateAsh, SmashResult
 from repro.errors import PipelineError
 from repro.graph.wgraph import WeightedGraph
+from repro.obs.metrics import NULL_RECORDER
 from repro.httplog.trace import HttpTrace
 from repro.synth.oracles import RedirectOracle
 from repro.util.parallel import resolve_workers, run_jobs
@@ -347,7 +349,87 @@ def _append_single_client_herds(
         dropped=frozenset(dropped),
         modularity=main.modularity,
         graph=graph,
+        louvain_runs=main.louvain_runs,
+        louvain_levels=main.louvain_levels,
+        louvain_moves=main.louvain_moves,
+        louvain_sweeps=main.louvain_sweeps,
     )
+
+
+def _timed_job(job: Callable[[], object]) -> tuple[object, float]:
+    """Run one mining job and measure it in the worker that executes it.
+
+    Module-level so the process executor can pickle the wrapper; the
+    elapsed time rides back with the outcome instead of being recorded
+    from the coordinating thread (which would fold queueing delay into
+    the dimension's build time).
+    """
+    tick = time.perf_counter()
+    outcome = job()
+    return outcome, time.perf_counter() - tick
+
+
+def dimension_build_stats(mined: "MinedDimensions") -> dict[str, dict[str, object]]:
+    """Per-dimension candidate-pair accounting, keyed by dimension name.
+
+    Reads the ``build_stats`` dict each graph builder attaches (group
+    counts, enumerated vs candidate pairs, heavy-hitter cap skips).
+    Dimensions whose graph carries no stats are omitted.
+    """
+    stats: dict[str, dict[str, object]] = {}
+    for dimension, outcome in ((MAIN_DIMENSION, mined.main), *mined.secondary.items()):
+        build_stats = dict(getattr(outcome.graph, "build_stats", {}) or {})
+        build_stats.pop("dimension", None)
+        if build_stats:
+            stats[dimension] = build_stats
+    return stats
+
+
+def _record_dimension(recorder, dimension: str, outcome, seconds: float) -> None:
+    """Record one freshly mined dimension: span, latency, pair counters."""
+    attributes: dict[str, object] = {"dimension": dimension}
+    if outcome is None:
+        attributes["skipped"] = True
+        recorder.record_span("pipeline.mine.dimension", seconds, attributes)
+        return
+    stats = dict(getattr(outcome.graph, "build_stats", {}) or {})
+    stats.pop("dimension", None)
+    attributes.update(stats)
+    attributes["herds"] = len(outcome.herds)
+    attributes["dropped"] = len(outcome.dropped)
+    attributes["louvain_runs"] = outcome.louvain_runs
+    attributes["louvain_levels"] = outcome.louvain_levels
+    attributes["louvain_moves"] = outcome.louvain_moves
+    recorder.record_span("pipeline.mine.dimension", seconds, attributes)
+    recorder.histogram(
+        "smash_dimension_build_seconds",
+        "Wall time of one dimension's build-graph + Louvain job.",
+        labels=("dimension",),
+    ).labels(dimension=dimension).observe(seconds)
+    pairs = recorder.counter(
+        "smash_dimension_pairs_total",
+        "Candidate-generation pair accounting per dimension.",
+        labels=("dimension", "kind"),
+    )
+    for kind, key in (("enumerated", "enumerated_pairs"), ("candidate", "candidate_pairs")):
+        if key in stats:
+            pairs.labels(dimension=dimension, kind=kind).inc(stats[key])
+    if stats.get("skipped_groups"):
+        recorder.counter(
+            "smash_dimension_capped_groups_total",
+            "Sharing groups skipped by the max_group_size heavy-hitter cap.",
+            labels=("dimension",),
+        ).labels(dimension=dimension).inc(stats["skipped_groups"])
+    recorder.counter(
+        "smash_louvain_levels_total",
+        "Louvain coarsening levels executed (top-level runs + refinement).",
+        labels=("dimension",),
+    ).labels(dimension=dimension).inc(outcome.louvain_levels)
+    recorder.counter(
+        "smash_louvain_moves_total",
+        "Accepted Louvain node moves (top-level runs + refinement).",
+        labels=("dimension",),
+    ).labels(dimension=dimension).inc(outcome.louvain_moves)
 
 
 @dataclass(frozen=True)
@@ -383,6 +465,10 @@ class SmashPipeline:
     def __init__(self, config: SmashConfig | None = None) -> None:
         self.config = config or SmashConfig()
         self.config.validate()
+        #: The metrics recorder every stage records into; the shared
+        #: no-op :data:`~repro.obs.NULL_RECORDER` unless the config
+        #: carries a live :class:`~repro.obs.MetricsRegistry`.
+        self.metrics = self.config.metrics or NULL_RECORDER
 
     # -- stage 1+2: preprocess and mine --------------------------------------------
 
@@ -419,6 +505,18 @@ class SmashPipeline:
         1.0-weight cliques would chain unrelated client neighbourhoods
         together.
         """
+        with self.metrics.span("pipeline.mine", metric="smash_mine_seconds") as span:
+            return self._mine(trace, whois, workers, executor, cache, span)
+
+    def _mine(
+        self,
+        trace: HttpTrace,
+        whois: WhoisRegistry | None,
+        workers: int | None,
+        executor: str | None,
+        cache: DimensionCache | None,
+        span,
+    ) -> MinedDimensions:
         if len(trace) == 0:
             raise PipelineError("cannot run SMASH on an empty trace")
         config = self.config
@@ -433,7 +531,17 @@ class SmashPipeline:
             config.validate()
         workers = config.workers
         executor = config.executor
-        prepared, report = preprocess(trace, config.preprocess)
+        recorder = self.metrics
+        with recorder.span("pipeline.mine.preprocess") as pre_span:
+            prepared, report = preprocess(trace, config.preprocess)
+        if recorder.enabled:
+            pre_span.set(
+                raw_requests=report.raw_requests,
+                kept_requests=report.kept_requests,
+                raw_servers=report.raw_servers,
+                kept_servers=report.kept_servers,
+                popular_servers_removed=report.popular_servers_removed,
+            )
 
         clients_by_server = prepared.clients_by_server
         single_client_servers = {
@@ -490,6 +598,10 @@ class SmashPipeline:
                 else:
                     to_mine.append(dimension)
 
+        # The recorder never ships to workers: it may not survive process
+        # pickling, and worker-side recordings would be lost anyway.  Jobs
+        # measure their own wall time instead (``_timed_job``).
+        job_config = config if config.metrics is None else config.replace(metrics=None)
         jobs = []
         for dimension in to_mine:
             if dimension == MAIN_DIMENSION:
@@ -500,16 +612,26 @@ class SmashPipeline:
                         multi_servers_by_client,
                         single_client_servers,
                         clients_by_server,
-                        config,
+                        job_config,
                     )
                 )
             else:
                 jobs.append(
                     partial(
-                        _mine_secondary_dimension, dimension, prepared, whois, config
+                        _mine_secondary_dimension, dimension, prepared, whois, job_config
                     )
                 )
-        outcomes = run_jobs(jobs, workers=workers, executor=executor) if jobs else []
+        if recorder.enabled and jobs:
+            timed = run_jobs(
+                [partial(_timed_job, job) for job in jobs],
+                workers=workers,
+                executor=executor,
+            )
+            outcomes = [outcome for outcome, _ in timed]
+            for dimension, (outcome, seconds) in zip(to_mine, timed):
+                _record_dimension(recorder, dimension, outcome, seconds)
+        else:
+            outcomes = run_jobs(jobs, workers=workers, executor=executor) if jobs else []
         mined_now: dict[str, MiningOutcome | None] = dict(zip(to_mine, outcomes))
 
         if cache is not None:
@@ -531,6 +653,13 @@ class SmashPipeline:
             )
             if outcome is not None:
                 secondary[dimension] = outcome
+        if recorder.enabled:
+            span.set(
+                requests=report.kept_requests,
+                servers=report.kept_servers,
+                mined_dimensions=list(to_mine),
+                reused_dimensions=[d for d in dimensions if d in reused],
+            )
         return MinedDimensions(
             trace=prepared,
             preprocess_report=report,
@@ -555,11 +684,23 @@ class SmashPipeline:
         here, when the :class:`~repro.core.results.SmashResult` is
         assembled (the results boundary).
         """
+        with self.metrics.span("pipeline.finish", metric="smash_finish_seconds") as span:
+            return self._finish(mined, redirects, thresh, span)
+
+    def _finish(
+        self,
+        mined: MinedDimensions,
+        redirects: RedirectOracle | None,
+        thresh: float | None,
+        span,
+    ) -> SmashResult:
         config = self.config
+        recorder = self.metrics
         interner = mined.interner or Interner(mined.trace.clients_by_server)
-        encoded = correlate_ids(
-            mined.main, mined.secondary, interner, config.correlation, thresh=thresh
-        )
+        with recorder.span("pipeline.finish.correlate") as correlate_span:
+            encoded = correlate_ids(
+                mined.main, mined.secondary, interner, config.correlation, thresh=thresh
+            )
         if config.pruning.prune_referrer_groups:
             referrer_of = mined.stage_cache.get("dominant_referrers")
             if referrer_of is None:
@@ -567,22 +708,29 @@ class SmashPipeline:
                 mined.stage_cache["dominant_referrers"] = referrer_of
         else:
             referrer_of = {}
-        pruned, encoded_report = prune_ashes_ids(
-            encoded.candidate_ashes,
-            mined.trace,
-            interner,
-            redirects,
-            config.pruning,
-            referrer_of=referrer_of,
-        )
-        campaigns = infer_campaigns_ids(
-            pruned,
-            mined.trace,
-            encoded.scores,
-            encoded.contributions,
-            interner,
-            encoded_report,
-        )
+        with recorder.span("pipeline.finish.prune") as prune_span:
+            pruned, encoded_report = prune_ashes_ids(
+                encoded.candidate_ashes,
+                mined.trace,
+                interner,
+                redirects,
+                config.pruning,
+                referrer_of=referrer_of,
+            )
+        with recorder.span("pipeline.finish.infer") as infer_span:
+            campaigns = infer_campaigns_ids(
+                pruned,
+                mined.trace,
+                encoded.scores,
+                encoded.contributions,
+                interner,
+                encoded_report,
+            )
+        if recorder.enabled:
+            correlate_span.set(candidate_ashes=len(encoded.candidate_ashes))
+            prune_span.set(pruned_ashes=len(pruned))
+            infer_span.set(campaigns=len(campaigns))
+            span.set(campaigns=len(campaigns))
         herds_by_dimension = {MAIN_DIMENSION: mined.main.herds}
         for dimension, mining in mined.secondary.items():
             herds_by_dimension[dimension] = mining.herds

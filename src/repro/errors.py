@@ -37,6 +37,10 @@ class PipelineError(ReproError):
     """The SMASH pipeline was driven with inconsistent inputs."""
 
 
+class ObsError(ReproError):
+    """A metric or span was registered or recorded inconsistently."""
+
+
 class StreamError(ReproError):
     """The streaming engine was driven with inconsistent inputs."""
 

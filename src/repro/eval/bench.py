@@ -23,6 +23,18 @@ Both harnesses re-check output equivalence while they time (incremental
 == cold, interned == label path), so a benchmark run is also an
 equivalence smoke test.
 
+All stage timings come from the ``repro.obs`` span layer rather than
+ad-hoc ``time.perf_counter()`` bookkeeping: instrumented components
+(:class:`~repro.core.pipeline.SmashPipeline`,
+:class:`~repro.stream.engine.StreamingSmash`) record their own spans,
+and un-instrumented ones (the frozen
+:class:`~repro.core.legacy.LegacyPipeline`, raw graph builders) are
+timed with external spans in the same registry.  Pass ``--metrics-out``
+/ ``--trace-out`` to keep that registry as a Prometheus exposition or a
+span snapshot next to the JSON documents.  The mine suite additionally
+reports ``obs_overhead``: the enabled-recorder cost of a full run
+against the :class:`~repro.obs.NullRecorder` default.
+
 Run directly::
 
     python -m repro.eval.bench --suite stream --days 4 --window 2 --out BENCH_stream.json
@@ -39,7 +51,6 @@ import json
 import platform
 import sys
 import tempfile
-import time
 from typing import TYPE_CHECKING
 from pathlib import Path
 
@@ -59,31 +70,40 @@ def _timed_stream(
     window_size: int,
     incremental: bool,
     store_dir: str | Path | None = None,
+    registry=None,
 ) -> tuple["StreamingSmash", dict[str, object]]:
-    """Ingest *partitions* into a fresh engine, timing each advance."""
+    """Ingest *partitions* into a fresh engine; per-day times come from
+    the engine's own ``stream.advance`` spans."""
+    from repro.obs.metrics import MetricsRegistry
     from repro.stream.engine import StreamingSmash
 
+    registry = registry if registry is not None else MetricsRegistry()
     engine = StreamingSmash(
-        window_size=window_size, incremental=incremental, store_dir=store_dir
+        window_size=window_size,
+        incremental=incremental,
+        store_dir=store_dir,
+        metrics=registry,
     )
-    per_day: list[float] = []
+    base = len(registry.spans)
     reused: list[int] = []
     campaigns: list[tuple[tuple[str, ...], ...]] = []
-    start = time.perf_counter()
     for partition in partitions:
-        tick = time.perf_counter()
         update = engine.ingest_day(
             partition.day,
             partition.trace,
             whois=partition.whois,
             redirects=partition.redirects,
         )
-        per_day.append(time.perf_counter() - tick)
         reused.append(len(update.reused_dimensions))
         campaigns.append(
             tuple(tuple(sorted(c.servers)) for c in update.campaigns)
         )
-    total = time.perf_counter() - start
+    per_day = [
+        span.seconds
+        for span in registry.spans[base:]
+        if span.name == "stream.advance"
+    ]
+    total = sum(per_day)
     stats = {
         "per_day_seconds": [round(seconds, 6) for seconds in per_day],
         "total_seconds": round(total, 6),
@@ -105,7 +125,7 @@ def _speedup(cold: dict[str, object], warm: dict[str, object]) -> float | None:
 
 
 def bench_stream(
-    days: int = 4, window: int = 2, seed: int = 7
+    days: int = 4, window: int = 2, seed: int = 7, registry=None
 ) -> dict[str, object]:
     """Run the streaming benchmark and return the result document."""
     from repro.stream.checkpoint import save_checkpoint
@@ -145,8 +165,8 @@ def bench_stream(
 
     workloads: dict[str, object] = {}
     for name, partitions in (("varying", varying), ("steady", steady)):
-        _, cold = _timed_stream(partitions, window, incremental=False)
-        _, warm = _timed_stream(partitions, window, incremental=True)
+        _, cold = _timed_stream(partitions, window, incremental=False, registry=registry)
+        _, warm = _timed_stream(partitions, window, incremental=True, registry=registry)
         if cold.pop("_campaigns") != warm.pop("_campaigns"):
             raise AssertionError(
                 f"incremental and cold runs diverged on the {name} workload"
@@ -161,10 +181,10 @@ def bench_stream(
     # Checkpoint footprint: inline (v1-style embedded window) vs store-backed.
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         root = Path(tmp)
-        inline_engine, _ = _timed_stream(varying, window, incremental=True)
+        inline_engine, _ = _timed_stream(varying, window, incremental=True, registry=registry)
         save_checkpoint(inline_engine, root / "inline.ckpt")
         store_engine, _ = _timed_stream(
-            varying, window, incremental=True, store_dir=root / "store"
+            varying, window, incremental=True, store_dir=root / "store", registry=registry
         )
         save_checkpoint(store_engine, root / "store.ckpt")
         inline_bytes = (root / "inline.ckpt").stat().st_size
@@ -191,27 +211,56 @@ def _fresh_trace(trace: "HttpTrace") -> "HttpTrace":
 
 
 def _timed_pipeline(
-    pipeline_factory, dataset, repeats: int
+    pipeline_factory,
+    dataset,
+    repeats: int,
+    registry=None,
+    self_instrumented: bool = False,
 ) -> tuple[dict[str, float], object, object]:
-    """Best-of-*repeats* staged timing of one core on one dataset."""
+    """Best-of-*repeats* staged timing of one core on one dataset.
+
+    Timings are read back from ``pipeline.mine`` / ``pipeline.finish``
+    spans in *registry*.  With ``self_instrumented=True`` the core is
+    built with the registry attached (``SmashConfig(metrics=...)``) and
+    records those spans itself — the enabled-recorder path; otherwise
+    the core runs with its default :class:`~repro.obs.NullRecorder` and
+    this harness wraps each stage in an external span, so the timed work
+    is the zero-overhead disabled path.  The frozen legacy core has no
+    recorder support and is always timed externally.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
     best_total = None
     best = None
     for _ in range(max(1, repeats)):
-        pipeline = pipeline_factory()
+        if self_instrumented:
+            from repro.config import SmashConfig
+
+            pipeline = pipeline_factory(SmashConfig(metrics=registry))
+        else:
+            pipeline = pipeline_factory()
         trace = _fresh_trace(dataset.trace)
         gc.collect()
-        tick = time.perf_counter()
-        mined = pipeline.mine(trace, dataset.whois)
-        mid = time.perf_counter()
-        result = pipeline.finish(mined, dataset.redirects)
-        done = time.perf_counter()
-        total = done - tick
+        base = len(registry.spans)
+        if self_instrumented:
+            mined = pipeline.mine(trace, dataset.whois)
+            result = pipeline.finish(mined, dataset.redirects)
+        else:
+            with registry.span("pipeline.mine"):
+                mined = pipeline.mine(trace, dataset.whois)
+            with registry.span("pipeline.finish"):
+                result = pipeline.finish(mined, dataset.redirects)
+        ran = registry.spans[base:]
+        mine_seconds = next(s.seconds for s in ran if s.name == "pipeline.mine")
+        finish_seconds = next(s.seconds for s in ran if s.name == "pipeline.finish")
+        total = mine_seconds + finish_seconds
         if best_total is None or total < best_total:
             best_total = total
             best = (
                 {
-                    "mine_seconds": round(mid - tick, 6),
-                    "finish_seconds": round(done - mid, 6),
+                    "mine_seconds": round(mine_seconds, 6),
+                    "finish_seconds": round(finish_seconds, 6),
                     "total_seconds": round(total, 6),
                     "requests_per_second": round(len(trace) / total, 1),
                 },
@@ -220,16 +269,6 @@ def _timed_pipeline(
             )
     assert best is not None
     return best
-
-
-def _dimension_stats(mined) -> dict[str, dict[str, object]]:
-    stats: dict[str, dict[str, object]] = {}
-    for dimension, outcome in (("client", mined.main), *mined.secondary.items()):
-        build_stats = dict(getattr(outcome.graph, "build_stats", {}) or {})
-        build_stats.pop("dimension", None)
-        if build_stats:
-            stats[dimension] = build_stats
-    return stats
 
 
 def _flux_trace(num_servers: int) -> "HttpTrace":
@@ -289,7 +328,7 @@ def _flux_trace(num_servers: int) -> "HttpTrace":
 
 
 def heavy_hitter_scaling(
-    sizes: tuple[int, ...] = (200, 400, 800), cap: int = 64
+    sizes: tuple[int, ...] = (200, 400, 800), cap: int = 64, registry=None
 ) -> dict[str, object]:
     """Candidate-pair counts on the flux trace, capped vs uncapped.
 
@@ -297,11 +336,14 @@ def heavy_hitter_scaling(
     enumerated pairs — quadratic in scenario size.  With
     ``DimensionConfig(max_group_size=cap)`` the group is skipped
     deterministically and the walked-pair count stays linear (the relay
-    pairs).  Both runs are timed and their pair accounting recorded.
+    pairs).  Both runs are timed (external spans — graph builders do not
+    record their own) and their pair accounting recorded.
     """
     from repro.config import DimensionConfig
     from repro.core.dimensions.ipset import build_ipset_graph
+    from repro.obs.metrics import MetricsRegistry
 
+    registry = registry if registry is not None else MetricsRegistry()
     rows = []
     for size in sizes:
         trace = _flux_trace(size)
@@ -312,12 +354,13 @@ def heavy_hitter_scaling(
         ):
             fresh = _fresh_trace(trace)
             gc.collect()
-            tick = time.perf_counter()
-            graph = build_ipset_graph(fresh, config)
-            elapsed = time.perf_counter() - tick
+            with registry.span(
+                "bench.heavy_hitter.build", servers=size, mode=label
+            ) as span:
+                graph = build_ipset_graph(fresh, config)
             stats = dict(graph.build_stats)
             entry[label] = {
-                "seconds": round(elapsed, 6),
+                "seconds": round(span.seconds, 6),
                 "enumerated_pairs": stats.get("enumerated_pairs"),
                 "candidate_pairs": stats.get("candidate_pairs"),
                 "skipped_groups": stats.get("skipped_groups"),
@@ -333,15 +376,19 @@ def mine_scaling(
     repeats: int = 2,
     heavy_sizes: tuple[int, ...] = (200, 400, 800),
     heavy_cap: int = 64,
+    registry=None,
 ) -> dict[str, object]:
     """Interned core vs the frozen pre-refactor core across scenario sizes.
 
     Returns the ``BENCH_mine.json`` document.  Every scale is an
     equivalence check as well: the two cores' full result documents must
-    be byte-identical or the benchmark aborts.
+    be byte-identical or the benchmark aborts.  Both headline timings
+    run on the disabled-recorder path so the comparison stays fair; the
+    ``obs_overhead`` section quantifies the enabled-recorder cost
+    separately at the largest scale.
     """
     from repro.core.legacy import LegacyPipeline
-    from repro.core.pipeline import SmashPipeline
+    from repro.core.pipeline import SmashPipeline, dimension_build_stats
     from repro.eval.export import result_to_dict
     from repro.synth.generator import TraceGenerator
     from repro.synth.scenarios import data2012day
@@ -353,8 +400,12 @@ def mine_scaling(
         # cores must not subsidise each other's caches.
         dataset = TraceGenerator(data2012day(scale=scale, seed=seed)).generate_day(0)
         dataset_legacy = TraceGenerator(data2012day(scale=scale, seed=seed)).generate_day(0)
-        interned, mined, result = _timed_pipeline(SmashPipeline, dataset, repeats)
-        legacy, _, legacy_result = _timed_pipeline(LegacyPipeline, dataset_legacy, repeats)
+        interned, mined, result = _timed_pipeline(
+            SmashPipeline, dataset, repeats, registry=registry
+        )
+        legacy, _, legacy_result = _timed_pipeline(
+            LegacyPipeline, dataset_legacy, repeats, registry=registry
+        )
         new_doc = json.dumps(result_to_dict(result), sort_keys=True)
         old_doc = json.dumps(result_to_dict(legacy_result), sort_keys=True)
         if new_doc != old_doc:
@@ -372,9 +423,33 @@ def mine_scaling(
                     legacy["total_seconds"] / interned["total_seconds"], 3
                 ),
                 "identical_output": True,
-                "dimension_stats": _dimension_stats(mined),
+                "dimension_stats": dimension_build_stats(mined),
             }
         )
+
+    # Enabled-recorder overhead at the largest scale: same core, same
+    # dataset shape, recorder attached vs the NullRecorder default.
+    obs_overhead = None
+    if scales:
+        overhead_dataset = TraceGenerator(
+            data2012day(scale=scales[-1], seed=seed)
+        ).generate_day(0)
+        disabled, _, _ = _timed_pipeline(
+            SmashPipeline, overhead_dataset, repeats, registry=registry
+        )
+        enabled, _, _ = _timed_pipeline(
+            SmashPipeline, overhead_dataset, repeats, registry=registry, self_instrumented=True
+        )
+        obs_overhead = {
+            "scale": scales[-1],
+            "disabled": disabled,
+            "enabled": enabled,
+            "overhead_ratio": round(
+                enabled["total_seconds"] / disabled["total_seconds"], 4
+            )
+            if disabled["total_seconds"]
+            else None,
+        }
 
     document: dict[str, object] = {
         "benchmark": "repro.mine",
@@ -384,7 +459,8 @@ def mine_scaling(
         "platform": platform.platform(),
         "scales": rows,
         "largest_scale_speedup": rows[-1]["speedup"] if rows else None,
-        "heavy_hitter": heavy_hitter_scaling(heavy_sizes, heavy_cap),
+        "obs_overhead": obs_overhead,
+        "heavy_hitter": heavy_hitter_scaling(heavy_sizes, heavy_cap, registry=registry),
     }
     return document
 
@@ -399,6 +475,14 @@ def _print_mine_summary(document: dict[str, object]) -> None:
             f"({row['interned']['requests_per_second']} req/s), "
             f"legacy {row['legacy']['total_seconds']}s "
             f"-> {row['speedup']}x, identical output"
+        )
+    overhead = document.get("obs_overhead")
+    if isinstance(overhead, dict):
+        print(
+            f"obs overhead at scale {overhead['scale']}: "
+            f"disabled {overhead['disabled']['total_seconds']}s, "
+            f"enabled {overhead['enabled']['total_seconds']}s "
+            f"(ratio {overhead['overhead_ratio']})"
         )
     heavy = document["heavy_hitter"]
     assert isinstance(heavy, dict)
@@ -465,24 +549,55 @@ def add_bench_arguments(parser: argparse.ArgumentParser, default_suite: str = "s
         default="BENCH_stream.json",
         help="streaming-suite output path when --suite all (default: BENCH_stream.json)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the bench run's metrics as a Prometheus text exposition to FILE",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL metrics + stage-span snapshot of the bench run to "
+        "FILE (render with 'repro stats FILE')",
+    )
 
 
 def run_bench_cli(args: argparse.Namespace) -> int:
     """Execute the suites selected on an ``add_bench_arguments`` namespace."""
+    from repro.obs.metrics import MetricsRegistry
+
+    # One registry across every suite: all timed spans land in it, so
+    # the obs exports describe the whole bench run.
+    registry = MetricsRegistry()
     wrote = []
     if args.suite in ("stream", "all"):
-        document = bench_stream(days=args.days, window=args.window, seed=args.seed)
+        document = bench_stream(
+            days=args.days, window=args.window, seed=args.seed, registry=registry
+        )
         out = Path(args.stream_out if args.suite == "all" else (args.out or "BENCH_stream.json"))
         out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
         _print_stream_summary(document)
         wrote.append(out)
     if args.suite in ("mine", "all"):
         scales = tuple(float(part) for part in args.scales.split(",") if part)
-        document = mine_scaling(scales=scales, seed=args.seed, repeats=args.repeats)
+        document = mine_scaling(
+            scales=scales, seed=args.seed, repeats=args.repeats, registry=registry
+        )
         out = Path(args.out or "BENCH_mine.json")
         out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
         _print_mine_summary(document)
         wrote.append(out)
+    if args.metrics_out or args.trace_out:
+        from repro.obs import write_prometheus, write_snapshot
+
+        if args.metrics_out:
+            write_prometheus(registry, args.metrics_out)
+            print(f"metrics -> {args.metrics_out}")
+        if args.trace_out:
+            write_snapshot(registry, args.trace_out)
+            print(f"trace snapshot -> {args.trace_out}")
     for path in wrote:
         print(f"wrote {path}")
     return 0

@@ -64,12 +64,18 @@ class LouvainResult:
         Modularity Q of the final partition on the input graph.
     levels:
         Number of coarsening levels executed.
+    moves:
+        Total number of accepted node moves across all levels.
+    sweeps:
+        Total number of local-move sweeps executed across all levels.
     """
 
     communities: tuple[frozenset[Node], ...]
     partition: dict[Node, int]
     modularity: float
     levels: int
+    moves: int = 0
+    sweeps: int = 0
 
     def community_of(self, node: Node) -> frozenset[Node]:
         return self.communities[self.partition[node]]
@@ -95,8 +101,8 @@ class _Level:
         self.community_degree = list(self.degree)
 
 
-def _local_move(level: _Level, config: LouvainConfig, rng) -> bool:
-    """Phase 1: greedy node moves.  Returns True if anything moved.
+def _local_move(level: _Level, config: LouvainConfig, rng) -> tuple[int, int]:
+    """Phase 1: greedy node moves.  Returns ``(moves, sweeps)`` counts.
 
     The loop is the pipeline's single hottest region, so the invariants
     are hoisted (``m2 * total_weight`` is the same float every
@@ -107,7 +113,7 @@ def _local_move(level: _Level, config: LouvainConfig, rng) -> bool:
     """
     m2 = 2.0 * level.total_weight
     if m2 == 0.0:
-        return False
+        return 0, 0
     total_weight = level.total_weight
     m2_total = m2 * total_weight
     adjacency = level.adjacency
@@ -115,10 +121,12 @@ def _local_move(level: _Level, config: LouvainConfig, rng) -> bool:
     community_of = level.community
     community_degree = level.community_degree
     min_gain = config.min_modularity_gain
-    moved_any = False
+    moves = 0
+    sweeps = 0
     order = list(range(level.n))
     for _ in range(config.max_sweeps):
         rng.shuffle(order)
+        sweeps += 1
         moved_this_sweep = False
         for node in order:
             current = community_of[node]
@@ -155,10 +163,10 @@ def _local_move(level: _Level, config: LouvainConfig, rng) -> bool:
             community_degree[best_community] += degree
             if best_community != current:
                 moved_this_sweep = True
-                moved_any = True
+                moves += 1
         if not moved_this_sweep:
             break
-    return moved_any
+    return moves, sweeps
 
 
 def _aggregate(level: _Level) -> tuple[_Level, list[int]]:
@@ -249,14 +257,18 @@ def louvain_communities(
     membership = list(range(len(nodes)))
 
     levels_run = 0
+    total_moves = 0
+    total_sweeps = 0
     for _ in range(config.max_levels):
-        moved = _local_move(level, config, rng)
+        level_moves, level_sweeps = _local_move(level, config, rng)
+        total_moves += level_moves
+        total_sweeps += level_sweeps
         levels_run += 1
         coarse, mapping = _aggregate(level)
         # `mapping` already composes the community assignment with the
         # coarse relabeling, so one hop advances each original node.
         membership = [mapping[m] for m in membership]
-        if not moved or coarse.n == level.n:
+        if not level_moves or coarse.n == level.n:
             level = coarse
             break
         level = coarse
@@ -279,4 +291,6 @@ def louvain_communities(
         partition=partition,
         modularity=q,
         levels=levels_run,
+        moves=total_moves,
+        sweeps=total_sweeps,
     )

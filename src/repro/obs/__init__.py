@@ -1,0 +1,47 @@
+"""Observability: metrics registry, stage spans, exporters, log setup.
+
+See :mod:`repro.obs.metrics` for the recording model and
+:mod:`repro.obs.export` for the Prometheus / JSONL snapshot formats.
+"""
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+    read_snapshot,
+    serve_prometheus_once,
+    snapshot_lines,
+    to_prometheus_text,
+    write_prometheus,
+    write_snapshot,
+)
+from repro.obs.logsetup import JsonLogFormatter, configure_logging
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_RECORDER,
+    MetricFamily,
+    MetricsRegistry,
+    NullRecorder,
+    Span,
+)
+from repro.obs.report import detect_format, render_stats
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_RECORDER",
+    "JsonLogFormatter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRecorder",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "configure_logging",
+    "detect_format",
+    "parse_prometheus_text",
+    "read_snapshot",
+    "render_stats",
+    "serve_prometheus_once",
+    "snapshot_lines",
+    "to_prometheus_text",
+    "write_prometheus",
+    "write_snapshot",
+]

@@ -1,0 +1,77 @@
+"""Structured logging setup for the CLI.
+
+Library code logs through ``logging.getLogger("repro.<module>")`` and
+never attaches handlers — with no handler configured the records go
+nowhere, which keeps tests and embedding applications silent by
+default.  The CLI calls :func:`configure_logging` once per invocation
+to attach a stderr handler at the requested level, either as
+human-readable lines or as JSON objects (``--log-json``).
+
+Loggers may attach extra structured fields via
+``logger.info("...", extra={"data": {...}})``; the JSON formatter
+merges those fields into the emitted object and the text formatter
+appends them as ``key=value`` pairs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Marker so repeated configure_logging calls replace our handler
+#: instead of stacking duplicates (repeated main() calls in one process).
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record, with ``record.data`` fields merged in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        data = getattr(record, "data", None)
+        if isinstance(data, dict):
+            payload.update(data)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class TextLogFormatter(logging.Formatter):
+    """``level logger: message key=value ...`` lines for humans."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = f"{record.levelname.lower()} {record.name}: {record.getMessage()}"
+        data = getattr(record, "data", None)
+        if isinstance(data, dict) and data:
+            pairs = " ".join(f"{key}={value}" for key, value in data.items())
+            line = f"{line} {pairs}"
+        return line
+
+
+def configure_logging(level: str = "info", json_mode: bool = False) -> logging.Logger:
+    """Attach (or replace) the CLI stderr handler on the ``repro`` logger."""
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; pick from {sorted(_LEVELS)}")
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(_LEVELS[level])
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(JsonLogFormatter() if json_mode else TextLogFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

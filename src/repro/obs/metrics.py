@@ -1,0 +1,488 @@
+"""Metrics registry and stage-span tracing.
+
+The instrumentation layer every pipeline surface records into:
+
+* :class:`MetricsRegistry` — Prometheus-shaped metric families
+  (counters, gauges, histograms with fixed bucket boundaries, all with
+  optional labels) plus an append-only list of :class:`Span` records
+  (name, parent, wall time, attributes) describing one run's stage
+  tree.
+* :class:`NullRecorder` — the default everywhere.  Every method is a
+  no-op returning shared singletons, so un-instrumented runs pay a few
+  attribute lookups and nothing else, and — because nothing here ever
+  touches pipeline data — outputs are byte-identical with metrics on or
+  off (test-enforced in ``tests/test_obs.py``).
+
+Timings recorded here are **metadata only**: no compared output
+(campaign JSON, alert JSONL, checkpoints) may ever include them.
+
+Recording is single-threaded by design: the pipeline fans per-dimension
+*jobs* out to workers, but spans and counters are recorded in the
+coordinating thread (worker durations are measured in the worker and
+reported back as values, see ``repro.core.pipeline``).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+
+from repro.errors import ObsError
+
+#: Prometheus-style latency buckets, in seconds.  Chosen to resolve both
+#: sub-millisecond store operations and multi-second window mines.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+class Counter:
+    """A monotonically increasing value (one labelset of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError(f"counters only go up; inc({amount}) is negative")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (one labelset of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary cumulative histogram (one labelset of a family)."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        # One slot per finite bound plus the implicit +Inf bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` rows, ending with ``(inf, count)``."""
+        rows: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            rows.append((bound, running))
+        rows.append((float("inf"), self.count))
+        return rows
+
+
+_CHILD_TYPES = {COUNTER: Counter, GAUGE: Gauge, HISTOGRAM: Histogram}
+
+
+class MetricFamily:
+    """One named metric: a kind, a help string and per-labelset children.
+
+    Zero-label families proxy ``inc``/``set``/``observe``/``dec`` to
+    their single child, so ``registry.counter("x").inc()`` works without
+    an explicit ``labels()`` hop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,  # noqa: A002 - prometheus calls this field HELP
+        label_names: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ObsError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ObsError(f"invalid label name {label!r} on metric {name!r}")
+        if kind not in _CHILD_TYPES:
+            raise ObsError(f"unknown metric kind {kind!r}")
+        if kind == HISTOGRAM:
+            buckets = tuple(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+            if list(buckets) != sorted(set(buckets)):
+                raise ObsError(
+                    f"histogram {name!r} bucket bounds must be strictly increasing"
+                )
+        elif buckets is not None:
+            raise ObsError(f"{kind} {name!r} does not take buckets")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = buckets
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        if self.kind == HISTOGRAM:
+            assert self.buckets is not None
+            return Histogram(self.buckets)
+        return _CHILD_TYPES[self.kind]()
+
+    def labels(self, **labels: object):
+        """The child for one labelset (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ObsError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def samples(self) -> list[tuple[tuple[str, ...], object]]:
+        """``(label_values, child)`` rows in sorted label order."""
+        return sorted(self._children.items())
+
+    # -- zero-label conveniences ---------------------------------------------------
+
+    def _default_child(self):
+        if self.label_names:
+            raise ObsError(
+                f"metric {self.name!r} has labels {list(self.label_names)}; "
+                f"use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+
+class Span:
+    """One completed (or live) stage: name, parent, wall time, attributes.
+
+    Created by :meth:`MetricsRegistry.span` and used as a context
+    manager; ``seconds`` is valid after the ``with`` block exits.
+    ``parent`` is the index of the enclosing span in the registry's
+    ``spans`` list (``None`` for roots), so exporters can rebuild the
+    stage tree without any global state.
+    """
+
+    __slots__ = ("index", "name", "parent", "start", "seconds", "attributes",
+                 "_registry", "_metric", "_tick")
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        parent: int | None,
+        start: float,
+        registry: "MetricsRegistry",
+        metric: str | None = None,
+        attributes: dict[str, object] | None = None,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.parent = parent
+        self.start = start
+        self.seconds = 0.0
+        self.attributes: dict[str, object] = dict(attributes or {})
+        self._registry = registry
+        self._metric = metric
+        self._tick = 0.0
+
+    def set(self, **attributes: object) -> None:
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        self._registry._stack.append(self.index)
+        self._tick = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._tick
+        stack = self._registry._stack
+        if stack and stack[-1] == self.index:
+            stack.pop()
+        if self._metric is not None:
+            self._registry.histogram(self._metric).observe(self.seconds)
+        return False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "parent": self.parent,
+            "start": round(self.start, 6),
+            "seconds": round(self.seconds, 6),
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.seconds:.6f}s, parent={self.parent})"
+
+
+class MetricsRegistry:
+    """The live recorder: metric families plus the span list.
+
+    Families are get-or-create — instrumentation sites call
+    ``registry.counter(name, help, labels=...)`` at record time and the
+    first call wins the metadata; a later call with a conflicting kind,
+    label set or bucket layout raises :class:`~repro.errors.ObsError`
+    (two sites silently disagreeing about one name is a bug).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._origin = time.perf_counter()
+
+    # -- metric families -----------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,  # noqa: A002
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help, label_names, buckets)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ObsError(
+                f"metric {name!r} already registered as a {family.kind}, "
+                f"not a {kind}"
+            )
+        if label_names and tuple(label_names) != family.label_names:
+            raise ObsError(
+                f"metric {name!r} already registered with labels "
+                f"{list(family.label_names)}, not {list(label_names)}"
+            )
+        if kind == HISTOGRAM and buckets is not None and tuple(buckets) != family.buckets:
+            raise ObsError(f"metric {name!r} already registered with other buckets")
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()  # noqa: A002
+    ) -> MetricFamily:
+        return self._family(name, COUNTER, help, tuple(labels))
+
+    def gauge(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()  # noqa: A002
+    ) -> MetricFamily:
+        return self._family(name, GAUGE, help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> MetricFamily:
+        return self._family(name, HISTOGRAM, help, tuple(labels), buckets)
+
+    def families(self) -> list[MetricFamily]:
+        """All families, sorted by name (the exposition order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    # -- spans ---------------------------------------------------------------------
+
+    def span(
+        self, name: str, metric: str | None = None, **attributes: object
+    ) -> Span:
+        """Open a live span nested under the currently active one.
+
+        Use as a context manager; with *metric*, the span's duration is
+        additionally observed into that (zero-label) histogram on exit.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            index=len(self.spans),
+            name=name,
+            parent=parent,
+            start=time.perf_counter() - self._origin,
+            registry=self,
+            metric=metric,
+            attributes=attributes or None,
+        )
+        self.spans.append(span)
+        return span
+
+    def record_span(
+        self,
+        name: str,
+        seconds: float,
+        attributes: dict[str, object] | None = None,
+        metric: str | None = None,
+    ) -> Span:
+        """Record an externally timed span (e.g. a worker-measured job).
+
+        The span nests under the currently active live span; its
+        duration was measured by the caller, so the wall-clock start is
+        approximated as "now minus seconds".
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            index=len(self.spans),
+            name=name,
+            parent=parent,
+            start=max(0.0, time.perf_counter() - self._origin - seconds),
+            registry=self,
+            attributes=attributes,
+        )
+        span.seconds = seconds
+        self.spans.append(span)
+        if metric is not None:
+            self.histogram(metric).observe(seconds)
+        return span
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent == span.index]
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._families)} families, "
+            f"{len(self.spans)} spans)"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span; supports the full :class:`Span` surface."""
+
+    __slots__ = ()
+    seconds = 0.0
+    name = ""
+    parent = None
+    attributes: dict[str, object] = {}
+
+    def set(self, **attributes: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullMetric:
+    """Shared no-op metric; absorbs every family/child method."""
+
+    __slots__ = ()
+
+    def labels(self, **labels: object) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRIC = _NullMetric()
+
+
+class NullRecorder:
+    """The disabled recorder: every call is a no-op on shared singletons.
+
+    This is the default everywhere a recorder is accepted, so the
+    un-instrumented path does no timing calls, allocates nothing and —
+    because recording never touches pipeline data in the first place —
+    is byte-identical to an instrumented run in every compared output.
+    """
+
+    enabled = False
+
+    def counter(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()  # noqa: A002
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()  # noqa: A002
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def span(self, name: str, metric: str | None = None, **attributes: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(
+        self,
+        name: str,
+        seconds: float,
+        attributes: dict[str, object] | None = None,
+        metric: str | None = None,
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: The process-wide disabled recorder instance.
+NULL_RECORDER = NullRecorder()

@@ -1,0 +1,179 @@
+"""Human-readable rendering of metrics artifacts (``smash stats``).
+
+Accepts either artifact the CLI writes — a Prometheus text exposition
+(``--metrics-out``) or a JSONL span/metrics snapshot (``--trace-out``)
+— detects which one it was handed, and renders a terminal report:
+counters and gauges as a sorted table, histograms with count/sum/mean,
+and (snapshot only) the span tree with per-stage wall times and
+attributes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.errors import ObsError
+from repro.obs.export import parse_prometheus_text, read_snapshot
+
+
+def detect_format(path: str | Path) -> str:
+    """``"snapshot"`` (JSONL) or ``"prometheus"`` (text exposition)."""
+    text = Path(path).read_text()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("{"):
+            try:
+                row = json.loads(stripped)
+            except json.JSONDecodeError:
+                break
+            if isinstance(row, dict) and "type" in row:
+                return "snapshot"
+            break
+        return "prometheus"
+    raise ObsError(f"{path} is neither a metrics snapshot nor an exposition file")
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1000:.2f}ms"
+
+
+def _fmt_number(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _render_metric_rows(rows: list[tuple[str, str, str]]) -> list[str]:
+    if not rows:
+        return ["  (no metrics recorded)"]
+    width_kind = max(len(kind) for kind, _, _ in rows)
+    width_name = max(len(name) for _, name, _ in rows)
+    return [
+        f"  {kind:<{width_kind}}  {name:<{width_name}}  {value}"
+        for kind, name, value in rows
+    ]
+
+
+def _histogram_summary(total: float, count: float) -> str:
+    if count <= 0:
+        return "count=0"
+    mean = total / count
+    return (
+        f"count={_fmt_number(count)} sum={_fmt_seconds(total)} "
+        f"mean={_fmt_seconds(mean)}"
+    )
+
+
+def _rows_from_snapshot(metrics: list[dict[str, object]]) -> list[tuple[str, str, str]]:
+    rows: list[tuple[str, str, str]] = []
+    for row in metrics:
+        name = str(row.get("name", "?")) + _fmt_labels(row.get("labels") or {})
+        kind = str(row.get("kind", "?"))
+        if kind == "histogram":
+            value = _histogram_summary(
+                float(row.get("sum", 0.0)), float(row.get("count", 0))
+            )
+        else:
+            value = _fmt_number(float(row.get("value", 0.0)))
+        rows.append((kind, name, value))
+    return sorted(rows, key=lambda item: (item[1], item[0]))
+
+
+def _rows_from_prometheus(
+    series: dict[str, list[tuple[dict[str, str], float]]],
+) -> list[tuple[str, str, str]]:
+    # Histograms arrive exploded into _bucket/_sum/_count series; regroup
+    # them under the base name and render everything else as scalars.
+    histogram_bases = {
+        name[: -len("_bucket")] for name in series if name.endswith("_bucket")
+    }
+    rows: list[tuple[str, str, str]] = []
+    for base in sorted(histogram_bases):
+        sums = {tuple(sorted(lbl.items())): val for lbl, val in series.get(f"{base}_sum", [])}
+        counts = {tuple(sorted(lbl.items())): val for lbl, val in series.get(f"{base}_count", [])}
+        for key, count in sorted(counts.items()):
+            labels = dict(key)
+            rows.append(
+                (
+                    "histogram",
+                    base + _fmt_labels(labels),
+                    _histogram_summary(sums.get(key, 0.0), count),
+                )
+            )
+    for name in sorted(series):
+        if name in histogram_bases or any(
+            name.startswith(base) and name[len(base):] in ("_bucket", "_sum", "_count")
+            for base in histogram_bases
+        ):
+            continue
+        for labels, value in series[name]:
+            if math.isinf(value):
+                continue
+            rows.append(("metric", name + _fmt_labels(labels), _fmt_number(value)))
+    return rows
+
+
+def _render_span_tree(spans: list[dict[str, object]], max_attrs: int = 6) -> list[str]:
+    if not spans:
+        return ["  (no spans recorded)"]
+    children: dict[object, list[dict[str, object]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+    for rows in children.values():
+        rows.sort(key=lambda s: s.get("index", 0))
+
+    lines: list[str] = []
+
+    def walk(parent: object, depth: int) -> None:
+        for span in children.get(parent, ()):  # missing key: leaf level
+            attributes = span.get("attributes") or {}
+            shown = {
+                key: attributes[key] for key in list(sorted(attributes))[:max_attrs]
+            }
+            attr_text = (
+                "  " + " ".join(f"{k}={v}" for k, v in shown.items()) if shown else ""
+            )
+            name = str(span.get("name", "?"))
+            seconds = float(span.get("seconds", 0.0))
+            pad = "  " * depth
+            width = max(1, 34 - 2 * depth)
+            lines.append(f"  {pad}{name:<{width}} {_fmt_seconds(seconds):>10}{attr_text}")
+            walk(span.get("index"), depth + 1)
+
+    walk(None, 0)
+    return lines
+
+
+def render_stats(path: str | Path) -> str:
+    """The full ``smash stats`` report for one artifact file."""
+    path = Path(path)
+    fmt = detect_format(path)
+    lines = [f"# stats: {path} ({fmt})"]
+    if fmt == "snapshot":
+        snapshot = read_snapshot(path)
+        lines.append("")
+        lines.append(f"metrics ({len(snapshot['metrics'])} samples):")
+        lines.extend(_render_metric_rows(_rows_from_snapshot(snapshot["metrics"])))
+        lines.append("")
+        lines.append(f"spans ({len(snapshot['spans'])}):")
+        lines.extend(_render_span_tree(snapshot["spans"]))
+    else:
+        series = parse_prometheus_text(path.read_text())
+        samples = sum(len(rows) for rows in series.values())
+        lines.append("")
+        lines.append(f"metrics ({samples} samples):")
+        lines.extend(_render_metric_rows(_rows_from_prometheus(series)))
+    return "\n".join(lines) + "\n"

@@ -58,6 +58,9 @@ def save_checkpoint(engine: StreamingSmash, path: str | Path) -> Path:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
     os.replace(tmp, path)
+    engine.metrics.gauge(
+        "smash_checkpoint_bytes", "Size of the most recently written checkpoint."
+    ).set(path.stat().st_size)
     return path
 
 
@@ -71,6 +74,7 @@ def load_checkpoint(
     evidence: tuple[EvidenceSource, ...] = (),
     policy: AlertPolicy | None = None,
     scorer: CampaignScorer | ScorerConfig | None = None,
+    metrics=None,
 ) -> StreamingSmash:
     """Rebuild an engine from a checkpoint written by :func:`save_checkpoint`.
 
@@ -114,6 +118,7 @@ def load_checkpoint(
             evidence=evidence,
             policy=policy,
             scorer=scorer,
+            metrics=metrics,
         )
     except StreamError:
         raise

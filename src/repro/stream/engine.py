@@ -29,15 +29,23 @@ Two further levers make the advance itself incremental:
 
 from __future__ import annotations
 
+import logging
+
 from pathlib import Path
 
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass, field, replace as dc_replace
 
 from repro.config import SmashConfig
-from repro.core.pipeline import DimensionCache, MinedDimensions, SmashPipeline
+from repro.core.pipeline import (
+    DimensionCache,
+    MinedDimensions,
+    SmashPipeline,
+    dimension_build_stats,
+)
 from repro.core.results import MAIN_DIMENSION, Campaign, SmashResult
 from repro.errors import StreamError
 from repro.httplog.trace import HttpTrace
+from repro.obs.metrics import NULL_RECORDER
 from repro.stream.alerts import AlertSink
 from repro.stream.scoring import AlertPolicy, CampaignScorer, EvidenceSource, ScorerConfig
 from repro.stream.store import TraceStore
@@ -49,6 +57,10 @@ from repro.whois.registry import WhoisRegistry
 #: The paper's operating thresholds (Section V-A1, Appendix C).
 DEFAULT_THRESH = 0.8
 SINGLE_CLIENT_THRESH = 1.0
+
+#: Library logger: silent unless an application (e.g. the CLI via
+#: ``repro.obs.configure_logging``) attaches a handler.
+_LOGGER = logging.getLogger("repro.stream")
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,12 @@ class StreamUpdate:
     #: The subset of ``events`` at or above the policy's ``min_severity``
     #: — exactly what was emitted to the alert sinks this advance.
     alerts: tuple[TrackEvent, ...] = ()
+    #: Per-dimension candidate-pair accounting from this advance's mined
+    #: graphs (``repro.core.pipeline.dimension_build_stats``): the
+    #: heavy-hitter load signal, surfaced in the stream summary JSON.
+    #: Cache-spliced dimensions report the stats of the (provably
+    #: identical) cached build.
+    build_stats: dict[str, dict[str, object]] = field(default_factory=dict)
 
     @property
     def num_campaigns(self) -> int:
@@ -109,12 +127,20 @@ class StreamingSmash:
         evidence: tuple[EvidenceSource, ...] = (),
         policy: AlertPolicy | None = None,
         scorer: CampaignScorer | ScorerConfig | None = None,
+        metrics=None,
     ) -> None:
         if tracker is not None and tracker_config is not None:
             raise StreamError("pass either tracker or tracker_config, not both")
         if store is not None and store_dir is not None:
             raise StreamError("pass either store or store_dir, not both")
         self.config = config or SmashConfig()
+        # One recorder serves the whole stack: an explicit `metrics`
+        # argument wins, else the config's recorder, else the shared
+        # no-op.  The config is re-derived so the pipeline (and its
+        # mining spans) record into the same registry.
+        self.metrics = metrics or self.config.metrics or NULL_RECORDER
+        if self.metrics.enabled and self.config.metrics is not self.metrics:
+            self.config = self.config.replace(metrics=self.metrics)
         # Per-advance runs mine every dimension over the current window;
         # `workers`/`executor` override the config's fan-out settings
         # without the caller having to build a SmashConfig.  Mining is
@@ -126,7 +152,13 @@ class StreamingSmash:
                 executor=self.config.executor if executor is None else executor,
             )
         self.pipeline = SmashPipeline(self.config)
-        self.store = TraceStore(store_dir) if store_dir is not None else store
+        self.store = (
+            TraceStore(store_dir, metrics=self.metrics)
+            if store_dir is not None
+            else store
+        )
+        if self.store is not None and self.metrics.enabled:
+            self.store.metrics = self.metrics
         self.window = RollingWindow(window_size, store=self.store)
         self.tracker = tracker or CampaignTracker(tracker_config)
         self.sinks = tuple(sinks)
@@ -157,6 +189,104 @@ class StreamingSmash:
         redirects: RedirectOracle | None = None,
     ) -> StreamUpdate:
         """Advance the stream by one day of log records."""
+        with self.metrics.span(
+            "stream.advance", metric="smash_advance_seconds", day=day
+        ) as span:
+            update = self._ingest_day(day, trace, whois, redirects)
+        if self.metrics.enabled:
+            self._record_advance(span, trace, update)
+        if _LOGGER.isEnabledFor(logging.DEBUG):
+            _LOGGER.debug(
+                "advance",
+                extra={
+                    "data": {
+                        "day": day,
+                        "window_days": list(update.window_days),
+                        "requests": len(trace),
+                        "reused_dimensions": len(update.reused_dimensions),
+                        "mined_dimensions": len(update.mined_dimensions),
+                        "campaigns": len(update.campaigns),
+                        "events": len(update.events),
+                        "alerts": len(update.alerts),
+                        "active": len(update.active),
+                    }
+                },
+            )
+        return update
+
+    def _record_advance(self, span, trace: HttpTrace, update: StreamUpdate) -> None:
+        """Fold one advance's outcome into the metrics registry."""
+        recorder = self.metrics
+        span.set(
+            requests=len(trace),
+            window_days=list(update.window_days),
+            campaigns=len(update.campaigns),
+            events=len(update.events),
+            alerts=len(update.alerts),
+            reused_dimensions=list(update.reused_dimensions),
+            mined_dimensions=list(update.mined_dimensions),
+        )
+        recorder.counter(
+            "smash_requests_ingested_total",
+            "HTTP log records ingested across all advances.",
+        ).inc(len(trace))
+        reused = recorder.counter(
+            "smash_dimensions_reused_total",
+            "Dimensions spliced in from the incremental cache.",
+            labels=("dimension",),
+        )
+        for dimension in update.reused_dimensions:
+            reused.labels(dimension=dimension).inc()
+        mined = recorder.counter(
+            "smash_dimensions_mined_total",
+            "Dimensions re-mined because their inputs changed.",
+            labels=("dimension",),
+        )
+        for dimension in update.mined_dimensions:
+            mined.labels(dimension=dimension).inc()
+        created = len(update.events_of("new_campaign"))
+        expired = len(update.events_of("campaign_died"))
+        recorder.counter(
+            "smash_tracker_created_total", "New campaign identities created."
+        ).inc(created)
+        recorder.counter(
+            "smash_tracker_expired_total", "Campaign identities that died out."
+        ).inc(expired)
+        recorder.counter(
+            "smash_tracker_matches_total",
+            "Campaigns matched to an already-tracked identity.",
+        ).inc(max(0, len(update.campaigns) - created))
+        emitted = recorder.counter(
+            "smash_alerts_emitted_total",
+            "Alerts emitted to the sinks, by severity.",
+            labels=("severity",),
+        )
+        suppressed = recorder.counter(
+            "smash_alerts_suppressed_total",
+            "Events below the alert policy's min_severity, by severity.",
+            labels=("severity",),
+        )
+        alerted = set(map(id, update.alerts))
+        for event in update.events:
+            severity = event.severity or "info"
+            if id(event) in alerted:
+                emitted.labels(severity=severity).inc()
+            else:
+                suppressed.labels(severity=severity).inc()
+        recorder.gauge(
+            "smash_window_days", "Days currently in the rolling window."
+        ).set(len(update.window_days))
+        recorder.gauge(
+            "smash_active_campaigns", "Tracked campaign identities currently alive."
+        ).set(len(update.active))
+
+    def _ingest_day(
+        self,
+        day: int,
+        trace: HttpTrace,
+        whois: WhoisRegistry | None,
+        redirects: RedirectOracle | None,
+    ) -> StreamUpdate:
         self.window.append(DayPartition(day=day, trace=trace, whois=whois, redirects=redirects))
         combined_trace, combined_whois, combined_redirects = self.window.combined()
 
@@ -209,6 +339,7 @@ class StreamingSmash:
             reused_dimensions=reused_dimensions,
             mined_dimensions=mined_dimensions,
             alerts=alerts,
+            build_stats=dimension_build_stats(mined),
         )
 
     def _score_event(self, event: TrackEvent) -> TrackEvent:
@@ -317,6 +448,7 @@ class StreamingSmash:
         evidence: tuple[EvidenceSource, ...] = (),
         policy: AlertPolicy | None = None,
         scorer: CampaignScorer | ScorerConfig | None = None,
+        metrics=None,
     ) -> "StreamingSmash":
         """Rebuild an engine; evidence *objects* are process wiring (like
         sinks and the config) and must be passed again, but each one's
@@ -349,6 +481,7 @@ class StreamingSmash:
             evidence=evidence,
             policy=policy,
             scorer=scorer,
+            metrics=metrics,
         )
         engine.window = window
         evidence_state = state.get("evidence")

@@ -40,6 +40,7 @@ from pathlib import Path
 
 from repro.errors import StreamError
 from repro.httplog.loader import read_jsonl, write_jsonl
+from repro.obs.metrics import NULL_RECORDER
 from repro.stream.window import (
     DayPartition,
     redirects_to_dict,
@@ -112,9 +113,12 @@ class PartitionRef:
 class TraceStore:
     """Persist day partitions as content-addressed on-disk directories."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, metrics=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Recorder for load/store timings and byte counters; the shared
+        #: no-op unless the streaming engine (or a caller) attaches one.
+        self.metrics = metrics or NULL_RECORDER
 
     # -- addressing ---------------------------------------------------------------
 
@@ -159,10 +163,27 @@ class TraceStore:
 
     def put(self, partition: DayPartition) -> PartitionRef:
         """Persist *partition*; idempotent for identical content."""
+        with self.metrics.span(
+            "store.put", metric="smash_store_put_seconds", day=partition.day
+        ) as span:
+            ref, wrote = self._put(partition)
+        if self.metrics.enabled:
+            span.set(digest=ref.digest[:_DIGEST_PREFIX], wrote=wrote)
+            if wrote:
+                final = self.path_of(partition.day, ref.digest)
+                self.metrics.counter(
+                    "smash_store_bytes_written_total",
+                    "Bytes of partition files written to the trace store.",
+                ).inc(
+                    sum(p.stat().st_size for p in final.iterdir() if p.is_file())
+                )
+        return ref
+
+    def _put(self, partition: DayPartition) -> tuple[PartitionRef, bool]:
         digest = partition_digest(partition)
         final = self.path_of(partition.day, digest)
         if (final / _MANIFEST_NAME).is_file():
-            return PartitionRef(partition.day, digest, self, partition)
+            return PartitionRef(partition.day, digest, self, partition), False
 
         tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
         if tmp.exists():
@@ -214,7 +235,7 @@ class TraceStore:
         except Exception:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
-        return PartitionRef(partition.day, digest, self, partition)
+        return PartitionRef(partition.day, digest, self, partition), True
 
     # -- read path ----------------------------------------------------------------
 
@@ -225,6 +246,12 @@ class TraceStore:
         content variants of one day exist, callers must address the one
         they mean.
         """
+        with self.metrics.span(
+            "store.get", metric="smash_store_get_seconds", day=day
+        ):
+            return self._get(day, digest)
+
+    def _get(self, day: int, digest: str | None = None) -> DayPartition:
         if digest is None:
             variants = [
                 path
@@ -283,7 +310,18 @@ class TraceStore:
             redirects=redirects,
         )
         actual = partition_digest(partition)
-        if actual != expected or (digest is not None and actual != digest):
+        verified = actual == expected and (digest is None or actual == digest)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "smash_store_digest_verifications_total",
+                "Partition loads checked against their content digest.",
+                labels=("result",),
+            ).labels(result="ok" if verified else "mismatch").inc()
+            self.metrics.counter(
+                "smash_store_bytes_read_total",
+                "Bytes of partition files read back from the trace store.",
+            ).inc(sum(p.stat().st_size for p in path.iterdir() if p.is_file()))
+        if not verified:
             raise StreamError(
                 f"corrupt partition in {path}: content digest {actual[:12]} does not "
                 f"match stored digest {(digest or expected)[:12]}"
