@@ -139,7 +139,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     redirects = _read_redirects_json(Path(args.redirects)) if args.redirects else None
     registry = _obs_registry(args)
     config = SmashConfig().with_thresh(args.thresh).replace(
-        workers=args.workers, executor=args.executor, metrics=registry
+        workers=args.workers, executor=args.executor, shards=args.shards,
+        metrics=registry,
     )
     if args.dimensions:
         config = config.replace(
@@ -254,6 +255,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     config = SmashConfig().replace(
         workers=args.workers,
         executor=args.executor,
+        shards=args.shards,
         incremental=args.incremental,
     )
     config.validate()
@@ -424,7 +426,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
-    """``--workers`` / ``--executor`` for per-dimension parallel mining."""
+    """``--workers`` / ``--executor`` / ``--shards`` for parallel mining."""
     parser.add_argument(
         "--workers", type=int, default=1,
         help="workers for per-dimension mining (0 = one per CPU, default 1 = "
@@ -433,6 +435,12 @@ def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor", choices=["serial", "thread", "process"], default="thread",
         help="executor used when --workers > 1 (default: thread)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard the mine into N map-reduce partitions with spill-to-store "
+             "partials (default 1 = single pass); every shard count produces "
+             "byte-identical output",
     )
 
 

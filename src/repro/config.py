@@ -269,6 +269,18 @@ class SmashConfig:
     #: ``"process"`` (see :mod:`repro.util.parallel` for the trade-offs).
     executor: str = "thread"
 
+    #: Shard count for the map-reduce mine path
+    #: (:mod:`repro.core.shardmine`).  ``1`` (the default) mines in one
+    #: pass; ``N > 1`` splits the trace into N contiguous shards
+    #: (day-partition-aligned under the streaming engine), extracts
+    #: per-shard index partials with spill-to-store, and runs
+    #: partition-parallel pair counting on the ``workers``/``executor``
+    #: pool.  Sharding is an execution strategy, not a semantic knob:
+    #: every shard count produces byte-identical results, so (like
+    #: ``workers``) the field is top-level and excluded from the
+    #: incremental-mining content signatures.
+    shards: int = 1
+
     #: Default for the streaming engine's per-dimension mining cache: on
     #: window advance, dimensions whose content signature is unchanged by
     #: the entering/leaving days are spliced in from cache instead of
@@ -303,6 +315,8 @@ class SmashConfig:
             raise ConfigError(f"unknown secondary dimensions: {sorted(unknown)}")
         if self.workers < 0:
             raise ConfigError("workers must be >= 0 (0 = one per CPU)")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
         if self.executor not in EXECUTOR_KINDS:
             raise ConfigError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"

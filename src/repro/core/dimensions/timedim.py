@@ -49,10 +49,19 @@ def build_time_graph(
     trace: HttpTrace,
     config: DimensionConfig | None = None,
     window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    accumulate=None,
+    windows_of: dict[str, frozenset[int]] | None = None,
 ) -> WeightedGraph:
-    """Build the temporal co-occurrence graph for *trace*."""
+    """Build the temporal co-occurrence graph for *trace*.
+
+    *windows_of* short-circuits the request scan with a precomputed
+    (e.g. shard-merged) window index; it must equal what
+    :func:`active_windows_by_server` would return for *trace*.
+    """
     config = config or DimensionConfig()
-    windows_of = active_windows_by_server(trace, window_seconds)
+    accumulate = accumulate or accumulate_pair_counts
+    if windows_of is None:
+        windows_of = active_windows_by_server(trace, window_seconds)
     # Canonical node order: trace.servers is a frozenset, so iterating it
     # directly would insert nodes in hash order.
     ordered = sorted(trace.servers)
@@ -79,7 +88,7 @@ def build_time_graph(
             quiet_groups.append(sorted(members))
 
     stats = PairStats()
-    pair_common = accumulate_pair_counts(
+    pair_common = accumulate(
         quiet_groups, width, cap=config.max_group_size, stats=stats
     )
 

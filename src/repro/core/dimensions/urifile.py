@@ -91,10 +91,11 @@ def file_similarity(
 
 
 def build_urifile_graph(
-    trace: HttpTrace, config: DimensionConfig | None = None
+    trace: HttpTrace, config: DimensionConfig | None = None, accumulate=None
 ) -> WeightedGraph:
     """Build the URI-file similarity graph for *trace*."""
     config = config or DimensionConfig()
+    accumulate = accumulate or accumulate_pair_counts
     files_by_server = trace.files_by_server
     # Canonical node order (see build_client_graph): sorted, not set order.
     ordered = sorted(files_by_server)
@@ -165,7 +166,7 @@ def build_urifile_graph(
         families[find(name)].update(long_names[name])
 
     stats = PairStats()
-    pair_common = accumulate_pair_counts(
+    pair_common = accumulate(
         chain(
             (sorted(group) for group in ids_by_file.values()),
             (sorted(group) for group in families.values()),

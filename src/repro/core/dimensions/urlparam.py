@@ -49,14 +49,22 @@ def parameter_patterns_by_server(trace: HttpTrace) -> dict[str, frozenset[Patter
 
 
 def build_urlparam_graph(
-    trace: HttpTrace, config: DimensionConfig | None = None
+    trace: HttpTrace,
+    config: DimensionConfig | None = None,
+    accumulate=None,
+    patterns_of: dict[str, frozenset[Pattern]] | None = None,
 ) -> WeightedGraph:
     """Build the parameter-pattern similarity graph for *trace*.
 
     Servers with no parameterised requests become isolated nodes.
+    *patterns_of* short-circuits the request scan with a precomputed
+    (e.g. shard-merged) pattern index; it must equal what
+    :func:`parameter_patterns_by_server` would return for *trace*.
     """
     config = config or DimensionConfig()
-    patterns_of = parameter_patterns_by_server(trace)
+    accumulate = accumulate or accumulate_pair_counts
+    if patterns_of is None:
+        patterns_of = parameter_patterns_by_server(trace)
     # Canonical node order: trace.servers is a frozenset, so iterating it
     # directly would insert nodes in hash order.
     ordered = sorted(trace.servers)
@@ -85,7 +93,7 @@ def build_urlparam_graph(
             rare_groups.append(sorted(members))
 
     stats = PairStats()
-    pair_common = accumulate_pair_counts(
+    pair_common = accumulate(
         rare_groups, width, cap=config.max_group_size, stats=stats
     )
 

@@ -25,10 +25,13 @@ cost exactly like the existing ubiquity/posting-list rules.
 
 from __future__ import annotations
 
+import hashlib
+
 from collections import Counter
 from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
+from repro.errors import PipelineError
 from repro.graph.wgraph import node_sort_key
 
 Label = Hashable
@@ -105,6 +108,103 @@ class Interner:
         """Decode *ids* in ascending-id (canonical) order."""
         labels = self._labels
         return [labels[index] for index in sorted(ids)]
+
+
+#: Bits of the content-derived stable id.  63 keeps ids positive in a
+#: signed 64-bit word; at 10**6 servers the birthday-bound collision
+#: probability is ~5e-8, and a collision is *detected* (never silent).
+_STABLE_ID_BITS = 63
+
+
+def stable_label_id(label: str) -> int:
+    """Content-derived 63-bit id of a server label.
+
+    A pure function of the label bytes (blake2b), so every shard worker
+    assigns the same id to the same server without any coordination or
+    global pass — the namespace-stable property sharded mining needs.
+    Independent of ``PYTHONHASHSEED`` by construction.
+    """
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> (64 - _STABLE_ID_BITS)
+
+
+def stable_shard_of(label: str, shards: int) -> int:
+    """Hash-partition of the server namespace: which of *shards* owns *label*."""
+    return stable_label_id(label) % shards
+
+
+class StableInterner:
+    """Label <-> id mapping whose ids are stable across processes.
+
+    Unlike :class:`Interner`, whose dense ids depend on the full sorted
+    namespace (a global pass), a ``StableInterner`` id is a pure content
+    hash of the label (:func:`stable_label_id`): shard workers interning
+    disjoint or overlapping slices of the namespace independently agree
+    on every id, so their inverted-index partials merge by plain key
+    union.  The ids are sparse and carry **no order guarantee** — before
+    pair accumulation the merged namespace is re-keyed once into a dense
+    canonical :class:`Interner` (a namespace-sized pass, not a trace
+    pass).
+
+    Hash collisions (two labels, one id) are detected on ``intern`` and
+    on ``merge`` and raise :class:`~repro.errors.PipelineError` — the
+    probability is negligible (~5e-8 at a million servers) but the
+    failure mode must be loud, not a silently corrupted index.
+    """
+
+    __slots__ = ("_label_of",)
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._label_of: dict[int, str] = {}
+        for label in labels:
+            self.intern(label)
+
+    def __len__(self) -> int:
+        return len(self._label_of)
+
+    def __contains__(self, label: str) -> bool:
+        return self._label_of.get(stable_label_id(label)) == label
+
+    def intern(self, label: str) -> int:
+        """The stable id of *label*, registering it in the vocabulary."""
+        stable = stable_label_id(label)
+        known = self._label_of.get(stable)
+        if known is None:
+            self._label_of[stable] = label
+        elif known != label:
+            raise PipelineError(
+                f"stable-id collision: {known!r} and {label!r} both hash to "
+                f"{stable}; the sharded namespace cannot be merged"
+            )
+        return stable
+
+    def label_of(self, stable: int) -> str:
+        return self._label_of[stable]
+
+    def merge(self, vocabulary: Mapping[int, str]) -> None:
+        """Union another shard's ``{stable id: label}`` vocabulary in.
+
+        Raises :class:`~repro.errors.PipelineError` on any id mapped to
+        two different labels (a cross-shard hash collision).
+        """
+        label_of = self._label_of
+        for stable, label in vocabulary.items():
+            known = label_of.get(stable)
+            if known is None:
+                label_of[stable] = label
+            elif known != label:
+                raise PipelineError(
+                    f"stable-id collision while merging shard vocabularies: "
+                    f"{known!r} and {label!r} both map to id {stable}"
+                )
+
+    def to_dict(self) -> dict[int, str]:
+        """The ``{stable id: label}`` vocabulary (shard-partial payload)."""
+        return dict(self._label_of)
+
+    def to_interner(self) -> "Interner":
+        """Re-key the vocabulary into a dense canonical :class:`Interner`."""
+        return Interner(self._label_of.values())
 
 
 @dataclass

@@ -54,7 +54,7 @@ from repro.graph.wgraph import WeightedGraph
 from repro.obs.metrics import NULL_RECORDER
 from repro.httplog.trace import HttpTrace
 from repro.synth.oracles import RedirectOracle
-from repro.util.parallel import resolve_workers, run_jobs
+from repro.util.parallel import JobPool, resolve_workers
 from repro.whois.registry import WhoisRegistry
 
 #: A secondary-dimension graph builder: ``(trace, whois, config) -> graph``.
@@ -479,6 +479,9 @@ class SmashPipeline:
         workers: int | None = None,
         executor: str | None = None,
         cache: DimensionCache | None = None,
+        shards: int | None = None,
+        shard_boundaries: tuple[int, ...] | None = None,
+        spill_dir: object | None = None,
     ) -> MinedDimensions:
         """Preprocess *trace* and mine ASHs on every enabled dimension.
 
@@ -489,6 +492,16 @@ class SmashPipeline:
         ``workers`` / ``executor`` fields).  Mining is deterministic by
         construction, so every worker count and executor kind returns an
         identical :class:`MinedDimensions`.
+
+        With *shards* > 1 (overriding ``SmashConfig.shards``) the whole
+        mine runs as the map-reduce of :mod:`repro.core.shardmine`:
+        per-shard index extraction with spill-to-store, merged
+        preprocessing, and partition-parallel pair counting — byte-
+        identical to the single-shard path under any ``PYTHONHASHSEED``.
+        *shard_boundaries* (per-day request counts, as the streaming
+        engine supplies) aligns shard cuts with stored partitions;
+        *spill_dir* hosts the partial spill files (a private temporary
+        directory is used when ``None``).
 
         With *cache* (a :class:`DimensionCache`), dimensions whose input
         signature matches a cached entry are spliced in from the cache
@@ -506,7 +519,10 @@ class SmashPipeline:
         together.
         """
         with self.metrics.span("pipeline.mine", metric="smash_mine_seconds") as span:
-            return self._mine(trace, whois, workers, executor, cache, span)
+            return self._mine(
+                trace, whois, workers, executor, cache, span,
+                shards, shard_boundaries, spill_dir,
+            )
 
     def _mine(
         self,
@@ -516,22 +532,37 @@ class SmashPipeline:
         executor: str | None,
         cache: DimensionCache | None,
         span,
+        shards: int | None = None,
+        shard_boundaries: tuple[int, ...] | None = None,
+        spill_dir: object | None = None,
     ) -> MinedDimensions:
         if len(trace) == 0:
             raise PipelineError("cannot run SMASH on an empty trace")
         config = self.config
-        if workers is not None or executor is not None:
+        if workers is not None or executor is not None or shards is not None:
             # Fold the overrides into the config and re-validate, so a bad
             # value fails fast with a ConfigError instead of surfacing as
             # a ValueError after the preprocessing pass.
             config = config.replace(
                 workers=config.workers if workers is None else workers,
                 executor=config.executor if executor is None else executor,
+                shards=config.shards if shards is None else shards,
             )
             config.validate()
         workers = config.workers
         executor = config.executor
         recorder = self.metrics
+        if config.shards > 1:
+            from repro.core.shardmine import mine_sharded
+
+            # One pool serves every fan-out of the sharded mine (shard
+            # indexing, per-dimension pair partials, Louvain), so the
+            # process executor pays its spawn cost once per mine.
+            with JobPool(workers=workers, executor=executor) as pool:
+                return mine_sharded(
+                    self, trace, whois, config, cache, span, pool,
+                    boundaries=shard_boundaries, spill_dir=spill_dir,
+                )
         with recorder.span("pipeline.mine.preprocess") as pre_span:
             prepared, report = preprocess(trace, config.preprocess)
         if recorder.enabled:
@@ -621,17 +652,14 @@ class SmashPipeline:
                         _mine_secondary_dimension, dimension, prepared, whois, job_config
                     )
                 )
-        if recorder.enabled and jobs:
-            timed = run_jobs(
-                [partial(_timed_job, job) for job in jobs],
-                workers=workers,
-                executor=executor,
-            )
-            outcomes = [outcome for outcome, _ in timed]
-            for dimension, (outcome, seconds) in zip(to_mine, timed):
-                _record_dimension(recorder, dimension, outcome, seconds)
-        else:
-            outcomes = run_jobs(jobs, workers=workers, executor=executor) if jobs else []
+        with JobPool(workers=workers, executor=executor) as pool:
+            if recorder.enabled and jobs:
+                timed = pool.run([partial(_timed_job, job) for job in jobs])
+                outcomes = [outcome for outcome, _ in timed]
+                for dimension, (outcome, seconds) in zip(to_mine, timed):
+                    _record_dimension(recorder, dimension, outcome, seconds)
+            else:
+                outcomes = pool.run(jobs) if jobs else []
         mined_now: dict[str, MiningOutcome | None] = dict(zip(to_mine, outcomes))
 
         if cache is not None:

@@ -1,0 +1,706 @@
+"""Sharded map-reduce mining over trace partitions.
+
+One :meth:`~repro.core.pipeline.SmashPipeline.mine` call used to hold
+the whole window's trace *and* every per-dimension index and pair
+counter in memory at once, which caps mining at single-host window
+size.  This module rebuilds the mine path as a deterministic two-level
+map-reduce whose peak mining state is bounded by shard size plus merge
+state:
+
+**Map (phase A — index extraction).**  The trace is cut into contiguous
+shards (day-partition-aligned when the streaming window provides
+boundaries).  Each shard job makes one pass over its requests, applying
+the same SLD aggregation as :func:`~repro.core.preprocess.preprocess`,
+and emits inverted-index partials (clients / IPs / URI files / optional
+parameter patterns and time windows, per server) keyed by the
+**namespace-stable** ids of :class:`~repro.core.interning.StableInterner`
+— a pure content hash of the server label, so shard workers agree on
+every id with no global pass and no coordination.  Partials are spilled
+to a digest-verified :class:`~repro.stream.store.PartialStore`
+immediately, so even a serial map phase never holds more than one
+shard's indexes.
+
+**Reduce (merge).**  Partials are merged one at a time in canonical
+shard order: vocabularies union with collision detection, index sets
+union, request counts add.  The IDF/min-clients filter runs on the
+merged client sets, the :class:`~repro.core.preprocess.PreprocessReport`
+falls out of the merged accounting, and the preprocessed trace is
+assembled exactly as ``preprocess()`` builds it — with the merged
+indexes injected into its cache slots, so no downstream consumer
+re-scans the window to rebuild what the shards already extracted.
+After the merge the surviving namespace is re-keyed once into the dense
+canonical :class:`~repro.core.interning.Interner` order (a
+namespace-sized pass, not a trace pass); everything downstream runs in
+exactly the id domain the single-shard mine uses.
+
+**Map (phase C — pair partials).**  Candidate-pair accumulation — the
+quadratic heart of every dimension — runs partition-parallel: each
+dimension's sharing groups are hash-partitioned into buckets by group
+content, each bucket becomes an
+:func:`~repro.core.interning.accumulate_pair_counts` job on the shared
+:class:`~repro.util.parallel.JobPool`, and the per-bucket counters are
+spilled and merged in bucket order.  Because every group lands in
+exactly one bucket and counter addition is commutative, the merged
+counts — and therefore the built graphs, the Louvain herds, and the
+final campaigns — are **byte-identical to the single-shard mine under
+any ``PYTHONHASHSEED``** (test-enforced in subprocesses).  Louvain then
+fans out per dimension on the same pool.
+
+The splice point is :meth:`SmashPipeline.mine(shards=N)
+<repro.core.pipeline.SmashPipeline.mine>` /
+:class:`~repro.config.SmashConfig` ``shards``; the
+:class:`~repro.core.pipeline.DimensionCache` contract is preserved
+(signatures are computed on the assembled prepared trace, so sharded
+and single-shard mines hit the same cache entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+import time
+
+from collections import Counter, defaultdict
+from functools import partial
+from pathlib import Path
+
+from repro.config import SmashConfig
+from repro.core.ashmining import MiningOutcome, mine_herds
+from repro.core.dimensions.client import build_client_graph_from_indices
+from repro.core.dimensions.ipset import build_ipset_graph
+from repro.core.dimensions.timedim import DEFAULT_WINDOW_SECONDS, build_time_graph
+from repro.core.dimensions.urifile import build_urifile_graph
+from repro.core.dimensions.urlparam import build_urlparam_graph
+from repro.core.dimensions.whoisdim import build_whois_graph
+from repro.core.interning import (
+    Interner,
+    PairStats,
+    StableInterner,
+    accumulate_pair_counts,
+)
+from repro.core.preprocess import PreprocessReport, aggregate_trace
+from repro.core.results import MAIN_DIMENSION
+from repro.domains.names import normalize_server_name
+from repro.errors import PipelineError
+from repro.httplog.trace import HttpTrace
+from repro.stream.store import PartialStore
+from repro.util.parallel import JobPool
+
+__all__ = ["mine_sharded", "ShardedAccumulator", "shard_ranges"]
+
+
+# -- shard planning -----------------------------------------------------------------
+
+
+def shard_ranges(
+    total: int, shards: int, boundaries: tuple[int, ...] | None = None
+) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` request ranges for the map phase.
+
+    Without *boundaries* the requests are split evenly.  With
+    *boundaries* (per-day request counts from the streaming window, in
+    trace order) shard cuts only fall on day-partition edges, so each
+    shard job corresponds to whole stored partitions — the
+    partition-scoped load path.  Fewer days than shards simply yields
+    fewer (day-sized) shards.
+    """
+    if total <= 0:
+        return []
+    shards = max(1, min(shards, total))
+    if boundaries and len(boundaries) > 1 and sum(boundaries) == total:
+        segments = len(boundaries)
+        groups = min(shards, segments)
+        offsets = [0]
+        for length in boundaries:
+            offsets.append(offsets[-1] + length)
+        ranges = []
+        for group in range(groups):
+            first = group * segments // groups
+            last = (group + 1) * segments // groups
+            if offsets[first] < offsets[last]:
+                ranges.append((offsets[first], offsets[last]))
+        return ranges
+    return [
+        (index * total // shards, (index + 1) * total // shards)
+        for index in range(shards)
+        if index * total // shards < (index + 1) * total // shards
+    ]
+
+
+# -- phase A: per-shard index extraction --------------------------------------------
+
+
+def _index_shard_job(
+    shard: int,
+    trace: HttpTrace,
+    aggregate: bool,
+    want_patterns: bool,
+    want_windows: bool,
+    window_seconds: float,
+    spill_root: str,
+) -> tuple[int, str, str, int, int, float]:
+    """One map job: extract a shard's inverted-index partial and spill it.
+
+    Module-level so the process executor can pickle it.  Returns
+    ``(shard, partial name, digest, spill bytes, requests, seconds)``;
+    the heavy payload travels through the :class:`PartialStore`, never
+    through the pool's result pipe.
+    """
+    tick = time.perf_counter()
+    sid_of_host: dict[str, tuple[int, str]] = {}
+    vocab = StableInterner()
+    clients: dict[int, set[str]] = defaultdict(set)
+    ips: dict[int, set[str]] = defaultdict(set)
+    files: dict[int, set[str]] = defaultdict(set)
+    patterns: dict[int, set[tuple[str, ...]]] = defaultdict(set)
+    windows: dict[int, set[int]] = defaultdict(set)
+    counts: Counter[int] = Counter()
+    file_of_uri: dict[str, str] = {}
+    raw_hosts: set[str] = set()
+    for request in trace.requests:
+        host = request.host
+        cached = sid_of_host.get(host)
+        if cached is None:
+            raw_hosts.add(host)
+            label = normalize_server_name(host) if aggregate else host
+            cached = (vocab.intern(label), label)
+            sid_of_host[host] = cached
+        sid = cached[0]
+        clients[sid].add(request.client)
+        ips[sid].add(request.server_ip)
+        uri = request.uri
+        filename = file_of_uri.get(uri)
+        if filename is None:
+            filename = request.uri_file
+            file_of_uri[uri] = filename
+        files[sid].add(filename)
+        counts[sid] += 1
+        if want_patterns:
+            names = request.parameter_names
+            if names:
+                patterns[sid].add(names)
+        if want_windows:
+            windows[sid].add(int(request.timestamp // window_seconds))
+
+    payload: dict[str, object] = {
+        "shard": shard,
+        "requests": len(trace),
+        "raw_hosts": sorted(raw_hosts),
+        "vocab": {str(sid): label for sid, label in vocab.to_dict().items()},
+        "clients": {str(sid): sorted(found) for sid, found in clients.items()},
+        "ips": {str(sid): sorted(found) for sid, found in ips.items()},
+        "files": {str(sid): sorted(found) for sid, found in files.items()},
+        "counts": {str(sid): count for sid, count in counts.items()},
+    }
+    if want_patterns:
+        payload["patterns"] = {
+            str(sid): sorted(list(pattern) for pattern in found)
+            for sid, found in patterns.items()
+        }
+    if want_windows:
+        payload["windows"] = {str(sid): sorted(found) for sid, found in windows.items()}
+    name = f"index-{shard:04d}"
+    digest, spilled = PartialStore(spill_root).put(name, payload)
+    return shard, name, digest, spilled, len(trace), time.perf_counter() - tick
+
+
+class _MergedIndexes:
+    """Reduce-side accumulator for phase-A partials (one shard at a time)."""
+
+    def __init__(self) -> None:
+        self.vocab = StableInterner()
+        self.clients: dict[int, set[str]] = defaultdict(set)
+        self.ips: dict[int, set[str]] = defaultdict(set)
+        self.files: dict[int, set[str]] = defaultdict(set)
+        self.patterns: dict[int, set[tuple[str, ...]]] = defaultdict(set)
+        self.windows: dict[int, set[int]] = defaultdict(set)
+        self.counts: Counter[int] = Counter()
+        self.raw_hosts: set[str] = set()
+        self.requests = 0
+
+    def merge(self, payload: dict) -> None:
+        self.requests += int(payload["requests"])
+        self.raw_hosts.update(payload["raw_hosts"])
+        self.vocab.merge({int(sid): label for sid, label in payload["vocab"].items()})
+        for attribute in ("clients", "ips", "files"):
+            target = getattr(self, attribute)
+            for sid, found in payload[attribute].items():
+                target[int(sid)].update(found)
+        for sid, count in payload["counts"].items():
+            self.counts[int(sid)] += count
+        for sid, found in payload.get("patterns", {}).items():
+            self.patterns[int(sid)].update(tuple(pattern) for pattern in found)
+        for sid, found in payload.get("windows", {}).items():
+            self.windows[int(sid)].update(found)
+
+
+# -- phase C: partition-parallel pair accumulation ----------------------------------
+
+
+def _bucket_of(group: list[int], buckets: int) -> int:
+    """Deterministic, hash-seed-independent bucket of one sharing group."""
+    digest = hashlib.blake2b(",".join(map(str, group)).encode("ascii"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % buckets
+
+
+def _pair_chunk_job(
+    groups: list[list[int]],
+    width: int,
+    cap: int,
+    spill_root: str,
+    name: str,
+) -> tuple[str, str, int, dict[str, int], float]:
+    """One reduce-input job: accumulate one bucket's pair counts and spill.
+
+    Returns ``(name, digest, spill bytes, stats, seconds)``; the counter
+    itself travels through the :class:`PartialStore`.
+    """
+    tick = time.perf_counter()
+    stats = PairStats()
+    counts = accumulate_pair_counts(groups, width, cap=cap, stats=stats)
+    payload = {
+        "counts": sorted(counts.items()),
+        "stats": stats.to_dict(),
+    }
+    digest, spilled = PartialStore(spill_root).put(name, payload)
+    return name, digest, spilled, stats.to_dict(), time.perf_counter() - tick
+
+
+class ShardedAccumulator:
+    """Drop-in for :func:`~repro.core.interning.accumulate_pair_counts`
+    that fans the quadratic work out over the shared pool.
+
+    Groups are hash-partitioned by content into ``buckets`` chunks; each
+    chunk runs the real accumulator (same cap, its own
+    :class:`~repro.core.interning.PairStats`) and spills its counter;
+    the chunks merge in bucket order.  Every group lands in exactly one
+    bucket and counter addition is commutative, so the merged counts
+    equal the single-pass counts for any bucket assignment — and the
+    folded stats match too (``candidate_pairs`` is recomputed as the
+    merged counter's size, since one pair can surface in several
+    buckets).
+    """
+
+    def __init__(
+        self,
+        pool: JobPool,
+        buckets: int,
+        spill_root: str | Path,
+        dimension: str,
+        recorder=None,
+    ) -> None:
+        self.pool = pool
+        self.buckets = max(1, buckets)
+        self.spill_root = str(spill_root)
+        self.dimension = dimension
+        self.recorder = recorder
+
+    def __call__(
+        self,
+        groups,
+        width: int,
+        cap: int = 0,
+        stats: PairStats | None = None,
+    ) -> Counter[int]:
+        chunks: list[list[list[int]]] = [[] for _ in range(self.buckets)]
+        for group in groups:
+            members = list(group)
+            chunks[_bucket_of(members, self.buckets)].append(members)
+        jobs = []
+        for bucket, chunk in enumerate(chunks):
+            if not chunk:
+                continue
+            name = f"pairs-{self.dimension}-{bucket:04d}"
+            jobs.append(partial(_pair_chunk_job, chunk, width, cap, self.spill_root, name))
+        results = self.pool.run(jobs)
+
+        merged: Counter[int] = Counter()
+        store = PartialStore(self.spill_root)
+        recorder = self.recorder
+        for name, digest, spilled, chunk_stats, seconds in results:
+            payload = store.load(name, digest)
+            store.delete(name)
+            merged.update(dict(payload["counts"]))
+            if stats is not None:
+                stats.groups += chunk_stats["groups"]
+                stats.skipped_groups += chunk_stats["skipped_groups"]
+                stats.enumerated_pairs += chunk_stats["enumerated_pairs"]
+                if chunk_stats["largest_group"] > stats.largest_group:
+                    stats.largest_group = chunk_stats["largest_group"]
+            if recorder is not None and recorder.enabled:
+                recorder.record_span(
+                    "pipeline.mine.pair_partial",
+                    seconds,
+                    {
+                        "dimension": self.dimension,
+                        "partial": name,
+                        "spill_bytes": spilled,
+                        **chunk_stats,
+                    },
+                )
+                recorder.counter(
+                    "smash_shard_pair_partials_total",
+                    "Pair-count partials accumulated by the sharded mine.",
+                    labels=("dimension",),
+                ).labels(dimension=self.dimension).inc()
+                recorder.counter(
+                    "smash_shard_spill_bytes_total",
+                    "Bytes of sharded-mine partials spilled, by kind.",
+                    labels=("kind",),
+                ).labels(kind="pairs").inc(spilled)
+        if stats is not None:
+            stats.candidate_pairs = len(merged)
+        return merged
+
+
+# -- Louvain jobs (module-level for pickling) ---------------------------------------
+
+
+def _louvain_secondary_job(graph, dimension: str, config: SmashConfig) -> MiningOutcome:
+    return mine_herds(graph, dimension, config.louvain)
+
+
+def _louvain_main_job(
+    graph,
+    single_client_servers: set[str],
+    clients_by_server: dict[str, frozenset[str]],
+    config: SmashConfig,
+) -> MiningOutcome:
+    from repro.core.pipeline import _append_single_client_herds
+
+    main = mine_herds(graph, MAIN_DIMENSION, config.louvain)
+    return _append_single_client_herds(main, single_client_servers, clients_by_server)
+
+
+# -- the sharded mine ---------------------------------------------------------------
+
+
+def _assemble_prepared(
+    trace: HttpTrace,
+    merged: _MergedIndexes,
+    config: SmashConfig,
+) -> tuple[HttpTrace, PreprocessReport, dict[int, str]]:
+    """Finish preprocessing from the merged indexes.
+
+    Builds the same filtered trace ``preprocess()`` builds (identical
+    requests, identical name) and injects the merged inverted indexes
+    into its cache slots, so every downstream consumer reads the
+    shard-extracted data instead of re-scanning the window.  Returns the
+    prepared trace, the report, and the kept ``{stable id: label}``
+    namespace.
+    """
+    pre = config.preprocess
+    label_of = merged.vocab.to_dict()
+    popular = {sid for sid, clients in merged.clients.items() if len(clients) > pre.idf_threshold}
+    too_rare = {sid for sid, clients in merged.clients.items() if len(clients) < pre.min_clients}
+    removed_labels = {label_of[sid] for sid in popular | too_rare}
+    kept = {
+        sid: label
+        for sid, label in label_of.items()
+        if sid not in popular and sid not in too_rare
+    }
+
+    aggregated = aggregate_trace(trace) if pre.aggregate_second_level else trace
+    prepared = aggregated.filter_servers(
+        lambda server: server not in removed_labels,
+        name=f"{trace.name}:preprocessed",
+    )
+
+    # Inject the merged indexes into the prepared trace's cache slots.
+    # Iteration order of these dicts never reaches an output (every
+    # consumer sorts), but keep it canonical anyway.
+    order = sorted(kept, key=lambda sid: kept[sid])
+    clients_by_server = {kept[sid]: frozenset(merged.clients[sid]) for sid in order}
+    servers_of: dict[str, set[str]] = defaultdict(set)
+    for label, clients in clients_by_server.items():
+        for client in clients:
+            servers_of[client].add(label)
+    prepared._clients_by_server = clients_by_server
+    prepared._ips_by_server = {kept[sid]: frozenset(merged.ips[sid]) for sid in order}
+    prepared._files_by_server = {kept[sid]: frozenset(merged.files[sid]) for sid in order}
+    prepared._servers_by_client = {
+        client: frozenset(found) for client, found in servers_of.items()
+    }
+    prepared._servers = frozenset(clients_by_server)
+
+    report = PreprocessReport(
+        raw_servers=len(merged.raw_hosts),
+        aggregated_servers=len(label_of),
+        popular_servers_removed=len(popular),
+        kept_servers=len(kept),
+        raw_requests=merged.requests,
+        kept_requests=sum(merged.counts[sid] for sid in kept),
+    )
+    return prepared, report, kept
+
+
+def _build_secondary_graph(
+    dimension: str,
+    prepared: HttpTrace,
+    whois,
+    config: SmashConfig,
+    accumulate: ShardedAccumulator,
+    merged: _MergedIndexes,
+    kept: dict[int, str],
+):
+    """Build one secondary dimension's graph with sharded accumulation."""
+    if dimension == "urifile":
+        return build_urifile_graph(prepared, config.dimensions, accumulate)
+    if dimension == "ipset":
+        return build_ipset_graph(prepared, config.dimensions, accumulate)
+    if dimension == "whois":
+        if whois is None:
+            return None
+        return build_whois_graph(prepared, whois, config.dimensions, accumulate)
+    if dimension == "urlparam":
+        patterns_of = {
+            kept[sid]: frozenset(merged.patterns[sid])
+            for sid in kept
+            if merged.patterns.get(sid)
+        }
+        return build_urlparam_graph(
+            prepared, config.dimensions, accumulate, patterns_of=patterns_of
+        )
+    if dimension == "time":
+        windows_of = {
+            kept[sid]: frozenset(merged.windows[sid])
+            for sid in kept
+            if merged.windows.get(sid)
+        }
+        return build_time_graph(
+            prepared,
+            config.dimensions,
+            accumulate=accumulate,
+            windows_of=windows_of,
+        )
+    # Extension dimensions registered only in SECONDARY_GRAPH_BUILDERS:
+    # fall back to the un-sharded builder (correct, just not fanned out).
+    from repro.core.pipeline import SECONDARY_GRAPH_BUILDERS
+
+    try:
+        builder = SECONDARY_GRAPH_BUILDERS[dimension]
+    except KeyError:  # pragma: no cover - guarded by SmashConfig.validate
+        raise PipelineError(f"unknown dimension {dimension!r}") from None
+    return builder(prepared, whois, config)
+
+
+def mine_sharded(
+    pipeline,
+    trace: HttpTrace,
+    whois,
+    config: SmashConfig,
+    cache,
+    span,
+    pool: JobPool,
+    boundaries: tuple[int, ...] | None = None,
+    spill_dir: str | Path | None = None,
+):
+    """The ``shards > 1`` mine path; see the module docstring.
+
+    Returns a :class:`~repro.core.pipeline.MinedDimensions` byte-for-byte
+    equal (in every output-reachable field) to what
+    ``SmashPipeline._mine`` produces on the same inputs.
+    """
+    from repro.core.pipeline import (
+        DIMENSION_SIGNATURES,
+        MinedDimensions,
+        _record_dimension,
+        _timed_job,
+    )
+
+    recorder = pipeline.metrics
+    shards = config.shards
+    want_patterns = "urlparam" in config.enabled_secondary_dimensions
+    want_windows = "time" in config.enabled_secondary_dimensions
+
+    if spill_dir is not None:
+        Path(spill_dir).mkdir(parents=True, exist_ok=True)
+        spill_root = tempfile.mkdtemp(prefix="mine-", dir=str(spill_dir))
+    else:
+        spill_root = tempfile.mkdtemp(prefix="repro-shardmine-")
+    spill = PartialStore(spill_root)
+    try:
+        # -- phase A + reduce: sharded preprocess ---------------------------------
+        with recorder.span("pipeline.mine.preprocess") as pre_span:
+            ranges = shard_ranges(len(trace), shards, boundaries)
+            requests = trace.requests
+            jobs = [
+                partial(
+                    _index_shard_job,
+                    index,
+                    HttpTrace(requests[start:stop], name=f"{trace.name}:shard{index}"),
+                    config.preprocess.aggregate_second_level,
+                    want_patterns,
+                    want_windows,
+                    DEFAULT_WINDOW_SECONDS,
+                    spill_root,
+                )
+                for index, (start, stop) in enumerate(ranges)
+            ]
+            partials = pool.run(jobs)
+
+            merged = _MergedIndexes()
+            with recorder.span("pipeline.mine.shard_merge") as merge_span:
+                for shard, name, digest, spilled, shard_requests, seconds in sorted(partials):
+                    merged.merge(spill.load(name, digest))
+                    spill.delete(name)
+                    if recorder.enabled:
+                        recorder.record_span(
+                            "pipeline.mine.shard_index",
+                            seconds,
+                            {
+                                "shard": shard,
+                                "requests": shard_requests,
+                                "spill_bytes": spilled,
+                            },
+                        )
+                        recorder.counter(
+                            "smash_shard_index_partials_total",
+                            "Per-shard index partials produced by the map phase.",
+                        ).inc()
+                        recorder.counter(
+                            "smash_shard_spill_bytes_total",
+                            "Bytes of sharded-mine partials spilled, by kind.",
+                            labels=("kind",),
+                        ).labels(kind="index").inc(spilled)
+            prepared, report, kept = _assemble_prepared(trace, merged, config)
+            if recorder.enabled:
+                merge_span.set(
+                    shards=len(ranges),
+                    servers=len(merged.vocab),
+                    kept_servers=len(kept),
+                )
+                pre_span.set(
+                    raw_requests=report.raw_requests,
+                    kept_requests=report.kept_requests,
+                    raw_servers=report.raw_servers,
+                    kept_servers=report.kept_servers,
+                    popular_servers_removed=report.popular_servers_removed,
+                    shards=len(ranges),
+                )
+
+        # -- cache lookup (same contract as the single-shard mine) ----------------
+        clients_by_server = prepared.clients_by_server
+        single_client_servers = {
+            server
+            for server, clients in clients_by_server.items()
+            if len(clients) == 1
+        }
+        multi_clients_by_server = {
+            server: clients
+            for server, clients in clients_by_server.items()
+            if server not in single_client_servers
+        }
+        multi_servers_by_client: dict[str, frozenset[str]] = {}
+        for client, servers in prepared.servers_by_client.items():
+            surviving = servers - single_client_servers
+            if surviving:
+                multi_servers_by_client[client] = (
+                    servers if len(surviving) == len(servers) else surviving
+                )
+
+        dimensions = (MAIN_DIMENSION, *config.enabled_secondary_dimensions)
+        signatures: dict[str, str] = {}
+        reused: dict[str, MiningOutcome | None] = {}
+        to_mine: list[str] = []
+        if cache is None:
+            to_mine = list(dimensions)
+        else:
+            for dimension in dimensions:
+                try:
+                    signer = DIMENSION_SIGNATURES[dimension]
+                except KeyError:
+                    raise PipelineError(
+                        f"dimension {dimension!r} has no entry in "
+                        f"DIMENSION_SIGNATURES; register one to make it cacheable"
+                    ) from None
+                signatures[dimension] = signer(prepared, whois, config)
+                hit, outcome = cache.lookup(dimension, signatures[dimension])
+                if hit:
+                    reused[dimension] = outcome
+                else:
+                    to_mine.append(dimension)
+
+        # -- phase C: graphs with partition-parallel pair counting ----------------
+        job_config = config if config.metrics is None else config.replace(metrics=None)
+        graphs: dict[str, object] = {}
+        build_seconds: dict[str, float] = {}
+        for dimension in to_mine:
+            accumulate = ShardedAccumulator(
+                pool, len(ranges) or 1, spill_root, dimension, recorder=recorder
+            )
+            tick = time.perf_counter()
+            if dimension == MAIN_DIMENSION:
+                graphs[dimension] = build_client_graph_from_indices(
+                    multi_clients_by_server,
+                    multi_servers_by_client,
+                    config.dimensions,
+                    accumulate,
+                )
+            else:
+                graphs[dimension] = _build_secondary_graph(
+                    dimension, prepared, whois, job_config, accumulate, merged, kept
+                )
+            build_seconds[dimension] = time.perf_counter() - tick
+
+        # -- Louvain fan-out on the same pool -------------------------------------
+        louvain_jobs = []
+        louvain_dimensions = []
+        for dimension in to_mine:
+            graph = graphs[dimension]
+            if graph is None:
+                continue
+            louvain_dimensions.append(dimension)
+            if dimension == MAIN_DIMENSION:
+                job = partial(
+                    _louvain_main_job,
+                    graph,
+                    single_client_servers,
+                    clients_by_server,
+                    job_config,
+                )
+            else:
+                job = partial(_louvain_secondary_job, graph, dimension, job_config)
+            louvain_jobs.append(partial(_timed_job, job))
+        timed = pool.run(louvain_jobs)
+
+        mined_now: dict[str, MiningOutcome | None] = {dimension: None for dimension in to_mine}
+        for dimension, (outcome, seconds) in zip(louvain_dimensions, timed):
+            mined_now[dimension] = outcome
+            if recorder.enabled:
+                _record_dimension(recorder, dimension, outcome, build_seconds[dimension] + seconds)
+        if recorder.enabled:
+            for dimension in to_mine:
+                if dimension not in louvain_dimensions:
+                    _record_dimension(recorder, dimension, None, build_seconds[dimension])
+
+        if cache is not None:
+            for dimension in to_mine:
+                cache.update(dimension, signatures[dimension], mined_now[dimension])
+            cache.last_reused = tuple(d for d in dimensions if d in reused)
+            cache.last_mined = tuple(to_mine)
+
+        main = reused[MAIN_DIMENSION] if MAIN_DIMENSION in reused else mined_now[MAIN_DIMENSION]
+        assert main is not None  # the main-dimension job never returns None
+        secondary: dict[str, MiningOutcome] = {}
+        for dimension in config.enabled_secondary_dimensions:
+            outcome = reused[dimension] if dimension in reused else mined_now[dimension]
+            if outcome is not None:
+                secondary[dimension] = outcome
+        if recorder.enabled:
+            span.set(
+                requests=report.kept_requests,
+                servers=report.kept_servers,
+                shards=len(ranges),
+                mined_dimensions=list(to_mine),
+                reused_dimensions=[d for d in dimensions if d in reused],
+            )
+        return MinedDimensions(
+            trace=prepared,
+            preprocess_report=report,
+            main=main,
+            secondary=secondary,
+            interner=Interner(clients_by_server),
+        )
+    finally:
+        spill.cleanup()

@@ -19,9 +19,17 @@ per PR instead of asserted once and forgotten:
     ``max_group_size`` gate bounds an otherwise quadratic shared-IP
     posting list.
 
-Both harnesses re-check output equivalence while they time (incremental
-== cold, interned == label path), so a benchmark run is also an
-equivalence smoke test.
+``sharded`` (merged into ``BENCH_mine.json`` under ``"sharded"``)
+    Measures the map-reduce mine path (:mod:`repro.core.shardmine`) at
+    10x the mine suite's largest scale: peak RSS per shard count (each
+    configuration in its own subprocess — see
+    :mod:`repro.eval.shardprobe`), spill-merge throughput serial and on
+    the process pool, and the byte-identity of every row's result
+    document.
+
+All harnesses re-check output equivalence while they time (incremental
+== cold, interned == label path, sharded == single-pass), so a
+benchmark run is also an equivalence smoke test.
 
 All stage timings come from the ``repro.obs`` span layer rather than
 ad-hoc ``time.perf_counter()`` bookkeeping: instrumented components
@@ -465,6 +473,131 @@ def mine_scaling(
     return document
 
 
+# -- sharded-mine scaling benchmark -------------------------------------------------
+
+
+def sharded_scaling(
+    scale: float = 10.0,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int = 7,
+    registry=None,
+) -> dict[str, object]:
+    """Sharded map-reduce mine vs the single-pass mine at one large scale.
+
+    The benchmark day is generated once and persisted into a temporary
+    :class:`~repro.stream.store.TraceStore`; every configuration row then
+    runs in its own fresh interpreter (:mod:`repro.eval.shardprobe`) that
+    loads the digest-verified partition back from the store, because
+    ``ru_maxrss`` is a process-lifetime high-water mark and in-process
+    rows would all report the first row's peak.
+
+    Rows: the single-pass baseline, each requested shard count on the
+    serial executor (the peak-memory story — map partials spill to the
+    store and merge one shard at a time), and the largest shard count on
+    the process pool with one worker per CPU (the throughput story).
+    Every row's full result document must hash identically or the
+    benchmark aborts — the byte-identity acceptance gate, measured at
+    bench scale rather than only at test scale.
+    """
+    import subprocess
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.stream.store import TraceStore
+    from repro.stream.window import DayPartition
+    from repro.synth.generator import TraceGenerator
+    from repro.synth.scenarios import data2012day
+
+    registry = registry if registry is not None else MetricsRegistry()
+    with registry.span("bench.sharded.generate", scale=scale) as span:
+        dataset = TraceGenerator(data2012day(scale=scale, seed=seed)).generate_day(0)
+    generate_seconds = span.seconds
+
+    configs = [(1, 1, "serial")]
+    for shards in shard_counts:
+        if shards > 1:
+            configs.append((shards, 1, "serial"))
+    largest = max(shard_counts) if shard_counts else 1
+    if largest > 1:
+        configs.append((largest, 0, "process"))
+
+    rows: list[dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sharded-") as tmp:
+        store = TraceStore(Path(tmp) / "store")
+        ref = store.put(
+            DayPartition(
+                day=0,
+                trace=dataset.trace,
+                whois=dataset.whois,
+                redirects=dataset.redirects,
+            )
+        )
+        for shards, workers, executor in configs:
+            spec = {
+                "store_root": str(store.root),
+                "day": ref.day,
+                "digest": ref.digest,
+                "shards": shards,
+                "workers": workers,
+                "executor": executor,
+            }
+            with registry.span(
+                "bench.sharded.probe", shards=shards, workers=workers, executor=executor
+            ):
+                probe = subprocess.run(
+                    [sys.executable, "-m", "repro.eval.shardprobe", json.dumps(spec)],
+                    capture_output=True,
+                    text=True,
+                )
+            if probe.returncode != 0:
+                raise AssertionError(
+                    f"shard probe {shards}/{workers}/{executor} failed:\n{probe.stderr}"
+                )
+            rows.append(json.loads(probe.stdout))
+
+    digests = {row["digest"] for row in rows}
+    if len(digests) != 1:
+        raise AssertionError(
+            f"sharded and single-pass mines diverged at scale {scale}: {digests}"
+        )
+    baseline = rows[0]
+    serial_rows = [r for r in rows if r["executor"] == "serial" and r["shards"] > 1]
+    most_sharded = serial_rows[-1] if serial_rows else baseline
+    # The headline compares *mine-phase* peaks (VmHWM reset after the
+    # load — see shardprobe): whole-process ru_maxrss is set by the
+    # partition load, which is identical across rows.
+    return {
+        "scale": scale,
+        "seed": seed,
+        "requests": baseline["requests"],
+        "generate_seconds": round(generate_seconds, 3),
+        "configs": rows,
+        "identical_output": True,
+        "baseline_mine_peak_rss_kb": baseline["mine_peak_rss_kb"],
+        "sharded_mine_peak_rss_kb": most_sharded["mine_peak_rss_kb"],
+        "mine_peak_rss_reduction": round(
+            baseline["mine_peak_rss_kb"] / most_sharded["mine_peak_rss_kb"], 3
+        )
+        if most_sharded["mine_peak_rss_kb"]
+        else None,
+    }
+
+
+def _print_sharded_summary(document: dict[str, object]) -> None:
+    configs = document["configs"]
+    assert isinstance(configs, list)
+    for row in configs:
+        print(
+            f"shards={row['shards']} workers={row['workers']} {row['executor']}: "
+            f"mine {row['mine_seconds']}s ({row['requests_per_second']} req/s), "
+            f"mine-phase peak RSS {row['mine_peak_rss_kb']} KB"
+        )
+    print(
+        f"mine-phase peak RSS {document['baseline_mine_peak_rss_kb']} KB single-pass -> "
+        f"{document['sharded_mine_peak_rss_kb']} KB most-sharded serial "
+        f"({document['mine_peak_rss_reduction']}x), identical output"
+    )
+
+
 def _print_mine_summary(document: dict[str, object]) -> None:
     scales = document["scales"]
     assert isinstance(scales, list)
@@ -519,7 +652,7 @@ def add_bench_arguments(parser: argparse.ArgumentParser, default_suite: str = "s
     """The benchmark flag set, shared by ``smash bench`` and this module."""
     parser.add_argument(
         "--suite",
-        choices=["stream", "mine", "all"],
+        choices=["stream", "mine", "sharded", "all"],
         default=default_suite,
         help=f"which benchmark suite to run (default: {default_suite})",
     )
@@ -536,6 +669,18 @@ def add_bench_arguments(parser: argparse.ArgumentParser, default_suite: str = "s
         type=int,
         default=2,
         help="mine suite: timing repetitions per core (best is kept)",
+    )
+    parser.add_argument(
+        "--sharded-scale",
+        type=float,
+        default=10.0,
+        help="sharded suite: scenario scale factor (default 10.0, ~1M requests "
+        "— 10x the mine suite's largest default scale)",
+    )
+    parser.add_argument(
+        "--shard-counts",
+        default="1,2,4,8",
+        help="sharded suite: comma-separated shard counts to probe",
     )
     parser.add_argument(
         "--out",
@@ -588,6 +733,27 @@ def run_bench_cli(args: argparse.Namespace) -> int:
         out = Path(args.out or "BENCH_mine.json")
         out.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
         _print_mine_summary(document)
+        wrote.append(out)
+    if args.suite == "sharded":
+        shard_counts = tuple(int(part) for part in args.shard_counts.split(",") if part)
+        document = sharded_scaling(
+            scale=args.sharded_scale,
+            shard_counts=shard_counts,
+            seed=args.seed,
+            registry=registry,
+        )
+        # The sharded suite extends the mine document rather than owning a
+        # separate file: read-modify-write under the "sharded" key so both
+        # mining benchmarks stay tracked side by side in BENCH_mine.json.
+        out = Path(args.out or "BENCH_mine.json")
+        merged: dict[str, object] = {}
+        if out.exists():
+            existing = json.loads(out.read_text())
+            if isinstance(existing, dict):
+                merged = existing
+        merged["sharded"] = document
+        out.write_text(json.dumps(merged, indent=1, sort_keys=True) + "\n")
+        _print_sharded_summary(document)
         wrote.append(out)
     if args.metrics_out or args.trace_out:
         from repro.obs import write_prometheus, write_snapshot

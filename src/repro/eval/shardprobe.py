@@ -1,0 +1,119 @@
+"""Subprocess probe for the sharded-mine benchmark.
+
+``ru_maxrss`` is a *process-lifetime* high-water mark, so peak-memory
+comparisons between mining configurations are only honest when every
+configuration runs in its own fresh interpreter.  The sharded suite
+(:func:`repro.eval.bench.sharded_scaling`) therefore spawns this module
+once per ``(shards, workers, executor)`` row::
+
+    python -m repro.eval.shardprobe '{"store_root": ..., "day": 0, ...}'
+
+The probe loads the benchmark day from the coordinator's
+:class:`~repro.stream.store.TraceStore` (digest-verified, the same
+partition every row sees), runs one mine + finish under the requested
+configuration, and prints a single JSON object: timings, throughput,
+peak RSS (self and, for process-executor rows, the worker children),
+and a SHA-256 digest of the full result document so the coordinator can
+assert byte-identical output across every shard count.
+
+``ru_maxrss`` never resets, and the partition load (materialising every
+request from JSON) sets a high-water mark the mine phase may never
+exceed — which would make whole-process peaks identical across rows and
+hide what sharding changes.  On Linux the kernel's ``VmHWM`` counter
+*can* be reset (``echo 5 > /proc/self/clear_refs``), so the probe resets
+it after the load and reports ``mine_peak_rss_kb``: the high-water mark
+of the mine phase alone, the number the shard-size-bounded-memory claim
+is about.  ``peak_rss_kb`` stays the process-lifetime ``ru_maxrss`` for
+context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import resource
+import sys
+import time
+
+
+def _reset_peak_rss() -> bool:
+    """Reset the kernel's VmHWM counter for this process (Linux only)."""
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def _current_peak_rss_kb() -> int:
+    """VmHWM in KB — peak RSS since the last :func:`_reset_peak_rss`."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def run_probe(spec: dict) -> dict[str, object]:
+    from repro.config import SmashConfig
+    from repro.core.pipeline import SmashPipeline
+    from repro.eval.export import result_to_dict
+    from repro.stream.store import TraceStore
+
+    tick = time.perf_counter()
+    store = TraceStore(spec["store_root"])
+    partition = store.ref(int(spec["day"]), str(spec["digest"])).load()
+    load_seconds = time.perf_counter() - tick
+
+    config = SmashConfig().replace(
+        shards=int(spec["shards"]),
+        workers=int(spec["workers"]),
+        executor=str(spec["executor"]),
+    )
+    config.validate()
+    pipeline = SmashPipeline(config)
+    phase_peaks = _reset_peak_rss()
+    tick = time.perf_counter()
+    mined = pipeline.mine(partition.trace, whois=partition.whois)
+    mine_seconds = time.perf_counter() - tick
+    mine_peak_rss_kb = _current_peak_rss_kb()
+    result = pipeline.finish(mined, partition.redirects)
+    total_seconds = time.perf_counter() - tick
+
+    document = json.dumps(result_to_dict(result), sort_keys=True)
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    children = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return {
+        "shards": config.shards,
+        "workers": config.workers,
+        "executor": config.executor,
+        "requests": len(partition.trace),
+        "servers_mined": len(mined.trace.servers),
+        "campaigns": len(result.campaigns),
+        "load_seconds": round(load_seconds, 6),
+        "mine_seconds": round(mine_seconds, 6),
+        "total_seconds": round(total_seconds, 6),
+        "requests_per_second": round(len(partition.trace) / mine_seconds, 1),
+        "peak_rss_kb": usage.ru_maxrss,
+        "mine_peak_rss_kb": mine_peak_rss_kb,
+        "mine_phase_isolated": phase_peaks,
+        "children_peak_rss_kb": children.ru_maxrss,
+        "digest": hashlib.sha256(document.encode("utf-8")).hexdigest(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.eval.shardprobe '<spec json>'", file=sys.stderr)
+        return 2
+    print(json.dumps(run_probe(json.loads(argv[0])), sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

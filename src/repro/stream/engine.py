@@ -121,6 +121,7 @@ class StreamingSmash:
         single_client_thresh: float | None = SINGLE_CLIENT_THRESH,
         workers: int | None = None,
         executor: str | None = None,
+        shards: int | None = None,
         store: TraceStore | None = None,
         store_dir: str | Path | None = None,
         incremental: bool | None = None,
@@ -142,14 +143,16 @@ class StreamingSmash:
         if self.metrics.enabled and self.config.metrics is not self.metrics:
             self.config = self.config.replace(metrics=self.metrics)
         # Per-advance runs mine every dimension over the current window;
-        # `workers`/`executor` override the config's fan-out settings
-        # without the caller having to build a SmashConfig.  Mining is
-        # deterministic, so this never changes the stream's campaigns or
-        # tracker identities — only how fast each advance completes.
-        if workers is not None or executor is not None:
+        # `workers`/`executor`/`shards` override the config's fan-out
+        # settings without the caller having to build a SmashConfig.
+        # Mining is deterministic (sharded or not), so this never changes
+        # the stream's campaigns or tracker identities — only how fast
+        # each advance completes and how much memory it holds at peak.
+        if workers is not None or executor is not None or shards is not None:
             self.config = self.config.replace(
                 workers=self.config.workers if workers is None else workers,
                 executor=self.config.executor if executor is None else executor,
+                shards=self.config.shards if shards is None else shards,
             )
         self.pipeline = SmashPipeline(self.config)
         self.store = (
@@ -290,9 +293,7 @@ class StreamingSmash:
         self.window.append(DayPartition(day=day, trace=trace, whois=whois, redirects=redirects))
         combined_trace, combined_whois, combined_redirects = self.window.combined()
 
-        mined = self.pipeline.mine(
-            combined_trace, whois=combined_whois, cache=self._dimension_cache
-        )
+        mined = self._mine_window(combined_trace, combined_whois)
         self._mined = (self.window.days, mined)
         if self._dimension_cache is not None:
             reused_dimensions = self._dimension_cache.last_reused
@@ -342,6 +343,29 @@ class StreamingSmash:
             build_stats=dimension_build_stats(mined),
         )
 
+    def _mine_window(
+        self, combined_trace: HttpTrace, combined_whois: WhoisRegistry | None
+    ) -> MinedDimensions:
+        """Mine the combined window, sharded along day partitions.
+
+        With ``config.shards > 1`` the mine receives the window's per-day
+        request counts as shard boundaries (shard cuts land on stored
+        partition edges) and, when a trace store is attached, spills its
+        index/pair partials under the store's ``.partials`` directory
+        instead of a process-private tempdir.
+        """
+        if self.config.shards <= 1:
+            return self.pipeline.mine(
+                combined_trace, whois=combined_whois, cache=self._dimension_cache
+            )
+        return self.pipeline.mine(
+            combined_trace,
+            whois=combined_whois,
+            cache=self._dimension_cache,
+            shard_boundaries=self.window.partition_request_counts(),
+            spill_dir=None if self.store is None else self.store.partials_dir(),
+        )
+
     def _score_event(self, event: TrackEvent) -> TrackEvent:
         """Attach score + severity from the identity's current history."""
         campaign = self.tracker.get(event.uid)
@@ -382,11 +406,7 @@ class StreamingSmash:
             combined_trace, combined_whois, _ = self.window.combined()
             self._mined = (
                 self.window.days,
-                self.pipeline.mine(
-                    combined_trace,
-                    whois=combined_whois,
-                    cache=self._dimension_cache,
-                ),
+                self._mine_window(combined_trace, combined_whois),
             )
         _, _, combined_redirects = self.window.combined()
         return self.pipeline.finish(self._mined[1], combined_redirects, thresh=thresh)

@@ -28,6 +28,11 @@ recomputes the content digest and compares it to the address, so a
 truncated or hand-edited partition raises
 :class:`~repro.errors.StreamError` instead of silently corrupting the
 stream.
+
+:class:`PartialStore` applies the same digest-verified contract to the
+sharded mine's transient spill files (per-shard index partials,
+per-bucket pair-count partials) under ``<store>/.partials`` — or any
+scratch directory when no store is attached.
 """
 
 from __future__ import annotations
@@ -343,5 +348,87 @@ class TraceStore:
             path.stat().st_size for path in self.root.rglob("*") if path.is_file()
         )
 
+    def partials_dir(self) -> Path:
+        """Scratch directory for sharded-mine partial spills.
+
+        Lives under the store root so a store-backed stream's spill I/O
+        shares the store's volume, but is *not* content-addressed stream
+        history: partials are transient per-mine state, deleted by the
+        :class:`PartialStore` that wrote them.
+        """
+        return self.root / ".partials"
+
     def __repr__(self) -> str:
         return f"TraceStore(root={str(self.root)!r}, days={len(self.days())})"
+
+
+class PartialStore:
+    """Digest-verified spill directory for sharded-mine partials.
+
+    The sharded mine bounds its peak memory by writing each map-phase
+    partial (a shard's inverted indexes, a bucket's pair counts) to disk
+    as soon as it is produced and merging them back one at a time.  Each
+    partial is one JSON file addressed by name; :meth:`put` returns the
+    payload's sha256 digest and :meth:`load` recomputes and compares it,
+    so a truncated or hand-edited partial raises
+    :class:`~repro.errors.StreamError` instead of silently corrupting
+    the merge — the same contract :class:`TraceStore` applies to day
+    partitions.
+
+    Workers (possibly in other processes) construct their own
+    ``PartialStore`` over the shared root and ``put``; the coordinator
+    ``load``s by (name, digest) and ``delete``s after merging.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_of(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    def put(self, name: str, payload: dict) -> tuple[str, int]:
+        """Write one partial; returns ``(digest, bytes written)``.
+
+        The write is atomic (temp file + rename) so a crashed worker
+        never leaves a half-written partial under a valid name.
+        """
+        encoded = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        digest = hashlib.sha256(encoded).hexdigest()
+        final = self.path_of(name)
+        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+        tmp.write_bytes(encoded)
+        os.replace(tmp, final)
+        return digest, len(encoded)
+
+    def load(self, name: str, digest: str) -> dict:
+        """Read one partial back, verifying its content digest."""
+        path = self.path_of(name)
+        try:
+            encoded = path.read_bytes()
+        except OSError as error:
+            raise StreamError(f"missing spilled partial {path}: {error}") from error
+        actual = hashlib.sha256(encoded).hexdigest()
+        if actual != digest:
+            raise StreamError(
+                f"corrupt spilled partial {path}: content digest {actual[:12]} "
+                f"does not match expected {digest[:12]}"
+            )
+        try:
+            payload = json.loads(encoded)
+        except json.JSONDecodeError as error:  # pragma: no cover - digest gate
+            raise StreamError(f"corrupt spilled partial {path}: {error}") from error
+        if not isinstance(payload, dict):
+            raise StreamError(f"corrupt spilled partial {path}: not a JSON object")
+        return payload
+
+    def delete(self, name: str) -> None:
+        """Drop one merged partial (missing files are fine)."""
+        try:
+            self.path_of(name).unlink()
+        except FileNotFoundError:
+            pass
+
+    def cleanup(self) -> None:
+        """Remove the spill directory and anything left in it."""
+        shutil.rmtree(self.root, ignore_errors=True)

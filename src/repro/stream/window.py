@@ -154,6 +154,18 @@ class RollingWindow:
         self._combined = None
         return evicted
 
+    def partition_request_counts(self) -> tuple[int, ...]:
+        """Per-day request counts, oldest first — the shard boundaries.
+
+        The combined window trace concatenates partitions in this order,
+        so these counts let :meth:`~repro.core.pipeline.SmashPipeline.mine`
+        align shard cuts with stored day partitions (partition-scoped
+        shard loads instead of arbitrary mid-day slices).
+        """
+        return tuple(
+            len(self._materialise(slot).trace) for slot in self._slots
+        )
+
     def combined(self) -> tuple[HttpTrace, WhoisRegistry | None, RedirectOracle | None]:
         """The window's merged (trace, whois, redirects) pipeline inputs."""
         if not self._slots:

@@ -1,0 +1,487 @@
+"""Sharded map-reduce mine == single-shard mine, byte for byte (PR 7).
+
+The mine path gained a shard-parallel mode (:mod:`repro.core.shardmine`):
+per-shard index extraction against the namespace-stable
+:class:`~repro.core.interning.StableInterner`, spill-to-store partials,
+and partition-parallel pair counting, merged deterministically into the
+existing graph → Louvain → correlate path.  The mode's contract is that
+``--shards N`` output is **byte-identical** to the single-shard mine for
+every shard count and every ``PYTHONHASHSEED`` — the in-process classes
+below pin each mechanism (shard planning, stable interning, spill
+verification, bucketed pair accumulation, prepared-trace assembly), and
+the subprocess matrix at the bottom enforces the end-to-end property the
+way :mod:`tests.test_determinism` does for the single-shard core.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.config import SmashConfig
+from repro.core.interning import (
+    PairStats,
+    StableInterner,
+    accumulate_pair_counts,
+    stable_label_id,
+)
+from repro.core.pipeline import DimensionCache, SmashPipeline
+from repro.core.preprocess import preprocess
+from repro.core.shardmine import ShardedAccumulator, shard_ranges
+from repro.errors import ConfigError, PipelineError, StreamError
+from repro.eval.export import result_to_dict
+from repro.stream import StreamingSmash
+from repro.stream.store import PartialStore, TraceStore
+from repro.synth.generator import TraceGenerator
+from repro.synth.scenarios import small_scenario
+from repro.util.parallel import JobPool
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+#: Shard counts from the acceptance criteria: trivial, even, and a prime
+#: that never divides the request count evenly.
+SHARD_COUNTS = (1, 2, 7)
+HASH_SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return TraceGenerator(small_scenario(seed=7)).generate_day(0)
+
+
+@pytest.fixture(scope="module")
+def prepared(dataset):
+    trace, _ = preprocess(dataset.trace)
+    return trace
+
+
+def result_doc(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+# -- shard planning -----------------------------------------------------------------
+
+
+class TestShardRanges:
+    def test_even_split_covers_contiguously(self):
+        ranges = shard_ranges(10, 3)
+        assert ranges == [(0, 3), (3, 6), (6, 10)]
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_more_shards_than_requests_clamps(self):
+        assert shard_ranges(2, 7) == [(0, 1), (1, 2)]
+
+    def test_empty_trace(self):
+        assert shard_ranges(0, 4) == []
+
+    def test_single_shard(self):
+        assert shard_ranges(5, 1) == [(0, 5)]
+
+    def test_day_boundaries_align_cuts(self):
+        # 3 days of 10/20/30 requests into 2 shards: cuts fall only on
+        # day edges, never mid-day.
+        assert shard_ranges(60, 2, boundaries=(10, 20, 30)) == [(0, 10), (10, 60)]
+
+    def test_fewer_days_than_shards_yields_day_shards(self):
+        assert shard_ranges(30, 5, boundaries=(10, 20)) == [(0, 10), (10, 30)]
+
+    def test_mismatched_boundaries_fall_back_to_even_split(self):
+        # Boundaries that do not sum to the trace length are stale
+        # (e.g. a filtered trace) — ignore them rather than mis-cut.
+        assert shard_ranges(10, 2, boundaries=(3, 3)) == shard_ranges(10, 2)
+
+    def test_config_rejects_non_positive_shards(self):
+        with pytest.raises(ConfigError):
+            SmashConfig().replace(shards=0).validate()
+
+
+# -- namespace-stable interning -----------------------------------------------------
+
+
+class TestStableInterner:
+    def test_ids_agree_across_independent_instances(self):
+        labels = ["alpha.example", "beta.example", "gamma.example"]
+        one, two = StableInterner(), StableInterner()
+        first = [one.intern(label) for label in labels]
+        second = [two.intern(label) for label in reversed(labels)]
+        assert first == list(reversed(second))
+        assert first == [stable_label_id(label) for label in labels]
+
+    def test_merge_unions_disjoint_and_overlapping_vocabularies(self):
+        one, two = StableInterner(), StableInterner()
+        one.intern("a.example")
+        one.intern("b.example")
+        two.intern("b.example")
+        two.intern("c.example")
+        one.merge(two.to_dict())
+        assert sorted(one.to_dict().values()) == ["a.example", "b.example", "c.example"]
+
+    def test_merge_collision_raises(self):
+        interner = StableInterner()
+        sid = interner.intern("a.example")
+        with pytest.raises(PipelineError, match="collision"):
+            interner.merge({sid: "b.example"})
+
+    def test_intern_collision_raises(self, monkeypatch):
+        import repro.core.interning as interning
+
+        monkeypatch.setattr(interning, "stable_label_id", lambda label: 42)
+        interner = StableInterner()
+        interner.intern("a.example")
+        with pytest.raises(PipelineError, match="collision"):
+            interner.intern("b.example")
+
+    def test_to_interner_is_dense_and_canonical(self):
+        interner = StableInterner()
+        for label in ("zz.example", "aa.example", "mm.example"):
+            interner.intern(label)
+        dense = interner.to_interner()
+        assert [dense.label_of(i) for i in range(3)] == ["aa.example", "mm.example", "zz.example"]
+
+
+# -- spill store --------------------------------------------------------------------
+
+
+class TestPartialStore:
+    def test_put_load_roundtrip(self, tmp_path):
+        store = PartialStore(tmp_path / "spill")
+        payload = {"counts": [[1, 2]], "nested": {"a": 1}}
+        digest, spilled = store.put("index-0000", payload)
+        assert spilled == store.path_of("index-0000").stat().st_size
+        assert store.load("index-0000", digest) == payload
+
+    def test_corrupt_partial_raises(self, tmp_path):
+        store = PartialStore(tmp_path / "spill")
+        digest, _ = store.put("index-0000", {"counts": []})
+        path = store.path_of("index-0000")
+        path.write_bytes(path.read_bytes() + b" ")
+        with pytest.raises(StreamError, match="corrupt"):
+            store.load("index-0000", digest)
+
+    def test_missing_partial_raises(self, tmp_path):
+        store = PartialStore(tmp_path / "spill")
+        with pytest.raises(StreamError, match="missing"):
+            store.load("index-9999", "0" * 64)
+
+    def test_delete_and_cleanup(self, tmp_path):
+        store = PartialStore(tmp_path / "spill")
+        store.put("pairs-client-0000", {"counts": []})
+        store.delete("pairs-client-0000")
+        store.delete("pairs-client-0000")  # idempotent
+        store.cleanup()
+        assert not (tmp_path / "spill").exists()
+
+
+# -- shared pool --------------------------------------------------------------------
+
+
+class TestJobPool:
+    def test_serial_run_preserves_job_order(self):
+        with JobPool(workers=1) as pool:
+            assert not pool.parallel
+            assert pool.run([lambda i=i: i * i for i in range(5)]) == [0, 1, 4, 9, 16]
+
+    def test_pool_reused_across_batches(self):
+        with JobPool(workers=2, executor="thread") as pool:
+            first = pool.run([lambda: "a", lambda: "b"])
+            second = pool.run([lambda: "c"])
+        assert first == ["a", "b"]
+        assert second == ["c"]
+
+    def test_empty_batch(self):
+        with JobPool(workers=2, executor="thread") as pool:
+            assert pool.run([]) == []
+
+
+# -- partition-parallel pair counting -----------------------------------------------
+
+
+class TestShardedAccumulator:
+    GROUPS = [
+        [0, 1, 2],
+        [1, 2, 3, 4],
+        [0, 4],
+        [2],
+        [0, 1, 2, 3, 4, 5],
+        [3, 5],
+        [1, 4, 5],
+    ]
+    WIDTH = 6
+
+    def _sharded(self, buckets: int, cap: int, tmp_path) -> tuple[Counter, PairStats]:
+        stats = PairStats()
+        with JobPool(workers=1) as pool:
+            accumulate = ShardedAccumulator(pool, buckets, tmp_path / "spill", "client")
+            counts = accumulate(self.GROUPS, self.WIDTH, cap=cap, stats=stats)
+        return counts, stats
+
+    @pytest.mark.parametrize("buckets", [1, 3, 7])
+    def test_counts_and_stats_match_single_pass(self, buckets, tmp_path):
+        expected_stats = PairStats()
+        expected = accumulate_pair_counts(self.GROUPS, self.WIDTH, stats=expected_stats)
+        counts, stats = self._sharded(buckets, 0, tmp_path)
+        assert counts == expected
+        assert stats == expected_stats
+
+    def test_cap_applies_identically(self, tmp_path):
+        expected_stats = PairStats()
+        expected = accumulate_pair_counts(self.GROUPS, self.WIDTH, cap=3, stats=expected_stats)
+        counts, stats = self._sharded(3, 3, tmp_path)
+        assert counts == expected
+        assert stats == expected_stats
+        assert stats.skipped_groups > 0  # the cap actually gated groups
+
+    def test_partials_deleted_after_merge(self, tmp_path):
+        self._sharded(3, 0, tmp_path)
+        assert list((tmp_path / "spill").iterdir()) == []
+
+
+# -- per-dimension graph equality ---------------------------------------------------
+
+
+class TestSecondaryGraphEquality:
+    """Each builder mines the identical topology under a sharded
+    accumulator — the per-dimension half of the byte-identity contract."""
+
+    @pytest.mark.parametrize("dimension", ["urifile", "ipset", "whois"])
+    def test_default_dimensions(self, dimension, prepared, dataset, tmp_path):
+        from repro.core.dimensions.ipset import build_ipset_graph
+        from repro.core.dimensions.urifile import build_urifile_graph
+        from repro.core.dimensions.whoisdim import build_whois_graph
+
+        with JobPool(workers=1) as pool:
+            accumulate = ShardedAccumulator(pool, 3, tmp_path / "spill", dimension)
+            if dimension == "urifile":
+                sharded = build_urifile_graph(prepared, accumulate=accumulate)
+                plain = build_urifile_graph(prepared)
+            elif dimension == "ipset":
+                sharded = build_ipset_graph(prepared, accumulate=accumulate)
+                plain = build_ipset_graph(prepared)
+            else:
+                sharded = build_whois_graph(prepared, dataset.whois, accumulate=accumulate)
+                plain = build_whois_graph(prepared, dataset.whois)
+        assert sharded == plain
+        assert sharded.nodes == plain.nodes  # same canonical order
+
+    def test_optin_dimensions(self, prepared, tmp_path):
+        from repro.core.dimensions.timedim import build_time_graph
+        from repro.core.dimensions.urlparam import build_urlparam_graph
+
+        with JobPool(workers=1) as pool:
+            for dimension, builder in (
+                ("urlparam", build_urlparam_graph),
+                ("time", build_time_graph),
+            ):
+                accumulate = ShardedAccumulator(pool, 3, tmp_path / "spill", dimension)
+                assert builder(prepared, accumulate=accumulate) == builder(prepared)
+
+
+# -- mine / run equivalence ---------------------------------------------------------
+
+
+class TestMineEquivalence:
+    def test_mined_dimensions_equal_single_shard(self, dataset):
+        pipeline = SmashPipeline()
+        base = pipeline.mine(dataset.trace, whois=dataset.whois)
+        sharded = pipeline.mine(dataset.trace, whois=dataset.whois, shards=3)
+        assert sharded.trace.name == base.trace.name
+        assert sharded.trace.requests == base.trace.requests
+        assert sharded.preprocess_report == base.preprocess_report
+        # The injected inverted indexes must equal the lazily-built ones.
+        assert sharded.trace.clients_by_server == base.trace.clients_by_server
+        assert sharded.trace.ips_by_server == base.trace.ips_by_server
+        assert sharded.trace.files_by_server == base.trace.files_by_server
+        assert sharded.trace.servers_by_client == base.trace.servers_by_client
+        assert sharded.trace.servers == base.trace.servers
+        assert sharded.main == base.main
+        assert sharded.secondary == base.secondary
+        assert sharded.interner is not None
+        assert sharded.interner.labels == base.interner.labels
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS[1:])
+    def test_run_byte_identical(self, dataset, shards):
+        kwargs = dict(whois=dataset.whois, redirects=dataset.redirects)
+        base = SmashPipeline().run(dataset.trace, **kwargs)
+        config = SmashConfig().replace(shards=shards)
+        sharded = SmashPipeline(config).run(dataset.trace, **kwargs)
+        assert result_doc(sharded) == result_doc(base)
+        assert sharded.scores == base.scores  # raw floats, not rounded
+        assert sharded.campaigns == base.campaigns
+
+    def test_all_dimensions_enabled_byte_identical(self, dataset):
+        config = SmashConfig(
+            enabled_secondary_dimensions=("urifile", "ipset", "whois", "urlparam", "time")
+        )
+        kwargs = dict(whois=dataset.whois, redirects=dataset.redirects)
+        base = SmashPipeline(config).run(dataset.trace, **kwargs)
+        sharded = SmashPipeline(config.replace(shards=3)).run(dataset.trace, **kwargs)
+        assert result_doc(sharded) == result_doc(base)
+
+    def test_process_executor_byte_identical(self, dataset):
+        kwargs = dict(whois=dataset.whois, redirects=dataset.redirects)
+        base = SmashPipeline().run(dataset.trace, **kwargs)
+        config = SmashConfig().replace(shards=3, workers=2, executor="process")
+        sharded = SmashPipeline(config).run(dataset.trace, **kwargs)
+        assert result_doc(sharded) == result_doc(base)
+
+    def test_dimension_cache_interop(self, dataset):
+        # Signatures are computed on the assembled prepared trace, so a
+        # sharded mine must hit the cache entries a single-shard mine
+        # wrote — and vice versa.
+        pipeline = SmashPipeline()
+        cache = DimensionCache()
+        base = pipeline.mine(dataset.trace, whois=dataset.whois, cache=cache)
+        assert cache.last_mined  # first mine populated the cache
+        sharded = pipeline.mine(dataset.trace, whois=dataset.whois, cache=cache, shards=3)
+        assert not cache.last_mined  # everything reused
+        expected = {"client", *pipeline.config.enabled_secondary_dimensions}
+        assert set(cache.last_reused) == expected
+        assert sharded.main == base.main
+        assert sharded.secondary == base.secondary
+
+
+# -- streaming ----------------------------------------------------------------------
+
+
+class TestStreamEquivalence:
+    @staticmethod
+    def _stream_three_days(tmp_path, label: str, shards: int):
+        store_dir = tmp_path / f"store_{label}"
+        engine = StreamingSmash(window_size=2, shards=shards, store_dir=store_dir)
+        generator = TraceGenerator(small_scenario(seed=7, days=3))
+        docs = []
+        for dataset in generator.iter_days():
+            update = engine.ingest_dataset(dataset)
+            docs.append(result_doc(update.result))
+        engine.close()
+        return docs, store_dir
+
+    def test_store_backed_stream_byte_identical_and_spill_cleaned(self, tmp_path):
+        base_docs, _ = self._stream_three_days(tmp_path, "base", 1)
+        sharded_docs, store_dir = self._stream_three_days(tmp_path, "sharded", 4)
+        assert sharded_docs == base_docs
+        # Partials spill under the store but are transient per-mine
+        # state: nothing may survive the mine that wrote it.
+        partials = TraceStore(store_dir).partials_dir()
+        assert not partials.exists() or list(partials.iterdir()) == []
+
+
+# -- subprocess matrix: hash seeds x shard counts -----------------------------------
+#
+# In-process tests cannot vary PYTHONHASHSEED (one interpreter has one
+# hash seed), so the end-to-end acceptance criterion — `--shards N` is
+# byte-identical under *any* hash seed — runs the CLI in pinned
+# subprocesses, mirroring tests/test_determinism.py.
+
+
+def _run_python(args: list[str], hash_seed: int, cwd: Path) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, *args],
+        env=env,
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"subprocess failed under PYTHONHASHSEED={hash_seed}:\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+    return completed.stdout
+
+
+@pytest.fixture(scope="module")
+def day_dir(tmp_path_factory) -> Path:
+    target = tmp_path_factory.mktemp("shardmine") / "day0"
+    _run_python(
+        ["-m", "repro", "generate", "--scenario", "small", "--out", str(target)],
+        hash_seed=0,
+        cwd=target.parent,
+    )
+    return target
+
+
+def test_run_is_shard_and_seed_invariant(day_dir: Path, tmp_path: Path) -> None:
+    """`repro run --shards N` writes byte-identical campaign JSON for
+    every (shard count, hash seed) combination."""
+    outputs: dict[tuple[int, int], bytes] = {}
+    for shards in SHARD_COUNTS:
+        for seed in HASH_SEEDS if shards > 1 else HASH_SEEDS[:1]:
+            out = tmp_path / f"campaigns_{shards}_{seed}.json"
+            _run_python(
+                [
+                    "-m",
+                    "repro",
+                    "run",
+                    "--trace",
+                    str(day_dir / "trace.jsonl"),
+                    "--whois",
+                    str(day_dir / "whois.json"),
+                    "--redirects",
+                    str(day_dir / "redirects.json"),
+                    "--shards",
+                    str(shards),
+                    "--out",
+                    str(out),
+                ],
+                hash_seed=seed,
+                cwd=tmp_path,
+            )
+            outputs[(shards, seed)] = out.read_bytes()
+    baseline = outputs[(1, HASH_SEEDS[0])]
+    assert b'"campaigns"' in baseline
+    for key, produced in outputs.items():
+        assert produced == baseline, f"campaign JSON diverged for (shards, seed)={key}"
+
+
+def test_stream_is_shard_and_seed_invariant(tmp_path: Path) -> None:
+    """A 3-day `repro stream --shards N` (window 2, store-backed) writes
+    byte-identical summary and campaign JSON at any seed."""
+    outputs: dict[tuple[int, int], bytes] = {}
+    matrix = [(1, HASH_SEEDS[0])] + list(zip(SHARD_COUNTS[1:], HASH_SEEDS[1:]))
+    for shards, seed in matrix:
+        label = f"{shards}_{seed}"
+        summary = tmp_path / f"summary_{label}.json"
+        campaigns = tmp_path / f"campaigns_{label}.json"
+        _run_python(
+            [
+                "-m",
+                "repro",
+                "stream",
+                "--scenario",
+                "small",
+                "--days",
+                "3",
+                "--window",
+                "2",
+                "--store",
+                str(tmp_path / f"store_{label}"),
+                "--shards",
+                str(shards),
+                "--out",
+                str(summary),
+                "--campaigns-out",
+                str(campaigns),
+            ],
+            hash_seed=seed,
+            cwd=tmp_path,
+        )
+        outputs[(shards, seed)] = summary.read_bytes() + b"\n--\n" + campaigns.read_bytes()
+    baseline = outputs[matrix[0]]
+    assert b'"campaigns"' in baseline
+    for key, produced in outputs.items():
+        assert produced == baseline, f"stream JSON diverged for (shards, seed)={key}"
