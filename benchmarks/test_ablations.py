@@ -23,8 +23,10 @@ def _detected(runner, config, thresh=0.8):
     dataset = runner.dataset("2011")
     pipeline = SmashPipeline(config)
     result = pipeline.run(
-        dataset.trace, whois=dataset.whois,
-        redirects=dataset.redirects, thresh=thresh,
+        dataset.trace,
+        whois=dataset.whois,
+        redirects=dataset.redirects,
+        thresh=thresh,
     )
     return result
 
@@ -46,7 +48,10 @@ def test_ablations(runner, emit, benchmark):
         )
     )
     no_prune = benchmark.pedantic(
-        _detected, args=(runner, config), rounds=1, iterations=1,
+        _detected,
+        args=(runner, config),
+        rounds=1,
+        iterations=1,
     )
     leaked = {
         s for s in no_prune.detected_servers

@@ -31,7 +31,10 @@ def test_baseline_comparison(runner, emit, benchmark):
 
     client_detector = ClientClusteringDetector()
     client_side = benchmark.pedantic(
-        client_detector.detect_servers, args=(trace,), rounds=1, iterations=1,
+        client_detector.detect_servers,
+        args=(trace,),
+        rounds=1,
+        iterations=1,
     )
 
     reputation = DomainReputationDetector()
@@ -51,7 +54,8 @@ def test_baseline_comparison(runner, emit, benchmark):
         rows[f"{name}: TP"] = tp
         rows[f"{name}: benign FP"] = fp
     emit("baselines", render_mapping(
-        f"Server coverage (of {len(malicious)} planted malicious)", rows,
+        f"Server coverage (of {len(malicious)} planted malicious)",
+        rows,
     ))
 
     # SMASH finds a multiple of the signature/blacklist knowledge.

@@ -22,7 +22,10 @@ def _campaign_for(result, servers):
 
 def test_case_studies(runner, emit, benchmark):
     result = benchmark.pedantic(
-        runner.result, args=("2011", 0.8), rounds=1, iterations=1,
+        runner.result,
+        args=("2011", 0.8),
+        rounds=1,
+        iterations=1,
     )
     dataset = runner.dataset("2011")
     truth = {c.name: c for c in dataset.truth.campaigns}

@@ -9,7 +9,9 @@ extension) and servers lost to pruning.  Our planted `cycbot-a` /
 
 def test_false_negatives(runner, emit, benchmark):
     missed = benchmark.pedantic(
-        runner.false_negatives, rounds=1, iterations=1,
+        runner.false_negatives,
+        rounds=1,
+        iterations=1,
     )
     dataset = runner.dataset("2011")
 

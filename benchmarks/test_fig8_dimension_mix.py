@@ -11,10 +11,13 @@ from repro.eval.tables import render_mapping
 
 def test_fig8_dimension_mix(runner, emit, benchmark):
     decomposition = benchmark.pedantic(
-        runner.fig8, rounds=1, iterations=1,
+        runner.fig8,
+        rounds=1,
+        iterations=1,
     )
     emit("fig8_dimension_mix", render_mapping(
-        "Figure 8 - detected servers by dimension combination", decomposition,
+        "Figure 8 - detected servers by dimension combination",
+        decomposition,
     ))
 
     assert decomposition, "no detected servers to decompose"

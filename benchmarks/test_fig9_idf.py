@@ -12,7 +12,9 @@ from repro.util.stats import percentile_of
 
 def test_fig9_idf(runner, emit, benchmark):
     all_series, malicious_series = benchmark.pedantic(
-        runner.fig9, rounds=1, iterations=1,
+        runner.fig9,
+        rounds=1,
+        iterations=1,
     )
 
     malicious_counts = [v for v, _ in malicious_series]

@@ -19,7 +19,8 @@ def test_table2_campaigns(runner, emit, benchmark):
         runner.pipeline.finish,
         args=(mined,),
         kwargs={"redirects": dataset.redirects, "thresh": 0.8},
-        rounds=3, iterations=1,
+        rounds=3,
+        iterations=1,
     )
 
     table2 = runner.table2()

@@ -14,8 +14,11 @@ def test_table3_servers(runner, emit, benchmark):
     verifier = runner.verifier("2011")
     result = runner.result("2011", 0.8)
     benchmark.pedantic(
-        verifier.verify, args=(result, 0.8), kwargs={"min_clients": 2},
-        rounds=3, iterations=1,
+        verifier.verify,
+        args=(result, 0.8),
+        kwargs={"min_clients": 2},
+        rounds=3,
+        iterations=1,
     )
 
     table3 = runner.table3()

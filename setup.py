@@ -21,6 +21,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    extras_require={
+        # The CSR graph fast path (repro.graph.csr) auto-engages when
+        # numpy is importable and produces byte-identical output either
+        # way; the core stays dependency-free.
+        "fast": ["numpy>=1.24"],
+    },
     entry_points={
         "console_scripts": [
             "smash = repro.cli:main",

@@ -34,6 +34,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import logging
 import sys
@@ -133,15 +134,27 @@ def _export_obs(registry: MetricsRegistry | None, args: argparse.Namespace) -> N
         print(f"trace snapshot -> {args.trace_out}")
 
 
+def _apply_backend_flag(config: SmashConfig, args: argparse.Namespace) -> SmashConfig:
+    """Pin the pure-python graph backend when ``--pure-python`` was given."""
+    if getattr(args, "pure_python", False):
+        return config.replace(
+            dimensions=dataclasses.replace(config.dimensions, use_csr=False)
+        )
+    return config
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = read_jsonl(args.trace)
     whois = _read_whois_json(Path(args.whois)) if args.whois else None
     redirects = _read_redirects_json(Path(args.redirects)) if args.redirects else None
     registry = _obs_registry(args)
     config = SmashConfig().with_thresh(args.thresh).replace(
-        workers=args.workers, executor=args.executor, shards=args.shards,
+        workers=args.workers,
+        executor=args.executor,
+        shards=args.shards,
         metrics=registry,
     )
+    config = _apply_backend_flag(config, args)
     if args.dimensions:
         config = config.replace(
             enabled_secondary_dimensions=tuple(args.dimensions.split(","))
@@ -252,11 +265,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         sinks += (JsonlSink(args.events, resume_safe=args.resume, receive_all=True),)
     if args.alerts:
         sinks += (JsonlSink(args.alerts, resume_safe=args.resume),)
-    config = SmashConfig().replace(
-        workers=args.workers,
-        executor=args.executor,
-        shards=args.shards,
-        incremental=args.incremental,
+    config = _apply_backend_flag(
+        SmashConfig().replace(
+            workers=args.workers,
+            executor=args.executor,
+            shards=args.shards,
+            incremental=args.incremental,
+        ),
+        args,
     )
     config.validate()
     checkpoint = Path(args.checkpoint) if args.checkpoint else None
@@ -265,8 +281,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         # the freshly-built sources; the alert policy is operational
         # tuning (like sinks), so the command line's flags apply.
         engine = load_checkpoint(
-            checkpoint, config=config, sinks=sinks, store_dir=args.store,
-            evidence=evidence, policy=policy, metrics=registry,
+            checkpoint,
+            config=config,
+            sinks=sinks,
+            store_dir=args.store,
+            evidence=evidence,
+            policy=policy,
+            metrics=registry,
         )
         print(f"resumed from {checkpoint} (last day: {engine.last_day})")
         # The checkpoint carries the stream's window size and tracker
@@ -329,8 +350,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     updates = []
     for partition in feed():
         update = engine.ingest_day(
-            partition.day, partition.trace,
-            whois=partition.whois, redirects=partition.redirects,
+            partition.day,
+            partition.trace,
+            whois=partition.whois,
+            redirects=partition.redirects,
         )
         updates.append(update)
         critical = sum(1 for event in update.alerts if event.severity == "critical")
@@ -410,13 +433,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """``--metrics-out`` / ``--trace-out`` metric export destinations."""
     parser.add_argument(
-        "--metrics-out", default=None, metavar="FILE",
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
         help="write the run's metrics as a Prometheus text exposition to FILE",
     )
     parser.add_argument(
-        "--trace-out", default=None, metavar="FILE",
+        "--trace-out",
+        default=None,
+        metavar="FILE",
         help="write a JSONL metrics + stage-span snapshot to FILE "
-             "(render with 'repro stats FILE')",
+        "(render with 'repro stats FILE')",
     )
 
 
@@ -428,19 +455,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
     """``--workers`` / ``--executor`` / ``--shards`` for parallel mining."""
     parser.add_argument(
-        "--workers", type=int, default=1,
+        "--workers",
+        type=int,
+        default=1,
         help="workers for per-dimension mining (0 = one per CPU, default 1 = "
-             "serial); every worker count produces identical output",
+        "serial); every worker count produces identical output",
     )
     parser.add_argument(
-        "--executor", choices=["serial", "thread", "process"], default="thread",
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default="thread",
         help="executor used when --workers > 1 (default: thread)",
     )
     parser.add_argument(
-        "--shards", type=int, default=1,
+        "--shards",
+        type=int,
+        default=1,
         help="shard the mine into N map-reduce partitions with spill-to-store "
-             "partials (default 1 = single pass); every shard count produces "
-             "byte-identical output",
+        "partials (default 1 = single pass); every shard count produces "
+        "byte-identical output",
+    )
+    parser.add_argument(
+        "--pure-python",
+        action="store_true",
+        help="force the pure-python reference graph backend instead of the "
+        "numpy CSR fast path (output is byte-identical either way)",
     )
 
 
@@ -464,9 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--redirects", default=None)
     run.add_argument("--thresh", type=float, default=0.8)
     run.add_argument(
-        "--dimensions", default=None,
+        "--dimensions",
+        default=None,
         help="comma-separated secondary dimensions "
-             "(default: urifile,ipset,whois)",
+        "(default: urifile,ipset,whois)",
     )
     run.add_argument("--out", required=True, help="campaign JSON output path")
     _add_worker_flags(run)
@@ -485,80 +525,107 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--scale", type=float, default=1.0)
     stream.add_argument("--seed", type=int, default=7)
     stream.add_argument(
-        "--days", type=int, default=7,
+        "--days",
+        type=int,
+        default=7,
         help="number of days (small scenario only; presets fix their own)",
     )
     stream.add_argument(
-        "--day-dirs", nargs="+", default=None, metavar="DIR",
+        "--day-dirs",
+        nargs="+",
+        default=None,
+        metavar="DIR",
         help="stream from 'repro generate' output directories instead of "
-             "generating a scenario (each holds trace.jsonl [+ sidecars])",
+        "generating a scenario (each holds trace.jsonl [+ sidecars])",
     )
     stream.add_argument("--window", type=int, default=1, help="rolling window size in days")
     stream.add_argument(
-        "--match-jaccard", type=float, default=0.3,
+        "--match-jaccard",
+        type=float,
+        default=0.3,
         help="server-set Jaccard threshold for cross-day campaign identity",
     )
     stream.add_argument("--checkpoint", default=None, help="checkpoint file, saved after every day")
     stream.add_argument(
-        "--resume", action="store_true",
+        "--resume",
+        action="store_true",
         help="resume from --checkpoint if it exists",
     )
     stream.add_argument(
-        "--store", default=None, metavar="DIR",
+        "--store",
+        default=None,
+        metavar="DIR",
         help="persist each day partition into this on-disk trace store; "
-             "checkpoints then hold (day, digest) references instead of "
-             "embedded traces and stay a few KB regardless of window size",
+        "checkpoints then hold (day, digest) references instead of "
+        "embedded traces and stay a few KB regardless of window size",
     )
     stream.add_argument(
-        "--no-incremental", dest="incremental", action="store_false", default=True,
+        "--no-incremental",
+        dest="incremental",
+        action="store_false",
+        default=True,
         help="disable the per-dimension incremental mining cache and fully "
-             "re-mine the window every day (results are identical either way)",
+        "re-mine the window every day (results are identical either way)",
     )
     stream.add_argument(
-        "--events", default=None,
+        "--events",
+        default=None,
         help="append every scored tracker event to this JSONL file "
-             "(unfiltered by --min-severity)",
+        "(unfiltered by --min-severity)",
     )
     stream.add_argument(
-        "--alerts", default=None, metavar="FILE",
+        "--alerts",
+        default=None,
+        metavar="FILE",
         help="append scored alerts (severity >= --min-severity) to this "
-             "JSONL file; with --resume, replayed days are never duplicated",
+        "JSONL file; with --resume, replayed days are never duplicated",
     )
     stream.add_argument(
-        "--min-severity", choices=["info", "warning", "critical"], default="info",
+        "--min-severity",
+        choices=["info", "warning", "critical"],
+        default="info",
         help="suppress events below this severity before they reach any "
-             "sink (default: info = everything)",
+        "sink (default: info = everything)",
     )
     stream.add_argument(
-        "--growth-rate", type=float, default=3.0,
+        "--growth-rate",
+        type=float,
+        default=3.0,
         help="servers added per advance that makes a growth event at "
-             "least a warning (default: 3)",
+        "least a warning (default: 3)",
     )
     stream.add_argument(
-        "--ids", default=None, metavar="SCENARIO_OR_FILE",
+        "--ids",
+        default=None,
+        metavar="SCENARIO_OR_FILE",
         help="IDS evidence: 'scenario' runs the generated scenario's "
-             "2012/2013 signature generations over each day (zero-day "
-             "hits escalate to critical), or a JSON file "
-             '{"ids2012": [servers], "ids2013": [servers]}',
+        "2012/2013 signature generations over each day (zero-day "
+        "hits escalate to critical), or a JSON file "
+        '{"ids2012": [servers], "ids2013": [servers]}',
     )
     stream.add_argument(
-        "--blacklist", default=None, metavar="SCENARIO_OR_FILE",
+        "--blacklist",
+        default=None,
+        metavar="SCENARIO_OR_FILE",
         help="blacklist evidence: 'scenario' checks servers against the "
-             "generated scenario's blacklist aggregator, or a JSON array "
-             "of servers / {feed: [servers]} file",
+        "generated scenario's blacklist aggregator, or a JSON array "
+        "of servers / {feed: [servers]} file",
     )
     stream.add_argument("--out", default=None, help="write lifetimes + persistence summary JSON")
     stream.add_argument(
-        "--campaigns-out", default=None,
+        "--campaigns-out",
+        default=None,
         help="write the final window's campaign JSON (same schema as 'run --out')",
     )
     stream.add_argument(
-        "--log-level", choices=["debug", "info", "warning", "error"],
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
         default="info",
         help="stderr log level for per-advance summaries (default: info)",
     )
     stream.add_argument(
-        "--log-json", action="store_true",
+        "--log-json",
+        action="store_true",
         help="emit log lines as JSON objects instead of human-readable text",
     )
     _add_worker_flags(stream)

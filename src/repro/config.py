@@ -98,6 +98,26 @@ class DimensionConfig:
     #: ubiquity and posting-list rules already make).
     max_group_size: int = 0
 
+    #: Load-adaptive heavy-hitter gate: when ``max_group_size`` is off
+    #: and this budget is positive, pair accumulation inspects its own
+    #: group-size distribution first and — only if the projected
+    #: enumerated-pair count exceeds the budget — engages the largest
+    #: group-size cap that fits it (see
+    #: :func:`~repro.core.interning.resolve_auto_cap`).  A pure function
+    #: of the groups themselves, so single-pass, parallel and sharded
+    #: runs make the identical decision.  ``0`` (the default) disables
+    #: auto-capping and reproduces the uncapped edge set exactly.
+    auto_cap_pairs: int = 0
+
+    #: Graph backend selector: ``None`` (the default) auto-detects and
+    #: uses the numpy CSR backend when numpy is importable, ``False``
+    #: forces the pure-python reference backend, ``True`` demands CSR
+    #: (raising if numpy is missing).  Both backends produce
+    #: byte-identical mining output, so this is an execution-strategy
+    #: flag like ``SmashConfig.workers`` — excluded from equality,
+    #: repr, and therefore the incremental-mining content signatures.
+    use_csr: bool | None = field(default=None, compare=False, repr=False)
+
     def validate(self) -> None:
         if self.filename_length_cutoff < 1:
             raise ConfigError("filename_length_cutoff must be >= 1")
@@ -113,6 +133,8 @@ class DimensionConfig:
             raise ConfigError("max_file_server_fraction must be in (0, 1]")
         if self.max_group_size < 0:
             raise ConfigError("max_group_size must be >= 0 (0 = no cap)")
+        if self.auto_cap_pairs < 0:
+            raise ConfigError("auto_cap_pairs must be >= 0 (0 = no auto cap)")
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,8 @@ pathologically busy clients.
 from __future__ import annotations
 
 from repro.config import DimensionConfig
-from repro.core.interning import PairStats, accumulate_pair_counts, overlap_ratio_edges
+from repro.core.interning import PairStats, accumulate_pair_counts, add_overlap_edges
+from repro.graph.csr import new_graph
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 
@@ -55,7 +56,7 @@ def build_client_graph_from_indices(
     # ascending-id iteration is the canonical label iteration and the
     # graph qualifies for the Louvain index fast path.
     ordered = sorted(clients_by_server)
-    graph = WeightedGraph.from_sorted_labels(ordered)
+    graph = new_graph(ordered, config.use_csr)
     width = len(ordered)
     index = {server: i for i, server in enumerate(ordered)}
     sizes = [len(clients_by_server[server]) for server in ordered]
@@ -66,11 +67,15 @@ def build_client_graph_from_indices(
     ]
     stats = PairStats()
     pair_common = accumulate(
-        groups, width, cap=config.max_group_size, stats=stats
+        groups,
+        width,
+        cap=config.max_group_size,
+        stats=stats,
+        auto_cap=config.auto_cap_pairs,
     )
 
     floor = max(config.min_edge_weight, config.client_min_edge_weight)
-    graph.add_sorted_edges(overlap_ratio_edges(pair_common, width, sizes, floor))
+    add_overlap_edges(graph, pair_common, width, sizes, floor)
     graph.build_stats = {"dimension": "client", **stats.to_dict()}
     return graph
 

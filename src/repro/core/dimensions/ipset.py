@@ -19,7 +19,8 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.config import DimensionConfig
-from repro.core.interning import PairStats, accumulate_pair_counts, overlap_ratio_edges
+from repro.core.interning import PairStats, accumulate_pair_counts, add_overlap_edges
+from repro.graph.csr import new_graph
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 
@@ -33,7 +34,7 @@ def build_ipset_graph(
     ips_by_server = trace.ips_by_server
     # Canonical node order (see build_client_graph): sorted, not set order.
     ordered = sorted(ips_by_server)
-    graph = WeightedGraph.from_sorted_labels(ordered)
+    graph = new_graph(ordered, config.use_csr)
     width = len(ordered)
     index = {server: i for i, server in enumerate(ordered)}
     sizes = [len(ips_by_server[server]) for server in ordered]
@@ -50,10 +51,9 @@ def build_ipset_graph(
         width,
         cap=config.max_group_size,
         stats=stats,
+        auto_cap=config.auto_cap_pairs,
     )
 
-    graph.add_sorted_edges(
-        overlap_ratio_edges(pair_common, width, sizes, config.min_edge_weight)
-    )
+    add_overlap_edges(graph, pair_common, width, sizes, config.min_edge_weight)
     graph.build_stats = {"dimension": "ipset", **stats.to_dict()}
     return graph

@@ -36,6 +36,7 @@ from itertools import chain, combinations
 
 from repro.config import DimensionConfig
 from repro.core.interning import PairStats, accumulate_pair_counts
+from repro.graph.csr import new_graph
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 from repro.util.text import charset_cosine
@@ -99,7 +100,7 @@ def build_urifile_graph(
     files_by_server = trace.files_by_server
     # Canonical node order (see build_client_graph): sorted, not set order.
     ordered = sorted(files_by_server)
-    graph = WeightedGraph.from_sorted_labels(ordered)
+    graph = new_graph(ordered, config.use_csr)
     width = len(ordered)
     if width < 2:
         return graph
@@ -174,6 +175,7 @@ def build_urifile_graph(
         width,
         cap=config.max_group_size,
         stats=stats,
+        auto_cap=config.auto_cap_pairs,
     )
 
     # Per-server eq.-7 inputs, split once instead of once per pair.

@@ -31,7 +31,8 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.config import DimensionConfig
-from repro.core.interning import PairStats, accumulate_pair_counts, overlap_ratio_edges
+from repro.core.interning import PairStats, accumulate_pair_counts, add_overlap_edges
+from repro.graph.csr import new_graph
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 
@@ -68,7 +69,7 @@ def build_urlparam_graph(
     # Canonical node order: trace.servers is a frozenset, so iterating it
     # directly would insert nodes in hash order.
     ordered = sorted(trace.servers)
-    graph = WeightedGraph.from_sorted_labels(ordered)
+    graph = new_graph(ordered, config.use_csr)
     width = len(ordered)
     if width < 2:
         return graph
@@ -94,7 +95,11 @@ def build_urlparam_graph(
 
     stats = PairStats()
     pair_common = accumulate(
-        rare_groups, width, cap=config.max_group_size, stats=stats
+        rare_groups,
+        width,
+        cap=config.max_group_size,
+        stats=stats,
+        auto_cap=config.auto_cap_pairs,
     )
 
     heavy_sets: dict[int, frozenset[int]] = {
@@ -103,10 +108,8 @@ def build_urlparam_graph(
     sizes = {
         index[server]: len(patterns) for server, patterns in patterns_of.items()
     }
-    graph.add_sorted_edges(
-        overlap_ratio_edges(
-            pair_common, width, sizes, config.min_edge_weight, heavy_sets
-        )
+    add_overlap_edges(
+        graph, pair_common, width, sizes, config.min_edge_weight, heavy_sets
     )
     graph.build_stats = {
         "dimension": "urlparam",

@@ -26,6 +26,7 @@ from collections import defaultdict
 
 from repro.config import DimensionConfig
 from repro.core.interning import PairStats, accumulate_pair_counts
+from repro.graph.csr import new_graph
 from repro.graph.wgraph import WeightedGraph
 from repro.httplog.trace import HttpTrace
 from repro.whois.record import WHOIS_FIELDS, WhoisRecord
@@ -97,7 +98,7 @@ def build_whois_graph(
     # Canonical node order: trace.servers is a frozenset, so iterating it
     # directly would insert nodes in hash order.
     ordered = sorted(trace.servers)
-    graph = WeightedGraph.from_sorted_labels(ordered)
+    graph = new_graph(ordered, config.use_csr)
     width = len(ordered)
     records: dict[int, WhoisRecord] = {}
     for server_id, server in enumerate(ordered):

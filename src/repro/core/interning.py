@@ -32,6 +32,7 @@ from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.errors import PipelineError
+from repro.graph.csr import np as _np
 from repro.graph.wgraph import node_sort_key
 
 Label = Hashable
@@ -223,6 +224,9 @@ class PairStats:
     largest_group: int = 0
     enumerated_pairs: int = 0
     candidate_pairs: int = 0
+    #: Group-size cap engaged by the ``auto_cap_pairs`` budget for this
+    #: build (0 = auto-capping off or the uncapped work fit the budget).
+    auto_cap: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -231,6 +235,7 @@ class PairStats:
             "largest_group": self.largest_group,
             "enumerated_pairs": self.enumerated_pairs,
             "candidate_pairs": self.candidate_pairs,
+            "auto_cap": self.auto_cap,
         }
 
 
@@ -243,11 +248,47 @@ def unpack_pair(key: int, width: int) -> tuple[int, int]:
     return divmod(key, width)
 
 
+def resolve_auto_cap(sizes: Iterable[int], cap: int, auto_cap: int) -> int:
+    """Group-size cap implied by an enumerated-pair budget.
+
+    *sizes* is the full group-size distribution of one accumulation run;
+    *auto_cap* the budget on walked pair co-occurrences (``sum C(s, 2)``
+    over admitted groups).  A pure function of the distribution, so the
+    single-pass and sharded accumulators — which both see every group —
+    reach the identical decision and stay byte-identical.
+
+    Returns *cap* unchanged when an explicit cap is already set, when
+    auto-capping is off, or when the uncapped work fits the budget.
+    Otherwise returns the largest cap ``C >= 2`` whose admitted groups
+    (``size <= C``) fit; when even the size-2 groups blow the budget the
+    floor of 2 is returned — the gate bounds heavy hitters, it never
+    disables a dimension outright.
+    """
+    if cap or auto_cap <= 0:
+        return cap
+    per_size: Counter[int] = Counter()
+    for size in sizes:
+        if size >= 2:
+            per_size[size] += 1
+    total = sum(size * (size - 1) // 2 * count for size, count in per_size.items())
+    if total <= auto_cap:
+        return cap
+    budget = auto_cap
+    resolved = 2
+    for size in sorted(per_size):
+        budget -= size * (size - 1) // 2 * per_size[size]
+        if budget < 0:
+            break
+        resolved = size
+    return max(resolved, 2)
+
+
 def accumulate_pair_counts(
     groups: Iterable[Sequence[int]],
     width: int,
     cap: int = 0,
     stats: PairStats | None = None,
+    auto_cap: int = 0,
 ) -> Counter[int]:
     """Accumulate co-occurrence counts over id *groups*.
 
@@ -260,8 +301,17 @@ def accumulate_pair_counts(
 
     ``cap`` > 0 skips groups with more than ``cap`` members (the
     deterministic heavy-hitter gate, off by default); groups with fewer
-    than two members contribute nothing by construction.
+    than two members contribute nothing by construction.  ``auto_cap``
+    > 0 (and no explicit cap) engages the load-adaptive gate: the group
+    stream is materialised once and :func:`resolve_auto_cap` picks the
+    cap from its size distribution; the engaged cap is recorded in
+    ``stats.auto_cap``.
     """
+    if auto_cap > 0 and not cap:
+        groups = groups if isinstance(groups, (list, tuple)) else list(groups)
+        cap = resolve_auto_cap(map(len, groups), cap, auto_cap)
+        if stats is not None:
+            stats.auto_cap = cap
     counts: Counter[int] = Counter()
     update = counts.update
     record = stats is not None
@@ -317,3 +367,72 @@ def overlap_ratio_edges(
         weight = (common / sizes[first]) * (common / sizes[second])
         if weight >= floor:
             yield first, second, weight
+
+
+def overlap_ratio_edge_arrays(
+    pair_common: Mapping[int, int],
+    width: int,
+    sizes: Mapping[int, int] | Sequence[int],
+    floor: float,
+    heavy_sets: Mapping[int, frozenset[int]] | None = None,
+):
+    """Array form of :func:`overlap_ratio_edges` (numpy required).
+
+    Returns ``(us, vs, ws)`` int64/int64/float64 arrays holding exactly
+    the triples :func:`overlap_ratio_edges` would yield, in the same
+    ascending packed-pair order, with bit-identical weights: int64 true
+    division is the same correctly-rounded float64 operation as python
+    ``int / int`` for counts far below 2**53, and the product is a
+    single elementwise multiply either way.  Only the heavy-set overlap
+    correction — a set intersection per affected pair — stays a python
+    loop, masked down to pairs where both endpoints carry heavy sets.
+    """
+    count = len(pair_common)
+    keys = _np.fromiter(pair_common.keys(), dtype=_np.int64, count=count)
+    common = _np.fromiter(pair_common.values(), dtype=_np.int64, count=count)
+    order = _np.argsort(keys)
+    keys = keys[order]
+    common = common[order]
+    firsts, seconds = _np.divmod(keys, width)
+    if heavy_sets is not None and heavy_sets:
+        heavy_ids = _np.fromiter(
+            heavy_sets.keys(), dtype=_np.int64, count=len(heavy_sets)
+        )
+        affected = _np.isin(firsts, heavy_ids) & _np.isin(seconds, heavy_ids)
+        for position in _np.nonzero(affected)[0].tolist():
+            common[position] += len(
+                heavy_sets[int(firsts[position])] & heavy_sets[int(seconds[position])]
+            )
+    if isinstance(sizes, Mapping):
+        size_arr = _np.ones(width, dtype=_np.int64)
+        for index, size in sizes.items():
+            size_arr[index] = size
+    else:
+        size_arr = _np.asarray(sizes, dtype=_np.int64)
+    ws = (common / size_arr[firsts]) * (common / size_arr[seconds])
+    keep = ws >= floor
+    return firsts[keep], seconds[keep], ws[keep]
+
+
+def add_overlap_edges(
+    graph,
+    pair_common: Mapping[int, int],
+    width: int,
+    sizes: Mapping[int, int] | Sequence[int],
+    floor: float,
+    heavy_sets: Mapping[int, frozenset[int]] | None = None,
+) -> None:
+    """Add an overlap-ratio dimension's edges to *graph*, fastest way first.
+
+    CSR-backed graphs expose ``add_sorted_edge_arrays`` and take the
+    vectorised :func:`overlap_ratio_edge_arrays` route; the pure-python
+    backend streams :func:`overlap_ratio_edges`.  Same edges, same
+    order, same bits either way.
+    """
+    fast = getattr(graph, "add_sorted_edge_arrays", None)
+    if fast is not None and _np is not None and pair_common:
+        fast(*overlap_ratio_edge_arrays(pair_common, width, sizes, floor, heavy_sets))
+    else:
+        graph.add_sorted_edges(
+            overlap_ratio_edges(pair_common, width, sizes, floor, heavy_sets)
+        )

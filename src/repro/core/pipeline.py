@@ -520,8 +520,15 @@ class SmashPipeline:
         """
         with self.metrics.span("pipeline.mine", metric="smash_mine_seconds") as span:
             return self._mine(
-                trace, whois, workers, executor, cache, span,
-                shards, shard_boundaries, spill_dir,
+                trace,
+                whois,
+                workers,
+                executor,
+                cache,
+                span,
+                shards,
+                shard_boundaries,
+                spill_dir,
             )
 
     def _mine(
@@ -560,8 +567,15 @@ class SmashPipeline:
             # process executor pays its spawn cost once per mine.
             with JobPool(workers=workers, executor=executor) as pool:
                 return mine_sharded(
-                    self, trace, whois, config, cache, span, pool,
-                    boundaries=shard_boundaries, spill_dir=spill_dir,
+                    self,
+                    trace,
+                    whois,
+                    config,
+                    cache,
+                    span,
+                    pool,
+                    boundaries=shard_boundaries,
+                    spill_dir=spill_dir,
                 )
         with recorder.span("pipeline.mine.preprocess") as pre_span:
             prepared, report = preprocess(trace, config.preprocess)

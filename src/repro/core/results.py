@@ -112,7 +112,9 @@ class SmashResult:
             servers |= campaign.servers
         return frozenset(servers)
 
-    def campaigns_with_clients(self, minimum: int, maximum: int | None = None) -> tuple[Campaign, ...]:
+    def campaigns_with_clients(
+        self, minimum: int, maximum: int | None = None
+    ) -> tuple[Campaign, ...]:
         """Campaigns whose client count is within ``[minimum, maximum]``.
 
         The paper reports campaigns with >= 2 clients in the main track

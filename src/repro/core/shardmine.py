@@ -77,6 +77,7 @@ from repro.core.interning import (
     PairStats,
     StableInterner,
     accumulate_pair_counts,
+    resolve_auto_cap,
 )
 from repro.core.preprocess import PreprocessReport, aggregate_trace
 from repro.core.results import MAIN_DIMENSION
@@ -301,11 +302,21 @@ class ShardedAccumulator:
         width: int,
         cap: int = 0,
         stats: PairStats | None = None,
+        auto_cap: int = 0,
     ) -> Counter[int]:
         chunks: list[list[list[int]]] = [[] for _ in range(self.buckets)]
+        sizes: list[int] = []
         for group in groups:
             members = list(group)
+            sizes.append(len(members))
             chunks[_bucket_of(members, self.buckets)].append(members)
+        if auto_cap > 0 and not cap:
+            # Same pure function of the full group-size distribution the
+            # single-pass accumulator applies, so the sharded mine makes
+            # the identical capping decision and stays byte-identical.
+            cap = resolve_auto_cap(sizes, cap, auto_cap)
+            if stats is not None:
+                stats.auto_cap = cap
         jobs = []
         for bucket, chunk in enumerate(chunks):
             if not chunk:

@@ -695,6 +695,41 @@ def add_bench_arguments(parser: argparse.ArgumentParser, default_suite: str = "s
         help="streaming-suite output path when --suite all (default: BENCH_stream.json)",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="after running the selected suites, compare the fresh documents "
+        "against the committed baselines (--check-baseline-dir) and exit "
+        "non-zero on regression (see repro.eval.benchcheck)",
+    )
+    parser.add_argument(
+        "--check-report",
+        default="BENCH_check.json",
+        metavar="FILE",
+        help="--check: write the machine-readable comparison report here "
+        "(default: BENCH_check.json; point it outside the checkout in CI)",
+    )
+    parser.add_argument(
+        "--check-baseline-dir",
+        default=".",
+        metavar="DIR",
+        help="--check: directory holding the committed BENCH_mine.json / "
+        "BENCH_stream.json baselines (default: current directory)",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=None,
+        help="--check: fractional slack before a speedup/shrink ratio "
+        "regression fails (default: 0.35)",
+    )
+    parser.add_argument(
+        "--check-rss-tolerance",
+        type=float,
+        default=None,
+        help="--check: fractional slack before mine-phase peak-RSS growth "
+        "fails (default: 0.25)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="FILE",
@@ -766,6 +801,32 @@ def run_bench_cli(args: argparse.Namespace) -> int:
             print(f"trace snapshot -> {args.trace_out}")
     for path in wrote:
         print(f"wrote {path}")
+    if getattr(args, "check", False):
+        from repro.eval.benchcheck import (
+            DEFAULT_RSS_TOLERANCE,
+            DEFAULT_TOLERANCE,
+            run_check,
+        )
+
+        # A suite pair (mine then sharded) writes the same document twice;
+        # compare each fresh file once, re-read from disk so the sharded
+        # merge is included.
+        unique = list(dict.fromkeys(path.resolve() for path in wrote))
+        return run_check(
+            unique,
+            baseline_dir=Path(args.check_baseline_dir),
+            tolerance=(
+                args.check_tolerance
+                if args.check_tolerance is not None
+                else DEFAULT_TOLERANCE
+            ),
+            rss_tolerance=(
+                args.check_rss_tolerance
+                if args.check_rss_tolerance is not None
+                else DEFAULT_RSS_TOLERANCE
+            ),
+            report_path=Path(args.check_report),
+        )
     return 0
 
 

@@ -1,14 +1,26 @@
-"""Graph substrate: weighted graphs, modularity, Louvain communities."""
+"""Graph substrate: weighted graphs, modularity, Louvain communities.
+
+Two interchangeable graph backends live here: the pure-python
+:class:`WeightedGraph` (the reference implementation) and the
+numpy-array-backed :class:`CsrGraph` (the fast path, used automatically
+when numpy is available).  They produce byte-identical pipeline output;
+:func:`new_graph` picks one from the ``use_csr`` config flag.
+"""
 
 from repro.graph.wgraph import WeightedGraph
+from repro.graph.csr import HAVE_NUMPY, CsrGraph, new_graph, resolve_use_csr
 from repro.graph.modularity import modularity
 from repro.graph.louvain import LouvainResult, louvain_communities
 from repro.graph.components import connected_components
 
 __all__ = [
+    "HAVE_NUMPY",
+    "CsrGraph",
     "LouvainResult",
     "WeightedGraph",
     "connected_components",
     "louvain_communities",
     "modularity",
+    "new_graph",
+    "resolve_use_csr",
 ]

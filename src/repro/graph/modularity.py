@@ -27,7 +27,15 @@ def modularity(graph: WeightedGraph, partition: Mapping[Node, int]) -> float:
     ``partition`` maps every node of the graph to a community label.
     Raises :class:`GraphError` when a node is missing from the partition.
     An empty graph (no edges) has modularity 0 by convention.
+
+    Graphs that carry their own ``_modularity`` implementation (the CSR
+    backend, which runs this computation as masked segment sums over its
+    edge arrays) dispatch to it; the result is byte-identical to the
+    walk below on the same logical graph.
     """
+    impl = getattr(graph, "_modularity", None)
+    if impl is not None:
+        return impl(partition)
     m2 = 2.0 * graph.total_weight  # 2m
     if m2 == 0.0:
         return 0.0

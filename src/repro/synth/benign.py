@@ -102,7 +102,9 @@ class BenignUniverse:
 
         total = num_popular + num_medium + num_longtail
         rank = 0
-        for tier, count in (("popular", num_popular), ("medium", num_medium), ("longtail", num_longtail)):
+        for tier, count in (
+            ("popular", num_popular), ("medium", num_medium), ("longtail", num_longtail)
+        ):
             for _ in range(count):
                 rank += 1
                 weight = 1.0 / (rank ** zipf_alpha)
@@ -112,7 +114,9 @@ class BenignUniverse:
                     subdomains = ["www"] + [
                         f"{prefix}{i}"
                         for i, prefix in enumerate(
-                            rng.choice(["img", "cdn", "static", "api", "m"], size=int(rng.integers(2, 7)))
+                            rng.choice(
+                                ["img", "cdn", "static", "api", "m"], size=int(rng.integers(2, 7))
+                            )
                         )
                     ]
                     hosts = tuple(f"{sub}.{domain}" for sub in subdomains)

@@ -156,7 +156,9 @@ class CampaignSpec:
             raise ScenarioError(f"campaign {self.name!r}: num_clients must be >= 1")
         if not self.tiers:
             raise ScenarioError(f"campaign {self.name!r}: at least one tier required")
-        for fraction_name in ("ids2012_fraction", "ids2013_fraction", "blacklist_fraction", "dead_fraction"):
+        for fraction_name in (
+            "ids2012_fraction", "ids2013_fraction", "blacklist_fraction", "dead_fraction"
+        ):
             value = getattr(self, fraction_name)
             if not 0.0 <= value <= 1.0:
                 raise ScenarioError(

@@ -79,7 +79,9 @@ def _materialize_tier(
     for _ in range(spec.num_servers):
         for _attempt in range(64):
             if spec.compromised_benign:
-                candidate = benign_domain(rng, suffix=str(rng.choice(["com", "org", "it", "nl", "co.uk", "sk"])))
+                candidate = benign_domain(
+                    rng, suffix=str(rng.choice(["com", "org", "it", "nl", "co.uk", "sk"]))
+                )
             elif spec.dga_domains:
                 candidate = dga_domain(rng, suffix=spec.domain_suffix, template=spec.dga_template)
             else:
@@ -161,7 +163,10 @@ def _tier_whois(
                     address=f"{int(rng.integers(1, 999))} {pseudo_word(rng, 2, 3).title()} St",
                     email=f"admin@{server}",
                     phone=f"+1.{int(rng.integers(2000000000, 9999999999))}",
-                    name_servers=(f"ns1.{pseudo_word(rng, 2, 2)}dns.com", f"ns2.{pseudo_word(rng, 2, 2)}dns.com"),
+                    name_servers=(
+                        f"ns1.{pseudo_word(rng, 2, 2)}dns.com",
+                        f"ns2.{pseudo_word(rng, 2, 2)}dns.com",
+                    ),
                     registered_on=float(rng.integers(0, 3600)),
                 )
             )
@@ -177,7 +182,9 @@ def _campaign_uri(tier: TierSpec, filename: str, rng: np.random.Generator) -> st
         # installation-specific paths (Table IX); dedicated malicious
         # servers use the tier's fixed path.
         if tier.compromised_benign and rng.random() < 0.5:
-            directory = str(rng.choice(["/wp-content/uploads/", "/images/", "/uploads/", "/tmp/", "/admin/"]))
+            directory = str(
+                rng.choice(["/wp-content/uploads/", "/images/", "/uploads/", "/tmp/", "/admin/"])
+            )
         else:
             directory = tier.uri_path
         path = directory + filename

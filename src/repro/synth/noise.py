@@ -52,7 +52,9 @@ def _independent_whois(domain: str, rng: np.random.Generator) -> WhoisRecord:
         address=f"{int(rng.integers(1, 999))} {pseudo_word(rng, 2, 3).title()} Rd",
         email=f"admin@{domain}",
         phone=f"+1.{int(rng.integers(2000000000, 9999999999))}",
-        name_servers=(f"ns1.{pseudo_word(rng, 2, 2)}dns.com", f"ns2.{pseudo_word(rng, 2, 2)}dns.com"),
+        name_servers=(
+            f"ns1.{pseudo_word(rng, 2, 2)}dns.com", f"ns2.{pseudo_word(rng, 2, 2)}dns.com"
+        ),
         registered_on=float(rng.integers(0, 3650)),
     )
 
@@ -126,7 +128,9 @@ def build_noise(
             result.category_of[domain] = "collaboration"
             result.whois_records.append(_independent_whois(domain, rng))
         for client in collaboration_clients:
-            chosen = rng.choice(len(pool), size=min(len(pool), int(rng.integers(3, 9))), replace=False)
+            chosen = rng.choice(
+                len(pool), size=min(len(pool), int(rng.integers(3, 9))), replace=False
+            )
             for relay_index in chosen:
                 domain, ip = pool[int(relay_index)]
                 result.requests.append(

@@ -672,8 +672,12 @@ def data2012day(scale: float = 1.0, seed: int = 2012) -> ScenarioSpec:
         num_longtail_sites=max(80, int(10500 * scale)),
         sites_per_client_mean=11.0,
         campaigns=_day_campaign_mix(
-            "b", num_generic=7, num_single=16, num_ghost=2,
-            iframe_victims=110, scanner_victims=32,
+            "b",
+            num_generic=7,
+            num_single=16,
+            num_ghost=2,
+            iframe_victims=110,
+            scanner_victims=32,
         ),
         noise=NoiseSpec(
             torrent_clients=7,

@@ -81,7 +81,8 @@ class TestDomainReputation:
     def trained(self, small_dataset):
         detector = DomainReputationDetector()
         detector.train(
-            small_dataset.trace, small_dataset.ids2013,
+            small_dataset.trace,
+            small_dataset.ids2013,
             whois=small_dataset.whois,
         )
         return detector

@@ -39,8 +39,13 @@ class TestCliRoundTrip:
     def generated(self, tmp_path_factory):
         out = tmp_path_factory.mktemp("cli") / "day0"
         code = main([
-            "generate", "--scenario", "small", "--seed", "7",
-            "--out", str(out),
+            "generate",
+            "--scenario",
+            "small",
+            "--seed",
+            "7",
+            "--out",
+            str(out),
         ])
         assert code == 0
         return out
@@ -53,10 +58,14 @@ class TestCliRoundTrip:
         out = tmp_path / "campaigns.json"
         code = main([
             "run",
-            "--trace", str(generated / "trace.jsonl"),
-            "--whois", str(generated / "whois.json"),
-            "--redirects", str(generated / "redirects.json"),
-            "--out", str(out),
+            "--trace",
+            str(generated / "trace.jsonl"),
+            "--whois",
+            str(generated / "whois.json"),
+            "--redirects",
+            str(generated / "redirects.json"),
+            "--out",
+            str(out),
         ])
         assert code == 0
         data = json.loads(out.read_text())
@@ -70,9 +79,12 @@ class TestCliRoundTrip:
         out = tmp_path / "campaigns_urifile.json"
         code = main([
             "run",
-            "--trace", str(generated / "trace.jsonl"),
-            "--dimensions", "urifile",
-            "--out", str(out),
+            "--trace",
+            str(generated / "trace.jsonl"),
+            "--dimensions",
+            "urifile",
+            "--out",
+            str(out),
         ])
         assert code == 0
         data = json.loads(out.read_text())
@@ -83,9 +95,13 @@ class TestCliRoundTrip:
     def test_report_prints_summary(self, generated, tmp_path, capsys):
         out = tmp_path / "campaigns.json"
         main([
-            "run", "--trace", str(generated / "trace.jsonl"),
-            "--whois", str(generated / "whois.json"),
-            "--out", str(out),
+            "run",
+            "--trace",
+            str(generated / "trace.jsonl"),
+            "--whois",
+            str(generated / "whois.json"),
+            "--out",
+            str(out),
         ])
         code = main(["report", str(out)])
         assert code == 0
@@ -97,7 +113,11 @@ class TestCliRoundTrip:
         from repro.errors import ConfigError
         with pytest.raises(ConfigError):
             main([
-                "run", "--trace", str(generated / "trace.jsonl"),
-                "--dimensions", "telepathy",
-                "--out", str(tmp_path / "x.json"),
+                "run",
+                "--trace",
+                str(generated / "trace.jsonl"),
+                "--dimensions",
+                "telepathy",
+                "--out",
+                str(tmp_path / "x.json"),
             ])

@@ -22,8 +22,11 @@ def trace_from_visits(visits):
     """visits: iterable of (client, server) pairs."""
     return HttpTrace([
         HttpRequest(
-            timestamp=0.0, client=client, host=server,
-            server_ip="1.1.1.1", uri="/x.html",
+            timestamp=0.0,
+            client=client,
+            host=server,
+            server_ip="1.1.1.1",
+            uri="/x.html",
         )
         for client, server in visits
     ])
@@ -42,8 +45,10 @@ def graphs_equal(a, b):
 class TestEquivalence:
     def test_simple_pair(self):
         trace = trace_from_visits([
-            ("c1", "a.com"), ("c2", "a.com"),
-            ("c1", "b.com"), ("c2", "b.com"),
+            ("c1", "a.com"),
+            ("c2", "a.com"),
+            ("c1", "b.com"),
+            ("c2", "b.com"),
             ("c3", "c.com"),
         ])
         config = DimensionConfig(client_min_edge_weight=1e-9)
@@ -55,7 +60,8 @@ class TestEquivalence:
     @settings(max_examples=40, deadline=None)
     @given(st.lists(
         st.tuples(st.integers(0, 6), st.integers(0, 8)),
-        min_size=1, max_size=60,
+        min_size=1,
+        max_size=60,
     ))
     def test_equivalence_property(self, pairs):
         trace = trace_from_visits(

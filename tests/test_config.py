@@ -37,7 +37,9 @@ class TestDefaultsMatchPaper:
 
     def test_default_secondary_dimensions(self):
         assert SmashConfig().enabled_secondary_dimensions == (
-            "urifile", "ipset", "whois",
+            "urifile",
+            "ipset",
+            "whois",
         )
 
 

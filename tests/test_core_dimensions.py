@@ -23,14 +23,19 @@ from repro.whois.registry import WhoisRegistry
 
 def request(client, host, uri="/x.html", ip="1.1.1.1"):
     return HttpRequest(
-        timestamp=0.0, client=client, host=host, server_ip=ip, uri=uri,
+        timestamp=0.0,
+        client=client,
+        host=host,
+        server_ip=ip,
+        uri=uri,
     )
 
 
 # Tiny test universes: disable the floors and the ubiquity filter (with
 # two servers, any shared file is "ubiquitous" by fraction).
 LOOSE = DimensionConfig(
-    min_edge_weight=1e-9, client_min_edge_weight=1e-9,
+    min_edge_weight=1e-9,
+    client_min_edge_weight=1e-9,
     max_file_server_fraction=1.0,
 )
 
@@ -50,8 +55,10 @@ class TestClientSimilarity:
 
     def test_graph_edges(self):
         trace = HttpTrace([
-            request("c1", "s1.com"), request("c2", "s1.com"),
-            request("c1", "s2.com"), request("c2", "s2.com"),
+            request("c1", "s1.com"),
+            request("c2", "s1.com"),
+            request("c1", "s2.com"),
+            request("c2", "s2.com"),
             request("c3", "s3.com"),
         ])
         graph = build_client_graph(trace, LOOSE)
@@ -194,8 +201,11 @@ class TestWhoisSimilarity:
     def test_two_field_minimum(self):
         a = whois_record("a.com")
         b = whois_record(
-            "b.com", registrant="Other", address="2 Other St",
-            email="y@o.com", phone="+1.9",
+            "b.com",
+            registrant="Other",
+            address="2 Other St",
+            email="y@o.com",
+            phone="+1.9",
         )
         # Only name_servers shared -> below minimum -> 0.
         assert whois_similarity(a, b) == 0.0
@@ -208,7 +218,10 @@ class TestWhoisSimilarity:
 
     def test_proxy_fields_masked(self):
         proxy_kwargs = dict(
-            registrant="WhoisGuard", address="PO Box", email="p@x", phone="+0",
+            registrant="WhoisGuard",
+            address="PO Box",
+            email="p@x",
+            phone="+0",
             is_proxy=True,
         )
         a = whois_record("a.com", **proxy_kwargs)

@@ -10,7 +10,11 @@ from repro.httplog.trace import HttpTrace
 
 def request(client, host, uri="/x.html"):
     return HttpRequest(
-        timestamp=0.0, client=client, host=host, server_ip="1.1.1.1", uri=uri,
+        timestamp=0.0,
+        client=client,
+        host=host,
+        server_ip="1.1.1.1",
+        uri=uri,
     )
 
 
@@ -61,7 +65,8 @@ class TestIdfFilter:
 
     def test_report_math(self):
         trace = HttpTrace([
-            request("c1", "a.xyz.com"), request("c2", "b.xyz.com"),
+            request("c1", "a.xyz.com"),
+            request("c2", "b.xyz.com"),
             *[request(f"c{i}", "big.com") for i in range(10)],
         ])
         kept, report = preprocess(trace, PreprocessConfig(idf_threshold=5))
@@ -77,8 +82,10 @@ class TestIdfFilter:
         # Two subdomains with 2 clients each -> one aggregated server with
         # 4 clients, over a threshold of 3.
         trace = HttpTrace([
-            request("c1", "a.cdn.com"), request("c2", "a.cdn.com"),
-            request("c3", "b.cdn.com"), request("c4", "b.cdn.com"),
+            request("c1", "a.cdn.com"),
+            request("c2", "a.cdn.com"),
+            request("c3", "b.cdn.com"),
+            request("c4", "b.cdn.com"),
         ])
         kept, report = preprocess(trace, PreprocessConfig(idf_threshold=3))
         assert kept.servers == frozenset()
@@ -95,6 +102,8 @@ class TestIdfFilter:
 class TestIdfDistribution:
     def test_counts(self):
         trace = HttpTrace([
-            request("c1", "a.com"), request("c2", "a.com"), request("c1", "b.com"),
+            request("c1", "a.com"),
+            request("c2", "a.com"),
+            request("c1", "b.com"),
         ])
         assert idf_distribution(trace) == {"a.com": 2, "b.com": 1}

@@ -38,7 +38,10 @@ def make_outcome(herd_servers, dimension, density=1.0):
                  density=density)
         )
     return MiningOutcome(
-        herds=tuple(herds), dropped=frozenset(), modularity=0.0, graph=graph,
+        herds=tuple(herds),
+        dropped=frozenset(),
+        modularity=0.0,
+        graph=graph,
     )
 
 
@@ -200,8 +203,13 @@ class TestCorrelate:
 
 def make_request(client, host, referrer="", status=200):
     return HttpRequest(
-        timestamp=0.0, client=client, host=host, server_ip="1.1.1.1",
-        uri="/x.html", referrer=referrer, status=status,
+        timestamp=0.0,
+        client=client,
+        host=host,
+        server_ip="1.1.1.1",
+        uri="/x.html",
+        referrer=referrer,
+        status=status,
     )
 
 
@@ -254,7 +262,8 @@ class TestPruning:
         trace = HttpTrace([make_request("c1", "hop1.to"), make_request("c1", "x.com")])
         ashes = (CandidateAsh(0, "urifile", 0, frozenset({"hop1.to", "x.com"})),)
         config = PruningConfig(
-            prune_redirection_groups=False, prune_referrer_groups=False,
+            prune_redirection_groups=False,
+            prune_referrer_groups=False,
         )
         pruned, report = prune_ashes(ashes, trace, oracle, config)
         assert pruned[0].servers == frozenset({"hop1.to", "x.com"})
@@ -299,7 +308,9 @@ class TestInferCampaigns:
         ashes = (CandidateAsh(0, "urifile", 0, frozenset({"a.com", "b.com"})),)
         main = make_outcome([["a.com", "b.com"]], "client")
         campaigns = infer_campaigns(
-            ashes, main, trace,
+            ashes,
+            main,
+            trace,
             scores={"a.com": 1.2, "b.com": 0.9},
             contributions={"a.com": {"urifile": 1.2}, "b.com": {"urifile": 0.9}},
         )

@@ -72,11 +72,17 @@ def test_run_output_is_hash_seed_invariant(day_dir: Path, tmp_path: Path) -> Non
         out = tmp_path / f"campaigns_{seed}.json"
         _run_python(
             [
-                "-m", "repro", "run",
-                "--trace", str(day_dir / "trace.jsonl"),
-                "--whois", str(day_dir / "whois.json"),
-                "--redirects", str(day_dir / "redirects.json"),
-                "--out", str(out),
+                "-m",
+                "repro",
+                "run",
+                "--trace",
+                str(day_dir / "trace.jsonl"),
+                "--whois",
+                str(day_dir / "whois.json"),
+                "--redirects",
+                str(day_dir / "redirects.json"),
+                "--out",
+                str(out),
             ],
             hash_seed=seed,
             cwd=tmp_path,
@@ -155,11 +161,21 @@ def test_scored_alert_stream_is_hash_seed_invariant(tmp_path: Path) -> None:
         alerts = tmp_path / f"alerts_{seed}.jsonl"
         _run_python(
             [
-                "-m", "repro", "stream",
-                "--scenario", "small", "--days", "3",
-                "--ids", "scenario", "--blacklist", "scenario",
-                "--min-severity", "warning",
-                "--alerts", str(alerts),
+                "-m",
+                "repro",
+                "stream",
+                "--scenario",
+                "small",
+                "--days",
+                "3",
+                "--ids",
+                "scenario",
+                "--blacklist",
+                "scenario",
+                "--min-severity",
+                "warning",
+                "--alerts",
+                str(alerts),
             ],
             hash_seed=seed,
             cwd=tmp_path,
@@ -184,9 +200,14 @@ def test_louvain_is_insertion_order_invariant() -> None:
     from repro.graph.wgraph import WeightedGraph
 
     edges = [
-        ("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 0.5),
-        ("d", "e", 1.0), ("e", "f", 1.0), ("d", "f", 0.5),
-        ("c", "d", 0.05), ("g", "g", 2.0),
+        ("a", "b", 1.0),
+        ("b", "c", 1.0),
+        ("a", "c", 0.5),
+        ("d", "e", 1.0),
+        ("e", "f", 1.0),
+        ("d", "f", 0.5),
+        ("c", "d", 0.05),
+        ("g", "g", 2.0),
     ]
     forward = WeightedGraph()
     for u, v, w in edges:

@@ -96,19 +96,25 @@ class TestThresholdExtremes:
     def test_zero_threshold_detects_supersets(self, small_dataset):
         pipeline = SmashPipeline()
         loose = pipeline.run(
-            small_dataset.trace, whois=small_dataset.whois,
-            redirects=small_dataset.redirects, thresh=0.0,
+            small_dataset.trace,
+            whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
+            thresh=0.0,
         )
         strict = pipeline.run(
-            small_dataset.trace, whois=small_dataset.whois,
-            redirects=small_dataset.redirects, thresh=0.8,
+            small_dataset.trace,
+            whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
+            thresh=0.8,
         )
         assert strict.detected_servers <= loose.detected_servers
 
     def test_huge_threshold_detects_nothing(self, small_dataset):
         result = SmashPipeline().run(
-            small_dataset.trace, whois=small_dataset.whois,
-            redirects=small_dataset.redirects, thresh=100.0,
+            small_dataset.trace,
+            whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
+            thresh=100.0,
         )
         assert result.detected_servers == frozenset()
         assert result.campaigns == ()

@@ -96,8 +96,10 @@ class TestVerifier:
 class TestVerdictPrecedence:
     def make_campaign(self, servers):
         return Campaign(
-            campaign_id=0, main_index=0,
-            servers=frozenset(servers), clients=frozenset({"c1", "c2"}),
+            campaign_id=0,
+            main_index=0,
+            servers=frozenset(servers),
+            clients=frozenset({"c1", "c2"}),
         )
 
     def test_suspicious_requires_dead_majority(self, small_dataset, verifier):
@@ -184,14 +186,19 @@ class TestFigures:
         if taxonomy:
             assert sum(taxonomy.values()) == pytest.approx(1.0)
             assert set(taxonomy) <= {
-                "malicious", "referrer", "redirection", "similar_content", "unknown",
+                "malicious",
+                "referrer",
+                "redirection",
+                "similar_content",
+                "unknown",
             }
 
 
 class TestTables:
     def test_render_table(self):
         text = render_table(
-            "Thresh", ["SMASH", "FP"],
+            "Thresh",
+            ["SMASH", "FP"],
             {"0.5": {"SMASH": 30, "FP": 8}, "0.8": {"SMASH": 17, "FP": 3}},
         )
         assert "Thresh" in text and "0.5" in text and "30" in text

@@ -18,14 +18,19 @@ from repro.httplog.records import HttpRequest
 from repro.httplog.trace import HttpTrace
 
 LOOSE = DimensionConfig(
-    min_edge_weight=1e-9, client_min_edge_weight=1e-9,
+    min_edge_weight=1e-9,
+    client_min_edge_weight=1e-9,
     max_file_server_fraction=1.0,
 )
 
 
 def request(client, host, uri="/x.html", ts=0.0, ip="1.1.1.1"):
     return HttpRequest(
-        timestamp=ts, client=client, host=host, server_ip=ip, uri=uri,
+        timestamp=ts,
+        client=client,
+        host=host,
+        server_ip=ip,
+        uri=uri,
     )
 
 
@@ -100,14 +105,16 @@ class TestFalseNegativeRecovery:
     @pytest.fixture(scope="class")
     def stock_and_extended(self, small_dataset):
         stock = SmashPipeline().run(
-            small_dataset.trace, whois=small_dataset.whois,
+            small_dataset.trace,
+            whois=small_dataset.whois,
             redirects=small_dataset.redirects,
         )
         extended_config = SmashConfig(
             enabled_secondary_dimensions=("urifile", "ipset", "whois", "urlparam"),
         )
         extended = SmashPipeline(extended_config).run(
-            small_dataset.trace, whois=small_dataset.whois,
+            small_dataset.trace,
+            whois=small_dataset.whois,
             redirects=small_dataset.redirects,
         )
         return stock, extended

@@ -215,7 +215,9 @@ class TestLouvain:
 
     @settings(max_examples=25, deadline=None)
     @given(st.lists(
-        st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=40,
+        st.tuples(st.integers(0, 12), st.integers(0, 12)),
+        min_size=1,
+        max_size=40,
     ))
     def test_partition_covers_all_nodes(self, edges):
         g = WeightedGraph()

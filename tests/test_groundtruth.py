@@ -13,8 +13,12 @@ LABEL = ThreatLabel(threat_id="testbot", category="cnc")
 
 def request(host="evil.com", uri="/gate.php?id=1", ua="Bot/1"):
     return HttpRequest(
-        timestamp=0.0, client="c1", host=host, server_ip="1.2.3.4",
-        uri=uri, user_agent=ua,
+        timestamp=0.0,
+        client="c1",
+        host=host,
+        server_ip="1.2.3.4",
+        uri=uri,
+        user_agent=ua,
     )
 
 
@@ -115,7 +119,8 @@ class TestBlacklistAggregator:
 
     def test_listing_services(self):
         agg = BlacklistAggregator.from_mapping(
-            {"mdl": ["bad.com"]}, {"feed1": ["bad.com"]},
+            {"mdl": ["bad.com"]},
+            {"feed1": ["bad.com"]},
         )
         assert set(agg.listing_services("bad.com")) == {"mdl", "feed1"}
 

@@ -158,3 +158,109 @@ class TestStreamEquivalence:
         assert new_campaigns == old_campaigns
         assert new_alerts == old_alerts
         assert new_alerts, "expected scored alerts from the small scenario"
+
+
+# -- CSR backend equivalence under subprocess-pinned hash seeds ---------------
+#
+# In-process tests above run under one hash seed; the CSR-vs-pure-python
+# contract additionally promises byte-identical output under *any*
+# ``PYTHONHASHSEED``, so each backend runs in its own subprocess with the
+# seed pinned (0, 1, and whatever "random" resolves to).  Requires numpy:
+# without it both invocations would take the pure-python path and the
+# comparison would be vacuous.
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.graph import HAVE_NUMPY
+
+_SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+_HASH_SEEDS = ("0", "1", "random")
+
+
+def _run_cli(args: list[str], hash_seed: str, cwd: Path) -> None:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(_SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"subprocess failed under PYTHONHASHSEED={hash_seed}:\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+
+
+@pytest.fixture(scope="module")
+def day_dir(tmp_path_factory) -> Path:
+    target = tmp_path_factory.mktemp("csr_equivalence") / "day0"
+    _run_cli(
+        ["generate", "--scenario", "small", "--out", str(target)],
+        hash_seed="0",
+        cwd=target.parent,
+    )
+    return target
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestCsrBackendHashSeedMatrix:
+    def test_run_byte_identical_across_backends_and_seeds(self, day_dir, tmp_path):
+        outputs: list[bytes] = []
+        for seed in _HASH_SEEDS:
+            for backend_flags in ((), ("--pure-python",)):
+                out = tmp_path / f"campaigns_{seed}_{len(backend_flags)}.json"
+                _run_cli(
+                    [
+                        "run",
+                        "--trace",
+                        str(day_dir / "trace.jsonl"),
+                        "--whois",
+                        str(day_dir / "whois.json"),
+                        "--redirects",
+                        str(day_dir / "redirects.json"),
+                        "--out",
+                        str(out),
+                        *backend_flags,
+                    ],
+                    hash_seed=seed,
+                    cwd=tmp_path,
+                )
+                outputs.append(out.read_bytes())
+        assert b'"campaigns"' in outputs[0]
+        assert all(doc == outputs[0] for doc in outputs[1:]), (
+            "CSR and pure-python run output diverged across hash seeds"
+        )
+
+    def test_stream_byte_identical_across_backends_and_seeds(self, tmp_path):
+        outputs: list[bytes] = []
+        for seed in ("0", "random"):
+            for backend_flags in ((), ("--pure-python",)):
+                out = tmp_path / f"stream_{seed}_{len(backend_flags)}.json"
+                _run_cli(
+                    [
+                        "stream",
+                        "--scenario",
+                        "small",
+                        "--days",
+                        "2",
+                        "--campaigns-out",
+                        str(out),
+                        *backend_flags,
+                    ],
+                    hash_seed=seed,
+                    cwd=tmp_path,
+                )
+                outputs.append(out.read_bytes())
+        assert b'"campaigns"' in outputs[0]
+        assert all(doc == outputs[0] for doc in outputs[1:]), (
+            "CSR and pure-python stream output diverged across hash seeds"
+        )

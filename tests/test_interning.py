@@ -155,8 +155,11 @@ class TestIndexedGraphBackend:
     def test_fast_path_matches_fallback(self):
         graph = WeightedGraph.from_sorted_labels(["a", "b", "c", "d", "w", "x"])
         for u, v, w in [
-            ("a", "b", 1.0), ("a", "c", 1.0), ("b", "c", 1.0),
-            ("c", "d", 0.05), ("w", "x", 2.0),
+            ("a", "b", 1.0),
+            ("a", "c", 1.0),
+            ("b", "c", 1.0),
+            ("c", "d", 0.05),
+            ("w", "x", 2.0),
         ]:
             graph.add_edge(u, v, w)
         assert graph.louvain_view() is not None

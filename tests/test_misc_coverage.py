@@ -11,8 +11,12 @@ from repro.synth.truth import GroundTruth, PlantedCampaign
 
 def planted(name, servers, clients, day=0):
     return PlantedCampaign(
-        name=name, category="cnc", activity="communication",
-        servers=frozenset(servers), clients=frozenset(clients), day=day,
+        name=name,
+        category="cnc",
+        activity="communication",
+        servers=frozenset(servers),
+        clients=frozenset(clients),
+        day=day,
     )
 
 
@@ -55,8 +59,11 @@ class TestGroundTruthMerging:
 
     def test_servers_in_tier(self):
         campaign = PlantedCampaign(
-            name="x", category="cnc", activity="communication",
-            servers=frozenset({"a", "b"}), clients=frozenset({"c"}),
+            name="x",
+            category="cnc",
+            activity="communication",
+            servers=frozenset({"a", "b"}),
+            clients=frozenset({"c"}),
             tier_of_server={"a": "cnc", "b": "download"},
         )
         assert campaign.servers_in_tier("cnc") == frozenset({"a"})
@@ -94,8 +101,10 @@ class TestResultAccessors:
 
     def test_campaign_dimension_accessor_empty(self):
         campaign = Campaign(
-            campaign_id=0, main_index=0,
-            servers=frozenset({"a", "b"}), clients=frozenset({"c"}),
+            campaign_id=0,
+            main_index=0,
+            servers=frozenset({"a", "b"}),
+            clients=frozenset({"c"}),
         )
         assert campaign.dimensions_of("a") == frozenset()
         assert campaign.num_servers == 2

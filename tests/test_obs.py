@@ -295,7 +295,10 @@ class TestPipelineSpans:
             for span in registry.spans_named("pipeline.mine.dimension")
         ]
         assert {span.attributes["dimension"] for span in dimension_spans} == {
-            "client", "urifile", "ipset", "whois",
+            "client",
+            "urifile",
+            "ipset",
+            "whois",
         }
         for span in dimension_spans:
             assert span.seconds > 0.0
@@ -423,17 +426,33 @@ def _run_stream(tmp: Path, tag: str, hash_seed: int, with_obs: bool) -> dict[str
     out_dir = tmp / tag
     out_dir.mkdir()
     args = [
-        sys.executable, "-m", "repro", "stream",
-        "--scenario", "small", "--days", "2", "--seed", "7", "--window", "2",
-        "--out", str(out_dir / "summary.json"),
-        "--campaigns-out", str(out_dir / "campaigns.json"),
-        "--alerts", str(out_dir / "alerts.jsonl"),
-        "--checkpoint", str(out_dir / "ckpt.json"),
+        sys.executable,
+        "-m",
+        "repro",
+        "stream",
+        "--scenario",
+        "small",
+        "--days",
+        "2",
+        "--seed",
+        "7",
+        "--window",
+        "2",
+        "--out",
+        str(out_dir / "summary.json"),
+        "--campaigns-out",
+        str(out_dir / "campaigns.json"),
+        "--alerts",
+        str(out_dir / "alerts.jsonl"),
+        "--checkpoint",
+        str(out_dir / "ckpt.json"),
     ]
     if with_obs:
         args += [
-            "--metrics-out", str(out_dir / "metrics.prom"),
-            "--trace-out", str(out_dir / "trace.jsonl"),
+            "--metrics-out",
+            str(out_dir / "metrics.prom"),
+            "--trace-out",
+            str(out_dir / "trace.jsonl"),
         ]
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)

@@ -12,8 +12,11 @@ from repro.httplog.trace import HttpTrace
 
 def request(client, host, uri="/x.html", ip=None):
     return HttpRequest(
-        timestamp=0.0, client=client, host=host,
-        server_ip=ip or "1.1.1.1", uri=uri,
+        timestamp=0.0,
+        client=client,
+        host=host,
+        server_ip=ip or "1.1.1.1",
+        uri=uri,
     )
 
 
@@ -45,9 +48,12 @@ class TestSingleClientSegregation:
         # Two servers visited only by lone client cx, plus a multi-client
         # pair, plus a singleton exclusive server of another client.
         return HttpTrace([
-            request("cx", "lone1.com"), request("cx", "lone2.com"),
-            request("c1", "multi1.com"), request("c2", "multi1.com"),
-            request("c1", "multi2.com"), request("c2", "multi2.com"),
+            request("cx", "lone1.com"),
+            request("cx", "lone2.com"),
+            request("c1", "multi1.com"),
+            request("c2", "multi1.com"),
+            request("c1", "multi2.com"),
+            request("c2", "multi2.com"),
             request("cy", "only.com"),
         ])
 
@@ -78,8 +84,10 @@ class TestRunSweep:
     def test_sweep_monotone(self, small_dataset):
         pipeline = SmashPipeline()
         results = pipeline.run_sweep(
-            small_dataset.trace, thresholds=(0.5, 0.8, 1.0, 1.5),
-            whois=small_dataset.whois, redirects=small_dataset.redirects,
+            small_dataset.trace,
+            thresholds=(0.5, 0.8, 1.0, 1.5),
+            whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
         )
         detected = [len(results[t].detected_servers) for t in (0.5, 0.8, 1.0, 1.5)]
         assert detected == sorted(detected, reverse=True)
@@ -89,12 +97,16 @@ class TestRunSweep:
     def test_sweep_equals_individual_runs(self, small_dataset):
         pipeline = SmashPipeline()
         sweep = pipeline.run_sweep(
-            small_dataset.trace, thresholds=(0.8,),
-            whois=small_dataset.whois, redirects=small_dataset.redirects,
+            small_dataset.trace,
+            thresholds=(0.8,),
+            whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
         )
         single = pipeline.run(
-            small_dataset.trace, whois=small_dataset.whois,
-            redirects=small_dataset.redirects, thresh=0.8,
+            small_dataset.trace,
+            whois=small_dataset.whois,
+            redirects=small_dataset.redirects,
+            thresh=0.8,
         )
         assert sweep[0.8].detected_servers == single.detected_servers
 
@@ -131,11 +143,13 @@ class TestResultInvariants:
 
     def test_determinism(self, small_dataset):
         first = SmashPipeline().run(
-            small_dataset.trace, whois=small_dataset.whois,
+            small_dataset.trace,
+            whois=small_dataset.whois,
             redirects=small_dataset.redirects,
         )
         second = SmashPipeline().run(
-            small_dataset.trace, whois=small_dataset.whois,
+            small_dataset.trace,
+            whois=small_dataset.whois,
             redirects=small_dataset.redirects,
         )
         assert first.detected_servers == second.detected_servers

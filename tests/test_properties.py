@@ -28,7 +28,8 @@ client_sets = st.frozensets(
 )
 filenames = st.text(
     alphabet=st.characters(min_codepoint=33, max_codepoint=126),
-    min_size=1, max_size=40,
+    min_size=1,
+    max_size=40,
 )
 file_sets = st.frozensets(filenames, min_size=1, max_size=8)
 
@@ -120,7 +121,8 @@ def graph_from_edges(edges):
 
 edges_strategy = st.lists(
     st.tuples(st.integers(0, 10), st.integers(0, 10), st.floats(0.01, 5.0)),
-    min_size=1, max_size=30,
+    min_size=1,
+    max_size=30,
 )
 
 

@@ -294,12 +294,20 @@ class TestCampaignTracker:
         with pytest.raises(StreamError):
             TrackEvent(kind="new_campaign", day=0, uid="C0001", detail={"day": 9})
         event = TrackEvent(
-            kind="new_campaign", day=0, uid="C0001",
-            detail={"servers": 3}, severity="info", score=0.5,
+            kind="new_campaign",
+            day=0,
+            uid="C0001",
+            detail={"servers": 3},
+            severity="info",
+            score=0.5,
         )
         assert event.to_dict() == {
-            "kind": "new_campaign", "day": 0, "uid": "C0001",
-            "servers": 3, "severity": "info", "score": 0.5,
+            "kind": "new_campaign",
+            "day": 0,
+            "uid": "C0001",
+            "servers": 3,
+            "severity": "info",
+            "score": 0.5,
         }
 
 

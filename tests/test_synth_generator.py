@@ -28,22 +28,31 @@ class TestSpecValidation:
     def test_campaign_unknown_category(self):
         with pytest.raises(ScenarioError):
             CampaignSpec(
-                name="x", category="nonsense", num_clients=1,
+                name="x",
+                category="nonsense",
+                num_clients=1,
                 tiers=(TierSpec(role="t", num_servers=1, uri_files=("a.php",)),),
             )
 
     def test_ids2013_must_extend_2012(self):
         with pytest.raises(ScenarioError):
             CampaignSpec(
-                name="x", category="cnc", num_clients=1,
+                name="x",
+                category="cnc",
+                num_clients=1,
                 tiers=(TierSpec(role="t", num_servers=1, uri_files=("a.php",)),),
-                ids2012_fraction=0.5, ids2013_fraction=0.2,
+                ids2012_fraction=0.5,
+                ids2013_fraction=0.2,
             )
 
     def test_scenario_client_overcommit(self):
         spec = ScenarioSpec(
-            name="x", seed=1, num_clients=3,
-            num_popular_sites=1, num_medium_sites=1, num_longtail_sites=1,
+            name="x",
+            seed=1,
+            num_clients=3,
+            num_popular_sites=1,
+            num_medium_sites=1,
+            num_longtail_sites=1,
             sites_per_client_mean=2.0,
             campaigns=(generic_cnc("a", num_clients=3, num_servers=2),),
         )
@@ -52,8 +61,12 @@ class TestSpecValidation:
 
     def test_duplicate_campaign_names(self):
         spec = ScenarioSpec(
-            name="x", seed=1, num_clients=50,
-            num_popular_sites=1, num_medium_sites=1, num_longtail_sites=1,
+            name="x",
+            seed=1,
+            num_clients=50,
+            num_popular_sites=1,
+            num_medium_sites=1,
+            num_longtail_sites=1,
             sites_per_client_mean=2.0,
             campaigns=(generic_cnc("a", 1, 2), generic_cnc("a", 1, 2)),
         )
@@ -62,8 +75,12 @@ class TestSpecValidation:
 
     def test_campaign_active_day_out_of_range(self):
         spec = ScenarioSpec(
-            name="x", seed=1, num_clients=50,
-            num_popular_sites=1, num_medium_sites=1, num_longtail_sites=1,
+            name="x",
+            seed=1,
+            num_clients=50,
+            num_popular_sites=1,
+            num_medium_sites=1,
+            num_longtail_sites=1,
             sites_per_client_mean=2.0,
             campaigns=(generic_cnc("a", 1, 2, active_days=(3,)),),
             days=2,
@@ -162,14 +179,22 @@ class TestWeekGeneration:
 class TestAgileCampaigns:
     def test_agile_rotates_servers(self):
         campaign = generic_cnc(
-            "agile", num_clients=2, num_servers=4, agile=True,
+            "agile",
+            num_clients=2,
+            num_servers=4,
+            agile=True,
             active_days=(0, 1),
         )
         spec = ScenarioSpec(
-            name="agile-test", seed=3, num_clients=60,
-            num_popular_sites=2, num_medium_sites=10, num_longtail_sites=30,
+            name="agile-test",
+            seed=3,
+            num_clients=60,
+            num_popular_sites=2,
+            num_medium_sites=10,
+            num_longtail_sites=30,
             sites_per_client_mean=3.0,
-            campaigns=(campaign,), days=2,
+            campaigns=(campaign,),
+            days=2,
         )
         week = TraceGenerator(spec).generate_week()
         day0 = next(c for c in week[0].truth.campaigns if c.name == "agile")
@@ -215,8 +240,12 @@ class TestConfickerFactory:
         from repro.synth.scenarios import conficker_like
 
         spec = ScenarioSpec(
-            name="conficker-demo", seed=13, num_clients=120,
-            num_popular_sites=4, num_medium_sites=30, num_longtail_sites=400,
+            name="conficker-demo",
+            seed=13,
+            num_clients=120,
+            num_popular_sites=4,
+            num_medium_sites=30,
+            num_longtail_sites=400,
             sites_per_client_mean=5.0,
             campaigns=(conficker_like(num_clients=3, domains=12),),
         )

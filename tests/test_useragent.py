@@ -10,8 +10,12 @@ from repro.httplog.useragent import (
 
 def request(ua):
     return HttpRequest(
-        timestamp=0.0, client="c1", host="x.com", server_ip="1.1.1.1",
-        uri="/a.html", user_agent=ua,
+        timestamp=0.0,
+        client="c1",
+        host="x.com",
+        server_ip="1.1.1.1",
+        uri="/a.html",
+        user_agent=ua,
     )
 
 
