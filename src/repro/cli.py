@@ -152,6 +152,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         shards=args.shards,
+        dispatch=args.dispatch,
+        out_of_core=args.out_of_core,
         metrics=registry,
     )
     config = _apply_backend_flag(config, args)
@@ -270,6 +272,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor,
             shards=args.shards,
+            dispatch=args.dispatch,
+            out_of_core=args.out_of_core,
             incremental=args.incremental,
         ),
         args,
@@ -474,6 +478,22 @@ def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
         help="shard the mine into N map-reduce partitions with spill-to-store "
         "partials (default 1 = single pass); every shard count produces "
         "byte-identical output",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=["serial", "pool", "subprocess"],
+        default="pool",
+        help="how sharded map jobs execute: on the worker pool (default), "
+        "inline (serial), or one subprocess per shard exchanging only store "
+        "paths and content digests; every dispatch kind produces "
+        "byte-identical output",
+    )
+    parser.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="reduce shard partials into per-dimension indexes without ever "
+        "assembling the full window trace in the coordinator (requires "
+        "--store for streaming; output is byte-identical either way)",
     )
     parser.add_argument(
         "--pure-python",

@@ -18,7 +18,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.util.parallel import EXECUTOR_KINDS
+from repro.util.parallel import DISPATCH_KINDS, EXECUTOR_KINDS
 
 
 @dataclass(frozen=True)
@@ -303,6 +303,25 @@ class SmashConfig:
     #: incremental-mining content signatures.
     shards: int = 1
 
+    #: How the sharded mine's map jobs are dispatched (see
+    #: :mod:`repro.core.dispatch`): ``"pool"`` (the default) runs them on
+    #: the mine's shared ``workers``/``executor`` pool, ``"serial"``
+    #: forces an inline loop in the coordinator, and ``"subprocess"``
+    #: runs one fresh interpreter per shard speaking the remote-worker
+    #: contract (store paths + partial digests only).  Like ``workers``
+    #: and ``shards``, a pure execution strategy: every dispatcher
+    #: produces byte-identical results.
+    dispatch: str = "pool"
+
+    #: Run the sharded mine out-of-core: shard jobs load their own day
+    #: partitions from the :class:`~repro.stream.store.TraceStore` and
+    #: the reduce streams spilled index partials into per-dimension
+    #: graphs without ever assembling the full prepared trace in the
+    #: coordinator.  Byte-identical to the in-memory path; only peak
+    #: coordinator RSS changes.  Requires a trace store on the streaming
+    #: path (``smash stream --store``).
+    out_of_core: bool = False
+
     #: Default for the streaming engine's per-dimension mining cache: on
     #: window advance, dimensions whose content signature is unchanged by
     #: the entering/leaving days are spliced in from cache instead of
@@ -342,6 +361,10 @@ class SmashConfig:
         if self.executor not in EXECUTOR_KINDS:
             raise ConfigError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.dispatch not in DISPATCH_KINDS:
+            raise ConfigError(
+                f"dispatch must be one of {DISPATCH_KINDS}, got {self.dispatch!r}"
             )
 
     def replace(self, **changes: object) -> "SmashConfig":

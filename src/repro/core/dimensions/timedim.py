@@ -40,6 +40,14 @@ def active_windows_by_server(
     """server -> set of window indices in which it received requests."""
     if window_seconds <= 0:
         raise ValueError("window_seconds must be > 0")
+    # An index-only trace (out-of-core sharded mine) carries the
+    # shard-merged window index, computed at the default width; honour it
+    # only for that width so a caller asking for another width still
+    # fails loudly on the missing raw requests.
+    if window_seconds == DEFAULT_WINDOW_SECONDS:
+        injected = getattr(trace, "_windows_by_server", None)
+        if injected is not None:
+            return injected
     windows: dict[str, set[int]] = defaultdict(set)
     for request in trace:
         windows[request.host].add(int(request.timestamp // window_seconds))

@@ -41,6 +41,11 @@ Pattern = tuple[str, ...]
 
 def parameter_patterns_by_server(trace: HttpTrace) -> dict[str, frozenset[Pattern]]:
     """server -> set of sorted query-parameter-name tuples observed."""
+    # An index-only trace (out-of-core sharded mine) carries the
+    # shard-merged pattern index instead of raw requests.
+    injected = getattr(trace, "_patterns_by_server", None)
+    if injected is not None:
+        return injected
     patterns: dict[str, set[Pattern]] = defaultdict(set)
     for request in trace:
         names = request.parameter_names

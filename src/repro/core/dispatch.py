@@ -1,0 +1,206 @@
+"""Dispatch seam for the sharded mine's map phase.
+
+The coordinator in :mod:`repro.core.shardmine` describes each map job as
+a small JSON-compatible *spec* (shard number, input source, output spill
+root — see :func:`~repro.core.shardmine.run_shard_job`) and hands the
+batch to a :class:`ShardDispatcher`.  Where and how the jobs execute is
+the dispatcher's business alone:
+
+* :class:`SerialDispatcher` — a plain loop in the coordinator process;
+* :class:`PoolDispatcher` — the mine's shared
+  :class:`~repro.util.parallel.JobPool` (thread or process executor),
+  the PR 7 behaviour;
+* :class:`SubprocessDispatcher` — one fresh interpreter per shard,
+  driven through ``python -m repro.core.shardworker`` with the spec on
+  stdin and one JSON result line on stdout.
+
+The subprocess dispatcher is deliberately the narrowest: specs it
+receives reference inputs only by store paths and content digests
+(``inline_traces`` is ``False``, so the coordinator never embeds live
+request objects), and results travel back the same way — the exact
+contract a remote worker over a network transport would need.  Because
+shard jobs are deterministic and their outputs digest-verified, every
+dispatcher produces byte-identical mining results; dispatch is an
+execution strategy, like ``workers`` or ``shards``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from repro.errors import PipelineError, StreamError
+from repro.util.parallel import DISPATCH_KINDS, JobPool, resolve_workers
+
+#: Fail a hung worker eventually rather than never; shard jobs at bench
+#: scale finish in seconds.
+_WORKER_TIMEOUT_SECONDS = 600.0
+
+
+class ShardDispatcher:
+    """How a batch of shard-job specs gets executed.
+
+    Subclasses implement :meth:`run`; ``inline_traces`` advertises
+    whether specs may carry live in-memory traces (only dispatchers that
+    share the coordinator's address space can accept those — the
+    subprocess dispatcher forces the coordinator to spill inputs to a
+    store first).
+    """
+
+    #: Name under which :func:`make_dispatcher` builds this dispatcher.
+    kind: str = "abstract"
+
+    #: Whether job specs may reference in-memory traces directly.
+    inline_traces: bool = False
+
+    def run(self, specs: list[dict]) -> list[dict]:
+        """Execute every spec; results in spec order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release dispatcher resources (idempotent)."""
+
+    def __enter__(self) -> "ShardDispatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class SerialDispatcher(ShardDispatcher):
+    """Run shard jobs inline in the coordinator, one after another."""
+
+    kind = "serial"
+    inline_traces = True
+
+    def run(self, specs: list[dict]) -> list[dict]:
+        from repro.core.shardmine import run_shard_job
+
+        return [run_shard_job(spec) for spec in specs]
+
+
+class PoolDispatcher(ShardDispatcher):
+    """Fan shard jobs out on the mine's shared :class:`JobPool`.
+
+    The pool is owned by the caller (it also serves the pair-partial and
+    Louvain fan-outs), so :meth:`close` leaves it alone.
+    """
+
+    kind = "pool"
+    inline_traces = True
+
+    def __init__(self, pool: JobPool) -> None:
+        self.pool = pool
+
+    def run(self, specs: list[dict]) -> list[dict]:
+        from repro.core.shardmine import run_shard_job
+
+        return self.pool.run([partial(run_shard_job, spec) for spec in specs])
+
+
+class SubprocessDispatcher(ShardDispatcher):
+    """One fresh interpreter per shard job, stdin spec / stdout result.
+
+    The worker (:mod:`repro.core.shardworker`) receives nothing but the
+    JSON spec: inputs are named by store paths + digests, outputs are
+    spilled to the shared :class:`~repro.stream.store.PartialStore` and
+    reported back as ``(name, digest)``.  Worker-side failures come back
+    as a structured ``{"error": {...}}`` object and are re-raised here
+    under the coordinator's own exception types, so a corrupt partition
+    fails a subprocess-dispatched mine exactly like an in-process one.
+    """
+
+    kind = "subprocess"
+    inline_traces = False
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = resolve_workers(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run(self, specs: list[dict]) -> list[dict]:
+        if len(specs) <= 1 or self.workers <= 1:
+            return [self._run_one(spec) for spec in specs]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        futures = [self._pool.submit(self._run_one, spec) for spec in specs]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _worker_env() -> dict[str, str]:
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        return env
+
+    def _run_one(self, spec: dict) -> dict:
+        shard = spec.get("shard")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.core.shardworker"],
+            input=json.dumps(spec),
+            capture_output=True,
+            text=True,
+            env=self._worker_env(),
+            timeout=_WORKER_TIMEOUT_SECONDS,
+        )
+        try:
+            result = json.loads(completed.stdout)
+        except (json.JSONDecodeError, ValueError):
+            result = None
+        if isinstance(result, dict) and "error" in result:
+            error = result["error"]
+            kind = str(error.get("kind", ""))
+            message = str(error.get("message", ""))
+            if kind == "StreamError":
+                raise StreamError(message)
+            raise PipelineError(f"shard {shard} worker failed: {kind}: {message}")
+        if completed.returncode != 0 or not isinstance(result, dict):
+            tail = completed.stderr.strip().splitlines()[-8:]
+            raise PipelineError(
+                f"shard {shard} worker exited with {completed.returncode}: "
+                + " | ".join(tail)
+            )
+        return result
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_dispatcher(
+    kind: str, pool: JobPool | None = None, workers: int = 0
+) -> ShardDispatcher:
+    """Build the dispatcher for a configured ``dispatch`` kind.
+
+    ``"pool"`` requires the caller's :class:`JobPool`; ``"subprocess"``
+    takes a concurrent-worker budget (``0`` = one per CPU).
+    """
+    if kind == "serial":
+        return SerialDispatcher()
+    if kind == "pool":
+        if pool is None:
+            raise PipelineError("pool dispatch requires a JobPool")
+        return PoolDispatcher(pool)
+    if kind == "subprocess":
+        return SubprocessDispatcher(workers=workers)
+    raise PipelineError(
+        f"unknown dispatch kind {kind!r}; expected one of {DISPATCH_KINDS}"
+    )
+
+
+__all__ = [
+    "ShardDispatcher",
+    "SerialDispatcher",
+    "PoolDispatcher",
+    "SubprocessDispatcher",
+    "make_dispatcher",
+]

@@ -474,7 +474,7 @@ class SmashPipeline:
 
     def mine(
         self,
-        trace: HttpTrace,
+        trace: HttpTrace | None,
         whois: WhoisRegistry | None = None,
         workers: int | None = None,
         executor: str | None = None,
@@ -482,6 +482,11 @@ class SmashPipeline:
         shards: int | None = None,
         shard_boundaries: tuple[int, ...] | None = None,
         spill_dir: object | None = None,
+        dispatch: str | None = None,
+        out_of_core: bool | None = None,
+        partitions: object | None = None,
+        store_root: object | None = None,
+        trace_name: str | None = None,
     ) -> MinedDimensions:
         """Preprocess *trace* and mine ASHs on every enabled dimension.
 
@@ -502,6 +507,18 @@ class SmashPipeline:
         engine supplies) aligns shard cuts with stored partitions;
         *spill_dir* hosts the partial spill files (a private temporary
         directory is used when ``None``).
+
+        *dispatch* picks how map jobs execute (``serial`` / ``pool`` /
+        ``subprocess``) and *out_of_core* selects the streaming reduce
+        that never assembles the full prepared trace in the coordinator
+        (both override the :class:`~repro.config.SmashConfig` fields of
+        the same names).  With *partitions* (``(day, digest)`` references
+        into the :class:`~repro.stream.store.TraceStore` at *store_root*)
+        instead of a *trace*, map jobs load their day partitions straight
+        from the store — pass ``trace=None``, the per-partition request
+        counts as *shard_boundaries*, and optionally *trace_name* for the
+        result's trace label.  Every combination returns byte-identical
+        mining results.
 
         With *cache* (a :class:`DimensionCache`), dimensions whose input
         signature matches a cached entry are spliced in from the cache
@@ -529,11 +546,16 @@ class SmashPipeline:
                 shards,
                 shard_boundaries,
                 spill_dir,
+                dispatch,
+                out_of_core,
+                partitions,
+                store_root,
+                trace_name,
             )
 
     def _mine(
         self,
-        trace: HttpTrace,
+        trace: HttpTrace | None,
         whois: WhoisRegistry | None,
         workers: int | None,
         executor: str | None,
@@ -542,11 +564,30 @@ class SmashPipeline:
         shards: int | None = None,
         shard_boundaries: tuple[int, ...] | None = None,
         spill_dir: object | None = None,
+        dispatch: str | None = None,
+        out_of_core: bool | None = None,
+        partitions: object | None = None,
+        store_root: object | None = None,
+        trace_name: str | None = None,
     ) -> MinedDimensions:
-        if len(trace) == 0:
+        if trace is None:
+            if partitions is None or store_root is None or shard_boundaries is None:
+                raise PipelineError(
+                    "mine(trace=None) is the store-direct mode: it needs "
+                    "partitions, store_root and shard_boundaries"
+                )
+            if sum(shard_boundaries) == 0:
+                raise PipelineError("cannot run SMASH on an empty trace")
+        elif len(trace) == 0:
             raise PipelineError("cannot run SMASH on an empty trace")
         config = self.config
-        if workers is not None or executor is not None or shards is not None:
+        if (
+            workers is not None
+            or executor is not None
+            or shards is not None
+            or dispatch is not None
+            or out_of_core is not None
+        ):
             # Fold the overrides into the config and re-validate, so a bad
             # value fails fast with a ConfigError instead of surfacing as
             # a ValueError after the preprocessing pass.
@@ -554,12 +595,22 @@ class SmashPipeline:
                 workers=config.workers if workers is None else workers,
                 executor=config.executor if executor is None else executor,
                 shards=config.shards if shards is None else shards,
+                dispatch=config.dispatch if dispatch is None else dispatch,
+                out_of_core=(
+                    config.out_of_core if out_of_core is None else out_of_core
+                ),
             )
             config.validate()
         workers = config.workers
         executor = config.executor
         recorder = self.metrics
-        if config.shards > 1:
+        use_sharded = (
+            config.shards > 1
+            or config.out_of_core
+            or config.dispatch != "pool"
+            or partitions is not None
+        )
+        if use_sharded:
             from repro.core.shardmine import mine_sharded
 
             # One pool serves every fan-out of the sharded mine (shard
@@ -576,6 +627,9 @@ class SmashPipeline:
                     pool,
                     boundaries=shard_boundaries,
                     spill_dir=spill_dir,
+                    partitions=partitions,
+                    store_root=store_root,
+                    trace_name=trace_name,
                 )
         with recorder.span("pipeline.mine.preprocess") as pre_span:
             prepared, report = preprocess(trace, config.preprocess)

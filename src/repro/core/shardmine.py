@@ -52,6 +52,35 @@ The splice point is :meth:`SmashPipeline.mine(shards=N)
 :class:`~repro.core.pipeline.DimensionCache` contract is preserved
 (signatures are computed on the assembled prepared trace, so sharded
 and single-shard mines hit the same cache entries).
+
+**Out-of-core mode** (``SmashConfig.out_of_core``, forced when the mine
+is given partition references instead of a trace) removes the two
+remaining places the coordinator held raw requests:
+
+* **Store-direct map jobs.**  Each shard job is a small JSON *spec*
+  naming its inputs by ``(day, digest)`` partition references into the
+  :class:`~repro.stream.store.TraceStore`; the worker loads (and digest-
+  verifies) its own day partitions, extracts, spills, and reports back
+  nothing but the partial's ``(name, digest)``.  Shard cuts fall on day
+  boundaries exactly like the in-memory boundary split
+  (:func:`_segment_groups` mirrors :func:`shard_ranges`), so the
+  per-shard request slices — and therefore the spilled partials — are
+  byte-identical to the in-memory path's.
+* **Hollow reduce.**  The merge builds an :class:`IndexOnlyTrace` — the
+  prepared trace's indexes and scalars without its requests.  Reduce-side
+  consumers that genuinely need window-wide request facts get them from
+  small per-shard summaries instead: request counts ride in the partials
+  and the dominant-referrer map (the one ``finish``-stage request scan)
+  is folded from per-shard referrer counters and pre-seeded into
+  ``MinedDimensions.stage_cache``.  Any code path that would actually
+  touch raw requests on the hollow trace raises loudly.
+
+**Dispatch seam.**  How map jobs execute is delegated to a
+:class:`~repro.core.dispatch.ShardDispatcher` (``SmashConfig.dispatch``):
+inline on the shared pool (the default), serially in the coordinator, or
+one subprocess per shard speaking the store-paths + digests contract a
+remote worker would use.  Reduce, pair accumulation and Louvain always
+run on the coordinator's pool; dispatch only moves the map phase.
 """
 
 from __future__ import annotations
@@ -67,6 +96,7 @@ from pathlib import Path
 from repro.config import SmashConfig
 from repro.core.ashmining import MiningOutcome, mine_herds
 from repro.core.dimensions.client import build_client_graph_from_indices
+from repro.core.dispatch import make_dispatcher
 from repro.core.dimensions.ipset import build_ipset_graph
 from repro.core.dimensions.timedim import DEFAULT_WINDOW_SECONDS, build_time_graph
 from repro.core.dimensions.urifile import build_urifile_graph
@@ -80,14 +110,22 @@ from repro.core.interning import (
     resolve_auto_cap,
 )
 from repro.core.preprocess import PreprocessReport, aggregate_trace
+from repro.core.pruning import referrer_host
 from repro.core.results import MAIN_DIMENSION
 from repro.domains.names import normalize_server_name
 from repro.errors import PipelineError
+from repro.httplog.records import HttpRequest
 from repro.httplog.trace import HttpTrace
-from repro.stream.store import PartialStore
+from repro.stream.store import PartialStore, TraceStore
 from repro.util.parallel import JobPool
 
-__all__ = ["mine_sharded", "ShardedAccumulator", "shard_ranges"]
+__all__ = [
+    "mine_sharded",
+    "run_shard_job",
+    "IndexOnlyTrace",
+    "ShardedAccumulator",
+    "shard_ranges",
+]
 
 
 # -- shard planning -----------------------------------------------------------------
@@ -128,26 +166,100 @@ def shard_ranges(
     ]
 
 
+def _segment_groups(
+    boundaries: tuple[int, ...], shards: int
+) -> list[tuple[int, int]]:
+    """Partition-index spans ``[first, last)`` mirroring :func:`shard_ranges`.
+
+    For the store-direct map phase: group *g* of the boundary-aligned
+    split covers exactly ``partitions[first:last]``, so loading and
+    concatenating those day partitions reproduces the in-memory shard's
+    request slice byte for byte.  Same group arithmetic (and the same
+    empty-group skipping) as the boundary path of :func:`shard_ranges`,
+    so the group count — and hence shard numbering — matches too.
+    """
+    total = sum(boundaries)
+    if total <= 0:
+        return []
+    shards = max(1, min(shards, total))
+    segments = len(boundaries)
+    groups = min(shards, segments)
+    offsets = [0]
+    for length in boundaries:
+        offsets.append(offsets[-1] + length)
+    spans: list[tuple[int, int]] = []
+    for group in range(groups):
+        first = group * segments // groups
+        last = (group + 1) * segments // groups
+        if offsets[first] < offsets[last]:
+            spans.append((first, last))
+    return spans
+
+
 # -- phase A: per-shard index extraction --------------------------------------------
 
 
-def _index_shard_job(
-    shard: int,
-    trace: HttpTrace,
-    aggregate: bool,
-    want_patterns: bool,
-    want_windows: bool,
-    window_seconds: float,
-    spill_root: str,
-) -> tuple[int, str, str, int, int, float]:
+def _resolve_source(spec: dict) -> HttpTrace:
+    """Materialise one shard job's input trace from its source spec.
+
+    ``inline`` carries a live :class:`HttpTrace` (same-address-space
+    dispatchers only); ``store`` names whole day partitions by
+    ``(day, digest)`` in a :class:`~repro.stream.store.TraceStore`, with
+    an optional ``slice [k, n]`` applying the even :func:`shard_ranges`
+    cut after concatenation; ``spill`` names a coordinator-spilled
+    request partial by ``(name, digest)``.  Every store/spill load is
+    digest-verified, so a corrupt input fails the job with a
+    :class:`~repro.errors.StreamError` instead of skewing the merge.
+    """
+    source = spec["source"]
+    kind = source.get("kind")
+    if kind == "inline":
+        return source["trace"]
+    if kind == "store":
+        store = TraceStore(source["root"])
+        traces = [
+            store.get(int(day), digest=str(digest)).trace
+            for day, digest in source["partitions"]
+        ]
+        trace = (
+            traces[0]
+            if len(traces) == 1
+            else HttpTrace.concat(traces, name=traces[0].name)
+        )
+        cut = source.get("slice")
+        if cut is not None:
+            index, count = int(cut[0]), int(cut[1])
+            start, stop = shard_ranges(len(trace), count)[index]
+            trace = HttpTrace(trace.requests[start:stop], name=trace.name)
+        return trace
+    if kind == "spill":
+        payload = PartialStore(source["root"]).load(source["name"], source["digest"])
+        return HttpTrace(
+            (HttpRequest.from_dict(entry) for entry in payload["requests"]),
+            name=str(source.get("trace_name", "shard")),
+        )
+    raise PipelineError(f"unknown shard-job source kind {kind!r}")
+
+
+def run_shard_job(spec: dict) -> dict:
     """One map job: extract a shard's inverted-index partial and spill it.
 
-    Module-level so the process executor can pickle it.  Returns
-    ``(shard, partial name, digest, spill bytes, requests, seconds)``;
-    the heavy payload travels through the :class:`PartialStore`, never
-    through the pool's result pipe.
+    *spec* is JSON-compatible apart from an ``inline`` source's trace
+    (see :func:`_resolve_source`), so the same function serves the
+    in-process dispatchers and the subprocess worker
+    (:mod:`repro.core.shardworker`).  The heavy payload travels through
+    the digest-verified :class:`PartialStore`; the returned dict carries
+    only the partial's identity plus small accounting.
     """
     tick = time.perf_counter()
+    trace = _resolve_source(spec)
+    shard = int(spec["shard"])
+    aggregate = bool(spec["aggregate"])
+    want_patterns = bool(spec["want_patterns"])
+    want_windows = bool(spec["want_windows"])
+    want_referrers = bool(spec.get("want_referrers", False))
+    window_seconds = float(spec["window_seconds"])
+
     sid_of_host: dict[str, tuple[int, str]] = {}
     vocab = StableInterner()
     clients: dict[int, set[str]] = defaultdict(set)
@@ -158,6 +270,14 @@ def _index_shard_job(
     counts: Counter[int] = Counter()
     file_of_uri: dict[str, str] = {}
     raw_hosts: set[str] = set()
+    # Referrer summaries mirror pruning.dominant_referrers: per server
+    # (aggregated label), count requests per external landing server, in
+    # first-seen order — contiguous shards merged in shard order then
+    # reproduce the whole-trace first-seen order, so the reduce-side
+    # dominant pick matches Counter.most_common's tie-break exactly.
+    referrers: dict[int, dict[str, int]] = {}
+    landing_of: dict[str, str | None] = {}
+    host_cache: dict[str, str | None] = {}
     for request in trace.requests:
         host = request.host
         cached = sid_of_host.get(host)
@@ -182,6 +302,19 @@ def _index_shard_job(
                 patterns[sid].add(names)
         if want_windows:
             windows[sid].add(int(request.timestamp // window_seconds))
+        if want_referrers:
+            referrer = request.referrer
+            if referrer:
+                if referrer in landing_of:
+                    landing = landing_of[referrer]
+                else:
+                    landing = referrer_host(referrer, host_cache)
+                    landing_of[referrer] = landing
+                if landing is not None and landing != cached[1]:
+                    entries = referrers.get(sid)
+                    if entries is None:
+                        entries = referrers[sid] = {}
+                    entries[landing] = entries.get(landing, 0) + 1
 
     payload: dict[str, object] = {
         "shard": shard,
@@ -200,9 +333,23 @@ def _index_shard_job(
         }
     if want_windows:
         payload["windows"] = {str(sid): sorted(found) for sid, found in windows.items()}
+    if want_referrers:
+        # Insertion order is data, not cosmetics (see above); JSON
+        # round-trips object key order, so it survives the spill.
+        payload["referrers"] = {
+            str(sid): [[landing, count] for landing, count in entries.items()]
+            for sid, entries in referrers.items()
+        }
     name = f"index-{shard:04d}"
-    digest, spilled = PartialStore(spill_root).put(name, payload)
-    return shard, name, digest, spilled, len(trace), time.perf_counter() - tick
+    digest, spilled = PartialStore(spec["spill_root"]).put(name, payload)
+    return {
+        "shard": shard,
+        "name": name,
+        "digest": digest,
+        "spilled": spilled,
+        "requests": len(trace),
+        "seconds": time.perf_counter() - tick,
+    }
 
 
 class _MergedIndexes:
@@ -218,6 +365,11 @@ class _MergedIndexes:
         self.counts: Counter[int] = Counter()
         self.raw_hosts: set[str] = set()
         self.requests = 0
+        #: server id -> landing server -> referred-request count, in
+        #: global first-seen order (shards merge in canonical order and
+        #: cover contiguous trace slices, so appending each shard's
+        #: first-seen entries reproduces the whole-trace order).
+        self.referrers: dict[int, dict[str, int]] = {}
 
     def merge(self, payload: dict) -> None:
         self.requests += int(payload["requests"])
@@ -233,6 +385,10 @@ class _MergedIndexes:
             self.patterns[int(sid)].update(tuple(pattern) for pattern in found)
         for sid, found in payload.get("windows", {}).items():
             self.windows[int(sid)].update(found)
+        for sid, entries in payload.get("referrers", {}).items():
+            target_entries = self.referrers.setdefault(int(sid), {})
+            for landing, count in entries:
+                target_entries[landing] = target_entries.get(landing, 0) + int(count)
 
 
 # -- phase C: partition-parallel pair accumulation ----------------------------------
@@ -386,6 +542,166 @@ def _louvain_main_job(
 # -- the sharded mine ---------------------------------------------------------------
 
 
+class IndexOnlyTrace(HttpTrace):
+    """A prepared trace holding inverted indexes but no raw requests.
+
+    The out-of-core reduce builds every per-dimension graph (and every
+    content signature) from the merged shard indexes; the scalar facts
+    consumers legitimately need — request count, server namespace — are
+    injected.  Any path that would actually read raw requests raises a
+    :class:`~repro.errors.PipelineError`: silently iterating an empty
+    request tuple would corrupt results, failing loudly turns a missed
+    consumer into a test failure instead.
+    """
+
+    def __init__(self, name: str, num_requests: int) -> None:
+        super().__init__((), name=name)
+        self._num_requests = num_requests
+
+    def _no_requests(self) -> PipelineError:
+        return PipelineError(
+            f"trace {self.name!r} is index-only (out-of-core mine): raw "
+            "requests were never assembled in the coordinator"
+        )
+
+    def __len__(self) -> int:
+        return self._num_requests
+
+    def __iter__(self):
+        raise self._no_requests()
+
+    @property
+    def requests(self):
+        raise self._no_requests()
+
+    @property
+    def requests_by_server(self):
+        raise self._no_requests()
+
+
+def _assemble_hollow(
+    merged: _MergedIndexes,
+    config: SmashConfig,
+    trace_name: str,
+    want_patterns: bool,
+    want_windows: bool,
+    want_referrers: bool,
+) -> tuple[HttpTrace, PreprocessReport, dict[int, str], dict[str, str]]:
+    """Finish preprocessing without ever materialising the window trace.
+
+    The out-of-core counterpart of :func:`_assemble_prepared`: identical
+    IDF/min-clients filtering on the merged client sets and identical
+    injected indexes, but the prepared trace is an
+    :class:`IndexOnlyTrace` — no request is ever resident in the
+    coordinator.  Also folds the per-shard referrer summaries into the
+    ``dominant_referrers`` map the finish stage would otherwise derive
+    by scanning the prepared trace (same majority rule, same
+    ``most_common`` tie-break via first-seen insertion order).
+    """
+    pre = config.preprocess
+    label_of = merged.vocab.to_dict()
+    popular = {sid for sid, clients in merged.clients.items() if len(clients) > pre.idf_threshold}
+    too_rare = {sid for sid, clients in merged.clients.items() if len(clients) < pre.min_clients}
+    kept = {
+        sid: label
+        for sid, label in label_of.items()
+        if sid not in popular and sid not in too_rare
+    }
+
+    kept_requests = sum(merged.counts[sid] for sid in kept)
+    prepared = IndexOnlyTrace(f"{trace_name}:preprocessed", kept_requests)
+    order = sorted(kept, key=lambda sid: kept[sid])
+    clients_by_server = {kept[sid]: frozenset(merged.clients[sid]) for sid in order}
+    servers_of: dict[str, set[str]] = defaultdict(set)
+    for label, clients in clients_by_server.items():
+        for client in clients:
+            servers_of[client].add(label)
+    prepared._clients_by_server = clients_by_server
+    prepared._ips_by_server = {kept[sid]: frozenset(merged.ips[sid]) for sid in order}
+    prepared._files_by_server = {kept[sid]: frozenset(merged.files[sid]) for sid in order}
+    prepared._servers_by_client = {
+        client: frozenset(found) for client, found in servers_of.items()
+    }
+    prepared._servers = frozenset(clients_by_server)
+    if want_patterns:
+        # Only servers with >= 1 parameterised request, matching
+        # parameter_patterns_by_server's scan output on the kept trace.
+        prepared._patterns_by_server = {
+            kept[sid]: frozenset(merged.patterns[sid])
+            for sid in order
+            if merged.patterns.get(sid)
+        }
+    if want_windows:
+        # Every kept server has >= 1 request, hence >= 1 active window.
+        prepared._windows_by_server = {
+            kept[sid]: frozenset(merged.windows[sid]) for sid in order
+        }
+
+    referrer_of: dict[str, str] = {}
+    if want_referrers:
+        for sid in order:
+            entries = merged.referrers.get(sid)
+            if not entries:
+                continue
+            landing, hits = max(entries.items(), key=lambda item: item[1])
+            if hits * 2 > merged.counts[sid]:
+                referrer_of[kept[sid]] = landing
+
+    report = PreprocessReport(
+        raw_servers=len(merged.raw_hosts),
+        aggregated_servers=len(label_of),
+        popular_servers_removed=len(popular),
+        kept_servers=len(kept),
+        raw_requests=merged.requests,
+        kept_requests=kept_requests,
+    )
+    return prepared, report, kept, referrer_of
+
+
+def _store_specs(
+    partitions,
+    store_root,
+    boundaries: tuple[int, ...],
+    shards: int,
+    common: dict,
+) -> list[dict]:
+    """Store-direct shard-job specs over ``(day, digest)`` partition refs.
+
+    Multiple partitions are grouped on day boundaries exactly like the
+    in-memory boundary split (:func:`_segment_groups`); a single
+    partition is split evenly worker-side via a ``slice`` spec applying
+    :func:`shard_ranges`.  Either way the request content per shard
+    number is identical to the in-memory path's, so the spilled partials
+    — and everything merged from them — stay byte-identical.
+    """
+    refs = [[int(day), str(digest)] for day, digest in partitions]
+    if len(refs) != len(boundaries):
+        raise PipelineError(
+            f"store-direct mining got {len(refs)} partitions but "
+            f"{len(boundaries)} shard boundaries; they must correspond 1:1"
+        )
+    specs: list[dict] = []
+    if len(refs) > 1:
+        for index, (first, last) in enumerate(_segment_groups(boundaries, shards)):
+            source = {
+                "kind": "store",
+                "root": str(store_root),
+                "partitions": refs[first:last],
+            }
+            specs.append({"shard": index, "source": source, **common})
+    else:
+        count = len(shard_ranges(sum(boundaries), shards))
+        for index in range(count):
+            source = {
+                "kind": "store",
+                "root": str(store_root),
+                "partitions": refs,
+                "slice": [index, count],
+            }
+            specs.append({"shard": index, "source": source, **common})
+    return specs
+
+
 def _assemble_prepared(
     trace: HttpTrace,
     merged: _MergedIndexes,
@@ -497,7 +813,7 @@ def _build_secondary_graph(
 
 def mine_sharded(
     pipeline,
-    trace: HttpTrace,
+    trace: HttpTrace | None,
     whois,
     config: SmashConfig,
     cache,
@@ -505,12 +821,23 @@ def mine_sharded(
     pool: JobPool,
     boundaries: tuple[int, ...] | None = None,
     spill_dir: str | Path | None = None,
+    partitions=None,
+    store_root: str | Path | None = None,
+    trace_name: str | None = None,
 ):
-    """The ``shards > 1`` mine path; see the module docstring.
+    """The sharded mine path; see the module docstring.
 
     Returns a :class:`~repro.core.pipeline.MinedDimensions` byte-for-byte
     equal (in every output-reachable field) to what
     ``SmashPipeline._mine`` produces on the same inputs.
+
+    With *partitions* (``(day, digest)`` references into the store at
+    *store_root*) instead of *trace*, map jobs load their own day
+    partitions — the coordinator never holds a raw request — and the
+    reduce is forced out-of-core (*boundaries* must then be the per-
+    partition request counts, from the partition manifests).  With a
+    *trace*, ``config.out_of_core`` selects the hollow reduce and
+    ``config.dispatch`` selects how map jobs execute either way.
     """
     from repro.core.pipeline import (
         DIMENSION_SIGNATURES,
@@ -521,49 +848,102 @@ def mine_sharded(
 
     recorder = pipeline.metrics
     shards = config.shards
+    out_of_core = config.out_of_core or trace is None
+    if trace is None and (not partitions or store_root is None or not boundaries):
+        raise PipelineError(
+            "store-direct mining needs partitions, store_root and "
+            "shard_boundaries when no trace is given"
+        )
+    window_name = trace.name if trace is not None else (trace_name or "trace")
     want_patterns = "urlparam" in config.enabled_secondary_dimensions
     want_windows = "time" in config.enabled_secondary_dimensions
+    want_referrers = out_of_core and config.pruning.prune_referrer_groups
 
     if spill_dir is not None:
-        Path(spill_dir).mkdir(parents=True, exist_ok=True)
-        spill_root = tempfile.mkdtemp(prefix="mine-", dir=str(spill_dir))
+        parent = Path(spill_dir)
+        parent.mkdir(parents=True, exist_ok=True)
+        # A crashed coordinator leaks its spill dir; collect stale ones
+        # (age- and ownership-checked) before adding our own.
+        PartialStore.gc_orphans(parent)
+        spill_root = tempfile.mkdtemp(prefix="mine-", dir=str(parent))
     else:
         spill_root = tempfile.mkdtemp(prefix="repro-shardmine-")
     spill = PartialStore(spill_root)
+    spill.claim()
+    dispatcher = make_dispatcher(config.dispatch, pool=pool, workers=config.workers)
     try:
         # -- phase A + reduce: sharded preprocess ---------------------------------
         with recorder.span("pipeline.mine.preprocess") as pre_span:
-            ranges = shard_ranges(len(trace), shards, boundaries)
-            requests = trace.requests
-            jobs = [
-                partial(
-                    _index_shard_job,
-                    index,
-                    HttpTrace(requests[start:stop], name=f"{trace.name}:shard{index}"),
-                    config.preprocess.aggregate_second_level,
-                    want_patterns,
-                    want_windows,
-                    DEFAULT_WINDOW_SECONDS,
-                    spill_root,
-                )
-                for index, (start, stop) in enumerate(ranges)
-            ]
-            partials = pool.run(jobs)
+            common = {
+                "aggregate": config.preprocess.aggregate_second_level,
+                "want_patterns": want_patterns,
+                "want_windows": want_windows,
+                "want_referrers": want_referrers,
+                "window_seconds": DEFAULT_WINDOW_SECONDS,
+                "spill_root": spill_root,
+            }
+            input_partials: list[str] = []
+            if partitions is not None:
+                specs = _store_specs(partitions, store_root, boundaries, shards, common)
+            else:
+                requests = trace.requests
+                specs = []
+                for index, (start, stop) in enumerate(
+                    shard_ranges(len(trace), shards, boundaries)
+                ):
+                    shard_trace = HttpTrace(
+                        requests[start:stop], name=f"{trace.name}:shard{index}"
+                    )
+                    if dispatcher.inline_traces:
+                        source: dict[str, object] = {
+                            "kind": "inline",
+                            "trace": shard_trace,
+                        }
+                    else:
+                        # The dispatcher can't share our address space:
+                        # spill the shard's requests and hand over a
+                        # digest-verified reference instead.
+                        input_name = f"input-{index:04d}"
+                        digest, _ = spill.put(
+                            input_name,
+                            {
+                                "requests": [
+                                    request.to_dict()
+                                    for request in shard_trace.requests
+                                ]
+                            },
+                        )
+                        input_partials.append(input_name)
+                        source = {
+                            "kind": "spill",
+                            "root": spill_root,
+                            "name": input_name,
+                            "digest": digest,
+                            "trace_name": shard_trace.name,
+                        }
+                    specs.append({"shard": index, "source": source, **common})
+            num_shards = len(specs)
+            results = dispatcher.run(specs)
+            for input_name in input_partials:
+                spill.delete(input_name)
 
             merged = _MergedIndexes()
             with recorder.span("pipeline.mine.shard_merge") as merge_span:
-                for shard, name, digest, spilled, shard_requests, seconds in sorted(partials):
-                    merged.merge(spill.load(name, digest))
-                    spill.delete(name)
+                for result in sorted(results, key=lambda entry: entry["shard"]):
+                    merged.merge(spill.load(result["name"], result["digest"]))
+                    spill.delete(result["name"])
                     if recorder.enabled:
+                        attributes = {
+                            "shard": result["shard"],
+                            "requests": result["requests"],
+                            "spill_bytes": result["spilled"],
+                        }
+                        if "peak_rss_kb" in result:
+                            attributes["worker_peak_rss_kb"] = result["peak_rss_kb"]
                         recorder.record_span(
                             "pipeline.mine.shard_index",
-                            seconds,
-                            {
-                                "shard": shard,
-                                "requests": shard_requests,
-                                "spill_bytes": spilled,
-                            },
+                            result["seconds"],
+                            attributes,
                         )
                         recorder.counter(
                             "smash_shard_index_partials_total",
@@ -573,11 +953,22 @@ def mine_sharded(
                             "smash_shard_spill_bytes_total",
                             "Bytes of sharded-mine partials spilled, by kind.",
                             labels=("kind",),
-                        ).labels(kind="index").inc(spilled)
-            prepared, report, kept = _assemble_prepared(trace, merged, config)
+                        ).labels(kind="index").inc(result["spilled"])
+            referrer_of: dict[str, str] | None = None
+            if out_of_core:
+                prepared, report, kept, referrer_of = _assemble_hollow(
+                    merged,
+                    config,
+                    window_name,
+                    want_patterns,
+                    want_windows,
+                    want_referrers,
+                )
+            else:
+                prepared, report, kept = _assemble_prepared(trace, merged, config)
             if recorder.enabled:
                 merge_span.set(
-                    shards=len(ranges),
+                    shards=num_shards,
                     servers=len(merged.vocab),
                     kept_servers=len(kept),
                 )
@@ -587,7 +978,9 @@ def mine_sharded(
                     raw_servers=report.raw_servers,
                     kept_servers=report.kept_servers,
                     popular_servers_removed=report.popular_servers_removed,
-                    shards=len(ranges),
+                    shards=num_shards,
+                    dispatch=dispatcher.kind,
+                    out_of_core=out_of_core,
                 )
 
         # -- cache lookup (same contract as the single-shard mine) ----------------
@@ -638,7 +1031,7 @@ def mine_sharded(
         build_seconds: dict[str, float] = {}
         for dimension in to_mine:
             accumulate = ShardedAccumulator(
-                pool, len(ranges) or 1, spill_root, dimension, recorder=recorder
+                pool, num_shards or 1, spill_root, dimension, recorder=recorder
             )
             tick = time.perf_counter()
             if dimension == MAIN_DIMENSION:
@@ -702,7 +1095,9 @@ def mine_sharded(
             span.set(
                 requests=report.kept_requests,
                 servers=report.kept_servers,
-                shards=len(ranges),
+                shards=num_shards,
+                dispatch=dispatcher.kind,
+                out_of_core=out_of_core,
                 mined_dimensions=list(to_mine),
                 reused_dimensions=[d for d in dimensions if d in reused],
             )
@@ -712,6 +1107,10 @@ def mine_sharded(
             main=main,
             secondary=secondary,
             interner=Interner(clients_by_server),
+            stage_cache=(
+                {"dominant_referrers": referrer_of} if referrer_of is not None else {}
+            ),
         )
     finally:
+        dispatcher.close()
         spill.cleanup()

@@ -1,0 +1,45 @@
+"""Shard-job worker entry point: ``python -m repro.core.shardworker``.
+
+Reads one JSON shard-job spec from stdin, executes it with
+:func:`~repro.core.shardmine.run_shard_job`, and prints the one-line
+JSON result to stdout.  The spec names its inputs by store paths and
+content digests and the result names the spilled partial the same way,
+so this process shares nothing with the coordinator but the filesystem —
+the contract a remote worker over any transport would satisfy.
+
+Failures are reported as a structured ``{"error": {"kind", "message"}}``
+object on stdout (plus the traceback on stderr) with a non-zero exit, so
+the dispatcher can re-raise the coordinator-side equivalent.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import traceback
+
+
+def main() -> int:
+    try:
+        spec = json.loads(sys.stdin.read())
+        if not isinstance(spec, dict):
+            raise ValueError("shard-job spec must be a JSON object")
+        from repro.core.shardmine import run_shard_job
+
+        result = run_shard_job(spec)
+        result["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception as error:
+        traceback.print_exc()
+        print(
+            json.dumps(
+                {"error": {"kind": type(error).__name__, "message": str(error)}}
+            )
+        )
+        return 1
+    print(json.dumps(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

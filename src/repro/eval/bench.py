@@ -493,8 +493,11 @@ def sharded_scaling(
 
     Rows: the single-pass baseline, each requested shard count on the
     serial executor (the peak-memory story — map partials spill to the
-    store and merge one shard at a time), and the largest shard count on
-    the process pool with one worker per CPU (the throughput story).
+    store and merge one shard at a time), the largest shard count on
+    the process pool with one worker per CPU (the throughput story), and
+    the largest shard count in out-of-core mode with subprocess dispatch
+    (the coordinator-memory story: store-direct map jobs in child
+    interpreters, streaming reduce, no window trace in the coordinator).
     Every row's full result document must hash identically or the
     benchmark aborts — the byte-identity acceptance gate, measured at
     bench scale rather than only at test scale.
@@ -512,13 +515,14 @@ def sharded_scaling(
         dataset = TraceGenerator(data2012day(scale=scale, seed=seed)).generate_day(0)
     generate_seconds = span.seconds
 
-    configs = [(1, 1, "serial")]
+    configs = [(1, 1, "serial", "pool", False)]
     for shards in shard_counts:
         if shards > 1:
-            configs.append((shards, 1, "serial"))
+            configs.append((shards, 1, "serial", "pool", False))
     largest = max(shard_counts) if shard_counts else 1
     if largest > 1:
-        configs.append((largest, 0, "process"))
+        configs.append((largest, 0, "process", "pool", False))
+        configs.append((largest, 1, "serial", "subprocess", True))
 
     rows: list[dict[str, object]] = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-sharded-") as tmp:
@@ -531,7 +535,7 @@ def sharded_scaling(
                 redirects=dataset.redirects,
             )
         )
-        for shards, workers, executor in configs:
+        for shards, workers, executor, dispatch, out_of_core in configs:
             spec = {
                 "store_root": str(store.root),
                 "day": ref.day,
@@ -539,9 +543,16 @@ def sharded_scaling(
                 "shards": shards,
                 "workers": workers,
                 "executor": executor,
+                "dispatch": dispatch,
+                "out_of_core": out_of_core,
             }
             with registry.span(
-                "bench.sharded.probe", shards=shards, workers=workers, executor=executor
+                "bench.sharded.probe",
+                shards=shards,
+                workers=workers,
+                executor=executor,
+                dispatch=dispatch,
+                out_of_core=out_of_core,
             ):
                 probe = subprocess.run(
                     [sys.executable, "-m", "repro.eval.shardprobe", json.dumps(spec)],
@@ -550,7 +561,8 @@ def sharded_scaling(
                 )
             if probe.returncode != 0:
                 raise AssertionError(
-                    f"shard probe {shards}/{workers}/{executor} failed:\n{probe.stderr}"
+                    f"shard probe {shards}/{workers}/{executor}/{dispatch}"
+                    f"{'/ooc' if out_of_core else ''} failed:\n{probe.stderr}"
                 )
             rows.append(json.loads(probe.stdout))
 
@@ -560,12 +572,18 @@ def sharded_scaling(
             f"sharded and single-pass mines diverged at scale {scale}: {digests}"
         )
     baseline = rows[0]
-    serial_rows = [r for r in rows if r["executor"] == "serial" and r["shards"] > 1]
+    serial_rows = [
+        r
+        for r in rows
+        if r["executor"] == "serial" and r["shards"] > 1 and not r["out_of_core"]
+    ]
     most_sharded = serial_rows[-1] if serial_rows else baseline
+    ooc_rows = [r for r in rows if r["out_of_core"]]
+    ooc = ooc_rows[-1] if ooc_rows else None
     # The headline compares *mine-phase* peaks (VmHWM reset after the
     # load — see shardprobe): whole-process ru_maxrss is set by the
     # partition load, which is identical across rows.
-    return {
+    document: dict[str, object] = {
         "scale": scale,
         "seed": seed,
         "requests": baseline["requests"],
@@ -580,22 +598,43 @@ def sharded_scaling(
         if most_sharded["mine_peak_rss_kb"]
         else None,
     }
+    if ooc is not None:
+        # The out-of-core headline: the coordinator's mine-phase peak with
+        # store-direct subprocess map jobs and the streaming reduce,
+        # against the single-pass coordinator holding everything.
+        document["out_of_core_coordinator_peak_rss_kb"] = ooc["coordinator_peak_rss_kb"]
+        document["coordinator_rss_reduction"] = (
+            round(
+                baseline["mine_peak_rss_kb"] / ooc["coordinator_peak_rss_kb"], 3
+            )
+            if ooc["coordinator_peak_rss_kb"]
+            else None
+        )
+    return document
 
 
 def _print_sharded_summary(document: dict[str, object]) -> None:
     configs = document["configs"]
     assert isinstance(configs, list)
     for row in configs:
+        mode = " out-of-core" if row.get("out_of_core") else ""
         print(
-            f"shards={row['shards']} workers={row['workers']} {row['executor']}: "
+            f"shards={row['shards']} workers={row['workers']} {row['executor']} "
+            f"dispatch={row.get('dispatch', 'pool')}{mode}: "
             f"mine {row['mine_seconds']}s ({row['requests_per_second']} req/s), "
-            f"mine-phase peak RSS {row['mine_peak_rss_kb']} KB"
+            f"coordinator peak RSS {row['mine_peak_rss_kb']} KB"
         )
     print(
         f"mine-phase peak RSS {document['baseline_mine_peak_rss_kb']} KB single-pass -> "
         f"{document['sharded_mine_peak_rss_kb']} KB most-sharded serial "
         f"({document['mine_peak_rss_reduction']}x), identical output"
     )
+    if "out_of_core_coordinator_peak_rss_kb" in document:
+        print(
+            f"out-of-core coordinator peak RSS "
+            f"{document['out_of_core_coordinator_peak_rss_kb']} KB "
+            f"({document['coordinator_rss_reduction']}x below single-pass)"
+        )
 
 
 def _print_mine_summary(document: dict[str, object]) -> None:

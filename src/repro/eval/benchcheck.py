@@ -9,10 +9,12 @@ travels across machines:
 
 * mine suite: the interned-vs-legacy ``speedup`` per matching scale, and
   the hard ``identical_output`` flag;
-* sharded suite: ``identical_output``, the within-run invariant that the
-  most-sharded serial mine's peak RSS stays at or below the single-pass
-  baseline's (the property the sharded mine exists for), and — when the
-  baseline holds a row at the same scale — peak-RSS growth against it;
+* sharded suite: ``identical_output``, the within-run invariants that
+  the most-sharded serial mine's peak RSS and the out-of-core
+  coordinator's mine-phase peak both stay at or below the single-pass
+  baseline's (the properties the sharded and out-of-core modes exist
+  for), and — when the baseline holds a row at the same scale —
+  peak-RSS growth and coordinator-RSS-reduction shrink against it;
 * stream suite: the cold-vs-incremental ``speedup`` per matching
   workload, and the checkpoint ``shrink_factor``.
 
@@ -116,6 +118,29 @@ def compare_mine(
                 f"most-sharded mine peak {most} KB vs single-pass "
                 f"{single} KB (bound {round(bound)} KB)",
             )
+        ooc = sharded.get("out_of_core_coordinator_peak_rss_kb")
+        if isinstance(single, (int, float)) and isinstance(ooc, (int, float)):
+            # The out-of-core coordinator never assembles the window
+            # trace, so its mine-phase peak must stay at or below the
+            # single-pass coordinator's — a within-run invariant, valid
+            # on any runner.
+            bound = single * (1.0 + rss_tolerance)
+            _check(
+                checks,
+                problems,
+                "sharded.out_of_core_rss_bounded",
+                ooc <= bound,
+                f"out-of-core coordinator peak {ooc} KB vs single-pass "
+                f"{single} KB (bound {round(bound)} KB)",
+            )
+        else:
+            _check(
+                checks,
+                problems,
+                "sharded.out_of_core_rss_bounded",
+                None,
+                "no out-of-core row in the fresh document",
+            )
         if base_sharded.get("scale") == sharded.get("scale"):
             base_most = base_sharded.get("sharded_mine_peak_rss_kb")
             if isinstance(most, (int, float)) and isinstance(base_most, (int, float)):
@@ -128,11 +153,32 @@ def compare_mine(
                     f"fresh mine peak {most} KB vs baseline {base_most} KB "
                     f"(bound {round(bound)} KB)",
                 )
+            reduction = sharded.get("coordinator_rss_reduction")
+            base_reduction = base_sharded.get("coordinator_rss_reduction")
+            if isinstance(reduction, (int, float)) and isinstance(
+                base_reduction, (int, float)
+            ):
+                floor = base_reduction * (1.0 - tolerance)
+                _check(
+                    checks,
+                    problems,
+                    "sharded.coordinator_rss_shrink",
+                    reduction >= floor,
+                    f"fresh coordinator RSS reduction {reduction}x vs baseline "
+                    f"{base_reduction}x (floor {round(floor, 3)}x)",
+                )
         else:
             _check(
                 checks,
                 problems,
                 "sharded.mine_rss_growth",
+                None,
+                "no baseline sharded row at this scale",
+            )
+            _check(
+                checks,
+                problems,
+                "sharded.coordinator_rss_shrink",
                 None,
                 "no baseline sharded row at this scale",
             )

@@ -4,7 +4,7 @@
 comparisons between mining configurations are only honest when every
 configuration runs in its own fresh interpreter.  The sharded suite
 (:func:`repro.eval.bench.sharded_scaling`) therefore spawns this module
-once per ``(shards, workers, executor)`` row::
+once per ``(shards, workers, executor, dispatch, out_of_core)`` row::
 
     python -m repro.eval.shardprobe '{"store_root": ..., "day": 0, ...}'
 
@@ -25,6 +25,14 @@ it after the load and reports ``mine_peak_rss_kb``: the high-water mark
 of the mine phase alone, the number the shard-size-bounded-memory claim
 is about.  ``peak_rss_kb`` stays the process-lifetime ``ru_maxrss`` for
 context.
+
+The probe separates the coordinator's peak from the workers': this
+process *is* the coordinator, so its mine-phase ``VmHWM`` is reported as
+``coordinator_peak_rss_kb``, while ``worker_peak_rss_kb`` is the
+children's ``ru_maxrss`` (subprocess-dispatched shard jobs, process
+executors).  An ``out_of_core`` row additionally drops the loaded
+partition before mining and hands the mine ``(day, digest)`` references
+instead, so the coordinator never holds a raw request.
 """
 
 from __future__ import annotations
@@ -64,24 +72,51 @@ def run_probe(spec: dict) -> dict[str, object]:
     from repro.eval.export import result_to_dict
     from repro.stream.store import TraceStore
 
+    out_of_core = bool(spec.get("out_of_core", False))
+    day = int(spec["day"])
+    digest = str(spec["digest"])
     tick = time.perf_counter()
     store = TraceStore(spec["store_root"])
-    partition = store.ref(int(spec["day"]), str(spec["digest"])).load()
+    partition = store.ref(day, digest).load()
     load_seconds = time.perf_counter() - tick
 
     config = SmashConfig().replace(
         shards=int(spec["shards"]),
         workers=int(spec["workers"]),
         executor=str(spec["executor"]),
+        dispatch=str(spec.get("dispatch", "pool")),
+        out_of_core=out_of_core,
     )
     config.validate()
     pipeline = SmashPipeline(config)
-    phase_peaks = _reset_peak_rss()
-    tick = time.perf_counter()
-    mined = pipeline.mine(partition.trace, whois=partition.whois)
+    if out_of_core:
+        # The coordinator's whole point in this mode is never holding the
+        # partition: keep only the sidecars, drop the loaded day, and let
+        # store-direct shard jobs re-read it in their own processes.
+        whois, redirects = partition.whois, partition.redirects
+        num_requests = store.request_count(day, digest)
+        del partition
+        import gc
+
+        gc.collect()
+        phase_peaks = _reset_peak_rss()
+        tick = time.perf_counter()
+        mined = pipeline.mine(
+            None,
+            whois=whois,
+            partitions=[(day, digest)],
+            store_root=spec["store_root"],
+            shard_boundaries=(num_requests,),
+        )
+    else:
+        whois, redirects = partition.whois, partition.redirects
+        num_requests = len(partition.trace)
+        phase_peaks = _reset_peak_rss()
+        tick = time.perf_counter()
+        mined = pipeline.mine(partition.trace, whois=whois)
     mine_seconds = time.perf_counter() - tick
     mine_peak_rss_kb = _current_peak_rss_kb()
-    result = pipeline.finish(mined, partition.redirects)
+    result = pipeline.finish(mined, redirects)
     total_seconds = time.perf_counter() - tick
 
     document = json.dumps(result_to_dict(result), sort_keys=True)
@@ -91,15 +126,22 @@ def run_probe(spec: dict) -> dict[str, object]:
         "shards": config.shards,
         "workers": config.workers,
         "executor": config.executor,
-        "requests": len(partition.trace),
+        "dispatch": config.dispatch,
+        "out_of_core": out_of_core,
+        "requests": num_requests,
         "servers_mined": len(mined.trace.servers),
         "campaigns": len(result.campaigns),
         "load_seconds": round(load_seconds, 6),
         "mine_seconds": round(mine_seconds, 6),
         "total_seconds": round(total_seconds, 6),
-        "requests_per_second": round(len(partition.trace) / mine_seconds, 1),
+        "requests_per_second": round(num_requests / mine_seconds, 1),
         "peak_rss_kb": usage.ru_maxrss,
         "mine_peak_rss_kb": mine_peak_rss_kb,
+        # The coordinator/worker RSS split: with subprocess dispatch the
+        # map phase's memory lives in the children, so the coordinator
+        # peak is the out-of-core claim and the worker peak its price.
+        "coordinator_peak_rss_kb": mine_peak_rss_kb,
+        "worker_peak_rss_kb": children.ru_maxrss,
         "mine_phase_isolated": phase_peaks,
         "children_peak_rss_kb": children.ru_maxrss,
         "digest": hashlib.sha256(document.encode("utf-8")).hexdigest(),

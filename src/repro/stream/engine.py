@@ -162,6 +162,11 @@ class StreamingSmash:
         )
         if self.store is not None and self.metrics.enabled:
             self.store.metrics = self.metrics
+        if self.config.out_of_core and self.store is None:
+            raise StreamError(
+                "out-of-core streaming needs a trace store (store_dir=... or "
+                "--store): store-direct shard jobs load day partitions from it"
+            )
         self.window = RollingWindow(window_size, store=self.store)
         self.tracker = tracker or CampaignTracker(tracker_config)
         self.sinks = tuple(sinks)
@@ -291,7 +296,13 @@ class StreamingSmash:
         redirects: RedirectOracle | None,
     ) -> StreamUpdate:
         self.window.append(DayPartition(day=day, trace=trace, whois=whois, redirects=redirects))
-        combined_trace, combined_whois, combined_redirects = self.window.combined()
+        if self.config.out_of_core:
+            # Never assemble the window trace in this process: sidecars
+            # merge one partition at a time and the mine is store-direct.
+            combined_whois, combined_redirects = self.window.combined_sidecars()
+            combined_trace: HttpTrace | None = None
+        else:
+            combined_trace, combined_whois, combined_redirects = self.window.combined()
 
         mined = self._mine_window(combined_trace, combined_whois)
         self._mined = (self.window.days, mined)
@@ -344,7 +355,7 @@ class StreamingSmash:
         )
 
     def _mine_window(
-        self, combined_trace: HttpTrace, combined_whois: WhoisRegistry | None
+        self, combined_trace: HttpTrace | None, combined_whois: WhoisRegistry | None
     ) -> MinedDimensions:
         """Mine the combined window, sharded along day partitions.
 
@@ -353,7 +364,29 @@ class StreamingSmash:
         partition edges) and, when a trace store is attached, spills its
         index/pair partials under the store's ``.partials`` directory
         instead of a process-private tempdir.
+
+        With ``config.out_of_core`` (*combined_trace* is ``None``) the
+        mine is store-direct: shard jobs are handed ``(day, digest)``
+        partition references and load their own partitions from the
+        store; boundaries come from the partition manifests, so no day is
+        materialised in the coordinator at all.
         """
+        if self.config.out_of_core:
+            assert self.store is not None  # guaranteed by __init__
+            refs = self.window.partition_refs()
+            days = self.window.days
+            return self.pipeline.mine(
+                None,
+                whois=combined_whois,
+                cache=self._dimension_cache,
+                partitions=[(ref.day, ref.digest) for ref in refs],
+                store_root=self.store.root,
+                shard_boundaries=tuple(
+                    self.store.request_count(ref.day, ref.digest) for ref in refs
+                ),
+                trace_name=f"window-days-{days[0]}-{days[-1]}",
+                spill_dir=self.store.partials_dir(),
+            )
         if self.config.shards <= 1:
             return self.pipeline.mine(
                 combined_trace, whois=combined_whois, cache=self._dimension_cache
@@ -403,12 +436,19 @@ class StreamingSmash:
         if self._mined is None or self._mined[0] != self.window.days:
             if not len(self.window):
                 raise StreamError("no day ingested yet")
-            combined_trace, combined_whois, _ = self.window.combined()
+            if self.config.out_of_core:
+                combined_whois, _ = self.window.combined_sidecars()
+                combined_trace: HttpTrace | None = None
+            else:
+                combined_trace, combined_whois, _ = self.window.combined()
             self._mined = (
                 self.window.days,
                 self._mine_window(combined_trace, combined_whois),
             )
-        _, _, combined_redirects = self.window.combined()
+        if self.config.out_of_core:
+            _, combined_redirects = self.window.combined_sidecars()
+        else:
+            _, _, combined_redirects = self.window.combined()
         return self.pipeline.finish(self._mined[1], combined_redirects, thresh=thresh)
 
     def close(self) -> None:

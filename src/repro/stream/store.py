@@ -41,6 +41,7 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from pathlib import Path
 
 from repro.errors import StreamError
@@ -342,6 +343,27 @@ class TraceStore:
             )
         return PartitionRef(day, digest, self)
 
+    def request_count(self, day: int, digest: str) -> int:
+        """Request count of a stored partition, from its manifest alone.
+
+        The out-of-core coordinator sizes shard cuts from these counts
+        without materialising a single request; only the small manifest
+        file is read.
+        """
+        path = self._find(day, digest)
+        if path is None or not (path / _MANIFEST_NAME).is_file():
+            raise StreamError(
+                f"trace store {self.root} has no partition for day {day} "
+                f"({digest[:12]})"
+            )
+        try:
+            manifest = json.loads((path / _MANIFEST_NAME).read_text())
+            return int(manifest["num_requests"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise StreamError(
+                f"corrupt partition manifest in {path}: {error}"
+            ) from error
+
     def total_bytes(self) -> int:
         """Bytes used by all stored partitions (for the bench harness)."""
         return sum(
@@ -380,12 +402,81 @@ class PartialStore:
     ``load``s by (name, digest) and ``delete``s after merging.
     """
 
+    #: Ownership marker a coordinator writes into its spill root; the
+    #: orphan collector treats a directory whose owner pid is still
+    #: alive as in use regardless of age.
+    OWNER_NAME = "OWNER"
+
+    #: Spill directories older than this (by mtime) whose owner process
+    #: is gone are garbage-collected on the next mine over the same
+    #: parent.  Generous: a healthy mine deletes its own spill root in
+    #: a ``finally`` long before this.
+    GC_GRACE_SECONDS = 900.0
+
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
     def path_of(self, name: str) -> Path:
         return self.root / f"{name}.json"
+
+    def claim(self) -> None:
+        """Mark this spill root as owned by the current process.
+
+        Crash-safety bookkeeping only: :meth:`gc_orphans` on a later run
+        keeps claimed directories whose owner is still alive and removes
+        the rest once they age past the grace period.
+        """
+        (self.root / self.OWNER_NAME).write_text(f"{os.getpid()}\n")
+
+    @staticmethod
+    def _owner_alive(path: Path) -> bool:
+        try:
+            pid = int((path / PartialStore.OWNER_NAME).read_text().strip())
+        except (OSError, ValueError):
+            # No (or unreadable) ownership marker: a pre-claim crash or a
+            # foreign directory; age alone decides.
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - pid owned by another user
+            return True
+        except OSError:  # pragma: no cover - conservative default
+            return True
+        return True
+
+    @classmethod
+    def gc_orphans(
+        cls, parent: Path, grace_seconds: float = GC_GRACE_SECONDS
+    ) -> list[Path]:
+        """Remove stale ``mine-*`` spill directories under *parent*.
+
+        A crashed coordinator never reaches its ``cleanup()``; its spill
+        directory would otherwise leak forever under the store's
+        ``.partials`` dir.  A directory is removed only when **both**
+        hold: its mtime is at least *grace_seconds* old (never races a
+        freshly created sibling) and its recorded owner process is gone
+        (a live pid keeps the directory regardless of age).  Returns the
+        removed paths.
+        """
+        removed: list[Path] = []
+        if not parent.is_dir():
+            return removed
+        now = time.time()
+        for path in sorted(parent.glob("mine-*")):
+            if not path.is_dir():
+                continue
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            if age < grace_seconds or cls._owner_alive(path):
+                continue
+            shutil.rmtree(path, ignore_errors=True)
+            removed.append(path)
+        return removed
 
     def put(self, name: str, payload: dict) -> tuple[str, int]:
         """Write one partial; returns ``(digest, bytes written)``.

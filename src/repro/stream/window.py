@@ -116,6 +116,7 @@ class RollingWindow:
         self.store = store
         self._slots: list["DayPartition | PartitionRef"] = []
         self._combined: tuple[HttpTrace, WhoisRegistry | None, RedirectOracle | None] | None = None
+        self._sidecars: tuple[WhoisRegistry | None, RedirectOracle | None] | None = None
 
     @staticmethod
     def _materialise(slot: "DayPartition | PartitionRef") -> DayPartition:
@@ -152,6 +153,7 @@ class RollingWindow:
         evicted = tuple(self._slots[: -self.size])
         self._slots = self._slots[-self.size:]
         self._combined = None
+        self._sidecars = None
         return evicted
 
     def partition_request_counts(self) -> tuple[int, ...]:
@@ -165,6 +167,52 @@ class RollingWindow:
         return tuple(
             len(self._materialise(slot).trace) for slot in self._slots
         )
+
+    def partition_refs(self) -> "tuple[PartitionRef, ...]":
+        """The window's store references, oldest first.
+
+        The out-of-core mine hands these straight to store-direct shard
+        jobs; no partition is materialised here.  Requires an attached
+        store — an in-memory window has nothing to reference.
+        """
+        if self.store is None:
+            raise StreamError(
+                "partition_refs() needs a trace store; this window holds "
+                "in-memory partitions"
+            )
+        return tuple(self._slots)  # type: ignore[return-value]
+
+    def combined_sidecars(self) -> tuple[WhoisRegistry | None, RedirectOracle | None]:
+        """The window's merged (whois, redirects) without the trace.
+
+        Same merge semantics (and results) as :meth:`combined`, but
+        partitions are loaded one at a time and released immediately, so
+        at most one day's requests are resident — the out-of-core
+        coordinator's way to get the window sidecars without holding the
+        window trace.
+        """
+        if not self._slots:
+            raise StreamError("cannot combine an empty window")
+        if self._combined is not None:
+            return self._combined[1], self._combined[2]
+        if self._sidecars is None:
+            whois: WhoisRegistry | None = None
+            landing: dict[str, str] = {}
+            for slot in self._slots:
+                partition = self._materialise(slot)
+                if partition.whois is not None:
+                    whois = (
+                        partition.whois
+                        if whois is None
+                        else whois.merged_with(partition.whois)
+                    )
+                if partition.redirects is not None:
+                    landing.update(redirects_to_dict(partition.redirects))
+                if not isinstance(slot, DayPartition):
+                    slot.release()
+            redirects = RedirectOracle(landing_of=landing) if landing else None
+            self._sidecars = (whois, redirects)
+        return self._sidecars
 
     def combined(self) -> tuple[HttpTrace, WhoisRegistry | None, RedirectOracle | None]:
         """The window's merged (trace, whois, redirects) pipeline inputs."""

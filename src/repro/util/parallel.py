@@ -38,6 +38,15 @@ T = TypeVar("T")
 #: The accepted executor kinds, in increasing order of start-up cost.
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
+#: The accepted shard-dispatcher kinds for the sharded mine's map phase
+#: (see :mod:`repro.core.dispatch`): ``"serial"`` runs shard jobs inline
+#: in the coordinator, ``"pool"`` fans them out on the mine's
+#: :class:`JobPool`, and ``"subprocess"`` runs one fresh interpreter per
+#: shard that talks only in store paths + partial digests.  Lives here
+#: (not in :mod:`repro.core.dispatch`) so :mod:`repro.config` can
+#: validate the field without importing the core.
+DISPATCH_KINDS = ("serial", "pool", "subprocess")
+
 
 def resolve_workers(workers: int) -> int:
     """Translate a ``workers`` setting into a concrete worker count.

@@ -34,7 +34,12 @@ from repro.core.interning import (
 )
 from repro.core.pipeline import DimensionCache, SmashPipeline
 from repro.core.preprocess import preprocess
-from repro.core.shardmine import ShardedAccumulator, shard_ranges
+from repro.core.shardmine import (
+    IndexOnlyTrace,
+    ShardedAccumulator,
+    run_shard_job,
+    shard_ranges,
+)
 from repro.errors import ConfigError, PipelineError, StreamError
 from repro.eval.export import result_to_dict
 from repro.stream import StreamingSmash
@@ -333,6 +338,36 @@ class TestMineEquivalence:
         sharded = SmashPipeline(config).run(dataset.trace, **kwargs)
         assert result_doc(sharded) == result_doc(base)
 
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_out_of_core_byte_identical(self, dataset, shards):
+        kwargs = dict(whois=dataset.whois, redirects=dataset.redirects)
+        base = SmashPipeline().run(dataset.trace, **kwargs)
+        config = SmashConfig().replace(shards=shards, out_of_core=True)
+        hollow = SmashPipeline(config).run(dataset.trace, **kwargs)
+        assert result_doc(hollow) == result_doc(base)
+
+    def test_subprocess_dispatch_byte_identical(self, dataset):
+        kwargs = dict(whois=dataset.whois, redirects=dataset.redirects)
+        base = SmashPipeline().run(dataset.trace, **kwargs)
+        config = SmashConfig().replace(shards=2, dispatch="subprocess")
+        dispatched = SmashPipeline(config).run(dataset.trace, **kwargs)
+        assert result_doc(dispatched) == result_doc(base)
+
+    def test_out_of_core_trace_is_index_only(self, dataset):
+        config = SmashConfig().replace(shards=2, out_of_core=True)
+        mined = SmashPipeline(config).mine(dataset.trace, whois=dataset.whois)
+        assert isinstance(mined.trace, IndexOnlyTrace)
+        base = SmashPipeline().mine(dataset.trace, whois=dataset.whois)
+        assert len(mined.trace) == len(base.trace)
+        assert mined.trace.servers == base.trace.servers
+        assert mined.trace.clients_by_server == base.trace.clients_by_server
+        with pytest.raises(PipelineError, match="index-only"):
+            mined.trace.requests  # noqa: B018 - the access itself is the test
+        with pytest.raises(PipelineError, match="index-only"):
+            list(mined.trace)
+        with pytest.raises(PipelineError, match="index-only"):
+            mined.trace.requests_by_server("whatever.example")
+
     def test_dimension_cache_interop(self, dataset):
         # Signatures are computed on the assembled prepared trace, so a
         # sharded mine must hit the cache entries a single-shard mine
@@ -347,6 +382,256 @@ class TestMineEquivalence:
         assert set(cache.last_reused) == expected
         assert sharded.main == base.main
         assert sharded.secondary == base.secondary
+
+
+# -- store-direct shard jobs --------------------------------------------------------
+
+
+def _job_common(spill_root) -> dict:
+    return {
+        "shard": 0,
+        "aggregate": True,
+        "want_patterns": False,
+        "want_windows": False,
+        "want_referrers": False,
+        "window_seconds": 600.0,
+        "spill_root": str(spill_root),
+    }
+
+
+class TestStoreDirectMine:
+    @pytest.fixture(scope="class")
+    def window_store(self, tmp_path_factory):
+        from repro.stream.store import TraceStore
+        from repro.stream.window import DayPartition, RollingWindow
+
+        root = tmp_path_factory.mktemp("storedirect")
+        store = TraceStore(root / "store")
+        window = RollingWindow(size=3, store=store)
+        generator = TraceGenerator(small_scenario(seed=7, days=3))
+        datasets = list(generator.iter_days())
+        for dataset in datasets:
+            window.append(
+                DayPartition(
+                    day=dataset.day,
+                    trace=dataset.trace,
+                    whois=dataset.whois,
+                    redirects=dataset.redirects,
+                )
+            )
+        return store, window
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_matches_in_memory_mine(self, window_store, shards):
+        store, window = window_store
+        trace, whois, redirects = window.combined()
+        base = SmashPipeline().run(trace, whois=whois, redirects=redirects)
+
+        refs = window.partition_refs()
+        side_whois, side_redirects = window.combined_sidecars()
+        pipe = SmashPipeline(SmashConfig().replace(shards=shards))
+        mined = pipe.mine(
+            None,
+            whois=side_whois,
+            partitions=[(ref.day, ref.digest) for ref in refs],
+            store_root=store.root,
+            shard_boundaries=tuple(
+                store.request_count(ref.day, ref.digest) for ref in refs
+            ),
+            trace_name=trace.name,
+            spill_dir=store.partials_dir(),
+        )
+        result = pipe.finish(mined, redirects=side_redirects)
+        assert result_doc(result) == result_doc(base)
+        assert isinstance(mined.trace, IndexOnlyTrace)
+        assert mined.preprocess_report.raw_requests == len(trace)
+
+    def test_trace_none_requires_store_inputs(self):
+        with pytest.raises(PipelineError, match="store-direct"):
+            SmashPipeline().mine(None)
+
+    def test_missing_partition_is_stream_error(self, window_store, tmp_path):
+        store, _ = window_store
+        spec = {
+            **_job_common(tmp_path / "spill"),
+            "source": {
+                "kind": "store",
+                "root": str(store.root),
+                "partitions": [[999, "0" * 64]],
+            },
+        }
+        with pytest.raises(StreamError, match="has no partition"):
+            run_shard_job(spec)
+
+    def test_corrupt_partition_is_stream_error(self, tmp_path):
+        from repro.stream.store import TraceStore
+        from repro.stream.window import DayPartition
+
+        dataset = TraceGenerator(small_scenario(seed=7)).generate_day(0)
+        store = TraceStore(tmp_path / "store")
+        ref = store.put(DayPartition(day=0, trace=dataset.trace))
+        trace_file = store.path_of(0, ref.digest) / "trace.jsonl"
+        lines = trace_file.read_text().splitlines(keepends=True)
+        trace_file.write_text("".join(lines[:-1]))  # truncate: digest breaks
+        spec = {
+            **_job_common(tmp_path / "spill"),
+            "source": {
+                "kind": "store",
+                "root": str(store.root),
+                "partitions": [[0, ref.digest]],
+            },
+        }
+        with pytest.raises(StreamError, match="corrupt partition"):
+            run_shard_job(spec)
+
+    def test_corrupt_spilled_input_is_stream_error(self, tmp_path):
+        spill = PartialStore(tmp_path / "spill")
+        digest, _ = spill.put("input-0000", {"requests": []})
+        path = spill.path_of("input-0000")
+        path.write_bytes(path.read_bytes() + b" ")
+        spec = {
+            **_job_common(tmp_path / "spill"),
+            "source": {
+                "kind": "spill",
+                "root": str(tmp_path / "spill"),
+                "name": "input-0000",
+                "digest": digest,
+                "trace_name": "t",
+            },
+        }
+        with pytest.raises(StreamError, match="corrupt spilled partial"):
+            run_shard_job(spec)
+
+    def test_subprocess_worker_surfaces_stream_error(self, window_store, tmp_path):
+        # A worker-side StreamError must cross the subprocess boundary
+        # and re-raise as a coordinator-side StreamError.
+        from repro.core.dispatch import SubprocessDispatcher
+
+        store, _ = window_store
+        spec = {
+            **_job_common(tmp_path / "spill"),
+            "source": {
+                "kind": "store",
+                "root": str(store.root),
+                "partitions": [[999, "0" * 64]],
+            },
+        }
+        dispatcher = SubprocessDispatcher(workers=1)
+        try:
+            with pytest.raises(StreamError, match="has no partition"):
+                dispatcher.run([spec])
+        finally:
+            dispatcher.close()
+
+
+# -- spill-directory garbage collection ---------------------------------------------
+
+
+class TestGcOrphans:
+    @staticmethod
+    def _plant(parent: Path, name: str, pid: int | None, age_seconds: float) -> Path:
+        import time
+
+        path = parent / name
+        path.mkdir(parents=True)
+        if pid is not None:
+            (path / PartialStore.OWNER_NAME).write_text(f"{pid}\n")
+        stamp = time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+        return path
+
+    @staticmethod
+    def _dead_pid() -> int:
+        process = subprocess.Popen([sys.executable, "-c", "pass"])
+        process.wait()
+        return process.pid
+
+    def test_stale_dead_owner_removed(self, tmp_path):
+        stale = self._plant(tmp_path, "mine-stale", self._dead_pid(), 3600.0)
+        removed = PartialStore.gc_orphans(tmp_path)
+        assert removed == [stale]
+        assert not stale.exists()
+
+    def test_unclaimed_stale_dir_removed(self, tmp_path):
+        # A coordinator that crashed before claim() leaves no OWNER file;
+        # age alone must be enough to collect it.
+        stale = self._plant(tmp_path, "mine-unclaimed", None, 3600.0)
+        assert PartialStore.gc_orphans(tmp_path) == [stale]
+
+    def test_fresh_dir_kept(self, tmp_path):
+        fresh = self._plant(tmp_path, "mine-fresh", self._dead_pid(), 1.0)
+        assert PartialStore.gc_orphans(tmp_path) == []
+        assert fresh.exists()
+
+    def test_live_owner_kept_regardless_of_age(self, tmp_path):
+        live = self._plant(tmp_path, "mine-live", os.getpid(), 3600.0)
+        assert PartialStore.gc_orphans(tmp_path) == []
+        assert live.exists()
+
+    def test_non_mine_dirs_untouched(self, tmp_path):
+        other = self._plant(tmp_path, "day-00001-abc", None, 3600.0)
+        assert PartialStore.gc_orphans(tmp_path) == []
+        assert other.exists()
+
+    def test_sharded_mine_collects_planted_orphan(self, dataset, tmp_path):
+        # End to end: a stale orphan under the spill parent disappears as
+        # a side effect of the next sharded mine over the same parent.
+        stale = self._plant(tmp_path, "mine-crashed", self._dead_pid(), 3600.0)
+        config = SmashConfig().replace(shards=2)
+        SmashPipeline(config).mine(
+            dataset.trace, whois=dataset.whois, spill_dir=tmp_path
+        )
+        assert not stale.exists()
+        # ...and the mine's own spill root is gone too (normal cleanup).
+        assert list(tmp_path.glob("mine-*")) == []
+
+
+# -- window / store helpers for the out-of-core path --------------------------------
+
+
+class TestOutOfCoreWindowHelpers:
+    def test_request_count_reads_manifest_only(self, tmp_path, dataset):
+        from repro.stream.store import TraceStore
+        from repro.stream.window import DayPartition
+
+        store = TraceStore(tmp_path / "store")
+        ref = store.put(DayPartition(day=0, trace=dataset.trace))
+        assert store.request_count(0, ref.digest) == len(dataset.trace)
+        with pytest.raises(StreamError, match="has no partition"):
+            store.request_count(1, ref.digest)
+
+    def test_partition_refs_requires_store(self, dataset):
+        from repro.stream.window import DayPartition, RollingWindow
+
+        window = RollingWindow(size=1)
+        window.append(DayPartition(day=0, trace=dataset.trace))
+        with pytest.raises(StreamError, match="needs a trace store"):
+            window.partition_refs()
+
+    def test_combined_sidecars_match_combined(self, tmp_path):
+        from repro.stream.store import TraceStore
+        from repro.stream.window import (
+            DayPartition,
+            RollingWindow,
+            redirects_to_dict,
+            whois_to_list,
+        )
+
+        store = TraceStore(tmp_path / "store")
+        window = RollingWindow(size=3, store=store)
+        for dataset in TraceGenerator(small_scenario(seed=7, days=3)).iter_days():
+            window.append(
+                DayPartition(
+                    day=dataset.day,
+                    trace=dataset.trace,
+                    whois=dataset.whois,
+                    redirects=dataset.redirects,
+                )
+            )
+        side_whois, side_redirects = window.combined_sidecars()
+        _, whois, redirects = window.combined()
+        assert whois_to_list(side_whois) == whois_to_list(whois)
+        assert redirects_to_dict(side_redirects) == redirects_to_dict(redirects)
 
 
 # -- streaming ----------------------------------------------------------------------
@@ -373,6 +658,30 @@ class TestStreamEquivalence:
         # state: nothing may survive the mine that wrote it.
         partials = TraceStore(store_dir).partials_dir()
         assert not partials.exists() or list(partials.iterdir()) == []
+
+    def test_out_of_core_stream_byte_identical_and_spill_cleaned(self, tmp_path):
+        base_docs, _ = self._stream_three_days(tmp_path, "base", 1)
+        config = SmashConfig().replace(out_of_core=True)
+        store_dir = tmp_path / "store_ooc"
+        engine = StreamingSmash(
+            window_size=2, shards=4, store_dir=store_dir, config=config
+        )
+        docs = []
+        for dataset in TraceGenerator(small_scenario(seed=7, days=3)).iter_days():
+            docs.append(result_doc(engine.ingest_dataset(dataset).result))
+        # rerun_at must work without ever materialising the window.
+        rerun = result_doc(engine.rerun_at(0.8))
+        engine.close()
+        assert docs == base_docs
+        assert rerun == docs[-1]
+        partials = TraceStore(store_dir).partials_dir()
+        assert not partials.exists() or list(partials.iterdir()) == []
+
+    def test_out_of_core_stream_requires_store(self):
+        with pytest.raises(StreamError, match="trace store"):
+            StreamingSmash(
+                window_size=2, config=SmashConfig().replace(out_of_core=True)
+            )
 
 
 # -- subprocess matrix: hash seeds x shard counts -----------------------------------
@@ -448,13 +757,78 @@ def test_run_is_shard_and_seed_invariant(day_dir: Path, tmp_path: Path) -> None:
         assert produced == baseline, f"campaign JSON diverged for (shards, seed)={key}"
 
 
+def test_run_out_of_core_and_dispatch_seed_invariant(
+    day_dir: Path, tmp_path: Path
+) -> None:
+    """The out-of-core reduce and the subprocess dispatcher keep the
+    byte-identity property across shard counts and hash seeds."""
+    base = tmp_path / "campaigns_base.json"
+    _run_python(
+        [
+            "-m",
+            "repro",
+            "run",
+            "--trace",
+            str(day_dir / "trace.jsonl"),
+            "--whois",
+            str(day_dir / "whois.json"),
+            "--redirects",
+            str(day_dir / "redirects.json"),
+            "--out",
+            str(base),
+        ],
+        hash_seed=HASH_SEEDS[0],
+        cwd=tmp_path,
+    )
+    baseline = base.read_bytes()
+    assert b'"campaigns"' in baseline
+
+    variants: list[tuple[str, int, list[str]]] = []
+    for shards, seed in zip(SHARD_COUNTS, HASH_SEEDS):
+        variants.append((f"ooc_{shards}", seed, ["--shards", str(shards), "--out-of-core"]))
+    variants.append(("subproc", HASH_SEEDS[1], ["--shards", "2", "--dispatch", "subprocess"]))
+    variants.append(
+        (
+            "subproc_ooc",
+            HASH_SEEDS[2],
+            ["--shards", "2", "--dispatch", "subprocess", "--out-of-core"],
+        )
+    )
+    for label, seed, flags in variants:
+        out = tmp_path / f"campaigns_{label}.json"
+        _run_python(
+            [
+                "-m",
+                "repro",
+                "run",
+                "--trace",
+                str(day_dir / "trace.jsonl"),
+                "--whois",
+                str(day_dir / "whois.json"),
+                "--redirects",
+                str(day_dir / "redirects.json"),
+                *flags,
+                "--out",
+                str(out),
+            ],
+            hash_seed=seed,
+            cwd=tmp_path,
+        )
+        assert out.read_bytes() == baseline, f"campaign JSON diverged for {label}"
+
+
 def test_stream_is_shard_and_seed_invariant(tmp_path: Path) -> None:
     """A 3-day `repro stream --shards N` (window 2, store-backed) writes
     byte-identical summary and campaign JSON at any seed."""
-    outputs: dict[tuple[int, int], bytes] = {}
-    matrix = [(1, HASH_SEEDS[0])] + list(zip(SHARD_COUNTS[1:], HASH_SEEDS[1:]))
-    for shards, seed in matrix:
-        label = f"{shards}_{seed}"
+    outputs: dict[tuple[str, int, int], bytes] = {}
+    matrix = [("", 1, HASH_SEEDS[0])] + [
+        ("", shards, seed) for shards, seed in zip(SHARD_COUNTS[1:], HASH_SEEDS[1:])
+    ]
+    # The out-of-core stream (store-direct map jobs + streaming reduce)
+    # must land on the same bytes, at yet another seed.
+    matrix.append(("ooc", 4, HASH_SEEDS[2]))
+    for mode, shards, seed in matrix:
+        label = f"{mode}{shards}_{seed}"
         summary = tmp_path / f"summary_{label}.json"
         campaigns = tmp_path / f"campaigns_{label}.json"
         _run_python(
@@ -472,6 +846,7 @@ def test_stream_is_shard_and_seed_invariant(tmp_path: Path) -> None:
                 str(tmp_path / f"store_{label}"),
                 "--shards",
                 str(shards),
+                *(["--out-of-core"] if mode == "ooc" else []),
                 "--out",
                 str(summary),
                 "--campaigns-out",
@@ -480,8 +855,10 @@ def test_stream_is_shard_and_seed_invariant(tmp_path: Path) -> None:
             hash_seed=seed,
             cwd=tmp_path,
         )
-        outputs[(shards, seed)] = summary.read_bytes() + b"\n--\n" + campaigns.read_bytes()
+        outputs[(mode, shards, seed)] = (
+            summary.read_bytes() + b"\n--\n" + campaigns.read_bytes()
+        )
     baseline = outputs[matrix[0]]
     assert b'"campaigns"' in baseline
     for key, produced in outputs.items():
-        assert produced == baseline, f"stream JSON diverged for (shards, seed)={key}"
+        assert produced == baseline, f"stream JSON diverged for (mode, shards, seed)={key}"
