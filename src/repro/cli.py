@@ -11,6 +11,9 @@ Subcommands cover the deploy-and-operate loop the paper describes
 * ``stream`` — run the incremental engine (:mod:`repro.stream`) over a
   multi-day stream with cross-day campaign tracking, alerts and
   checkpoint/resume;
+* ``chaos`` — run a sharded mine under a deterministic injected fault
+  plan (:mod:`repro.core.faults`) and assert its recovered output is
+  byte-identical to the fault-free single-pass mine;
 * ``bench`` — run the performance suites (:mod:`repro.eval.bench`):
   the interned-core scaling benchmark (``BENCH_mine.json``) and/or the
   streaming perf-trajectory benchmark (``BENCH_stream.json``);
@@ -154,6 +157,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shards=args.shards,
         dispatch=args.dispatch,
         out_of_core=args.out_of_core,
+        shard_retries=args.shard_retries,
+        shard_timeout=args.shard_timeout,
+        fault_plan=_load_fault_plan(args),
         metrics=registry,
     )
     config = _apply_backend_flag(config, args)
@@ -274,6 +280,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             shards=args.shards,
             dispatch=args.dispatch,
             out_of_core=args.out_of_core,
+            shard_retries=args.shard_retries,
+            shard_timeout=args.shard_timeout,
+            fault_plan=_load_fault_plan(args),
             incremental=args.incremental,
         ),
         args,
@@ -434,6 +443,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return run_bench_cli(args)
 
 
+def _result_digest(result) -> str:
+    import hashlib
+
+    from repro.eval.export import result_to_dict
+
+    document = json.dumps(result_to_dict(result), sort_keys=True)
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> int:
+    family = registry.get(name)
+    if family is None:
+        return 0
+    return int(sum(child.value for _, child in family.samples()))
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Prove fault recovery: a faulted sharded mine must equal the clean run."""
+    from repro.core.faults import RECOVERABLE_KINDS, FaultPlan
+    from repro.errors import ReproError
+
+    factory = _SCENARIOS[args.scenario]
+    spec = factory(seed=args.seed) if args.scenario == "small" else factory(
+        scale=args.scale, seed=args.seed
+    )
+    dataset = TraceGenerator(spec).generate_day(0)
+
+    config = _apply_backend_flag(
+        SmashConfig().replace(
+            workers=args.workers,
+            executor=args.executor,
+            shards=args.shards,
+            dispatch=args.dispatch,
+            shard_retries=args.shard_retries,
+            shard_timeout=args.shard_timeout,
+        ),
+        args,
+    )
+    config.validate()
+
+    # The reference is the fault-free *single-pass* mine: recovery must
+    # reproduce not just "a" result but the one the unsharded pipeline
+    # computes (sharded == single-pass is already test-enforced; chaos
+    # extends the equality through crashes, hangs and torn spills).
+    clean = SmashPipeline(config.replace(shards=1)).run(
+        dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+    )
+    clean_digest = _result_digest(clean)
+    print(f"clean run: {len(clean.campaigns)} campaigns, digest {clean_digest[:12]}")
+
+    if args.fault_plan:
+        plan = FaultPlan.load(args.fault_plan)
+    else:
+        kinds = tuple(args.kinds.split(",")) if args.kinds else RECOVERABLE_KINDS
+        # Hangs must overshoot the timeout comfortably or they are not
+        # hangs; everything else in the plan is wall-clock-free.
+        plan = FaultPlan.generate(
+            args.shards, kinds, hang_seconds=max(4.0, 4.0 * args.shard_timeout)
+        )
+    print(f"fault plan: {len(plan.faults)} trigger(s)")
+    for fault in plan.faults:
+        scope = "every attempt" if fault.attempt is None else f"attempt {fault.attempt}"
+        print(f"  shard {fault.shard} {scope}: {fault.kind}")
+
+    registry = MetricsRegistry()
+    chaos_digest = None
+    failure = None
+    try:
+        chaos = SmashPipeline(config.replace(fault_plan=plan, metrics=registry)).run(
+            dataset.trace, whois=dataset.whois, redirects=dataset.redirects
+        )
+        chaos_digest = _result_digest(chaos)
+    except ReproError as error:
+        failure = f"{type(error).__name__}: {error}"
+
+    identical = chaos_digest is not None and chaos_digest == clean_digest
+    accounting = {
+        name: _counter_total(registry, f"smash_shard_{name}_total")
+        for name in ("retries", "worker_failures", "reassigned")
+    }
+    if failure is not None:
+        print(f"chaos run FAILED: {failure}")
+    else:
+        print(f"chaos run: digest {chaos_digest[:12]}")
+    print(
+        f"recovery: {accounting['worker_failures']} worker failure(s), "
+        f"{accounting['retries']} retr(y/ies), "
+        f"{accounting['reassigned']} reassignment(s)"
+    )
+    print("byte-identical to clean run" if identical else "OUTPUT DIVERGED")
+
+    if args.report:
+        report = {
+            "identical": identical,
+            "clean_digest": clean_digest,
+            "chaos_digest": chaos_digest,
+            "error": failure,
+            "plan": plan.to_dict(),
+            "shards": args.shards,
+            "dispatch": args.dispatch,
+            **accounting,
+        }
+        Path(args.report).write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"report -> {args.report}")
+    return 0 if identical else 1
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """``--metrics-out`` / ``--trace-out`` metric export destinations."""
     parser.add_argument(
@@ -501,6 +617,42 @@ def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
         help="force the pure-python reference graph backend instead of the "
         "numpy CSR fast path (output is byte-identical either way)",
     )
+    _add_fault_flags(parser)
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    """``--shard-retries`` / ``--shard-timeout`` / ``--fault-plan``."""
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="retries per failed shard-map job before the coordinator "
+        "reassigns it inline (default 2; 0 = single attempt); recovery "
+        "produces byte-identical output",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="kill a subprocess shard worker after this many seconds and "
+        "retry (default 600)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="inject deterministic shard-job faults from this JSON plan "
+        "(testing/chaos only; see 'repro chaos')",
+    )
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    if getattr(args, "fault_plan", None):
+        from repro.core.faults import FaultPlan
+
+        return FaultPlan.load(args.fault_plan)
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -651,6 +803,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_worker_flags(stream)
     _add_obs_flags(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a sharded mine under an injected fault plan and assert "
+        "its output is byte-identical to the fault-free single-pass mine",
+    )
+    chaos.add_argument("--scenario", choices=sorted(_SCENARIOS), default="small")
+    chaos.add_argument("--scale", type=float, default=1.0)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--shards", type=int, default=3)
+    chaos.add_argument(
+        "--dispatch",
+        choices=["serial", "pool", "subprocess"],
+        default="subprocess",
+        help="dispatcher to stress (default: subprocess — the only one that "
+        "can enforce timeouts and survive real worker death)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="concurrent shard workers (0 = one per CPU)",
+    )
+    chaos.add_argument("--executor", choices=["serial", "thread", "process"], default="thread")
+    chaos.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="retry budget per shard job (default 2)",
+    )
+    chaos.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="per-attempt worker timeout; injected hangs sleep 4x this "
+        "(default 20)",
+    )
+    chaos.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="use this JSON fault plan instead of generating one",
+    )
+    chaos.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated fault kinds for the generated plan "
+        "(default: all six recoverable kinds)",
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write a JSON chaos report (digests, plan, retry accounting)",
+    )
+    chaos.add_argument(
+        "--pure-python",
+        action="store_true",
+        help="force the pure-python graph backend in both runs",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
         "bench",

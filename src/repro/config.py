@@ -332,6 +332,32 @@ class SmashConfig:
     #: cold-path performance.
     incremental: bool = True
 
+    #: How many times a failed shard-map job may be retried before the
+    #: coordinator reassigns it to inline execution (see
+    #: :mod:`repro.core.faults`).  Retries fire only on *retryable*
+    #: failures — worker death, timeout, torn spill — never on a corrupt
+    #: source partition, which fails fast on any host.  ``0`` disables
+    #: retries (one attempt per job).  Recovery re-runs the identical
+    #: deterministic job on a fresh spill name, so results stay
+    #: byte-identical whatever the retry budget.
+    shard_retries: int = 2
+
+    #: Wall-clock budget (seconds) for one subprocess shard-job attempt;
+    #: a worker running past it is killed and the attempt counts as a
+    #: retryable timeout.  In-process dispatchers cannot interrupt a
+    #: running job and do not enforce it.
+    shard_timeout: float = 600.0
+
+    #: Deterministic fault-injection plan (a
+    #: :class:`~repro.core.faults.FaultPlan`) applied to shard-map jobs;
+    #: ``None`` (the default, and the only sane production value)
+    #: injects nothing.  Used by ``smash chaos``, the chaos CI gate and
+    #: the fault-tolerance tests to prove recovery: a mine that survives
+    #: its plan must produce byte-identical output, so — like
+    #: ``metrics`` — the field is excluded from equality, repr, and the
+    #: incremental-mining content signatures.
+    fault_plan: object | None = field(default=None, compare=False, repr=False)
+
     #: Metrics recorder (a :class:`~repro.obs.MetricsRegistry`) the
     #: pipeline records spans and counters into; ``None`` (the default)
     #: selects the shared :data:`~repro.obs.NULL_RECORDER`, whose every
@@ -366,6 +392,10 @@ class SmashConfig:
             raise ConfigError(
                 f"dispatch must be one of {DISPATCH_KINDS}, got {self.dispatch!r}"
             )
+        if self.shard_retries < 0:
+            raise ConfigError("shard_retries must be >= 0 (0 = single attempt)")
+        if self.shard_timeout <= 0:
+            raise ConfigError("shard_timeout must be > 0 seconds")
 
     def replace(self, **changes: object) -> "SmashConfig":
         """Return a copy with the given top-level fields replaced."""

@@ -14,14 +14,30 @@ the dispatcher's business alone:
   driven through ``python -m repro.core.shardworker`` with the spec on
   stdin and one JSON result line on stdout.
 
+Every dispatcher is retry-aware: each shard job runs under a
+:class:`~repro.core.faults.RetryPolicy` via
+:func:`~repro.core.faults.run_job_outcome`, so a crashed or hung worker,
+a torn spill, or a transient store error costs one retry (on a fresh
+spill name) instead of the whole mine.  A shard that exhausts its retry
+budget is *reassigned* to inline serial execution in the coordinator —
+a flaky environment degrades to the PR 7 path rather than failing — and
+only non-retryable errors (a corrupt source partition fails on every
+host) abort the batch, deterministically raising the lowest-numbered
+shard's error.  Failed spill bytes are quarantined with a reason file
+(:meth:`~repro.stream.store.PartialStore.quarantine`), and the retry /
+failure / reassignment accounting flows through :mod:`repro.obs`
+(``smash_shard_retries_total``, ``smash_shard_worker_failures_total``,
+``smash_shard_reassigned_total`` plus per-attempt spans).
+
 The subprocess dispatcher is deliberately the narrowest: specs it
 receives reference inputs only by store paths and content digests
 (``inline_traces`` is ``False``, so the coordinator never embeds live
 request objects), and results travel back the same way — the exact
 contract a remote worker over a network transport would need.  Because
 shard jobs are deterministic and their outputs digest-verified, every
-dispatcher produces byte-identical mining results; dispatch is an
-execution strategy, like ``workers`` or ``shards``.
+dispatcher produces byte-identical mining results; dispatch, like the
+retry policy and any injected :class:`~repro.core.faults.FaultPlan`, is
+an execution strategy, like ``workers`` or ``shards``.
 """
 
 from __future__ import annotations
@@ -30,25 +46,35 @@ import json
 import os
 import subprocess
 import sys
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from functools import partial
 
-from repro.errors import PipelineError, StreamError
+from repro.core.faults import (
+    FaultPlan,
+    RetryPolicy,
+    rebuild_error,
+    run_job_outcome,
+)
+from repro.errors import PipelineError, ShardTimeoutError, WorkerError
+from repro.obs import NULL_RECORDER
 from repro.util.parallel import DISPATCH_KINDS, JobPool, resolve_workers
 
-#: Fail a hung worker eventually rather than never; shard jobs at bench
-#: scale finish in seconds.
-_WORKER_TIMEOUT_SECONDS = 600.0
+#: Span recorded once per shard-job attempt that ran to a conclusion.
+ATTEMPT_SPAN = "pipeline.mine.shard_attempt"
 
 
 class ShardDispatcher:
     """How a batch of shard-job specs gets executed.
 
-    Subclasses implement :meth:`run`; ``inline_traces`` advertises
-    whether specs may carry live in-memory traces (only dispatchers that
-    share the coordinator's address space can accept those — the
-    subprocess dispatcher forces the coordinator to spill inputs to a
-    store first).
+    Subclasses implement :meth:`_run_batch`, returning one *outcome*
+    dict per spec (the :func:`~repro.core.faults.run_job_outcome`
+    protocol); the shared :meth:`run` turns outcomes into results —
+    reassigning exhausted shards inline, recording obs accounting, and
+    raising the lowest-numbered shard's fatal error.  ``inline_traces``
+    advertises whether specs may carry live in-memory traces (only
+    dispatchers that share the coordinator's address space can accept
+    those — the subprocess dispatcher forces the coordinator to spill
+    inputs to a store first).
     """
 
     #: Name under which :func:`make_dispatcher` builds this dispatcher.
@@ -57,9 +83,125 @@ class ShardDispatcher:
     #: Whether job specs may reference in-memory traces directly.
     inline_traces: bool = False
 
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        plan: FaultPlan | None = None,
+        recorder=None,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self.plan = plan
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+
     def run(self, specs: list[dict]) -> list[dict]:
-        """Execute every spec; results in spec order."""
+        """Execute every spec under the retry policy; results in spec order.
+
+        A shard whose retry budget is exhausted by retryable failures is
+        re-run inline (fault-free) in the coordinator; a non-retryable
+        failure aborts the batch.  When several shards fail fatally the
+        lowest shard number's error is raised, deterministically.
+        """
+        outcomes = self._run_batch(specs)
+        results: list[dict] = []
+        fatal: list[tuple[int, Exception]] = []
+        for spec, outcome in zip(specs, outcomes):
+            shard = int(spec["shard"])
+            if "ok" in outcome:
+                result = outcome["ok"]
+                self._record(shard, result.get("failures", []), result.get("seconds"))
+                self._count_retries(result.get("attempts", 1) - 1)
+                results.append(result)
+            elif "exhausted" in outcome:
+                detail = outcome["exhausted"]
+                self._record(shard, detail.get("failures", []), None)
+                self._count_retries(len(detail.get("failures", [])))
+                try:
+                    results.append(self._reassign(spec))
+                except Exception as error:  # noqa: BLE001 - collected, re-raised
+                    fatal.append((shard, error))
+            elif "error" in outcome:
+                detail = outcome["error"]
+                self._record(shard, outcome.get("failures", []), None)
+                fatal.append(
+                    (
+                        shard,
+                        rebuild_error(
+                            detail.get("kind", "PipelineError"),
+                            detail.get("message", ""),
+                            bool(detail.get("retryable", False)),
+                        ),
+                    )
+                )
+            # Outcomes marked {"cancelled": True} were never started
+            # (a sibling failed fatally first); nothing to record.
+        if fatal:
+            fatal.sort(key=lambda item: item[0])
+            raise fatal[0][1]
+        return results
+
+    def _run_batch(self, specs: list[dict]) -> list[dict]:
+        """One outcome dict per spec, in spec order."""
         raise NotImplementedError
+
+    def _reassign(self, spec: dict) -> dict:
+        """Graceful degradation: run an exhausted shard inline, fault-free.
+
+        Subprocess retries failing repeatedly usually means the
+        *environment* (spawning interpreters, the spill transport) is
+        flaky, not the job — so the coordinator absorbs the job itself
+        on a fresh spill name, exactly the PR 7 serial path.
+        """
+        from repro.core.shardmine import run_shard_job
+
+        shard = int(spec["shard"])
+        prepared = dict(spec)
+        prepared.pop("fault", None)
+        base = str(spec.get("spill_name") or f"index-{shard:04d}")
+        prepared["spill_name"] = f"{base}.ra"
+        result = run_shard_job(prepared)
+        self.recorder.counter(
+            "smash_shard_reassigned_total",
+            "Shard jobs reassigned to inline execution after exhausting retries.",
+        ).inc()
+        self.recorder.record_span(
+            ATTEMPT_SPAN,
+            float(result.get("seconds", 0.0)),
+            {"shard": shard, "attempt": "reassigned", "kind": "ok"},
+        )
+        return result
+
+    def _count_retries(self, retries: int) -> None:
+        if retries > 0:
+            self.recorder.counter(
+                "smash_shard_retries_total",
+                "Shard-job attempts beyond the first (retries after failure).",
+            ).inc(retries)
+
+    def _record(self, shard: int, failures: list[dict], ok_seconds) -> None:
+        """Account for one shard job's attempt history in obs."""
+        worker_failures = self.recorder.counter(
+            "smash_shard_worker_failures_total",
+            "Shard-job attempts that failed, by failure classification.",
+            labels=("kind",),
+        )
+        for entry in failures:
+            worker_failures.labels(kind=entry.get("label", "error")).inc()
+            self.recorder.record_span(
+                ATTEMPT_SPAN,
+                float(entry.get("seconds", 0.0)),
+                {
+                    "shard": shard,
+                    "attempt": entry.get("attempt"),
+                    "kind": entry.get("label", "error"),
+                    "retryable": entry.get("retryable"),
+                },
+            )
+        if ok_seconds is not None:
+            self.recorder.record_span(
+                ATTEMPT_SPAN,
+                float(ok_seconds),
+                {"shard": shard, "attempt": len(failures) + 1, "kind": "ok"},
+            )
 
     def close(self) -> None:
         """Release dispatcher resources (idempotent)."""
@@ -71,35 +213,58 @@ class ShardDispatcher:
         self.close()
 
 
+def _fail_fast_serial(specs: list[dict], run_outcome) -> list[dict]:
+    """Run outcomes one by one, cancelling the rest after a fatal error."""
+    outcomes: list[dict] = []
+    for index, spec in enumerate(specs):
+        outcome = run_outcome(spec)
+        outcomes.append(outcome)
+        if "error" in outcome:
+            outcomes.extend({"cancelled": True} for _ in specs[index + 1 :])
+            break
+    return outcomes
+
+
 class SerialDispatcher(ShardDispatcher):
     """Run shard jobs inline in the coordinator, one after another."""
 
     kind = "serial"
     inline_traces = True
 
-    def run(self, specs: list[dict]) -> list[dict]:
-        from repro.core.shardmine import run_shard_job
-
-        return [run_shard_job(spec) for spec in specs]
+    def _run_batch(self, specs: list[dict]) -> list[dict]:
+        return _fail_fast_serial(
+            specs,
+            lambda spec: run_job_outcome(spec, self.policy, self.plan),
+        )
 
 
 class PoolDispatcher(ShardDispatcher):
     """Fan shard jobs out on the mine's shared :class:`JobPool`.
 
     The pool is owned by the caller (it also serves the pair-partial and
-    Louvain fan-outs), so :meth:`close` leaves it alone.
+    Louvain fan-outs), so :meth:`close` leaves it alone.  Outcomes are
+    plain dicts, so the retry loop runs inside pool workers even under a
+    process executor; the pool offers no cancellation, so a fatal error
+    surfaces only after the batch drains.
     """
 
     kind = "pool"
     inline_traces = True
 
-    def __init__(self, pool: JobPool) -> None:
+    def __init__(
+        self,
+        pool: JobPool,
+        policy: RetryPolicy | None = None,
+        plan: FaultPlan | None = None,
+        recorder=None,
+    ) -> None:
+        super().__init__(policy=policy, plan=plan, recorder=recorder)
         self.pool = pool
 
-    def run(self, specs: list[dict]) -> list[dict]:
-        from repro.core.shardmine import run_shard_job
-
-        return self.pool.run([partial(run_shard_job, spec) for spec in specs])
+    def _run_batch(self, specs: list[dict]) -> list[dict]:
+        return self.pool.run(
+            [partial(run_job_outcome, spec, self.policy, self.plan) for spec in specs]
+        )
 
 
 class SubprocessDispatcher(ShardDispatcher):
@@ -112,22 +277,57 @@ class SubprocessDispatcher(ShardDispatcher):
     as a structured ``{"error": {...}}`` object and are re-raised here
     under the coordinator's own exception types, so a corrupt partition
     fails a subprocess-dispatched mine exactly like an in-process one.
+    A worker that crashes or exceeds ``policy.timeout`` raises a
+    retryable :class:`~repro.errors.WorkerError` instead, consumed by
+    the retry loop.
     """
 
     kind = "subprocess"
     inline_traces = False
 
-    def __init__(self, workers: int = 0) -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        policy: RetryPolicy | None = None,
+        plan: FaultPlan | None = None,
+        recorder=None,
+    ) -> None:
+        super().__init__(policy=policy, plan=plan, recorder=recorder)
         self.workers = resolve_workers(workers)
         self._pool: ThreadPoolExecutor | None = None
 
-    def run(self, specs: list[dict]) -> list[dict]:
+    def _run_outcome(self, spec: dict) -> dict:
+        return run_job_outcome(spec, self.policy, self.plan, attempt_call=self._run_one)
+
+    def _run_batch(self, specs: list[dict]) -> list[dict]:
         if len(specs) <= 1 or self.workers <= 1:
-            return [self._run_one(spec) for spec in specs]
+            return _fail_fast_serial(specs, self._run_outcome)
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        futures = [self._pool.submit(self._run_one, spec) for spec in specs]
-        return [future.result() for future in futures]
+        # Collect every future's outcome rather than bailing on the
+        # first exception: a fatal outcome cancels whatever has not
+        # started yet, in-flight siblings are drained (never left
+        # running detached), and ``run`` raises the lowest-numbered
+        # shard's error from the assembled batch.
+        futures = {
+            self._pool.submit(self._run_outcome, spec): index
+            for index, spec in enumerate(specs)
+        }
+        outcomes: list[dict] = [{"cancelled": True} for _ in specs]
+        pending = set(futures)
+        cancelling = False
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if future.cancelled():
+                    continue
+                outcome = future.result()
+                outcomes[futures[future]] = outcome
+                if "error" in outcome and not cancelling:
+                    cancelling = True
+                    for sibling in pending:
+                        sibling.cancel()
+        return outcomes
 
     @staticmethod
     def _worker_env() -> dict[str, str]:
@@ -143,14 +343,25 @@ class SubprocessDispatcher(ShardDispatcher):
 
     def _run_one(self, spec: dict) -> dict:
         shard = spec.get("shard")
-        completed = subprocess.run(
-            [sys.executable, "-m", "repro.core.shardworker"],
-            input=json.dumps(spec),
-            capture_output=True,
-            text=True,
-            env=self._worker_env(),
-            timeout=_WORKER_TIMEOUT_SECONDS,
-        )
+        timeout = self.policy.timeout
+        try:
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.core.shardworker"],
+                input=json.dumps(spec),
+                capture_output=True,
+                text=True,
+                env=self._worker_env(),
+                timeout=timeout,
+            )
+        except subprocess.TimeoutExpired as error:
+            # subprocess.run kills the child before re-raising, so the
+            # worker is gone; surface a retryable timeout naming the
+            # shard and the configured budget instead of the raw
+            # TimeoutExpired.
+            raise ShardTimeoutError(
+                f"shard {shard} worker timed out after {timeout:.0f}s "
+                "(config.shard_timeout)"
+            ) from error
         try:
             result = json.loads(completed.stdout)
         except (json.JSONDecodeError, ValueError):
@@ -159,12 +370,20 @@ class SubprocessDispatcher(ShardDispatcher):
             error = result["error"]
             kind = str(error.get("kind", ""))
             message = str(error.get("message", ""))
-            if kind == "StreamError":
-                raise StreamError(message)
-            raise PipelineError(f"shard {shard} worker failed: {kind}: {message}")
+            retryable = bool(error.get("retryable", False))
+            if kind in ("StreamError", "WorkerError", "ShardTimeoutError"):
+                raise rebuild_error(kind, message, retryable)
+            raise rebuild_error(
+                "WorkerError" if retryable else "PipelineError",
+                f"shard {shard} worker failed: {kind}: {message}",
+                retryable,
+            )
         if completed.returncode != 0 or not isinstance(result, dict):
+            # No parseable reply: the interpreter died (crash, OOM kill,
+            # injected os._exit).  Retryable — a fresh worker on a fresh
+            # spill name sees none of this attempt's state.
             tail = completed.stderr.strip().splitlines()[-8:]
-            raise PipelineError(
+            raise WorkerError(
                 f"shard {shard} worker exited with {completed.returncode}: "
                 + " | ".join(tail)
             )
@@ -177,27 +396,37 @@ class SubprocessDispatcher(ShardDispatcher):
 
 
 def make_dispatcher(
-    kind: str, pool: JobPool | None = None, workers: int = 0
+    kind: str,
+    pool: JobPool | None = None,
+    workers: int = 0,
+    policy: RetryPolicy | None = None,
+    plan: FaultPlan | None = None,
+    recorder=None,
 ) -> ShardDispatcher:
     """Build the dispatcher for a configured ``dispatch`` kind.
 
     ``"pool"`` requires the caller's :class:`JobPool`; ``"subprocess"``
-    takes a concurrent-worker budget (``0`` = one per CPU).
+    takes a concurrent-worker budget (``0`` = one per CPU).  *policy*,
+    *plan* and *recorder* configure retries, fault injection and obs
+    accounting for any kind.
     """
     if kind == "serial":
-        return SerialDispatcher()
+        return SerialDispatcher(policy=policy, plan=plan, recorder=recorder)
     if kind == "pool":
         if pool is None:
             raise PipelineError("pool dispatch requires a JobPool")
-        return PoolDispatcher(pool)
+        return PoolDispatcher(pool, policy=policy, plan=plan, recorder=recorder)
     if kind == "subprocess":
-        return SubprocessDispatcher(workers=workers)
+        return SubprocessDispatcher(
+            workers=workers, policy=policy, plan=plan, recorder=recorder
+        )
     raise PipelineError(
         f"unknown dispatch kind {kind!r}; expected one of {DISPATCH_KINDS}"
     )
 
 
 __all__ = [
+    "ATTEMPT_SPAN",
     "ShardDispatcher",
     "SerialDispatcher",
     "PoolDispatcher",

@@ -97,6 +97,7 @@ from repro.config import SmashConfig
 from repro.core.ashmining import MiningOutcome, mine_herds
 from repro.core.dimensions.client import build_client_graph_from_indices
 from repro.core.dispatch import make_dispatcher
+from repro.core.faults import RetryPolicy, fire_after_spill, fire_before_load
 from repro.core.dimensions.ipset import build_ipset_graph
 from repro.core.dimensions.timedim import DEFAULT_WINDOW_SECONDS, build_time_graph
 from repro.core.dimensions.urifile import build_urifile_graph
@@ -250,10 +251,18 @@ def run_shard_job(spec: dict) -> dict:
     (:mod:`repro.core.shardworker`).  The heavy payload travels through
     the digest-verified :class:`PartialStore`; the returned dict carries
     only the partial's identity plus small accounting.
+
+    A retrying dispatcher overrides the spill name per attempt via
+    ``spec["spill_name"]`` (fresh names keep a dead attempt's bytes from
+    shadowing a later good one), and ``spec["fault"]`` — set only by an
+    explicit :class:`~repro.core.faults.FaultPlan` — triggers the
+    deterministic injection hooks at job entry and after the spill.
     """
     tick = time.perf_counter()
-    trace = _resolve_source(spec)
     shard = int(spec["shard"])
+    fault = spec.get("fault")
+    fire_before_load(fault, shard)
+    trace = _resolve_source(spec)
     aggregate = bool(spec["aggregate"])
     want_patterns = bool(spec["want_patterns"])
     want_windows = bool(spec["want_windows"])
@@ -340,8 +349,10 @@ def run_shard_job(spec: dict) -> dict:
             str(sid): [[landing, count] for landing, count in entries.items()]
             for sid, entries in referrers.items()
         }
-    name = f"index-{shard:04d}"
-    digest, spilled = PartialStore(spec["spill_root"]).put(name, payload)
+    name = str(spec.get("spill_name") or f"index-{shard:04d}")
+    spill = PartialStore(spec["spill_root"])
+    digest, spilled = spill.put(name, payload)
+    fire_after_spill(fault, spill.path_of(name), shard)
     return {
         "shard": shard,
         "name": name,
@@ -870,7 +881,14 @@ def mine_sharded(
         spill_root = tempfile.mkdtemp(prefix="repro-shardmine-")
     spill = PartialStore(spill_root)
     spill.claim()
-    dispatcher = make_dispatcher(config.dispatch, pool=pool, workers=config.workers)
+    dispatcher = make_dispatcher(
+        config.dispatch,
+        pool=pool,
+        workers=config.workers,
+        policy=RetryPolicy.from_config(config),
+        plan=config.fault_plan,
+        recorder=recorder,
+    )
     try:
         # -- phase A + reduce: sharded preprocess ---------------------------------
         with recorder.span("pipeline.mine.preprocess") as pre_span:

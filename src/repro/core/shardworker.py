@@ -7,9 +7,11 @@ content digests and the result names the spilled partial the same way,
 so this process shares nothing with the coordinator but the filesystem —
 the contract a remote worker over any transport would satisfy.
 
-Failures are reported as a structured ``{"error": {"kind", "message"}}``
-object on stdout (plus the traceback on stderr) with a non-zero exit, so
-the dispatcher can re-raise the coordinator-side equivalent.
+Failures are reported as a structured
+``{"error": {"kind", "message", "retryable"}}`` object on stdout (plus
+the traceback on stderr) with a non-zero exit, so the dispatcher can
+re-raise the coordinator-side equivalent — and its retry policy can tell
+a transient failure from a fatal one.
 """
 
 from __future__ import annotations
@@ -19,8 +21,13 @@ import resource
 import sys
 import traceback
 
+from repro.core.faults import is_retryable, mark_worker_process
+
 
 def main() -> int:
+    # This process exists for exactly one shard job; injected crash
+    # faults may os._exit it the way a real interpreter death would.
+    mark_worker_process()
     try:
         spec = json.loads(sys.stdin.read())
         if not isinstance(spec, dict):
@@ -33,7 +40,13 @@ def main() -> int:
         traceback.print_exc()
         print(
             json.dumps(
-                {"error": {"kind": type(error).__name__, "message": str(error)}}
+                {
+                    "error": {
+                        "kind": type(error).__name__,
+                        "message": str(error),
+                        "retryable": is_retryable(error),
+                    }
+                }
             )
         )
         return 1

@@ -37,6 +37,21 @@ class PipelineError(ReproError):
     """The SMASH pipeline was driven with inconsistent inputs."""
 
 
+class WorkerError(PipelineError):
+    """A shard-job worker died or misbehaved in a retryable way.
+
+    Raised for failures that concern the *execution* of a shard job —
+    a crashed subprocess, an unparseable worker reply — rather than its
+    inputs.  Re-running the same job (on a fresh spill name) can
+    succeed, so the dispatch layer's retry policy treats every
+    ``WorkerError`` as retryable (see :mod:`repro.core.faults`).
+    """
+
+
+class ShardTimeoutError(WorkerError):
+    """A shard-job worker ran past the configured ``shard_timeout``."""
+
+
 class ObsError(ReproError):
     """A metric or span was registered or recorded inconsistently."""
 

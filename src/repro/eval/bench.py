@@ -481,6 +481,9 @@ def sharded_scaling(
     shard_counts: tuple[int, ...] = (1, 2, 4, 8),
     seed: int = 7,
     registry=None,
+    shard_retries: int = 2,
+    shard_timeout: float = 600.0,
+    fault_plan: dict | None = None,
 ) -> dict[str, object]:
     """Sharded map-reduce mine vs the single-pass mine at one large scale.
 
@@ -497,7 +500,10 @@ def sharded_scaling(
     the process pool with one worker per CPU (the throughput story), and
     the largest shard count in out-of-core mode with subprocess dispatch
     (the coordinator-memory story: store-direct map jobs in child
-    interpreters, streaming reduce, no window trace in the coordinator).
+    interpreters, streaming reduce, no window trace in the coordinator),
+    and a chaos twin of that row under an injected worker-crash +
+    torn-spill fault plan (the robustness story: retries recover the
+    identical output, and the fault-free vs retrying ratio is gated).
     Every row's full result document must hash identically or the
     benchmark aborts — the byte-identity acceptance gate, measured at
     bench scale rather than only at test scale.
@@ -515,14 +521,27 @@ def sharded_scaling(
         dataset = TraceGenerator(data2012day(scale=scale, seed=seed)).generate_day(0)
     generate_seconds = span.seconds
 
-    configs = [(1, 1, "serial", "pool", False)]
+    configs = [(1, 1, "serial", "pool", False, None)]
     for shards in shard_counts:
         if shards > 1:
-            configs.append((shards, 1, "serial", "pool", False))
+            configs.append((shards, 1, "serial", "pool", False, None))
     largest = max(shard_counts) if shard_counts else 1
     if largest > 1:
-        configs.append((largest, 0, "process", "pool", False))
-        configs.append((largest, 1, "serial", "subprocess", True))
+        configs.append((largest, 0, "process", "pool", False, None))
+        configs.append((largest, 1, "serial", "subprocess", True, None))
+        # Chaos twin of the out-of-core subprocess row: one worker crash
+        # plus one torn spill (both wall-clock-free — no hang, so the
+        # overhead ratio measures retry cost, not timeout waits).  Its
+        # digest joins the identity assertion: recovery must reproduce
+        # the exact output, and benchcheck gates the overhead ratio.
+        chaos_plan = fault_plan or {
+            "version": 1,
+            "faults": [
+                {"shard": 0, "kind": "crash_before_spill", "attempt": 1},
+                {"shard": min(1, largest - 1), "kind": "corrupt_partial", "attempt": 1},
+            ],
+        }
+        configs.append((largest, 1, "serial", "subprocess", True, chaos_plan))
 
     rows: list[dict[str, object]] = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-sharded-") as tmp:
@@ -535,7 +554,7 @@ def sharded_scaling(
                 redirects=dataset.redirects,
             )
         )
-        for shards, workers, executor, dispatch, out_of_core in configs:
+        for shards, workers, executor, dispatch, out_of_core, row_plan in configs:
             spec = {
                 "store_root": str(store.root),
                 "day": ref.day,
@@ -545,6 +564,9 @@ def sharded_scaling(
                 "executor": executor,
                 "dispatch": dispatch,
                 "out_of_core": out_of_core,
+                "shard_retries": shard_retries,
+                "shard_timeout": shard_timeout,
+                "fault_plan": row_plan,
             }
             with registry.span(
                 "bench.sharded.probe",
@@ -553,6 +575,7 @@ def sharded_scaling(
                 executor=executor,
                 dispatch=dispatch,
                 out_of_core=out_of_core,
+                chaos=row_plan is not None,
             ):
                 probe = subprocess.run(
                     [sys.executable, "-m", "repro.eval.shardprobe", json.dumps(spec)],
@@ -562,7 +585,9 @@ def sharded_scaling(
             if probe.returncode != 0:
                 raise AssertionError(
                     f"shard probe {shards}/{workers}/{executor}/{dispatch}"
-                    f"{'/ooc' if out_of_core else ''} failed:\n{probe.stderr}"
+                    f"{'/ooc' if out_of_core else ''}"
+                    f"{'/chaos' if row_plan is not None else ''}"
+                    f" failed:\n{probe.stderr}"
                 )
             rows.append(json.loads(probe.stdout))
 
@@ -578,8 +603,10 @@ def sharded_scaling(
         if r["executor"] == "serial" and r["shards"] > 1 and not r["out_of_core"]
     ]
     most_sharded = serial_rows[-1] if serial_rows else baseline
-    ooc_rows = [r for r in rows if r["out_of_core"]]
+    ooc_rows = [r for r in rows if r["out_of_core"] and not r.get("chaos")]
     ooc = ooc_rows[-1] if ooc_rows else None
+    chaos_rows = [r for r in rows if r.get("chaos")]
+    chaos = chaos_rows[-1] if chaos_rows else None
     # The headline compares *mine-phase* peaks (VmHWM reset after the
     # load — see shardprobe): whole-process ru_maxrss is set by the
     # partition load, which is identical across rows.
@@ -610,6 +637,18 @@ def sharded_scaling(
             if ooc["coordinator_peak_rss_kb"]
             else None
         )
+    if chaos is not None and ooc is not None:
+        # Fault-free vs retrying twin rows (same shards/dispatch/mode):
+        # the ratio is the price of recovering from the injected plan,
+        # gated in benchcheck as sharded.chaos_overhead_bounded.
+        document["chaos"] = {
+            "mine_seconds": chaos["mine_seconds"],
+            "fault_free_mine_seconds": ooc["mine_seconds"],
+            "overhead_ratio": round(chaos["mine_seconds"] / ooc["mine_seconds"], 3)
+            if ooc["mine_seconds"]
+            else None,
+            "plan": chaos_plan,
+        }
     return document
 
 
@@ -634,6 +673,14 @@ def _print_sharded_summary(document: dict[str, object]) -> None:
             f"out-of-core coordinator peak RSS "
             f"{document['out_of_core_coordinator_peak_rss_kb']} KB "
             f"({document['coordinator_rss_reduction']}x below single-pass)"
+        )
+    chaos = document.get("chaos")
+    if isinstance(chaos, dict):
+        print(
+            f"chaos twin (injected crash + torn spill): mine "
+            f"{chaos['mine_seconds']}s vs fault-free "
+            f"{chaos['fault_free_mine_seconds']}s "
+            f"(overhead ratio {chaos['overhead_ratio']}), identical output"
         )
 
 
@@ -720,6 +767,27 @@ def add_bench_arguments(parser: argparse.ArgumentParser, default_suite: str = "s
         "--shard-counts",
         default="1,2,4,8",
         help="sharded suite: comma-separated shard counts to probe",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="sharded suite: retry budget per shard-map job (default 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="sharded suite: per-attempt subprocess worker timeout "
+        "(default 600)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="sharded suite: JSON fault plan for the chaos twin row "
+        "(default: a generated crash + torn-spill plan)",
     )
     parser.add_argument(
         "--out",
@@ -810,11 +878,17 @@ def run_bench_cli(args: argparse.Namespace) -> int:
         wrote.append(out)
     if args.suite == "sharded":
         shard_counts = tuple(int(part) for part in args.shard_counts.split(",") if part)
+        fault_plan = None
+        if getattr(args, "fault_plan", None):
+            fault_plan = json.loads(Path(args.fault_plan).read_text())
         document = sharded_scaling(
             scale=args.sharded_scale,
             shard_counts=shard_counts,
             seed=args.seed,
             registry=registry,
+            shard_retries=args.shard_retries,
+            shard_timeout=args.shard_timeout,
+            fault_plan=fault_plan,
         )
         # The sharded suite extends the mine document rather than owning a
         # separate file: read-modify-write under the "sharded" key so both

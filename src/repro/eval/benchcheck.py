@@ -13,8 +13,10 @@ travels across machines:
   the most-sharded serial mine's peak RSS and the out-of-core
   coordinator's mine-phase peak both stay at or below the single-pass
   baseline's (the properties the sharded and out-of-core modes exist
-  for), and — when the baseline holds a row at the same scale —
-  peak-RSS growth and coordinator-RSS-reduction shrink against it;
+  for), the fault-injected chaos twin's mine-time overhead against the
+  fault-free row (``sharded.chaos_overhead_bounded``), and — when the
+  baseline holds a row at the same scale — peak-RSS growth and
+  coordinator-RSS-reduction shrink against it;
 * stream suite: the cold-vs-incremental ``speedup`` per matching
   workload, and the checkpoint ``shrink_factor``.
 
@@ -36,6 +38,14 @@ DEFAULT_TOLERANCE = 0.35
 
 #: Fractional slack on peak-RSS growth bounds.
 DEFAULT_RSS_TOLERANCE = 0.25
+
+#: Ceiling on the sharded suite's fault-free-vs-retrying mine-time
+#: ratio.  The chaos twin repeats two shard jobs (a crashed worker, a
+#: torn spill) out of the full batch, so its mine time should sit well
+#: under double the fault-free row's; 3.0 leaves room for runner noise
+#: at CI's small bench scales while still catching a retry loop that
+#: re-runs the world.  A within-run ratio, valid on any machine.
+CHAOS_OVERHEAD_BOUND = 3.0
 
 
 def _check(
@@ -106,6 +116,25 @@ def compare_mine(
             sharded.get("identical_output") is True,
             "every shard configuration must produce byte-identical output",
         )
+        chaos = sharded.get("chaos")
+        overhead = chaos.get("overhead_ratio") if isinstance(chaos, dict) else None
+        if isinstance(overhead, (int, float)):
+            _check(
+                checks,
+                problems,
+                "sharded.chaos_overhead_bounded",
+                overhead <= CHAOS_OVERHEAD_BOUND,
+                f"fault-injected mine took {overhead}x the fault-free row "
+                f"(bound {CHAOS_OVERHEAD_BOUND}x)",
+            )
+        else:
+            _check(
+                checks,
+                problems,
+                "sharded.chaos_overhead_bounded",
+                None,
+                "no chaos twin row in the fresh document",
+            )
         single = sharded.get("baseline_mine_peak_rss_kb")
         most = sharded.get("sharded_mine_peak_rss_kb")
         if isinstance(single, (int, float)) and isinstance(most, (int, float)):

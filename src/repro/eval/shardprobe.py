@@ -80,12 +80,20 @@ def run_probe(spec: dict) -> dict[str, object]:
     partition = store.ref(day, digest).load()
     load_seconds = time.perf_counter() - tick
 
+    fault_plan = None
+    if spec.get("fault_plan") is not None:
+        from repro.core.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_dict(spec["fault_plan"])
     config = SmashConfig().replace(
         shards=int(spec["shards"]),
         workers=int(spec["workers"]),
         executor=str(spec["executor"]),
         dispatch=str(spec.get("dispatch", "pool")),
         out_of_core=out_of_core,
+        shard_retries=int(spec.get("shard_retries", 2)),
+        shard_timeout=float(spec.get("shard_timeout", 600.0)),
+        fault_plan=fault_plan,
     )
     config.validate()
     pipeline = SmashPipeline(config)
@@ -128,6 +136,7 @@ def run_probe(spec: dict) -> dict[str, object]:
         "executor": config.executor,
         "dispatch": config.dispatch,
         "out_of_core": out_of_core,
+        "chaos": fault_plan is not None,
         "requests": num_requests,
         "servers_mined": len(mined.trace.servers),
         "campaigns": len(result.campaigns),

@@ -122,6 +122,9 @@ class StreamingSmash:
         workers: int | None = None,
         executor: str | None = None,
         shards: int | None = None,
+        shard_retries: int | None = None,
+        shard_timeout: float | None = None,
+        fault_plan=None,
         store: TraceStore | None = None,
         store_dir: str | Path | None = None,
         incremental: bool | None = None,
@@ -148,12 +151,20 @@ class StreamingSmash:
         # Mining is deterministic (sharded or not), so this never changes
         # the stream's campaigns or tracker identities — only how fast
         # each advance completes and how much memory it holds at peak.
-        if workers is not None or executor is not None or shards is not None:
-            self.config = self.config.replace(
-                workers=self.config.workers if workers is None else workers,
-                executor=self.config.executor if executor is None else executor,
-                shards=self.config.shards if shards is None else shards,
-            )
+        # `shard_retries`/`shard_timeout`/`fault_plan` ride the same way:
+        # retries and injected (recoverable) faults change only how an
+        # advance executes, never what it mines.
+        overrides = {
+            "workers": workers,
+            "executor": executor,
+            "shards": shards,
+            "shard_retries": shard_retries,
+            "shard_timeout": shard_timeout,
+            "fault_plan": fault_plan,
+        }
+        changed = {name: value for name, value in overrides.items() if value is not None}
+        if changed:
+            self.config = self.config.replace(**changed)
         self.pipeline = SmashPipeline(self.config)
         self.store = (
             TraceStore(store_dir, metrics=self.metrics)

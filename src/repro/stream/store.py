@@ -41,6 +41,7 @@ import hashlib
 import json
 import os
 import shutil
+import threading
 import time
 from pathlib import Path
 
@@ -191,7 +192,9 @@ class TraceStore:
         if (final / _MANIFEST_NAME).is_file():
             return PartitionRef(partition.day, digest, self, partition), False
 
-        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+        tmp = final.with_name(
+            final.name + f".tmp-{os.getpid()}-{threading.get_ident()}"
+        )
         if tmp.exists():
             shutil.rmtree(tmp)
         tmp.mkdir(parents=True)
@@ -468,6 +471,10 @@ class PartialStore:
         for path in sorted(parent.glob("mine-*")):
             if not path.is_dir():
                 continue
+            if path.name.endswith(".quarantine"):
+                # Quarantined evidence from failed shard attempts is kept
+                # for inspection; only an operator removes it.
+                continue
             try:
                 age = now - path.stat().st_mtime
             except OSError:  # pragma: no cover - raced deletion
@@ -481,30 +488,63 @@ class PartialStore:
     def put(self, name: str, payload: dict) -> tuple[str, int]:
         """Write one partial; returns ``(digest, bytes written)``.
 
-        The write is atomic (temp file + rename) so a crashed worker
-        never leaves a half-written partial under a valid name.
+        The finalization is atomic (``*.tmp`` + fsync + ``os.replace``)
+        so a killed worker can never publish a torn partial under a
+        valid name — the digest check is a backstop, not the only gate.
         """
         encoded = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         digest = hashlib.sha256(encoded).hexdigest()
         final = self.path_of(name)
-        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
-        tmp.write_bytes(encoded)
+        # Unique per writer *thread*, not just per process: pool-executor
+        # workers spilling the same name from one coordinator must never
+        # share a tmp path.
+        tmp = final.with_name(
+            final.name + f".tmp-{os.getpid()}-{threading.get_ident()}"
+        )
+        with open(tmp, "wb") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, final)
         return digest, len(encoded)
 
-    def load(self, name: str, digest: str) -> dict:
-        """Read one partial back, verifying its content digest."""
+    def _read_verified(self, name: str, digest: str) -> bytes:
+        """The partial's bytes, or a *retryable* :class:`StreamError`.
+
+        Spilled partials are re-creatable (unlike source partitions), so
+        a missing or torn spill is marked ``retryable`` — the dispatch
+        retry policy re-runs the shard job on a fresh spill name.
+        """
         path = self.path_of(name)
         try:
             encoded = path.read_bytes()
         except OSError as error:
-            raise StreamError(f"missing spilled partial {path}: {error}") from error
+            missing = StreamError(f"missing spilled partial {path}: {error}")
+            missing.retryable = True
+            raise missing from error
         actual = hashlib.sha256(encoded).hexdigest()
         if actual != digest:
-            raise StreamError(
-                f"corrupt spilled partial {path}: content digest {actual[:12]} "
-                f"does not match expected {digest[:12]}"
+            mismatch = StreamError(
+                f"corrupt spilled partial {path}: content digest {actual} "
+                f"does not match expected {digest}"
             )
+            mismatch.retryable = True
+            raise mismatch
+        return encoded
+
+    def verify(self, name: str, digest: str) -> None:
+        """Check one partial's bytes against *digest* without decoding it.
+
+        The post-attempt gate in :func:`repro.core.faults.run_with_retry`:
+        a worker's reply only counts as success once the spilled bytes it
+        names actually match the digest it reported.
+        """
+        self._read_verified(name, digest)
+
+    def load(self, name: str, digest: str) -> dict:
+        """Read one partial back, verifying its content digest."""
+        path = self.path_of(name)
+        encoded = self._read_verified(name, digest)
         try:
             payload = json.loads(encoded)
         except json.JSONDecodeError as error:  # pragma: no cover - digest gate
@@ -512,6 +552,43 @@ class PartialStore:
         if not isinstance(payload, dict):
             raise StreamError(f"corrupt spilled partial {path}: not a JSON object")
         return payload
+
+    @staticmethod
+    def quarantine_root(spill_root: Path) -> Path:
+        """Where failed partials from *spill_root* are preserved.
+
+        Under a :class:`TraceStore`'s ``.partials`` parent the layout is
+        ``<store>/.partials/quarantine/``; elsewhere (ad-hoc temp spill
+        dirs) a ``<spill_root>.quarantine`` sibling, which survives the
+        spill root's own ``cleanup()``.
+        """
+        spill_root = Path(spill_root)
+        if spill_root.parent.name == ".partials":
+            return spill_root.parent / "quarantine"
+        return spill_root.with_name(spill_root.name + ".quarantine")
+
+    def quarantine(self, name: str, reason: dict) -> Path | None:
+        """Preserve a failed attempt's spill (if any) with a reason file.
+
+        Moves ``<name>.json`` — when the attempt got far enough to spill
+        one — into a per-attempt directory under :meth:`quarantine_root`
+        and writes ``REASON.json`` describing the failure, instead of
+        deleting the evidence.  Best-effort: returns the entry directory,
+        or ``None`` when bookkeeping itself fails (quarantine must never
+        mask the error being recorded).
+        """
+        try:
+            entry = self.quarantine_root(self.root) / f"{self.root.name}-{name}"
+            entry.mkdir(parents=True, exist_ok=True)
+            source = self.path_of(name)
+            if source.exists():
+                os.replace(source, entry / source.name)
+            (entry / "REASON.json").write_text(
+                json.dumps(reason, indent=2, sort_keys=True) + "\n"
+            )
+            return entry
+        except OSError:  # pragma: no cover - disk trouble during failure handling
+            return None
 
     def delete(self, name: str) -> None:
         """Drop one merged partial (missing files are fine)."""

@@ -585,6 +585,71 @@ class TestGcOrphans:
         # ...and the mine's own spill root is gone too (normal cleanup).
         assert list(tmp_path.glob("mine-*")) == []
 
+    def test_quarantine_dirs_never_collected(self, tmp_path):
+        # Quarantined evidence matches the mine-* glob but holds the only
+        # record of what a failed attempt spilled: the collector must skip
+        # it no matter how stale or ownerless it looks.
+        evidence = self._plant(
+            tmp_path, "mine-dead.quarantine", self._dead_pid(), 3600.0
+        )
+        (evidence / "REASON.json").write_text("{}")
+        stale = self._plant(tmp_path, "mine-dead", self._dead_pid(), 3600.0)
+        assert PartialStore.gc_orphans(tmp_path) == [stale]
+        assert evidence.exists()
+        assert (evidence / "REASON.json").exists()
+
+
+class TestPartialStoreConcurrency:
+    def test_concurrent_coordinator_claims_leave_valid_owner(self, tmp_path):
+        # Two coordinators racing claim() on the same root (a crashed
+        # mine restarted while its predecessor's claim still writes) must
+        # leave a parseable OWNER file naming one of them — never torn
+        # bytes that would break _owner_alive's pid check.
+        root = tmp_path / "spill"
+        script = (
+            "import sys\n"
+            "sys.path.insert(0, sys.argv[2])\n"
+            "from repro.stream.store import PartialStore\n"
+            "import os\n"
+            "store = PartialStore(sys.argv[1])\n"
+            "for _ in range(50):\n"
+            "    store.claim()\n"
+            "print(os.getpid())\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(root), str(SRC_DIR)],
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(3)
+        ]
+        pids = {int(proc.communicate(timeout=60)[0].strip()) for proc in procs}
+        assert all(proc.returncode == 0 for proc in procs)
+        owner = int((root / PartialStore.OWNER_NAME).read_text().strip())
+        assert owner in pids
+
+    def test_concurrent_puts_never_publish_torn_bytes(self, tmp_path):
+        # Racing workers spilling the same name (a retried shard whose
+        # first attempt was merely slow, not dead) finalise via tmp +
+        # os.replace: whichever write wins, the published file is one
+        # complete payload whose digest one of the winners reported.
+        from concurrent.futures import ThreadPoolExecutor
+
+        import hashlib
+
+        store = PartialStore(tmp_path / "spill")
+        payloads = [{"worker": i, "rows": list(range(2000))} for i in range(8)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            digests = set(
+                pool.map(lambda p: store.put("index-0000", p)[0], payloads)
+            )
+        data = store.path_of("index-0000").read_bytes()
+        assert hashlib.sha256(data).hexdigest() in digests
+        assert isinstance(json.loads(data), dict)
+        # No abandoned .tmp files once every put has finalised.
+        assert list(store.root.glob("*.tmp-*")) == []
+
 
 # -- window / store helpers for the out-of-core path --------------------------------
 
